@@ -1,0 +1,97 @@
+//! Criterion benches for the extension and ablation machinery: partitioned
+//! and hierarchical recall, retention aging, programming disturb, and the
+//! RC transient solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::prelude::*;
+use spinamm_core::amm::AmmConfig;
+use spinamm_core::hierarchy::HierarchicalAmm;
+use spinamm_core::partition::PartitionedAmm;
+use spinamm_crossbar::{ArrayProgrammer, BiasScheme, CrossbarArray};
+use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+use spinamm_memristor::{DeviceLimits, DriftModel, LevelMap};
+use std::hint::black_box;
+
+fn workload() -> PatternWorkload {
+    PatternWorkload::generate(&WorkloadConfig {
+        pattern_count: 16,
+        vector_len: 64,
+        bits: 5,
+        query_count: 8,
+        query_noise: 0.1,
+        noise_magnitude: 1,
+        similarity: 0.3,
+        seed: 5,
+    })
+    .unwrap()
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    let w = workload();
+    let cfg = AmmConfig::default();
+
+    group.bench_function("partitioned_recall_4seg", |b| {
+        let mut p = PartitionedAmm::build(&w.patterns, 4, &cfg).unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            let q = &w.queries[k % w.queries.len()].1;
+            k += 1;
+            black_box(p.recall(q).unwrap())
+        });
+    });
+
+    group.bench_function("hierarchical_recall_4cl", |b| {
+        let mut h = HierarchicalAmm::build(&w.patterns, 4, &cfg).unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            let q = &w.queries[k % w.queries.len()].1;
+            k += 1;
+            black_box(h.recall(q).unwrap())
+        });
+    });
+
+    group.bench_function("array_aging_32x16", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut array = CrossbarArray::new(32, 16, DeviceLimits::PAPER).unwrap();
+        array.equalize_rows(None).unwrap();
+        b.iter(|| {
+            array
+                .age(Seconds(1e6), &DriftModel::TYPICAL, &mut rng)
+                .unwrap();
+        });
+    });
+
+    group.bench_function("programming_disturb_8x6", |b| {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let targets: Vec<u32> = (0..48).map(|k| (k * 11 % 32) as u32).collect();
+        let programmer = ArrayProgrammer::safe(BiasScheme::HalfVoltage);
+        b.iter(|| {
+            let mut array = CrossbarArray::new(8, 6, DeviceLimits::PAPER).unwrap();
+            black_box(programmer.program(&mut array, &targets, &map, 0.03).unwrap())
+        });
+    });
+
+    group.bench_function("transient_rc_ladder_400steps", |b| {
+        let mut net = Netlist::new();
+        let nodes = net.nodes(20);
+        net.voltage_source(nodes[0], Volts(0.03));
+        for w in nodes.windows(2) {
+            net.resistor(w[0], w[1], Ohms(100.0));
+            net.capacitor(w[1], Netlist::GROUND, Farads(1e-15));
+        }
+        let analysis =
+            spinamm_circuit::transient::TransientAnalysis::new(Seconds(5e-13), Seconds(2e-10))
+                .unwrap();
+        b.iter(|| black_box(analysis.run(&net).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 13 power studies (E9/E10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::{experiments, Scale};
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+
+    group.bench_function("fig13a_quick", |b| {
+        b.iter(|| experiments::fig13a(black_box(&Scale::quick()), &[0.5, 1.0, 2.0]).unwrap());
+    });
+
+    group.bench_function("fig13b_quick", |b| {
+        b.iter(|| experiments::fig13b(black_box(&Scale::quick()), &[5.0, 15.0, 25.0]).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 3 accuracy studies (E1/E2 in DESIGN.md):
+//! times the full template-build + recognition sweep at miniature scale and
+//! the single-recognition kernel at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::{experiments, Scale};
+use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};
+use spinamm_data::image::Resolution;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+
+    group.bench_function("fig3a_quick_sweep", |b| {
+        b.iter(|| experiments::fig3a(black_box(&Scale::quick())).unwrap());
+    });
+
+    group.bench_function("fig3b_quick_sweep", |b| {
+        b.iter(|| experiments::fig3b(black_box(&Scale::quick())).unwrap());
+    });
+
+    // The per-recognition kernel at the paper's full 128×40 size.
+    let data = experiments::face_dataset(&Scale::full()).unwrap();
+    let templates = data.templates(Resolution::template(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+    let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+    group.bench_function("recall_128x40", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            let input = &tests[k % tests.len()].1;
+            k += 1;
+            black_box(amm.recall(input).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

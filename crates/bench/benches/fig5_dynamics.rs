@@ -1,0 +1,37 @@
+//! Criterion bench for the Fig. 5 domain-wall scaling studies (E3/E4):
+//! times the RK4 transient integrator and the bisected threshold search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::experiments;
+use spinamm_circuit::units::Amps;
+use spinamm_spin::dynamics::DwDynamics;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    let d = DwDynamics::paper_reference();
+    group.bench_function("transient_2uA", |b| {
+        b.iter(|| black_box(d.simulate(Amps(2e-6))));
+    });
+
+    group.bench_function("critical_current_bisection", |b| {
+        b.iter(|| black_box(d.critical_current().unwrap()));
+    });
+
+    group.bench_function("fig5b_sweep", |b| {
+        b.iter(|| experiments::fig5b(black_box(&[0.5, 1.0, 2.0])).unwrap());
+    });
+
+    group.bench_function("fig5c_sweep", |b| {
+        b.iter(|| {
+            experiments::fig5c(black_box(&[1.0, 0.5]), black_box(&[2.0, 4.0, 8.0])).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

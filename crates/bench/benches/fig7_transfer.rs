@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 7a transfer-characteristic study (E5):
+//! times the behavioural hysteresis sweep and the thermal smearing model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::experiments;
+use spinamm_circuit::units::{Amps, Seconds};
+use spinamm_spin::thermal::ThermalModel;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+
+    group.bench_function("transfer_study_61pt", |b| {
+        b.iter(|| black_box(experiments::fig7a(61)));
+    });
+
+    let t = ThermalModel::PAPER;
+    group.bench_function("switching_probability", |b| {
+        b.iter(|| {
+            black_box(t.switching_probability(
+                Amps(0.8e-6),
+                Amps(1e-6),
+                Seconds(10e-9),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

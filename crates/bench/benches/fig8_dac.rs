@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 8b DTCS-DAC non-linearity study (E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_bench::experiments;
+use spinamm_circuit::units::Siemens;
+use spinamm_cmos::DtcsDac;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+
+    group.bench_function("fig8b_curves", |b| {
+        b.iter(|| experiments::fig8b(black_box(&[100.0, 10.0, 2.0, 0.5])).unwrap());
+    });
+
+    let dac = DtcsDac::paper_input();
+    let load = Siemens(dac.ideal_conductance(31).unwrap().0 * 2.0);
+    group.bench_function("inl_one_load", |b| {
+        b.iter(|| black_box(dac.current_inl(load)));
+    });
+
+    group.bench_function("sample_instance", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(dac.sample(&mut rng)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the Fig. 9 detection-margin studies (E7/E8): the
+//! heaviest experiment (full parasitic netlist solves, ~10⁴ nodes at paper
+//! scale), benchmarked at miniature scale plus one full-size solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::{experiments, Scale};
+use spinamm_circuit::units::Volts;
+use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
+use spinamm_memristor::DeviceLimits;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+
+    group.bench_function("fig9a_quick", |b| {
+        b.iter(|| experiments::fig9a(black_box(&Scale::quick()), &[1.0, 5.0]).unwrap());
+    });
+
+    group.bench_function("fig9b_quick", |b| {
+        b.iter(|| experiments::fig9b(black_box(&Scale::quick()), &[30.0, 8.0]).unwrap());
+    });
+
+    // One paper-scale parasitic solve: 128×40 crossbar (10k+ nodes, CG).
+    let mut array = CrossbarArray::new(128, 40, DeviceLimits::PAPER).unwrap();
+    for i in 0..128 {
+        for j in 0..40 {
+            let g = DeviceLimits::PAPER.g_min().0
+                + ((i * 7 + j * 13) % 32) as f64 / 31.0
+                    * (DeviceLimits::PAPER.g_max().0 - DeviceLimits::PAPER.g_min().0);
+            array
+                .set_conductance(i, j, spinamm_circuit::units::Siemens(g))
+                .unwrap();
+        }
+    }
+    array.equalize_rows(None).unwrap();
+    let drives = vec![RowDrive::Voltage(Volts(0.0003)); 128];
+    let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+    group.bench_function("parasitic_solve_128x40", |b| {
+        b.iter(|| black_box(pc.evaluate(&array, &drives).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for the substrate kernels: the linear solvers, the
+//! crossbar evaluations, programming, and the face-image pipeline — the
+//! building blocks every experiment rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::prelude::*;
+use spinamm_circuit::sparse::ConjugateGradient;
+use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
+use spinamm_data::dataset::{DatasetConfig, FaceDataset};
+use spinamm_data::image::Resolution;
+use spinamm_memristor::{DeviceLimits, LevelMap, WriteScheme};
+use std::hint::black_box;
+
+fn grid_netlist(n: usize) -> Netlist {
+    let mut net = Netlist::new();
+    let mut ids = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            ids.push(net.node(format!("g{r}_{c}")));
+        }
+    }
+    let at = |r: usize, c: usize| ids[r * n + c];
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                net.resistor(at(r, c), at(r, c + 1), Ohms(100.0));
+            }
+            if r + 1 < n {
+                net.resistor(at(r, c), at(r + 1, c), Ohms(100.0));
+            }
+        }
+    }
+    net.voltage_source(at(0, 0), Volts(0.03));
+    net.resistor(at(n - 1, n - 1), Netlist::GROUND, Ohms(1e3));
+    net
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    for n in [8usize, 16, 32] {
+        let net = grid_netlist(n);
+        group.bench_with_input(BenchmarkId::new("grid_solve", n * n), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    net.solve_dc_with(SolveMethod::SparseCg(ConjugateGradient::new(1e-10)))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+
+    // Crossbar evaluations at paper size.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+    let scheme = WriteScheme::paper();
+    let mut array = CrossbarArray::new(128, 40, DeviceLimits::PAPER).unwrap();
+    for j in 0..40 {
+        let levels: Vec<u32> = (0..128).map(|i| ((i * 5 + j * 3) % 32) as u32).collect();
+        array.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+    }
+    array.equalize_rows(None).unwrap();
+    let drives = vec![
+        RowDrive::SourceConductance {
+            g: Siemens(3e-4),
+            supply: Volts(0.03),
+        };
+        128
+    ];
+    group.bench_function("driven_eval_128x40", |b| {
+        b.iter(|| black_box(array.driven_column_currents(&drives).unwrap()));
+    });
+    let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+    group.bench_function("parasitic_eval_128x40", |b| {
+        b.iter(|| black_box(pc.evaluate(&array, &drives).unwrap()));
+    });
+
+    group.bench_function("program_pattern_128", |b| {
+        let levels: Vec<u32> = (0..128).map(|i| (i % 32) as u32).collect();
+        b.iter(|| {
+            array
+                .program_pattern(0, &levels, &map, &scheme, &mut rng)
+                .unwrap()
+        });
+    });
+
+    // Face pipeline: render + reduce one image.
+    let data = FaceDataset::generate(&DatasetConfig {
+        individuals: 1,
+        samples_per_individual: 1,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    let image = data.image(0, 0).unwrap().clone();
+    group.bench_function("face_reduce_128x96_to_16x8", |b| {
+        b.iter(|| {
+            black_box(
+                FaceDataset::reduce(&image, Resolution::template(), 5).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Table 1 comparison (E11) and the §5 hierarchy
+//! extension: times the whole comparison sweep and the per-recognition
+//! energy accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinamm_bench::{experiments, Scale};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("table1_quick", |b| {
+        b.iter(|| experiments::table1(black_box(&Scale::quick()), &[5, 3]).unwrap());
+    });
+
+    group.bench_function("hierarchy_quick", |b| {
+        b.iter(|| experiments::hierarchy_study(black_box(&Scale::quick()), &[1, 2]).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,417 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [--quick] [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
+//!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
+//!              drift|write-precision|disturb|noise|all]
+//! ```
+//!
+//! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
+//! miniature configuration used by the test suite.
+
+use spinamm_bench::report::{eng, Table};
+use spinamm_bench::{experiments, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() {
+        vec!["all"]
+    } else {
+        wanted
+    };
+
+    let all = wanted.contains(&"all");
+    let run = |name: &str| all || wanted.contains(&name);
+    let mut failures = 0;
+
+    macro_rules! section {
+        ($name:literal, $body:expr) => {
+            if run($name) {
+                match $body {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => {
+                        eprintln!("{}: FAILED: {e}", $name);
+                        failures += 1;
+                    }
+                }
+            }
+        };
+    }
+
+    section!("table2", render_table2());
+    section!("fig3a", render_fig3a(&scale));
+    section!("fig3b", render_fig3b(&scale));
+    section!("fig5b", render_fig5b());
+    section!("fig5c", render_fig5c());
+    section!("fig7a", render_fig7a());
+    section!("fig8b", render_fig8b());
+    section!("fig9a", render_fig9a(&scale));
+    section!("fig9b", render_fig9b(&scale));
+    section!("fig13a", render_fig13a(&scale));
+    section!("fig13b", render_fig13b(&scale));
+    section!("table1", render_table1(&scale));
+    section!("hierarchy", render_hierarchy(&scale));
+    section!("ablations", render_ablations(&scale));
+    section!("settling", render_settling());
+    section!("drift", render_drift(&scale));
+    section!("write-precision", render_write_precision(&scale));
+    section!("disturb", render_disturb());
+    section!("noise", render_noise(&scale));
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+type Rendered = Result<String, spinamm_core::CoreError>;
+
+fn render_table2() -> Rendered {
+    Ok(format!(
+        "== Table 2: design parameters ==\n{}",
+        experiments::table2()
+    ))
+}
+
+fn render_fig3a(scale: &Scale) -> Rendered {
+    let rows = experiments::fig3a(scale)?;
+    let mut t = Table::new(
+        "Fig 3a: accuracy vs image down-sizing (5-bit pixels)",
+        &["size", "pixels", "ideal", "hardware"],
+    );
+    for r in rows {
+        t.row(&[
+            r.label,
+            format!("{}", r.parameter as usize),
+            format!("{:.3}", r.ideal),
+            format!("{:.3}", r.hardware),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig3b(scale: &Scale) -> Rendered {
+    let rows = experiments::fig3b(scale)?;
+    let mut t = Table::new(
+        "Fig 3b: accuracy vs WTA resolution (16x8 templates)",
+        &["resolution", "ideal", "hardware"],
+    );
+    for r in rows {
+        t.row(&[
+            r.label,
+            format!("{:.3}", r.ideal),
+            format!("{:.3}", r.hardware),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig5b() -> Rendered {
+    let rows = experiments::fig5b(&[0.5, 0.75, 1.0, 1.5, 2.0])?;
+    let mut t = Table::new(
+        "Fig 5b: DWM critical current vs device scaling",
+        &["scale", "analytic Ic", "simulated Ic"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{:.2}x", r.factor),
+            eng(r.analytic, "A"),
+            eng(r.simulated, "A"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig5c() -> Rendered {
+    let rows = experiments::fig5c(&[1.0, 0.75, 0.5], &[1.5, 2.0, 3.0, 4.0, 6.0, 8.0])?;
+    let mut t = Table::new(
+        "Fig 5c: switching time vs write current",
+        &["scale", "current", "t_switch"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{:.2}x", r.factor),
+            eng(r.current, "A"),
+            r.time.map_or_else(|| "no switch".to_string(), |t| eng(t, "s")),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig7a() -> Rendered {
+    let study = experiments::fig7a(61);
+    let mut t = Table::new(
+        "Fig 7a: DWN transfer characteristic (hysteresis, Eb = 20 kT)",
+        &["leg", "current", "output", "P(switch, thermal)"],
+    );
+    // Print a decimated view: every 6th point of each leg.
+    let half = study.hysteresis.len() / 2;
+    for (k, p) in study.hysteresis.iter().enumerate().step_by(6) {
+        let leg = if k < half { "up" } else { "down" };
+        let thermal = study
+            .thermal
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - p.current.0.abs())
+                    .abs()
+                    .total_cmp(&(b.0 - p.current.0.abs()).abs())
+            })
+            .map_or(0.0, |x| x.1);
+        t.row(&[
+            leg.to_string(),
+            eng(p.current.0, "A"),
+            format!("{:+.0}", p.output),
+            format!("{thermal:.3}"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig8b() -> Rendered {
+    let curves = experiments::fig8b(&[100.0, 10.0, 2.0, 0.5])?;
+    let mut t = Table::new(
+        "Fig 8b: DTCS-DAC non-linearity vs row load G_TS",
+        &["G_TS / G_T(max)", "INL (frac of FS)", "I(code 8)", "I(code 16)", "I(code 31)"],
+    );
+    for c in curves {
+        let at = |code: u32| {
+            c.transfer
+                .iter()
+                .find(|(k, _)| *k == code)
+                .map_or(0.0, |(_, i)| *i)
+        };
+        t.row(&[
+            format!("{:.1}", c.load_ratio),
+            format!("{:.4}", c.inl),
+            eng(at(8), "A"),
+            eng(at(16), "A"),
+            eng(at(31), "A"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig9a(scale: &Scale) -> Rendered {
+    let points = experiments::fig9a(scale, &[0.05, 0.2, 1.0, 5.0, 20.0])?;
+    let mut t = Table::new(
+        "Fig 9a: detection margin vs memristor conductance window",
+        &["window scale (xR)", "R range", "margin (LSB)"],
+    );
+    for p in points {
+        t.row(&[
+            format!("{:.2}", p.parameter),
+            format!(
+                "{} - {}",
+                eng(1e3 * p.parameter, "Ω"),
+                eng(32e3 * p.parameter, "Ω")
+            ),
+            format!("{:.2}", p.margin),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig9b(scale: &Scale) -> Rendered {
+    let points = experiments::fig9b(scale, &[60.0, 30.0, 15.0, 8.0, 4.0])?;
+    let mut t = Table::new(
+        "Fig 9b: detection margin vs crossbar bias ΔV",
+        &["ΔV", "margin (LSB)"],
+    );
+    for p in points {
+        t.row(&[eng(p.parameter, "V"), format!("{:.2}", p.margin)]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig13a(scale: &Scale) -> Rendered {
+    let rows = experiments::fig13a(scale, &[0.25, 0.5, 1.0, 1.5, 2.0])?;
+    let mut t = Table::new(
+        "Fig 13a: proposed-design power vs DWN threshold",
+        &["I_th", "static", "dynamic", "total"],
+    );
+    for r in rows {
+        t.row(&[
+            eng(r.threshold, "A"),
+            eng(r.static_power, "W"),
+            eng(r.dynamic_power, "W"),
+            eng(r.total(), "W"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_fig13b(scale: &Scale) -> Rendered {
+    let rows = experiments::fig13b(scale, &[5.0, 10.0, 15.0, 20.0, 25.0])?;
+    let mut t = Table::new(
+        "Fig 13b: PD-product ratio (MS-CMOS / proposed) vs σVT",
+        &["σVT", "ratio [17]", "ratio [18]"],
+    );
+    for r in rows {
+        t.row(&[
+            eng(r.sigma_vt, "V"),
+            format!("{:.0}", r.ratio_andreou),
+            format!("{:.0}", r.ratio_dlugosz),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_table1(scale: &Scale) -> Rendered {
+    let rows = experiments::table1(scale, &[5, 4, 3])?;
+    let mut t = Table::new(
+        "Table 1: power / frequency / energy comparison",
+        &[
+            "bits",
+            "spin-CMOS",
+            "[18]",
+            "[17]",
+            "digital",
+            "E ratio [18]",
+            "E ratio [17]",
+            "E ratio digital",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{}-bit", r.bits),
+            eng(r.spin_power, "W"),
+            eng(r.dlugosz_power, "W"),
+            eng(r.andreou_power, "W"),
+            eng(r.digital_power, "W"),
+            format!("{:.0}", r.energy_ratios[0]),
+            format!("{:.0}", r.energy_ratios[1]),
+            format!("{:.0}", r.energy_ratios[2]),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "frequencies: spin-CMOS {} | MS-CMOS {} | digital {}\n",
+        eng(experiments::SPIN_FREQUENCY, "Hz"),
+        eng(experiments::ANALOG_FREQUENCY, "Hz"),
+        eng(experiments::DIGITAL_FREQUENCY, "Hz"),
+    ));
+    Ok(out)
+}
+
+fn render_ablations(scale: &Scale) -> Rendered {
+    let rows = experiments::ablation_study(scale)?;
+    let mut t = Table::new(
+        "Ablations: G_TS equalization and gain calibration",
+        &["variant", "accuracy", "margin (LSB)", "tracker agreement"],
+    );
+    for r in rows {
+        t.row(&[
+            r.variant,
+            format!("{:.3}", r.accuracy),
+            format!("{:.2}", r.margin),
+            format!("{:.2}", r.tracker_agreement),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_settling() -> Rendered {
+    let rows = experiments::settling_study()?;
+    let mut t = Table::new(
+        "Crossbar RC settling vs the 10 ns SAR cycle",
+        &["analysis", "time", "within cycle"],
+    );
+    for r in rows {
+        t.row(&[
+            r.label,
+            eng(r.time, "s"),
+            if r.within_cycle { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_drift(scale: &Scale) -> Rendered {
+    let rows = experiments::drift_study(scale, &[1.0, 1e4, 1e6, 1e8])?;
+    let mut t = Table::new(
+        "Retention: accuracy vs template age (aggressive Ag-Si corner)",
+        &["age", "accuracy", "after refresh"],
+    );
+    for r in rows {
+        t.row(&[
+            eng(r.age, "s"),
+            format!("{:.3}", r.accuracy),
+            format!("{:.3}", r.refreshed_accuracy),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_write_precision(scale: &Scale) -> Rendered {
+    let rows = experiments::write_precision_study(scale, &[0.003, 0.01, 0.03, 0.1, 0.3])?;
+    let mut t = Table::new(
+        "Write-precision trade-off (paper §2: why 3 %)",
+        &["tolerance", "accuracy", "mean pulses/cell"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{:.1} %", r.tolerance * 100.0),
+            format!("{:.3}", r.accuracy),
+            format!("{:.1}", r.mean_pulses),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_noise(scale: &Scale) -> Rendered {
+    let rows = experiments::noise_robustness_study(scale, &[1, 4, 8, 12, 16])?;
+    let mut t = Table::new(
+        "Input-noise robustness (norm-equalized random workload)",
+        &["jitter magnitude (levels)", "ideal", "hardware"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("±{}", r.magnitude),
+            format!("{:.3}", r.ideal),
+            format!("{:.3}", r.hardware),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_disturb() -> Rendered {
+    let rows = experiments::disturb_study(16, 10)?;
+    let mut t = Table::new(
+        "Programming disturb under V/2 biasing (16x10 array)",
+        &["scheme", "half-select pulses/cell", "max error", "corrupted cells"],
+    );
+    for r in rows {
+        t.row(&[
+            r.label,
+            format!("{:.0}", r.exposure),
+            format!("{:.4}", r.max_error),
+            format!("{}", r.corrupted_cells),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn render_hierarchy(scale: &Scale) -> Rendered {
+    let rows = experiments::hierarchy_study(scale, &[1, 2, 4, 8])?;
+    let mut t = Table::new(
+        "Extension (paper §5): hierarchical / clustered AMM",
+        &["clusters", "energy per recognition", "accuracy"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{}", r.clusters),
+            eng(r.energy, "J"),
+            format!("{:.3}", r.accuracy),
+        ]);
+    }
+    Ok(t.render())
+}

@@ -1,0 +1,73 @@
+//! Experiment sizing: paper-scale vs miniature (test) runs.
+
+/// How large to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Individuals in the face dataset (paper: 40).
+    pub individuals: usize,
+    /// Images per individual (paper: 10).
+    pub samples_per_individual: usize,
+    /// Test queries for workload-based studies.
+    pub queries: usize,
+    /// Probe inputs for margin studies.
+    pub margin_probes: usize,
+    /// Monte-Carlo trials for stochastic curves.
+    pub trials: usize,
+}
+
+impl Scale {
+    /// The paper's full configuration: 40 × 10 faces, 400 test images.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            individuals: 40,
+            samples_per_individual: 10,
+            queries: 400,
+            margin_probes: 8,
+            trials: 200,
+        }
+    }
+
+    /// A miniature configuration for fast tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            individuals: 8,
+            samples_per_individual: 4,
+            queries: 32,
+            margin_probes: 3,
+            trials: 20,
+        }
+    }
+
+    /// Total test images (`individuals × samples`).
+    #[must_use]
+    pub fn test_images(&self) -> usize {
+        self.individuals * self.samples_per_individual
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper() {
+        let s = Scale::full();
+        assert_eq!(s.individuals, 40);
+        assert_eq!(s.test_images(), 400);
+        assert_eq!(Scale::default(), s);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Scale::quick();
+        assert!(q.test_images() < Scale::full().test_images());
+    }
+}

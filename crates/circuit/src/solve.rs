@@ -1,0 +1,763 @@
+//! DC operating-point solution of a [`Netlist`].
+//!
+//! Two solution paths are provided:
+//!
+//! * **Reduced (Dirichlet) path** — when every voltage source is a
+//!   ground-referenced clamp, the clamped nodes are eliminated as boundary
+//!   conditions and the remaining conductance matrix is symmetric positive
+//!   definite. Small systems go through dense Cholesky, large ones through
+//!   sparse conjugate gradient. This is the fast path used for parasitic
+//!   crossbar networks.
+//! * **Full MNA path** — general netlists (including floating voltage
+//!   sources) build the classical asymmetric MNA matrix with branch-current
+//!   unknowns and solve it by dense LU.
+//!
+//! Both paths produce the same [`DcSolution`], and the test suite checks them
+//! against each other.
+
+use crate::dense::DenseMatrix;
+use crate::netlist::{Element, ElementId, Netlist, NodeId};
+use crate::sparse::{ConjugateGradient, SparseBuilder};
+use crate::units::{Amps, Volts, Watts};
+use crate::CircuitError;
+
+/// Which algorithm [`Netlist::solve_dc_with`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SolveMethod {
+    /// Choose automatically: full MNA when floating sources are present,
+    /// otherwise dense Cholesky below [`AUTO_DENSE_LIMIT`] unknowns and
+    /// sparse CG above it.
+    #[default]
+    Auto,
+    /// Full modified nodal analysis with dense LU.
+    DenseLu,
+    /// Dirichlet-reduced system with dense Cholesky. Fails on floating
+    /// sources.
+    DenseCholesky,
+    /// Dirichlet-reduced system with Jacobi-preconditioned CG. Fails on
+    /// floating sources.
+    SparseCg(ConjugateGradient),
+}
+
+/// Unknown-count threshold at which [`SolveMethod::Auto`] switches from dense
+/// Cholesky to sparse CG.
+pub const AUTO_DENSE_LIMIT: usize = 400;
+
+/// DC operating point of a netlist: all node voltages plus the branch current
+/// of every element.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    /// Branch current of element `i` (sign conventions documented on
+    /// [`DcSolution::current`]).
+    currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of `node` relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the solved netlist.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Volts {
+        Volts(self.voltages[node.index()])
+    }
+
+    /// Voltage difference `v(a) − v(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not belong to the solved netlist.
+    #[must_use]
+    pub fn voltage_between(&self, a: NodeId, b: NodeId) -> Volts {
+        Volts(self.voltages[a.index()] - self.voltages[b.index()])
+    }
+
+    /// Branch current of an element.
+    ///
+    /// Sign conventions:
+    /// * `Resistor { a, b, .. }` — current flowing from `a` to `b`.
+    /// * `CurrentSource { .. }` — the source value itself.
+    /// * `Clamp { node, .. }` — current delivered *by the source into the
+    ///   node* (positive when the rail sources current into the network).
+    /// * `FloatingSource { plus, .. }` — current delivered out of the `plus`
+    ///   terminal into the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element does not belong to the solved netlist.
+    #[must_use]
+    pub fn current(&self, element: ElementId) -> Amps {
+        Amps(self.currents[element.index()])
+    }
+
+    /// All node voltages, indexed by [`NodeId::index`]. Entry 0 is ground.
+    #[must_use]
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Total power dissipated in the resistive elements of `net`.
+    ///
+    /// By Tellegen's theorem this equals the net power delivered by all
+    /// sources, which the tests verify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not the netlist this solution came from (detected
+    /// only through index mismatches).
+    #[must_use]
+    pub fn dissipated_power(&self, net: &Netlist) -> Watts {
+        let mut p = 0.0;
+        for e in net.elements() {
+            if let Element::Resistor { a, b, g } = e {
+                let dv = self.voltages[a.index()] - self.voltages[b.index()];
+                p += g.0 * dv * dv;
+            }
+        }
+        Watts(p)
+    }
+
+    /// Total power delivered by sources (current sources, clamps, floating
+    /// sources) into the network.
+    #[must_use]
+    pub fn source_power(&self, net: &Netlist) -> Watts {
+        let mut p = 0.0;
+        for (idx, e) in net.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { .. } => {}
+                Element::CurrentSource { from, to, amps } => {
+                    // Power delivered = I · (v_to − v_from) with current
+                    // pushed from `from` to `to` inside the source.
+                    p += amps.0 * (self.voltages[to.index()] - self.voltages[from.index()]);
+                }
+                Element::Clamp { node, .. } => {
+                    p += self.currents[idx] * self.voltages[node.index()];
+                }
+                Element::FloatingSource { plus, minus, .. } => {
+                    p += self.currents[idx]
+                        * (self.voltages[plus.index()] - self.voltages[minus.index()]);
+                }
+                Element::Capacitor { .. } => {}
+            }
+        }
+        Watts(p)
+    }
+}
+
+impl Netlist {
+    /// Solves the DC operating point with [`SolveMethod::Auto`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::solve_dc_with`].
+    pub fn solve_dc(&self) -> Result<DcSolution, CircuitError> {
+        self.solve_dc_with(SolveMethod::Auto)
+    }
+
+    /// Solves the DC operating point with an explicit method.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::SingularSystem`] for floating nodes or otherwise
+    ///   singular systems.
+    /// * [`CircuitError::ConflictingClamp`] if one node is clamped to two
+    ///   different voltages.
+    /// * [`CircuitError::NotConverged`] if the CG path fails to converge.
+    /// * [`CircuitError::InvalidParameter`] if a reduced method is requested
+    ///   for a netlist with floating sources.
+    pub fn solve_dc_with(&self, method: SolveMethod) -> Result<DcSolution, CircuitError> {
+        let method = match method {
+            SolveMethod::Auto => {
+                if self.has_floating_sources() {
+                    SolveMethod::DenseLu
+                } else {
+                    let unknowns = self.node_count().saturating_sub(1);
+                    if unknowns <= AUTO_DENSE_LIMIT {
+                        SolveMethod::DenseCholesky
+                    } else {
+                        SolveMethod::SparseCg(ConjugateGradient::default())
+                    }
+                }
+            }
+            m => m,
+        };
+        let voltages = match method {
+            SolveMethod::DenseLu => self.solve_full_mna()?,
+            SolveMethod::DenseCholesky => self.solve_reduced(ReducedBackend::Cholesky)?,
+            SolveMethod::SparseCg(cg) => self.solve_reduced(ReducedBackend::Cg(cg))?,
+            SolveMethod::Auto => unreachable!("Auto resolved above"),
+        };
+        Ok(self.finish(voltages))
+    }
+
+    /// Collects clamps as `(node index, volts)`, checking consistency.
+    fn clamps(&self) -> Result<Vec<Option<f64>>, CircuitError> {
+        let mut clamp: Vec<Option<f64>> = vec![None; self.node_count()];
+        clamp[0] = Some(0.0); // ground
+        for e in self.elements() {
+            if let Element::Clamp { node, volts } = e {
+                match clamp[node.index()] {
+                    None => clamp[node.index()] = Some(volts.0),
+                    Some(v) if v == volts.0 => {}
+                    Some(_) => {
+                        return Err(CircuitError::ConflictingClamp { node: node.index() })
+                    }
+                }
+            }
+        }
+        Ok(clamp)
+    }
+
+    /// Dirichlet-eliminated solve: unknowns are the unclamped, non-ground
+    /// nodes.
+    fn solve_reduced(&self, backend: ReducedBackend) -> Result<Vec<f64>, CircuitError> {
+        if self.has_floating_sources() {
+            return Err(CircuitError::InvalidParameter {
+                what: "reduced solve methods do not support floating voltage sources",
+            });
+        }
+        let n = self.node_count();
+        let clamp = self.clamps()?;
+
+        // Map node index → reduced index.
+        let mut reduced_index = vec![usize::MAX; n];
+        let mut free_nodes = Vec::new();
+        for (i, c) in clamp.iter().enumerate() {
+            if c.is_none() {
+                reduced_index[i] = free_nodes.len();
+                free_nodes.push(i);
+            }
+        }
+        let m = free_nodes.len();
+
+        // Right-hand side: injected currents plus boundary contributions.
+        let mut rhs = vec![0.0; m];
+        for e in self.elements() {
+            if let Element::CurrentSource { from, to, amps } = e {
+                if let Some(&ri) = reduced_index.get(to.index()) {
+                    if ri != usize::MAX {
+                        rhs[ri] += amps.0;
+                    }
+                }
+                if let Some(&ri) = reduced_index.get(from.index()) {
+                    if ri != usize::MAX {
+                        rhs[ri] -= amps.0;
+                    }
+                }
+            }
+        }
+
+        let mut voltages = vec![0.0; n];
+        for (i, c) in clamp.iter().enumerate() {
+            if let Some(v) = c {
+                voltages[i] = *v;
+            }
+        }
+
+        if m == 0 {
+            return Ok(voltages);
+        }
+
+        let solution = match backend {
+            ReducedBackend::Cholesky => {
+                let mut a = DenseMatrix::zeros(m, m);
+                for e in self.elements() {
+                    if let Element::Resistor { a: na, b: nb, g } = e {
+                        stamp_reduced_dense(
+                            &mut a,
+                            &mut rhs,
+                            &reduced_index,
+                            &clamp,
+                            na.index(),
+                            nb.index(),
+                            g.0,
+                        );
+                    }
+                }
+                a.cholesky()?.solve(&rhs)?
+            }
+            ReducedBackend::Cg(cg) => {
+                let mut b = SparseBuilder::new(m, m);
+                for e in self.elements() {
+                    if let Element::Resistor { a: na, b: nb, g } = e {
+                        stamp_reduced_sparse(
+                            &mut b,
+                            &mut rhs,
+                            &reduced_index,
+                            &clamp,
+                            na.index(),
+                            nb.index(),
+                            g.0,
+                        );
+                    }
+                }
+                cg.solve(&b.build(), &rhs)?
+            }
+        };
+
+        for (k, &node) in free_nodes.iter().enumerate() {
+            voltages[node] = solution[k];
+        }
+        Ok(voltages)
+    }
+
+    /// Classical MNA: node voltages plus one branch-current unknown per
+    /// voltage source (clamps included).
+    fn solve_full_mna(&self) -> Result<Vec<f64>, CircuitError> {
+        // Check clamp consistency up front for a better error than
+        // "singular".
+        let _ = self.clamps()?;
+        let n = self.node_count() - 1; // unknowns exclude ground
+        let sources: Vec<(usize, &Element)> = self
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::Clamp { .. } | Element::FloatingSource { .. }))
+            .collect();
+        let dim = n + sources.len();
+        if dim == 0 {
+            return Ok(vec![0.0; 1]);
+        }
+        let mut a = DenseMatrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        // Node index → matrix row (ground excluded).
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        for e in self.elements() {
+            match e {
+                Element::Resistor { a: na, b: nb, g } => {
+                    let (i, j) = (row(na.index()), row(nb.index()));
+                    if let Some(i) = i {
+                        a[(i, i)] += g.0;
+                    }
+                    if let Some(j) = j {
+                        a[(j, j)] += g.0;
+                    }
+                    if let (Some(i), Some(j)) = (i, j) {
+                        a[(i, j)] -= g.0;
+                        a[(j, i)] -= g.0;
+                    }
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    if let Some(i) = row(to.index()) {
+                        rhs[i] += amps.0;
+                    }
+                    if let Some(i) = row(from.index()) {
+                        rhs[i] -= amps.0;
+                    }
+                }
+                Element::Clamp { .. }
+                | Element::FloatingSource { .. }
+                | Element::Capacitor { .. } => {}
+            }
+        }
+
+        for (k, (_, e)) in sources.iter().enumerate() {
+            let branch = n + k;
+            match e {
+                Element::Clamp { node, volts } => {
+                    let i = row(node.index()).expect("clamp on ground rejected at build");
+                    // Branch current flows *into* the node (source convention
+                    // documented on DcSolution::current).
+                    a[(i, branch)] -= 1.0;
+                    a[(branch, i)] += 1.0;
+                    rhs[branch] = volts.0;
+                }
+                Element::FloatingSource { plus, minus, volts } => {
+                    if let Some(i) = row(plus.index()) {
+                        a[(i, branch)] -= 1.0;
+                        a[(branch, i)] += 1.0;
+                    }
+                    if let Some(j) = row(minus.index()) {
+                        a[(j, branch)] += 1.0;
+                        a[(branch, j)] -= 1.0;
+                    }
+                    rhs[branch] = volts.0;
+                }
+                Element::Resistor { .. }
+                | Element::CurrentSource { .. }
+                | Element::Capacitor { .. } => unreachable!(),
+            }
+        }
+
+        let x = a.solve(&rhs)?;
+        let mut voltages = vec![0.0; self.node_count()];
+        voltages[1..].copy_from_slice(&x[..n]);
+        Ok(voltages)
+    }
+
+    /// Computes per-element branch currents from the node voltages.
+    fn finish(&self, voltages: Vec<f64>) -> DcSolution {
+        let mut currents = vec![0.0; self.element_count()];
+        // For voltage sources, branch current = KCL sum of all *other*
+        // element currents leaving the source node(s). Accumulate per node.
+        let mut node_outflow = vec![0.0; self.node_count()];
+        for (idx, e) in self.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, g } => {
+                    let i = g.0 * (voltages[a.index()] - voltages[b.index()]);
+                    currents[idx] = i;
+                    node_outflow[a.index()] += i;
+                    node_outflow[b.index()] -= i;
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    currents[idx] = amps.0;
+                    node_outflow[from.index()] += amps.0;
+                    node_outflow[to.index()] -= amps.0;
+                }
+                Element::Clamp { .. }
+                | Element::FloatingSource { .. }
+                | Element::Capacitor { .. } => {}
+            }
+        }
+        // A source must supply whatever flows out of its positive node
+        // through the passive elements. Multiple sources on one node share
+        // arbitrarily in reality; here each clamp node has a unique value
+        // (checked at solve time), and we attribute the full outflow to the
+        // *first* source on that node and zero to duplicates.
+        let mut claimed = vec![false; self.node_count()];
+        for (idx, e) in self.elements().iter().enumerate() {
+            match e {
+                Element::Clamp { node, .. }
+                    if !claimed[node.index()] => {
+                        currents[idx] = node_outflow[node.index()];
+                        claimed[node.index()] = true;
+                    }
+                Element::FloatingSource { plus, .. }
+                    if !claimed[plus.index()] => {
+                        currents[idx] = node_outflow[plus.index()];
+                        claimed[plus.index()] = true;
+                    }
+                _ => {}
+            }
+        }
+        DcSolution { voltages, currents }
+    }
+}
+
+enum ReducedBackend {
+    Cholesky,
+    Cg(ConjugateGradient),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_reduced_dense(
+    a: &mut DenseMatrix,
+    rhs: &mut [f64],
+    reduced_index: &[usize],
+    clamp: &[Option<f64>],
+    na: usize,
+    nb: usize,
+    g: f64,
+) {
+    let (ia, ib) = (reduced_index[na], reduced_index[nb]);
+    if ia != usize::MAX {
+        a[(ia, ia)] += g;
+        if let Some(vb) = clamp[nb] { rhs[ia] += g * vb }
+    }
+    if ib != usize::MAX {
+        a[(ib, ib)] += g;
+        if let Some(va) = clamp[na] { rhs[ib] += g * va }
+    }
+    if ia != usize::MAX && ib != usize::MAX {
+        a[(ia, ib)] -= g;
+        a[(ib, ia)] -= g;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_reduced_sparse(
+    b: &mut SparseBuilder,
+    rhs: &mut [f64],
+    reduced_index: &[usize],
+    clamp: &[Option<f64>],
+    na: usize,
+    nb: usize,
+    g: f64,
+) {
+    let (ia, ib) = (reduced_index[na], reduced_index[nb]);
+    if ia != usize::MAX {
+        b.add(ia, ia, g);
+        if let Some(vb) = clamp[nb] {
+            rhs[ia] += g * vb;
+        }
+    }
+    if ib != usize::MAX {
+        b.add(ib, ib, g);
+        if let Some(va) = clamp[na] {
+            rhs[ib] += g * va;
+        }
+    }
+    if ia != usize::MAX && ib != usize::MAX {
+        b.add(ia, ib, -g);
+        b.add(ib, ia, -g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Ohms;
+
+    const METHODS: [SolveMethod; 4] = [
+        SolveMethod::Auto,
+        SolveMethod::DenseLu,
+        SolveMethod::DenseCholesky,
+        SolveMethod::SparseCg(ConjugateGradient {
+            tolerance: 1e-12,
+            max_iterations: None,
+        }),
+    ];
+
+    fn divider() -> (Netlist, NodeId, NodeId) {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.voltage_source(top, Volts(1.0));
+        net.resistor(top, mid, Ohms(1e3));
+        net.resistor(mid, Netlist::GROUND, Ohms(3e3));
+        (net, top, mid)
+    }
+
+    #[test]
+    fn divider_all_methods_agree() {
+        let (net, top, mid) = divider();
+        for m in METHODS {
+            let sol = net.solve_dc_with(m).unwrap();
+            assert!((sol.voltage(mid).0 - 0.75).abs() < 1e-9, "{m:?}");
+            assert!((sol.voltage(top).0 - 1.0).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn clamp_current_matches_ohms_law() {
+        let (net, _, _) = divider();
+        let sol = net.solve_dc().unwrap();
+        // Source drives 1 V across 4 kΩ → 0.25 mA into the network.
+        let src = ElementId(0);
+        assert!((sol.current(src).0 - 0.25e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.current_source(Netlist::GROUND, a, Amps(2e-3));
+        net.resistor(a, Netlist::GROUND, Ohms(500.0));
+        for m in METHODS {
+            let sol = net.solve_dc_with(m).unwrap();
+            assert!((sol.voltage(a).0 - 1.0).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn floating_source_needs_mna() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, Netlist::GROUND, Ohms(1e3));
+        net.resistor(b, Netlist::GROUND, Ohms(1e3));
+        net.floating_voltage_source(a, b, Volts(0.5));
+        let sol = net.solve_dc().unwrap();
+        assert!((sol.voltage_between(a, b).0 - 0.5).abs() < 1e-9);
+        // Symmetric network: potentials are ±0.25 V.
+        assert!((sol.voltage(a).0 - 0.25).abs() < 1e-9);
+        assert!((sol.voltage(b).0 + 0.25).abs() < 1e-9);
+        // Reduced methods refuse.
+        assert!(matches!(
+            net.solve_dc_with(SolveMethod::DenseCholesky),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_clamps_detected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, Ohms(1.0));
+        net.voltage_source(a, Volts(1.0));
+        net.voltage_source(a, Volts(2.0));
+        assert!(matches!(
+            net.solve_dc(),
+            Err(CircuitError::ConflictingClamp { .. })
+        ));
+        assert!(matches!(
+            net.solve_dc_with(SolveMethod::DenseLu),
+            Err(CircuitError::ConflictingClamp { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_clamps_are_fine() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, Ohms(1.0));
+        net.voltage_source(a, Volts(1.0));
+        net.voltage_source(a, Volts(1.0));
+        let sol = net.solve_dc().unwrap();
+        assert!((sol.voltage(a).0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, Netlist::GROUND, Ohms(1.0));
+        // b dangles with no connection at all — reduced matrix has a zero
+        // diagonal for it.
+        let _ = b;
+        assert!(net.solve_dc().is_err());
+    }
+
+    #[test]
+    fn power_balance_tellegen() {
+        // Mixed network: clamp + current source + resistor mesh.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        let c = net.node("c");
+        net.voltage_source(a, Volts(1.0));
+        net.current_source(Netlist::GROUND, c, Amps(1e-3));
+        net.resistor(a, b, Ohms(1e3));
+        net.resistor(b, c, Ohms(2e3));
+        net.resistor(b, Netlist::GROUND, Ohms(4e3));
+        net.resistor(c, Netlist::GROUND, Ohms(1e3));
+        for m in METHODS {
+            let sol = net.solve_dc_with(m).unwrap();
+            let dissipated = sol.dissipated_power(&net);
+            let supplied = sol.source_power(&net);
+            assert!(
+                (dissipated.0 - supplied.0).abs() < 1e-12,
+                "{m:?}: {dissipated} vs {supplied}"
+            );
+        }
+    }
+
+    #[test]
+    fn resistor_branch_current_sign() {
+        let (net, _, _) = divider();
+        let sol = net.solve_dc().unwrap();
+        // Element 1 is the top resistor a→mid: positive current flows top→mid.
+        assert!(sol.current(ElementId(1)).0 > 0.0);
+        // Element 2 flows mid→gnd, also positive.
+        assert!(sol.current(ElementId(2)).0 > 0.0);
+        assert!(
+            (sol.current(ElementId(1)).0 - sol.current(ElementId(2)).0).abs() < 1e-12,
+            "series elements carry equal current"
+        );
+    }
+
+    #[test]
+    fn ladder_matches_analytic() {
+        // Uniform R ladder driven by a clamp: check against hand-derived
+        // value for 3 sections of series 1 kΩ with 1 kΩ to ground each.
+        let mut net = Netlist::new();
+        let n1 = net.node("n1");
+        let n2 = net.node("n2");
+        let n3 = net.node("n3");
+        net.voltage_source(n1, Volts(1.0));
+        net.resistor(n1, n2, Ohms(1e3));
+        net.resistor(n2, Netlist::GROUND, Ohms(1e3));
+        net.resistor(n2, n3, Ohms(1e3));
+        net.resistor(n3, Netlist::GROUND, Ohms(1e3));
+        let sol = net.solve_dc().unwrap();
+        // From n2: load = 1k ∥ (1k + 1k) = 2/3 k; v2 = (2/3)/(1 + 2/3) = 0.4
+        assert!((sol.voltage(n2).0 - 0.4).abs() < 1e-9);
+        // v3 = v2 / 2 = 0.2
+        assert!((sol.voltage(n3).0 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_grid_cg_matches_cholesky() {
+        // A 12×12 resistor grid with one corner clamped and one corner
+        // driven by a current source — both reduced backends must agree.
+        let n = 12;
+        let mut net = Netlist::new();
+        let mut ids = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                ids.push(net.node(format!("g{r}_{c}")));
+            }
+        }
+        let at = |r: usize, c: usize| ids[r * n + c];
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    net.resistor(at(r, c), at(r, c + 1), Ohms(100.0));
+                }
+                if r + 1 < n {
+                    net.resistor(at(r, c), at(r + 1, c), Ohms(100.0));
+                }
+            }
+        }
+        net.voltage_source(at(0, 0), Volts(0.03));
+        net.resistor(at(n - 1, n - 1), Netlist::GROUND, Ohms(1e3));
+        net.current_source(Netlist::GROUND, at(n - 1, 0), Amps(10e-6));
+
+        let chol = net.solve_dc_with(SolveMethod::DenseCholesky).unwrap();
+        let cg = net
+            .solve_dc_with(SolveMethod::SparseCg(ConjugateGradient::new(1e-13)))
+            .unwrap();
+        let lu = net.solve_dc_with(SolveMethod::DenseLu).unwrap();
+        for i in 0..net.node_count() {
+            let node = NodeId(i);
+            assert!((chol.voltage(node).0 - cg.voltage(node).0).abs() < 1e-9);
+            assert!((chol.voltage(node).0 - lu.voltage(node).0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_free_nodes_solves_trivially() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Volts(0.5));
+        net.resistor(a, Netlist::GROUND, Ohms(100.0));
+        let sol = net.solve_dc().unwrap();
+        assert!((sol.voltage(a).0 - 0.5).abs() < 1e-12);
+        assert!((sol.current(ElementId(0)).0 - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kcl_residual_property() {
+        // KCL holds at every free node of a random-ish mesh.
+        let mut net = Netlist::new();
+        let nodes = net.nodes(6);
+        for (k, w) in nodes.windows(2).enumerate() {
+            net.resistor(w[0], w[1], Ohms(100.0 + 37.0 * k as f64));
+        }
+        net.resistor(nodes[0], Netlist::GROUND, Ohms(220.0));
+        net.resistor(nodes[5], Netlist::GROUND, Ohms(330.0));
+        net.resistor(nodes[1], nodes[4], Ohms(150.0));
+        net.current_source(Netlist::GROUND, nodes[2], Amps(1e-3));
+        net.voltage_source(nodes[0], Volts(0.2));
+        let sol = net.solve_dc().unwrap();
+
+        // Accumulate outflow per node from resistor + current-source
+        // branches; free nodes must sum to ~0.
+        let mut outflow = vec![0.0; net.node_count()];
+        for (idx, e) in net.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, .. } => {
+                    let i = sol.current(ElementId(idx)).0;
+                    outflow[a.index()] += i;
+                    outflow[b.index()] -= i;
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    outflow[from.index()] += amps.0;
+                    outflow[to.index()] -= amps.0;
+                }
+                _ => {}
+            }
+        }
+        for (i, f) in outflow.iter().enumerate() {
+            if i == 0 || i == nodes[0].index() {
+                continue; // ground and clamped node absorb source current
+            }
+            assert!(f.abs() < 1e-12, "KCL violated at node {i}: {f}");
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Sparse linear algebra: CSR matrices and a preconditioned conjugate
+//! gradient solver.
+//!
+//! A parasitic model of the paper's 128 × 40 crossbar has
+//! `2 · 128 · 40 ≈ 10⁴` circuit nodes but only ~5 non-zeros per MNA row
+//! (two wire segments, one memristor, plus the diagonal), so the reduced
+//! conductance matrix is large, sparse, symmetric and positive definite —
+//! exactly the regime where Jacobi-preconditioned conjugate gradient is the
+//! textbook solver.
+
+use crate::CircuitError;
+
+/// Triplet-based builder for a [`CsrMatrix`].
+///
+/// Duplicate `(row, col)` entries are summed, which matches the conductance
+/// "stamping" pattern of nodal analysis: each resistor adds to four entries,
+/// and parallel devices simply accumulate.
+///
+/// # Example
+///
+/// ```
+/// use spinamm_circuit::sparse::SparseBuilder;
+///
+/// let mut b = SparseBuilder::new(2, 2);
+/// b.add(0, 0, 2.0);
+/// b.add(0, 0, 1.0); // accumulates: (0,0) == 3.0
+/// b.add(1, 1, 4.0);
+/// let m = b.build();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// assert_eq!(m.get(0, 1), 0.0);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl SparseBuilder {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`, accumulating with any previous entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "sparse entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of raw (pre-deduplication) entries accumulated so far.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Builds the CSR matrix, summing duplicates and dropping entries that
+    /// cancel to exactly zero.
+    #[must_use]
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+
+        let mut iter = self.entries.into_iter().peekable();
+        for row in 0..self.rows {
+            while let Some(&(r, c, _)) = iter.peek() {
+                if r != row {
+                    break;
+                }
+                let mut sum = 0.0;
+                while let Some(&(r2, c2, v)) = iter.peek() {
+                    if r2 == row && c2 == c {
+                        sum += v;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                if sum != 0.0 {
+                    col_idx.push(c);
+                    values.push(sum);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over the stored `(row, col, value)` triplets in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            self.col_idx[lo..hi]
+                .iter()
+                .zip(&self.values[lo..hi])
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if x.len() != self.cols {
+            return Err(CircuitError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (hot path of CG).
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut s = 0.0;
+            for k in lo..hi {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = s;
+        }
+    }
+
+    /// Maximum absolute asymmetry `max |a_ij − a_ji|` (zero for symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn asymmetry(&self) -> f64 {
+        assert!(self.rows == self.cols, "asymmetry requires a square matrix");
+        let mut worst = 0.0_f64;
+        for (r, c, v) in self.iter() {
+            if c > r {
+                worst = worst.max((v - self.get(c, r)).abs());
+            }
+        }
+        worst
+    }
+
+    /// The diagonal as a vector (missing diagonal entries are zero).
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+}
+
+/// Jacobi-preconditioned conjugate gradient solver for symmetric positive
+/// definite systems.
+///
+/// # Example
+///
+/// ```
+/// use spinamm_circuit::sparse::{ConjugateGradient, SparseBuilder};
+///
+/// # fn main() -> Result<(), spinamm_circuit::CircuitError> {
+/// let mut b = SparseBuilder::new(2, 2);
+/// b.add(0, 0, 4.0);
+/// b.add(1, 1, 9.0);
+/// let a = b.build();
+/// let cg = ConjugateGradient::default();
+/// let x = cg.solve(&a, &[8.0, 18.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-9);
+/// assert!((x[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConjugateGradient {
+    /// Relative residual `‖b − A·x‖ / ‖b‖` at which iteration stops.
+    pub tolerance: f64,
+    /// Hard iteration cap; `None` defaults to `10 · n`.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: None,
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Creates a solver with the given relative tolerance.
+    #[must_use]
+    pub fn new(tolerance: f64) -> Self {
+        Self {
+            tolerance,
+            max_iterations: None,
+        }
+    }
+
+    /// Solves `A·x = b` for symmetric positive definite `A`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::DimensionMismatch`] if shapes disagree or `A` is not
+    ///   square.
+    /// * [`CircuitError::NotConverged`] if the iteration cap is hit before
+    ///   the tolerance is met.
+    /// * [`CircuitError::SingularSystem`] if a diagonal (Jacobi) entry is not
+    ///   strictly positive — an SPD matrix always has a positive diagonal.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if a.rows() != a.cols() {
+            return Err(CircuitError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
+        }
+        if b.len() != a.rows() {
+            return Err(CircuitError::DimensionMismatch {
+                expected: a.rows(),
+                found: b.len(),
+            });
+        }
+        let n = a.rows();
+        let b_norm = norm2(b);
+        if b_norm == 0.0 {
+            return Ok(vec![0.0; n]);
+        }
+
+        let diag = a.diagonal();
+        let mut inv_diag = vec![0.0; n];
+        for (i, &d) in diag.iter().enumerate() {
+            if d <= 0.0 {
+                return Err(CircuitError::SingularSystem { pivot: i });
+            }
+            inv_diag[i] = 1.0 / d;
+        }
+
+        let max_iter = self.max_iterations.unwrap_or(10 * n.max(10));
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+
+        for iter in 0..max_iter {
+            a.matvec_into(&p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 {
+                // Not SPD along this direction — report as singular.
+                return Err(CircuitError::SingularSystem { pivot: iter });
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let res = norm2(&r) / b_norm;
+            if res <= self.tolerance {
+                return Ok(x);
+            }
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_next = dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+
+        Err(CircuitError::NotConverged {
+            iterations: max_iter,
+            residual: norm2(&r) / b_norm,
+        })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the standard 1-D Laplacian (tridiagonal [−1, 2, −1]) with
+    /// Dirichlet ends — the archetype of a reduced resistive-ladder matrix.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut b = SparseBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_accumulates_duplicates() {
+        let mut b = SparseBuilder::new(3, 3);
+        b.add(1, 1, 1.5);
+        b.add(1, 1, 2.5);
+        b.add(0, 2, -1.0);
+        b.add(0, 2, 1.0); // cancels to zero → dropped
+        assert_eq!(b.raw_len(), 4);
+        let m = b.build();
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_values_are_not_stored() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(0, 0, 0.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn csr_iter_is_row_ordered() {
+        let mut b = SparseBuilder::new(2, 3);
+        b.add(1, 0, 3.0);
+        b.add(0, 2, 1.0);
+        b.add(0, 0, 2.0);
+        let m = b.build();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets, vec![(0, 0, 2.0), (0, 2, 1.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = laplacian(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = m.matvec(&x).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_check() {
+        let m = laplacian(3);
+        assert!(matches!(
+            m.matvec(&[1.0, 2.0]),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        assert_eq!(laplacian(8).asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 50;
+        let a = laplacian(n);
+        // Manufactured solution.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = ConjugateGradient::default().solve(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = laplacian(4);
+        let x = ConjugateGradient::default().solve(&a, &[0.0; 4]).unwrap();
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn cg_rejects_nonpositive_diagonal() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        // (1,1) missing → zero diagonal.
+        let a = b.build();
+        assert!(matches!(
+            ConjugateGradient::default().solve(&a, &[1.0, 1.0]),
+            Err(CircuitError::SingularSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn cg_reports_nonconvergence() {
+        let a = laplacian(100);
+        let b = vec![1.0; 100];
+        let cg = ConjugateGradient {
+            tolerance: 1e-14,
+            max_iterations: Some(2),
+        };
+        assert!(matches!(
+            cg.solve(&a, &b),
+            Err(CircuitError::NotConverged { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn cg_dimension_checks() {
+        let a = laplacian(3);
+        assert!(matches!(
+            ConjugateGradient::default().solve(&a, &[1.0, 2.0]),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+        let mut rect = SparseBuilder::new(2, 3);
+        rect.add(0, 0, 1.0);
+        let rect = rect.build();
+        assert!(matches!(
+            ConjugateGradient::default().solve(&rect, &[1.0, 2.0]),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn badly_conditioned_conductance_scales() {
+        // Conductances spanning 200 Ω … 32 kΩ plus 1 Ω/µm wire segments give
+        // entries over ~4 decades; Jacobi preconditioning must still converge.
+        let n = 200;
+        let mut bld = SparseBuilder::new(n, n);
+        for i in 0..n {
+            let g_wire = 1.0; // 1 S segment
+            let g_mem = if i % 2 == 0 { 1.0 / 200.0 } else { 1.0 / 32_000.0 };
+            bld.add(i, i, 2.0 * g_wire + g_mem);
+            if i > 0 {
+                bld.add(i, i - 1, -g_wire);
+            }
+            if i + 1 < n {
+                bld.add(i, i + 1, -g_wire);
+            }
+        }
+        let a = bld.build();
+        let x_true: Vec<f64> = (0..n).map(|i| 1e-3 * (i as f64).cos()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = ConjugateGradient::new(1e-12).solve(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn builder_bounds_check() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Strongly typed electrical and physical quantities.
+//!
+//! Every quantity is a transparent `f64` newtype in SI units (volts, amperes,
+//! ohms, …) except where the name says otherwise ([`Micrometers`],
+//! [`Nanometers`], [`Celsius`]). The types implement the arithmetic that is
+//! physically meaningful — `Volts / Ohms = Amps`, `Volts * Amps = Watts`,
+//! `Watts * Seconds = Joules`, and so on — so that device models in the other
+//! `spinamm` crates cannot silently mix up, say, a conductance and a
+//! resistance.
+//!
+//! The inner value is public (`Volts(1.5).0`): these are thin labels, not
+//! abstraction boundaries.
+//!
+//! # Example
+//!
+//! ```
+//! use spinamm_circuit::units::*;
+//!
+//! let v = Volts(0.030);          // the paper's ΔV ≈ 30 mV crossbar bias
+//! let g = Siemens(1.0 / 8.0e3);  // a mid-range Ag-Si memristor
+//! let i: Amps = v * g;
+//! let p: Watts = v * i;
+//! assert!((i.0 - 3.75e-6).abs() < 1e-12);
+//! assert!((p.0 - 1.125e-7).abs() < 1e-13);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+/// Bohr magneton, J/T.
+pub const BOHR_MAGNETON: f64 = 9.274_010_078e-24;
+/// Gyromagnetic ratio of the electron, rad/(s·T).
+pub const GYROMAGNETIC_RATIO: f64 = 1.760_859_63e11;
+/// Vacuum permeability, T·m/A.
+pub const MU_0: f64 = 1.256_637_062e-6;
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` if the inner value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The larger of two quantities (NaN-propagating like `f64::max`).
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// The smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dimensionless ratio of two like quantities.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential, volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current, amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Resistance, ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Conductance, siemens.
+    Siemens,
+    "S"
+);
+unit!(
+    /// Power, watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy, joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Time, seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Capacitance, farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Frequency, hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Length in micrometres (µm) — the natural scale of crossbar wiring.
+    Micrometers,
+    "µm"
+);
+unit!(
+    /// Length in nanometres (nm) — the natural scale of the spin devices.
+    Nanometers,
+    "nm"
+);
+unit!(
+    /// Absolute temperature, kelvin.
+    Kelvin,
+    "K"
+);
+unit!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+
+// ---- Physically meaningful cross-type arithmetic -------------------------
+
+/// Ohm's law: `V = I · R`.
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+/// Ohm's law: `V = R · I`.
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    fn mul(self, rhs: Amps) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+/// Ohm's law: `I = V / R`.
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+/// Ohm's law: `I = V · G`.
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    fn mul(self, rhs: Siemens) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+/// Ohm's law: `I = G · V`.
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+    fn mul(self, rhs: Volts) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+/// `R = V / I`.
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+/// Electrical power: `P = V · I`.
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Electrical power: `P = I · V`.
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Energy: `E = P · t`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Energy: `E = t · P`.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Average power: `P = E / t`.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// Energy per operation at a given rate: `E = P / f`.
+impl Div<Hertz> for Watts {
+    type Output = Joules;
+    fn div(self, rhs: Hertz) -> Joules {
+        Joules(self.0 / rhs.0)
+    }
+}
+
+/// Charge-less shortcut used in switched-capacitor energy: `E = C · V²` needs
+/// an intermediate `C · V`; we expose `Q = C · V` as plain `f64` coulombs is
+/// not worth a type, so instead provide the complete `switching_energy`.
+#[must_use]
+pub fn switched_capacitor_energy(c: Farads, v: Volts) -> Joules {
+    Joules(c.0 * v.0 * v.0)
+}
+
+impl Ohms {
+    /// The conductance `G = 1/R`.
+    ///
+    /// Returns an infinite conductance for `R = 0`; callers constructing
+    /// netlists should validate against that.
+    #[must_use]
+    pub fn to_siemens(self) -> Siemens {
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// The resistance `R = 1/G`.
+    #[must_use]
+    pub fn to_ohms(self) -> Ohms {
+        Ohms(1.0 / self.0)
+    }
+
+    /// Series combination of two conductances: `G₁G₂/(G₁+G₂)`.
+    ///
+    /// This is the expression at the heart of the paper's DTCS-DAC
+    /// non-linearity analysis (Fig. 8b): the DAC conductance `G_T` in series
+    /// with the total crossbar-row conductance `G_TS`.
+    #[must_use]
+    pub fn series(self, other: Siemens) -> Siemens {
+        let denom = self.0 + other.0;
+        if denom == 0.0 {
+            Siemens(0.0)
+        } else {
+            Siemens(self.0 * other.0 / denom)
+        }
+    }
+
+    /// Parallel combination (conductances add).
+    #[must_use]
+    pub fn parallel(self, other: Siemens) -> Siemens {
+        Siemens(self.0 + other.0)
+    }
+}
+
+impl Celsius {
+    /// Convert to absolute temperature.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + 273.15)
+    }
+}
+
+impl Kelvin {
+    /// Room temperature (300 K), the paper's operating point.
+    pub const ROOM: Kelvin = Kelvin(300.0);
+
+    /// Thermal energy `kT` at this temperature.
+    #[must_use]
+    pub fn thermal_energy(self) -> Joules {
+        Joules(BOLTZMANN * self.0)
+    }
+}
+
+impl Micrometers {
+    /// Convert to metres.
+    #[must_use]
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl Nanometers {
+    /// Convert to metres.
+    #[must_use]
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Convert to micrometres.
+    #[must_use]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers(self.0 * 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_consistency() {
+        let v = Volts(2.0);
+        let r = Ohms(4.0);
+        let i = v / r;
+        assert_eq!(i, Amps(0.5));
+        assert_eq!(i * r, v);
+        assert_eq!(r * i, v);
+        assert_eq!(v / i, r);
+    }
+
+    #[test]
+    fn conductance_form() {
+        let g = Ohms(1e3).to_siemens();
+        assert!((g.0 - 1e-3).abs() < 1e-15);
+        let i = Volts(0.03) * g;
+        assert!((i.0 - 30e-6).abs() < 1e-12);
+        assert_eq!(g.to_ohms(), Ohms(1e3));
+    }
+
+    #[test]
+    fn series_parallel() {
+        let a = Siemens(1.0 / 200.0);
+        let b = Siemens(1.0 / 300.0);
+        // Series of 200 Ω and 300 Ω is 500 Ω.
+        assert!((a.series(b).to_ohms().0 - 500.0).abs() < 1e-9);
+        // Parallel of 200 Ω and 300 Ω is 120 Ω.
+        assert!((a.parallel(b).to_ohms().0 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_with_zero_is_zero() {
+        let a = Siemens(1e-3);
+        assert_eq!(a.series(Siemens::ZERO), Siemens::ZERO);
+        assert_eq!(Siemens::ZERO.series(Siemens::ZERO), Siemens::ZERO);
+    }
+
+    #[test]
+    fn power_and_energy() {
+        let p = Volts(1.0) * Amps(65e-6);
+        assert!((p.0 - 65e-6).abs() < 1e-18);
+        let e = p * Seconds(10e-9);
+        assert!((e.0 - 65e-14).abs() < 1e-24);
+        assert!((e / Seconds(10e-9) - p).0.abs() < 1e-18);
+        // Energy per op at 100 MHz.
+        let per_op = p / Hertz(100e6);
+        assert!((per_op.0 - 6.5e-13).abs() < 1e-24);
+    }
+
+    #[test]
+    fn switched_cap_energy() {
+        let e = switched_capacitor_energy(Farads(1e-15), Volts(1.0));
+        assert!((e.0 - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn temperature_conversions() {
+        assert!((Celsius(26.85).to_kelvin().0 - 300.0).abs() < 1e-9);
+        let kt = Kelvin::ROOM.thermal_energy();
+        assert!((kt.0 - 4.141_947e-21).abs() < 1e-24);
+    }
+
+    #[test]
+    fn length_conversions() {
+        assert!((Nanometers(60.0).to_meters() - 60e-9).abs() < 1e-20);
+        assert!((Nanometers(1500.0).to_micrometers().0 - 1.5).abs() < 1e-12);
+        assert!((Micrometers(2.0).to_meters() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let mut v = Volts(1.0);
+        v += Volts(0.5);
+        v -= Volts(0.25);
+        assert_eq!(v, Volts(1.25));
+        assert_eq!(-v, Volts(-1.25));
+        assert_eq!(v * 2.0, Volts(2.5));
+        assert_eq!(2.0 * v, Volts(2.5));
+        assert_eq!(v / 2.0, Volts(0.625));
+        assert!(Volts(1.0) < Volts(2.0));
+        assert_eq!(Volts(3.0) / Volts(1.5), 2.0);
+        assert_eq!(Volts(-2.0).abs(), Volts(2.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Amps = (1..=4).map(|k| Amps(f64::from(k) * 1e-6)).sum();
+        assert!((total.0 - 10e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(Volts(1.5).to_string(), "1.5 V");
+        assert_eq!(Ohms(200.0).to_string(), "200 Ω");
+        assert_eq!(Micrometers(3.0).to_string(), "3 µm");
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Volts(1.0).is_finite());
+        assert!(!Volts(f64::NAN).is_finite());
+        assert!(!Volts(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,188 @@
+//! The 45 nm digital CMOS ASIC baseline.
+//!
+//! The paper compares against "a 45 nm digital CMOS design that employed
+//! multiply and accumulate operations for evaluating the correlation between
+//! the 5-bit 128-element digital templates and input features of the same
+//! size", running at 2.5 MHz input rate with 4 / 2.8 / 1.2 mW at
+//! 5 / 4 / 3-bit precision (Table 1). The comparison deliberately "does not
+//! include the overhead due to memory read".
+//!
+//! Two models are provided:
+//!
+//! * [`DigitalMacAsic`] — calibrated to the paper's Table-1 synthesis
+//!   results at 3/4/5 bits (with a quadratic-in-bits interpolation
+//!   elsewhere, since multiplier energy scales ~b²);
+//! * [`DigitalMacAsic::gate_level_energy_estimate`] — an independent
+//!   bottom-up estimate from gate counts and [`Tech45::gate_energy`], used
+//!   by the tests to check the calibrated numbers are physically plausible
+//!   (same order of magnitude).
+
+use crate::tech::Tech45;
+use crate::CmosError;
+use spinamm_circuit::units::{Hertz, Joules, Seconds, Watts};
+
+/// The digital MAC correlation engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalMacAsic {
+    /// Operand precision in bits.
+    pub bits: u32,
+    /// Stored template count (paper: 40).
+    pub template_count: usize,
+    /// Elements per template (paper: 128).
+    pub vector_len: usize,
+    /// Input (recognition) rate — Table 1: 2.5 MHz.
+    pub frequency: Hertz,
+}
+
+impl DigitalMacAsic {
+    /// The paper's configuration at a given precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] unless `1 ≤ bits ≤ 16`.
+    pub fn paper(bits: u32) -> Result<Self, CmosError> {
+        if !(1..=16).contains(&bits) {
+            return Err(CmosError::InvalidParameter {
+                what: "MAC precision must be 1..=16 bits",
+            });
+        }
+        Ok(Self {
+            bits,
+            template_count: 40,
+            vector_len: 128,
+            frequency: Hertz(2.5e6),
+        })
+    }
+
+    /// Multiply–accumulate operations per recognition.
+    #[must_use]
+    pub fn macs_per_recognition(&self) -> usize {
+        self.template_count * self.vector_len
+    }
+
+    /// Energy of one b-bit MAC, calibrated to Table 1.
+    ///
+    /// Table 1 gives whole-module powers of 4 / 2.8 / 1.2 mW at 2.5 MHz for
+    /// 5 / 4 / 3 bits → 1.6 / 1.12 / 0.48 nJ per recognition → 312.5 /
+    /// 218.75 / 93.75 fJ per MAC. Other precisions interpolate with the
+    /// standard ~b² multiplier-energy law anchored at 5 bits.
+    #[must_use]
+    pub fn energy_per_mac(&self) -> Joules {
+        let fj = match self.bits {
+            3 => 93.75,
+            4 => 218.75,
+            5 => 312.5,
+            b => 312.5 * (f64::from(b) / 5.0).powi(2),
+        };
+        Joules(fj * 1e-15)
+    }
+
+    /// Energy per recognition (one input correlated against every stored
+    /// template, plus the comparison tree — the MAC term dominates and the
+    /// calibration absorbs the rest).
+    #[must_use]
+    pub fn energy_per_recognition(&self) -> Joules {
+        Joules(self.energy_per_mac().0 * self.macs_per_recognition() as f64)
+    }
+
+    /// Average power at the configured recognition rate.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        self.energy_per_recognition() / Seconds(1.0 / self.frequency.0)
+    }
+
+    /// Energy per recognition *including* template memory reads — the
+    /// overhead the paper's Table-1 comparison explicitly leaves out ("this
+    /// comparison does not include the overhead due to memory read"). Each
+    /// MAC consumes one `bits`-wide template word from SRAM; ~50 fJ/bit is
+    /// a representative 45 nm SRAM read (array + bit-line + sense amp).
+    #[must_use]
+    pub fn energy_per_recognition_with_memory(&self) -> Joules {
+        const SRAM_READ_PER_BIT: f64 = 50e-15;
+        let reads = self.macs_per_recognition() as f64 * f64::from(self.bits);
+        Joules(self.energy_per_recognition().0 + reads * SRAM_READ_PER_BIT)
+    }
+
+    /// Independent bottom-up estimate of one MAC's energy from gate counts:
+    /// a b×b array multiplier is ~b² full adders, the accumulator ~2b more;
+    /// one full adder ≈ 5 gate equivalents. Interconnect, clocking and
+    /// control typically multiply the datapath energy by 3–5× in a real
+    /// ASIC, so this *underestimates* — the test checks the calibrated
+    /// number sits within that overhead band.
+    #[must_use]
+    pub fn gate_level_energy_estimate(&self, tech: &Tech45) -> Joules {
+        let b = self.bits as f64;
+        let full_adders = b * b + 2.0 * b;
+        let gate_equivalents = 5.0 * full_adders;
+        Joules(gate_equivalents * tech.gate_energy.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_power_reproduced() {
+        for (bits, mw) in [(5u32, 4.0), (4, 2.8), (3, 1.2)] {
+            let asic = DigitalMacAsic::paper(bits).unwrap();
+            let p = asic.power().0 * 1e3;
+            assert!((p - mw).abs() / mw < 1e-6, "{bits}-bit: {p} mW vs {mw} mW");
+        }
+    }
+
+    #[test]
+    fn macs_per_recognition_is_5120() {
+        let asic = DigitalMacAsic::paper(5).unwrap();
+        assert_eq!(asic.macs_per_recognition(), 5120);
+    }
+
+    #[test]
+    fn energy_per_recognition_magnitude() {
+        let asic = DigitalMacAsic::paper(5).unwrap();
+        // 4 mW / 2.5 MHz = 1.6 nJ.
+        assert!((asic.energy_per_recognition().0 - 1.6e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_precisions_follow_square_law() {
+        let e6 = DigitalMacAsic::paper(6).unwrap().energy_per_mac().0;
+        let e12 = DigitalMacAsic::paper(12).unwrap().energy_per_mac().0;
+        assert!((e12 / e6 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_read_overhead_is_substantial() {
+        // Including SRAM reads worsens the digital baseline by a sizeable
+        // factor — the paper's energy ratios are therefore *conservative*.
+        let asic = DigitalMacAsic::paper(5).unwrap();
+        let bare = asic.energy_per_recognition().0;
+        let with_mem = asic.energy_per_recognition_with_memory().0;
+        assert!(with_mem > 1.5 * bare, "with mem {with_mem} vs bare {bare}");
+        assert!(with_mem < 5.0 * bare);
+    }
+
+    #[test]
+    fn gate_level_estimate_is_same_order() {
+        // The bottom-up datapath estimate must sit below the calibrated
+        // energy (which includes control/wires) but within ~10×.
+        let asic = DigitalMacAsic::paper(5).unwrap();
+        let bottom_up = asic.gate_level_energy_estimate(&Tech45::DEFAULT).0;
+        let calibrated = asic.energy_per_mac().0;
+        assert!(
+            bottom_up < calibrated,
+            "datapath-only estimate should be lower"
+        );
+        assert!(
+            calibrated / bottom_up < 10.0,
+            "calibrated {calibrated} vs gate-level {bottom_up}: gap too wide"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DigitalMacAsic::paper(0).is_err());
+        assert!(DigitalMacAsic::paper(17).is_err());
+        assert!(DigitalMacAsic::paper(8).is_ok());
+    }
+}

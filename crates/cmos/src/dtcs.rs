@@ -1,0 +1,367 @@
+//! Deep-triode current-source (DTCS) DAC.
+//!
+//! The paper's input converters and SAR DACs are binary-weighted PMOS
+//! devices biased in deep triode: each selected branch contributes a
+//! conductance from the `V + ΔV` rail to the crossbar row, so the DAC is
+//! *data-dependent conductance* `G_T(code)` rather than an ideal current
+//! source. Its delivered current into a row of total conductance `G_TS` is
+//!
+//! ```text
+//! I(code) = ΔV·G_T(code)·G_TS / (G_T(code) + G_TS)
+//! ```
+//!
+//! — linear in the code only while `G_TS ≫ G_T`, which is the Fig. 8b
+//! non-linearity this module quantifies.
+
+use crate::tech::Tech45;
+use crate::CmosError;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use spinamm_circuit::units::{Amps, Siemens, Volts};
+
+/// A binary-weighted DTCS DAC design (nominal, before mismatch sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtcsDac {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Conductance of one unit (LSB) branch.
+    pub unit_conductance: Siemens,
+    /// Rail voltage above the row clamp (the paper's ΔV ≈ 30 mV).
+    pub supply: Volts,
+    /// Relative conductance mismatch of one unit device,
+    /// `σ_g/g = σ_VT/V_ov` (triode conductance is linear in overdrive).
+    pub unit_sigma: f64,
+}
+
+impl DtcsDac {
+    /// Designs a DAC: the full-scale code must source `full_scale` into a
+    /// perfect virtual ground, so `G_T(max) = I_fs/ΔV` split into
+    /// `2^bits − 1` units. Unit mismatch comes from the minimum-size device
+    /// of `tech` biased at `V_ov = Vdd − V_T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] unless `1 ≤ bits ≤ 10` and
+    /// current/supply are finite and positive.
+    pub fn design(
+        bits: u32,
+        full_scale: Amps,
+        supply: Volts,
+        tech: &Tech45,
+    ) -> Result<Self, CmosError> {
+        if !(1..=10).contains(&bits) {
+            return Err(CmosError::InvalidParameter {
+                what: "DAC resolution must be 1..=10 bits",
+            });
+        }
+        if !(full_scale.0.is_finite() && full_scale.0 > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "full-scale current must be finite and positive",
+            });
+        }
+        if !(supply.0.is_finite() && supply.0 > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "DAC supply must be finite and positive",
+            });
+        }
+        let codes = (1u32 << bits) - 1;
+        let g_max = full_scale.0 / supply.0;
+        let vov = tech.vdd.0 - tech.vt0.0;
+        Ok(Self {
+            bits,
+            unit_conductance: Siemens(g_max / f64::from(codes)),
+            supply,
+            unit_sigma: tech.sigma_vt_min().0 / vov,
+        })
+    }
+
+    /// The paper's input DAC: 5 bits, ~10 µA full scale, ΔV = 30 mV.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the built-in constants are valid.
+    #[must_use]
+    pub fn paper_input() -> Self {
+        Self::design(5, Amps(10e-6), Volts(0.030), &Tech45::DEFAULT)
+            .expect("paper constants are valid")
+    }
+
+    /// Number of codes, `2^bits`.
+    #[must_use]
+    pub fn code_count(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Nominal DAC conductance at a code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::CodeOutOfRange`] if `code ≥ 2^bits`.
+    pub fn ideal_conductance(&self, code: u32) -> Result<Siemens, CmosError> {
+        if code >= self.code_count() {
+            return Err(CmosError::CodeOutOfRange {
+                code,
+                count: self.code_count(),
+            });
+        }
+        Ok(Siemens(self.unit_conductance.0 * f64::from(code)))
+    }
+
+    /// Nominal delivered current into a load conductance (the paper's
+    /// series formula).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::CodeOutOfRange`] if `code ≥ 2^bits`.
+    pub fn ideal_current(&self, code: u32, load: Siemens) -> Result<Amps, CmosError> {
+        let g = self.ideal_conductance(code)?;
+        Ok(self.supply * g.series(load))
+    }
+
+    /// The nominal (mismatch-free) instance of this design.
+    #[must_use]
+    pub fn nominal(&self) -> DacInstance {
+        DacInstance {
+            bits: self.bits,
+            supply: self.supply,
+            branches: (0..self.bits)
+                .map(|b| Siemens(self.unit_conductance.0 * f64::from(1u32 << b)))
+                .collect(),
+        }
+    }
+
+    /// Samples a physical instance: each binary branch gets an independent
+    /// conductance error; branch `b` contains `2^b` unit devices so its
+    /// relative error shrinks as `1/√(2^b)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DacInstance {
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        let branches = (0..self.bits)
+            .map(|b| {
+                let weight = f64::from(1u32 << b);
+                let sigma = self.unit_sigma / weight.sqrt();
+                let err = 1.0 + sigma * normal.sample(rng);
+                Siemens(self.unit_conductance.0 * weight * err.max(0.0))
+            })
+            .collect();
+        DacInstance {
+            bits: self.bits,
+            supply: self.supply,
+            branches,
+        }
+    }
+
+    /// End-point integral non-linearity of the *current* transfer into a
+    /// load, as a fraction of full scale: the Fig. 8b metric. Zero load
+    /// non-linearity (infinite `G_TS`) gives 0.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; all codes are in range by construction.
+    #[must_use]
+    pub fn current_inl(&self, load: Siemens) -> f64 {
+        let n = self.code_count();
+        let i_fs = self
+            .ideal_current(n - 1, load)
+            .expect("full-scale code in range")
+            .0;
+        if i_fs == 0.0 {
+            return 0.0;
+        }
+        let mut worst = 0.0_f64;
+        for code in 0..n {
+            let i = self.ideal_current(code, load).expect("code in range").0;
+            let line = i_fs * f64::from(code) / f64::from(n - 1);
+            worst = worst.max((i - line).abs());
+        }
+        worst / i_fs
+    }
+
+    /// Full transfer curve into a load: `(code, current)` for every code —
+    /// the raw data behind Fig. 8b.
+    #[must_use]
+    pub fn transfer_curve(&self, load: Siemens) -> Vec<(u32, Amps)> {
+        (0..self.code_count())
+            .map(|code| {
+                (
+                    code,
+                    self.ideal_current(code, load).expect("code in range"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A sampled DAC instance with frozen per-branch mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DacInstance {
+    bits: u32,
+    supply: Volts,
+    /// Conductance of each binary branch (index `b` has nominal weight
+    /// `2^b`).
+    branches: Vec<Siemens>,
+}
+
+impl DacInstance {
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The rail voltage.
+    #[must_use]
+    pub fn supply(&self) -> Volts {
+        self.supply
+    }
+
+    /// Conductance at a code, summing the selected (mismatched) branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::CodeOutOfRange`] if `code ≥ 2^bits`.
+    pub fn conductance(&self, code: u32) -> Result<Siemens, CmosError> {
+        if code >= (1 << self.bits) {
+            return Err(CmosError::CodeOutOfRange {
+                code,
+                count: 1 << self.bits,
+            });
+        }
+        let mut g = 0.0;
+        for (b, branch) in self.branches.iter().enumerate() {
+            if code & (1 << b) != 0 {
+                g += branch.0;
+            }
+        }
+        Ok(Siemens(g))
+    }
+
+    /// Delivered current into a load conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::CodeOutOfRange`] if `code ≥ 2^bits`.
+    pub fn current(&self, code: u32, load: Siemens) -> Result<Amps, CmosError> {
+        let g = self.conductance(code)?;
+        Ok(self.supply * g.series(load))
+    }
+
+    /// Delivered current into an ideally clamped node (the DWN input, held
+    /// at a DC supply): the full rail appears across the DAC, so
+    /// `I = supply · G(code)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::CodeOutOfRange`] if `code ≥ 2^bits`.
+    pub fn clamped_current(&self, code: u32) -> Result<Amps, CmosError> {
+        let g = self.conductance(code)?;
+        Ok(self.supply * g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_design_full_scale() {
+        let dac = DtcsDac::paper_input();
+        assert_eq!(dac.bits, 5);
+        assert_eq!(dac.code_count(), 32);
+        // Into a huge load the full-scale current approaches 10 µA.
+        let i = dac.ideal_current(31, Siemens(10.0)).unwrap();
+        assert!((i.0 - 10e-6).abs() / 10e-6 < 1e-3, "{}", i.0);
+    }
+
+    #[test]
+    fn conductance_is_linear_in_code() {
+        let dac = DtcsDac::paper_input();
+        let g1 = dac.ideal_conductance(7).unwrap().0;
+        let g2 = dac.ideal_conductance(14).unwrap().0;
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+        assert_eq!(dac.ideal_conductance(0).unwrap(), Siemens(0.0));
+        assert!(dac.ideal_conductance(32).is_err());
+    }
+
+    #[test]
+    fn inl_grows_as_load_shrinks() {
+        // Fig. 8b: the transfer compresses when G_TS is comparable to G_T.
+        let dac = DtcsDac::paper_input();
+        let g_full = dac.ideal_conductance(31).unwrap();
+        let big_load = Siemens(g_full.0 * 100.0);
+        let medium_load = Siemens(g_full.0 * 4.0);
+        let small_load = Siemens(g_full.0);
+        let inl_big = dac.current_inl(big_load);
+        let inl_med = dac.current_inl(medium_load);
+        let inl_small = dac.current_inl(small_load);
+        assert!(inl_big < inl_med && inl_med < inl_small,
+            "{inl_big} {inl_med} {inl_small}");
+        assert!(inl_big < 0.01, "nearly linear under light loading");
+        assert!(inl_small > 0.05, "strongly compressed at G_TS = G_T(max)");
+    }
+
+    #[test]
+    fn transfer_curve_is_monotone_and_compressive() {
+        let dac = DtcsDac::paper_input();
+        let g_full = dac.ideal_conductance(31).unwrap();
+        let curve = dac.transfer_curve(Siemens(g_full.0 * 2.0));
+        assert_eq!(curve.len(), 32);
+        for w in curve.windows(2) {
+            assert!(w[1].1 .0 > w[0].1 .0, "monotone");
+        }
+        // Compression: the top step is smaller than the bottom step.
+        let first_step = curve[1].1 .0 - curve[0].1 .0;
+        let last_step = curve[31].1 .0 - curve[30].1 .0;
+        assert!(last_step < first_step);
+    }
+
+    #[test]
+    fn sampled_instance_stays_near_nominal() {
+        let dac = DtcsDac::paper_input();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let inst = dac.sample(&mut rng);
+        assert_eq!(inst.bits(), 5);
+        for code in [1u32, 8, 15, 31] {
+            let nominal = dac.ideal_conductance(code).unwrap().0;
+            let got = inst.conductance(code).unwrap().0;
+            // Unit σ is ~0.8%; even the LSB branch stays within 5σ.
+            assert!(
+                ((got - nominal) / nominal).abs() < 5.0 * dac.unit_sigma,
+                "code {code}: {got} vs {nominal}"
+            );
+        }
+        assert!(inst.conductance(32).is_err());
+        assert!(inst.current(32, Siemens(1.0)).is_err());
+    }
+
+    #[test]
+    fn msb_branch_is_better_matched_than_lsb() {
+        // Statistics over many instances: the branch-2^4 relative spread is
+        // ~4× tighter than branch-2^0.
+        let dac = DtcsDac::paper_input();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut lsb_err = Vec::new();
+        let mut msb_err = Vec::new();
+        for _ in 0..2000 {
+            let inst = dac.sample(&mut rng);
+            let lsb = inst.conductance(1).unwrap().0;
+            let msb = inst.conductance(16).unwrap().0;
+            lsb_err.push(lsb / dac.unit_conductance.0 - 1.0);
+            msb_err.push(msb / (16.0 * dac.unit_conductance.0) - 1.0);
+        }
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        let ratio = rms(&lsb_err) / rms(&msb_err);
+        assert!((ratio - 4.0).abs() < 0.8, "σ ratio {ratio}");
+    }
+
+    #[test]
+    fn design_validation() {
+        let t = Tech45::DEFAULT;
+        assert!(DtcsDac::design(0, Amps(1e-6), Volts(0.03), &t).is_err());
+        assert!(DtcsDac::design(11, Amps(1e-6), Volts(0.03), &t).is_err());
+        assert!(DtcsDac::design(5, Amps(0.0), Volts(0.03), &t).is_err());
+        assert!(DtcsDac::design(5, Amps(1e-6), Volts(0.0), &t).is_err());
+        assert!(DtcsDac::design(5, Amps(f64::NAN), Volts(0.03), &t).is_err());
+    }
+}

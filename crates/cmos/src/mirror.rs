@@ -1,0 +1,171 @@
+//! Current mirrors with mismatch-limited accuracy.
+//!
+//! The MS-CMOS associative memory (paper Fig. 4) receives the RCM column
+//! currents through regulated current mirrors and processes them in a
+//! binary tree of current comparisons, each of which copies currents
+//! through more mirrors. Every copy multiplies the signal by `1 + ε` with
+//! `ε` set by V_T mismatch (`σ_I/I = 2σ_VT/V_ov`, Kinget \[16\]) plus a
+//! systematic channel-length-modulation term — the accumulation of these
+//! errors is what limits analog WTA resolution and forces large devices.
+
+use crate::tech::Tech45;
+use crate::CmosError;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use spinamm_circuit::units::{Amps, Volts};
+
+/// A current mirror design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentMirror {
+    /// Gate overdrive of the mirror devices.
+    pub overdrive: Volts,
+    /// Effective V_T mismatch of the device pair (already includes the
+    /// area scaling the designer chose).
+    pub sigma_vt: Volts,
+    /// Channel-length modulation coefficient (1/V).
+    pub lambda: f64,
+    /// Drain-voltage difference between the input and output branches; a
+    /// *regulated* mirror servo makes this small.
+    pub vds_imbalance: Volts,
+}
+
+impl CurrentMirror {
+    /// A plain mirror built from devices with `area_factor ×` the minimum
+    /// area (mismatch scales as `1/√area`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] unless overdrive and area
+    /// factor are finite and positive.
+    pub fn with_area(tech: &Tech45, overdrive: Volts, area_factor: f64) -> Result<Self, CmosError> {
+        if !(overdrive.0.is_finite() && overdrive.0 > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "mirror overdrive must be finite and positive",
+            });
+        }
+        if !(area_factor.is_finite() && area_factor > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "area factor must be finite and positive",
+            });
+        }
+        // Pair mismatch: √2 × single-device σ, reduced by √area.
+        let sigma = tech.sigma_vt_min().0 * std::f64::consts::SQRT_2 / area_factor.sqrt();
+        Ok(Self {
+            overdrive,
+            sigma_vt: Volts(sigma),
+            lambda: tech.lambda,
+            vds_imbalance: Volts(0.1),
+        })
+    }
+
+    /// A regulated (cascoded/servoed) mirror: same mismatch, but the drain
+    /// imbalance — and with it the systematic λ error — is suppressed by the
+    /// loop gain. The paper's input stage uses regulated mirrors to present
+    /// "low input-impedance and a near constant DC bias to the RCM".
+    ///
+    /// # Errors
+    ///
+    /// See [`CurrentMirror::with_area`].
+    pub fn regulated(tech: &Tech45, overdrive: Volts, area_factor: f64) -> Result<Self, CmosError> {
+        let mut m = Self::with_area(tech, overdrive, area_factor)?;
+        m.vds_imbalance = Volts(0.002);
+        Ok(m)
+    }
+
+    /// Random relative gain error σ of one copy: `2σ_VT/V_ov`.
+    #[must_use]
+    pub fn random_gain_sigma(&self) -> f64 {
+        2.0 * self.sigma_vt.0 / self.overdrive.0
+    }
+
+    /// Systematic relative gain error from channel-length modulation:
+    /// `λ·ΔV_ds`.
+    #[must_use]
+    pub fn systematic_gain_error(&self) -> f64 {
+        self.lambda * self.vds_imbalance.0
+    }
+
+    /// Copies a current: output = input × (1 + systematic + sampled-random).
+    pub fn copy<R: Rng + ?Sized>(&self, input: Amps, rng: &mut R) -> Amps {
+        let sigma = self.random_gain_sigma();
+        let random = if sigma > 0.0 {
+            Normal::new(0.0, sigma)
+                .expect("sigma positive by construction")
+                .sample(rng)
+        } else {
+            0.0
+        };
+        Amps(input.0 * (1.0 + self.systematic_gain_error() + random))
+    }
+
+    /// Area factor needed to push the random gain error down to
+    /// `target_sigma` at this overdrive — the quadratic area cost of
+    /// precision that drives the analog designs' power (paper §2, §5).
+    #[must_use]
+    pub fn area_for_gain_sigma(&self, tech: &Tech45, target_sigma: f64) -> f64 {
+        let needed_sigma_vt = target_sigma * self.overdrive.0 / 2.0;
+        let min_pair_sigma = tech.sigma_vt_min().0 * std::f64::consts::SQRT_2;
+        (min_pair_sigma / needed_sigma_vt).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn min_area_mirror_gain_error() {
+        let m = CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap();
+        // σ_pair ≈ √2·5 mV ≈ 7.1 mV → 2σ/Vov ≈ 9.4 %.
+        let s = m.random_gain_sigma();
+        assert!((s - 0.094).abs() < 0.01, "gain sigma {s}");
+    }
+
+    #[test]
+    fn area_scaling_reduces_error() {
+        let m1 = CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap();
+        let m16 = CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 16.0).unwrap();
+        assert!((m1.random_gain_sigma() / m16.random_gain_sigma() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regulation_kills_systematic_error() {
+        let plain = CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap();
+        let reg = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap();
+        assert!(reg.systematic_gain_error() < plain.systematic_gain_error() / 10.0);
+        assert_eq!(plain.random_gain_sigma(), reg.random_gain_sigma());
+    }
+
+    #[test]
+    fn copy_statistics() {
+        let m = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), 4.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let input = Amps(10e-6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.copy(input, &mut rng).0).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        let rel_sd = sd / input.0;
+        assert!((mean / input.0 - 1.0).abs() < 0.005);
+        assert!((rel_sd - m.random_gain_sigma()).abs() < 0.005);
+    }
+
+    #[test]
+    fn area_for_target_precision_is_quadratic() {
+        let m = CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap();
+        let a1 = m.area_for_gain_sigma(&Tech45::DEFAULT, 0.02);
+        let a2 = m.area_for_gain_sigma(&Tech45::DEFAULT, 0.01);
+        assert!((a2 / a1 - 4.0).abs() < 1e-9, "halving σ needs 4× area");
+        // 5-bit-class matching (1 %) needs a device tens of times minimum.
+        assert!(a2 > 20.0, "area factor {a2}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.0), 1.0).is_err());
+        assert!(CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 0.0).is_err());
+        assert!(CurrentMirror::with_area(&Tech45::DEFAULT, Volts(f64::NAN), 1.0).is_err());
+    }
+}

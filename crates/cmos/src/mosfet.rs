@@ -1,0 +1,273 @@
+//! Square-law MOSFET model with Pelgrom mismatch.
+//!
+//! A long-channel square-law device is entirely adequate for the circuit
+//! phenomena the paper's study turns on: deep-triode conductance (the DTCS
+//! DAC), saturation current copying (mirrors), channel-length modulation
+//! (mirror gain error) and V_T mismatch (resolution limits).
+
+use crate::tech::Tech45;
+use crate::CmosError;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use spinamm_circuit::units::{Amps, Micrometers, Siemens, Volts};
+
+/// Device flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// One MOS transistor instance (its V_T offset is a frozen sample of the
+/// process mismatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosTransistor {
+    /// Flavour.
+    pub polarity: MosPolarity,
+    /// Drawn width.
+    pub width: Micrometers,
+    /// Drawn length.
+    pub length: Micrometers,
+    /// Sampled threshold offset of this instance (added to the nominal V_T).
+    pub vt_offset: Volts,
+    /// Process constants.
+    pub tech: Tech45,
+}
+
+impl MosTransistor {
+    /// Creates a nominal (zero-offset) device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] if the dimensions are not
+    /// finite and positive.
+    pub fn new(
+        polarity: MosPolarity,
+        width: Micrometers,
+        length: Micrometers,
+        tech: Tech45,
+    ) -> Result<Self, CmosError> {
+        if !(width.0.is_finite() && width.0 > 0.0 && length.0.is_finite() && length.0 > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "device dimensions must be finite and positive",
+            });
+        }
+        Ok(Self {
+            polarity,
+            width,
+            length,
+            vt_offset: Volts(0.0),
+            tech,
+        })
+    }
+
+    /// A minimum-sized device of the given flavour.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid `tech`; returns [`CmosError::InvalidParameter`]
+    /// only if the technology's minimum dimensions are invalid.
+    pub fn minimum(polarity: MosPolarity, tech: Tech45) -> Result<Self, CmosError> {
+        Self::new(polarity, tech.min_width, tech.min_length, tech)
+    }
+
+    /// Samples a mismatch instance: V_T offset drawn from the Pelgrom
+    /// distribution for this device's area.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let sigma = self.tech.sigma_vt(self.width, self.length).0;
+        let offset = Normal::new(0.0, sigma)
+            .expect("sigma positive by construction")
+            .sample(rng);
+        Self {
+            vt_offset: Volts(offset),
+            ..*self
+        }
+    }
+
+    /// The transconductance factor `k·W/L` of this device.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        let k = match self.polarity {
+            MosPolarity::Nmos => self.tech.kn,
+            MosPolarity::Pmos => self.tech.kp,
+        };
+        k * self.width.0 / self.length.0
+    }
+
+    /// Effective threshold (nominal + sampled offset).
+    #[must_use]
+    pub fn vt(&self) -> Volts {
+        Volts(self.tech.vt0.0 + self.vt_offset.0)
+    }
+
+    /// Overdrive `V_ov = V_gs − V_T` for a gate drive of `vgs` (magnitudes;
+    /// polarity handled by the caller's biasing).
+    #[must_use]
+    pub fn overdrive(&self, vgs: Volts) -> Volts {
+        Volts(vgs.0 - self.vt().0)
+    }
+
+    /// Deep-triode channel conductance `g_ds = β·V_ov` (valid for
+    /// `V_ds ≪ V_ov`, the DTCS operating point). Zero below threshold.
+    #[must_use]
+    pub fn triode_conductance(&self, vgs: Volts) -> Siemens {
+        let vov = self.overdrive(vgs).0;
+        if vov <= 0.0 {
+            Siemens(0.0)
+        } else {
+            Siemens(self.beta() * vov)
+        }
+    }
+
+    /// Saturation drain current `(β/2)·V_ov²·(1 + λ·V_ds)`. Zero below
+    /// threshold.
+    #[must_use]
+    pub fn saturation_current(&self, vgs: Volts, vds: Volts) -> Amps {
+        let vov = self.overdrive(vgs).0;
+        if vov <= 0.0 {
+            return Amps(0.0);
+        }
+        Amps(0.5 * self.beta() * vov * vov * (1.0 + self.tech.lambda * vds.0))
+    }
+
+    /// Saturation transconductance `g_m = β·V_ov`.
+    #[must_use]
+    pub fn transconductance(&self, vgs: Volts) -> Siemens {
+        let vov = self.overdrive(vgs).0.max(0.0);
+        Siemens(self.beta() * vov)
+    }
+
+    /// Relative current error caused by a V_T mismatch `σ` at this bias:
+    /// `σ_I/I = g_m/I·σ = 2σ/V_ov` — Kinget's classic result, the reason
+    /// analog WTA resolution collapses as devices shrink.
+    #[must_use]
+    pub fn relative_current_mismatch(&self, vgs: Volts, sigma_vt: Volts) -> f64 {
+        let vov = self.overdrive(vgs).0;
+        if vov <= 0.0 {
+            return f64::INFINITY;
+        }
+        2.0 * sigma_vt.0 / vov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn nmos() -> MosTransistor {
+        MosTransistor::new(
+            MosPolarity::Nmos,
+            Micrometers(0.45),
+            Micrometers(0.045),
+            Tech45::DEFAULT,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn beta_scales_with_aspect() {
+        let d = nmos();
+        // W/L = 10 → β = 3 mA/V².
+        assert!((d.beta() - 3e-3).abs() < 1e-12);
+        let p = MosTransistor::new(
+            MosPolarity::Pmos,
+            Micrometers(0.45),
+            Micrometers(0.045),
+            Tech45::DEFAULT,
+        )
+        .unwrap();
+        assert!(p.beta() < d.beta(), "PMOS mobility lower");
+    }
+
+    #[test]
+    fn triode_conductance_linear_in_overdrive() {
+        let d = nmos();
+        let g1 = d.triode_conductance(Volts(0.6)).0; // Vov = 0.2
+        let g2 = d.triode_conductance(Volts(0.8)).0; // Vov = 0.4
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+        assert_eq!(d.triode_conductance(Volts(0.3)), Siemens(0.0));
+    }
+
+    #[test]
+    fn saturation_current_square_law() {
+        let d = nmos();
+        let i1 = d.saturation_current(Volts(0.6), Volts(0.0)).0;
+        let i2 = d.saturation_current(Volts(0.8), Volts(0.0)).0;
+        assert!((i2 / i1 - 4.0).abs() < 1e-12);
+        assert_eq!(d.saturation_current(Volts(0.2), Volts(0.5)), Amps(0.0));
+    }
+
+    #[test]
+    fn channel_length_modulation() {
+        let d = nmos();
+        let i0 = d.saturation_current(Volts(0.6), Volts(0.0)).0;
+        let i1 = d.saturation_current(Volts(0.6), Volts(0.5)).0;
+        assert!((i1 / i0 - 1.15).abs() < 1e-12, "λ·Vds = 0.15");
+    }
+
+    #[test]
+    fn mismatch_sampling_statistics() {
+        let d = nmos();
+        let sigma = Tech45::DEFAULT.sigma_vt(d.width, d.length).0;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng).vt_offset.0).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < sigma * 0.05);
+        assert!((var.sqrt() - sigma).abs() / sigma < 0.05);
+    }
+
+    #[test]
+    fn mismatch_shifts_current() {
+        let d = nmos();
+        let shifted = MosTransistor {
+            vt_offset: Volts(5e-3),
+            ..d
+        };
+        let i0 = d.saturation_current(Volts(0.6), Volts(0.0)).0;
+        let i1 = shifted.saturation_current(Volts(0.6), Volts(0.0)).0;
+        let rel = (i0 - i1) / i0;
+        // 2σ/Vov = 2·5m/0.2 = 5%; the square law gives ≈ that to first order.
+        assert!((rel - 0.05).abs() < 0.005, "relative shift {rel}");
+        assert!((d.relative_current_mismatch(Volts(0.6), Volts(5e-3)) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_blows_up_at_weak_overdrive() {
+        let d = nmos();
+        assert!(d.relative_current_mismatch(Volts(0.41), Volts(5e-3)) > 0.5);
+        assert!(d
+            .relative_current_mismatch(Volts(0.3), Volts(5e-3))
+            .is_infinite());
+    }
+
+    #[test]
+    fn minimum_device() {
+        let d = MosTransistor::minimum(MosPolarity::Nmos, Tech45::DEFAULT).unwrap();
+        assert_eq!(d.width, Tech45::DEFAULT.min_width);
+        assert_eq!(d.length, Tech45::DEFAULT.min_length);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MosTransistor::new(
+            MosPolarity::Nmos,
+            Micrometers(0.0),
+            Micrometers(0.045),
+            Tech45::DEFAULT
+        )
+        .is_err());
+        assert!(MosTransistor::new(
+            MosPolarity::Nmos,
+            Micrometers(0.45),
+            Micrometers(f64::NAN),
+            Tech45::DEFAULT
+        )
+        .is_err());
+    }
+}

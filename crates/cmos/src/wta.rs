@@ -1,0 +1,543 @@
+//! Analog winner-take-all baselines.
+//!
+//! Two layers of model, matching how the paper uses its baselines:
+//!
+//! * [`BtWtaSim`] — a *functional* binary-tree WTA: a tournament of 2-input
+//!   current comparisons, each copying the larger current onward through
+//!   mirrors that multiply it by `1 + ε`. This is what determines the
+//!   *accuracy* of an analog WTA under mismatch (used for Fig. 3b-style
+//!   studies and the variation arguments of Fig. 13b).
+//! * [`AnalogWtaModel`] — the calibrated *power/delay* model of the two
+//!   published designs the paper simulates: the standard BT-WTA of Andreou
+//!   et al. \[17\] and the Długosz Min/Max circuit \[18\]. Base powers are
+//!   calibrated to Table 1 at σ_VT = 5 mV, and the mismatch scaling follows
+//!   Kinget \[16\]: holding resolution under worse mismatch costs
+//!   quadratically more area → capacitance → delay.
+
+use crate::mirror::CurrentMirror;
+use crate::tech::Tech45;
+use crate::CmosError;
+use rand::Rng;
+use spinamm_circuit::units::{Amps, Hertz, Joules, Seconds, Volts, Watts};
+
+/// Which published analog WTA design is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WtaStyle {
+    /// The standard binary-tree WTA of Andreou et al. \[17\].
+    Andreou17,
+    /// The Długosz asynchronous current-mode Min/Max tree \[18\].
+    Dlugosz18,
+}
+
+/// Functional simulation of a binary-tree WTA under device mismatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtWtaSim {
+    /// The mirror used by each comparison stage to copy the winning current.
+    pub mirror: CurrentMirror,
+}
+
+impl BtWtaSim {
+    /// Builds the simulator from a mirror design.
+    #[must_use]
+    pub fn new(mirror: CurrentMirror) -> Self {
+        Self { mirror }
+    }
+
+    /// A tree whose mirrors are sized for roughly `bits`-bit end-to-end
+    /// resolution over `n_inputs` (per-stage error budget divided by the
+    /// √(tree depth) accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] for a zero-input tree or
+    /// zero-bit budget.
+    pub fn sized_for(
+        tech: &Tech45,
+        bits: u32,
+        n_inputs: usize,
+    ) -> Result<Self, CmosError> {
+        if n_inputs < 2 {
+            return Err(CmosError::InvalidParameter {
+                what: "a WTA needs at least two inputs",
+            });
+        }
+        if bits == 0 {
+            return Err(CmosError::InvalidParameter {
+                what: "resolution must be at least one bit",
+            });
+        }
+        let depth = (n_inputs as f64).log2().ceil().max(1.0);
+        let target_total = 0.5 / f64::from(1u32 << bits); // half an LSB
+        let per_stage = target_total / depth.sqrt();
+        let overdrive = Volts(0.15);
+        let probe = CurrentMirror::with_area(tech, overdrive, 1.0)?;
+        let area = probe.area_for_gain_sigma(tech, per_stage).max(1.0);
+        Ok(Self {
+            mirror: CurrentMirror::regulated(tech, overdrive, area)?,
+        })
+    }
+
+    /// Runs the tournament: returns the index of the winning input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::EmptyInput`] for an empty slice.
+    pub fn winner<R: Rng + ?Sized>(
+        &self,
+        currents: &[Amps],
+        rng: &mut R,
+    ) -> Result<usize, CmosError> {
+        if currents.is_empty() {
+            return Err(CmosError::EmptyInput);
+        }
+        let mut contenders: Vec<(usize, Amps)> = currents.iter().copied().enumerate().collect();
+        while contenders.len() > 1 {
+            let mut next = Vec::with_capacity(contenders.len().div_ceil(2));
+            for pair in contenders.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let (ia, a) = pair[0];
+                let (ib, b) = pair[1];
+                // Each side is observed through its own mirror copy; the
+                // larger observed current propagates (as a fresh copy).
+                let obs_a = self.mirror.copy(a, rng);
+                let obs_b = self.mirror.copy(b, rng);
+                if obs_a.0 >= obs_b.0 {
+                    next.push((ia, obs_a));
+                } else {
+                    next.push((ib, obs_b));
+                }
+            }
+            contenders = next;
+        }
+        Ok(contenders[0].0)
+    }
+
+    /// Empirical probability that the tree picks the true maximum when the
+    /// runner-up trails by `margin` (relative to the winner), estimated over
+    /// `trials` random tournaments of `n` inputs.
+    pub fn selection_accuracy<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        margin: f64,
+        trials: usize,
+        rng: &mut R,
+    ) -> Result<f64, CmosError> {
+        if n < 2 {
+            return Err(CmosError::InvalidParameter {
+                what: "a WTA needs at least two inputs",
+            });
+        }
+        let mut wins = 0usize;
+        let full_scale = 32e-6;
+        for t in 0..trials {
+            let winner_idx = t % n;
+            let currents: Vec<Amps> = (0..n)
+                .map(|k| {
+                    if k == winner_idx {
+                        Amps(full_scale)
+                    } else {
+                        Amps(full_scale * (1.0 - margin) * (1.0 - 0.3 * (k as f64 / n as f64)))
+                    }
+                })
+                .collect();
+            if self.winner(&currents, rng)? == winner_idx {
+                wins += 1;
+            }
+        }
+        Ok(wins as f64 / trials as f64)
+    }
+}
+
+/// Functional simulation of a current-conveyor WTA (the paper's other
+/// category, \[18\]'s classification): every cell competes on one shared
+/// node, so winner selection is a *single* mismatch-limited comparison per
+/// cell rather than a log-depth tree of copies.
+///
+/// The flip side — and the reason the paper calls the binary tree "more
+/// suitable for large number of inputs" — is the shared node itself: its
+/// capacitance (and thus the settle time) grows linearly with the cell
+/// count, where the tree's depth grows logarithmically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcWtaSim {
+    /// Per-cell relative current offset σ (from V_T mismatch).
+    pub cell_sigma: f64,
+    /// Settling time of the shared node *per cell* attached to it.
+    pub per_cell_delay: Seconds,
+}
+
+impl CcWtaSim {
+    /// Builds the simulator from a cell mirror design (same sizing rules as
+    /// the tree's mirrors).
+    #[must_use]
+    pub fn new(mirror: &CurrentMirror) -> Self {
+        Self {
+            cell_sigma: mirror.random_gain_sigma(),
+            per_cell_delay: Seconds(0.4e-9),
+        }
+    }
+
+    /// Runs the competition: each cell observes its input through its own
+    /// mismatched device; the largest observed current wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::EmptyInput`] for an empty slice.
+    pub fn winner<R: Rng + ?Sized>(
+        &self,
+        currents: &[Amps],
+        rng: &mut R,
+    ) -> Result<usize, CmosError> {
+        use rand_distr::{Distribution, Normal};
+        if currents.is_empty() {
+            return Err(CmosError::EmptyInput);
+        }
+        let normal = Normal::new(0.0, self.cell_sigma.max(f64::MIN_POSITIVE))
+            .expect("sigma non-negative");
+        let mut best = 0usize;
+        let mut best_i = f64::NEG_INFINITY;
+        for (k, i) in currents.iter().enumerate() {
+            let observed = i.0 * (1.0 + normal.sample(rng));
+            if observed > best_i {
+                best_i = observed;
+                best = k;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Shared-node settle time for `n` attached cells (linear in `n`).
+    #[must_use]
+    pub fn delay(&self, n: usize) -> Seconds {
+        Seconds(self.per_cell_delay.0 * n as f64)
+    }
+
+    /// Empirical win probability of the true maximum at a given relative
+    /// margin (same protocol as [`BtWtaSim::selection_accuracy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] for fewer than two inputs.
+    pub fn selection_accuracy<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        margin: f64,
+        trials: usize,
+        rng: &mut R,
+    ) -> Result<f64, CmosError> {
+        if n < 2 {
+            return Err(CmosError::InvalidParameter {
+                what: "a WTA needs at least two inputs",
+            });
+        }
+        let mut wins = 0usize;
+        let full_scale = 32e-6;
+        for t in 0..trials {
+            let winner_idx = t % n;
+            let currents: Vec<Amps> = (0..n)
+                .map(|k| {
+                    if k == winner_idx {
+                        Amps(full_scale)
+                    } else {
+                        Amps(full_scale * (1.0 - margin) * (1.0 - 0.3 * (k as f64 / n as f64)))
+                    }
+                })
+                .collect();
+            if self.winner(&currents, rng)? == winner_idx {
+                wins += 1;
+            }
+        }
+        Ok(wins as f64 / trials as f64)
+    }
+}
+
+/// Calibrated power/performance model of a published analog WTA design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogWtaModel {
+    /// Which design.
+    pub style: WtaStyle,
+    /// Number of WTA inputs (the paper's module has 40).
+    pub n_inputs: usize,
+    /// Minimum-device σ_VT of the process corner being evaluated.
+    pub sigma_vt: Volts,
+}
+
+/// σ_VT at which the base powers were calibrated (the paper's "near ideal
+/// case for MS-CMOS circuits").
+pub const CALIBRATION_SIGMA_VT: Volts = Volts(5e-3);
+
+impl AnalogWtaModel {
+    /// Creates a model at the calibration corner (σ_VT = 5 mV).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] for fewer than two inputs.
+    pub fn new(style: WtaStyle, n_inputs: usize) -> Result<Self, CmosError> {
+        if n_inputs < 2 {
+            return Err(CmosError::InvalidParameter {
+                what: "a WTA needs at least two inputs",
+            });
+        }
+        Ok(Self {
+            style,
+            n_inputs,
+            sigma_vt: CALIBRATION_SIGMA_VT,
+        })
+    }
+
+    /// The same design evaluated at a worse mismatch corner (Fig. 13b
+    /// sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmosError::InvalidParameter`] if σ_VT is not finite and
+    /// positive.
+    pub fn with_sigma_vt(self, sigma_vt: Volts) -> Result<Self, CmosError> {
+        if !(sigma_vt.0.is_finite() && sigma_vt.0 > 0.0) {
+            return Err(CmosError::InvalidParameter {
+                what: "sigma_vt must be finite and positive",
+            });
+        }
+        Ok(Self { sigma_vt, ..self })
+    }
+
+    /// Calibrated base power (40 inputs, σ_VT = 5 mV) at a resolution.
+    /// The 3/4/5-bit anchors are the paper's Table-1 simulation results;
+    /// other resolutions extrapolate with the fitted
+    /// `P(bits) ≈ P₅·2^(k·(bits−5))` law of each design.
+    fn base_power(&self, bits: u32) -> f64 {
+        match (self.style, bits) {
+            // [17]: 3.2 / 5.0 / 8.0 mW at 3/4/5 bits.
+            (WtaStyle::Andreou17, 3) => 3.2e-3,
+            (WtaStyle::Andreou17, 4) => 5.0e-3,
+            (WtaStyle::Andreou17, 5) => 8.0e-3,
+            (WtaStyle::Andreou17, b) => 8.0e-3 * (2.0_f64).powf(0.66 * (f64::from(b) - 5.0)),
+            // [18]: 2.3 / 2.9 / 5.5 mW at 3/4/5 bits.
+            (WtaStyle::Dlugosz18, 3) => 2.3e-3,
+            (WtaStyle::Dlugosz18, 4) => 2.9e-3,
+            (WtaStyle::Dlugosz18, 5) => 5.5e-3,
+            (WtaStyle::Dlugosz18, b) => 5.5e-3 * (2.0_f64).powf(0.63 * (f64::from(b) - 5.0)),
+        }
+    }
+
+    /// Static power of the WTA at a given resolution, scaled from the
+    /// 40-input calibration point linearly in input count (each input adds
+    /// a biased comparison slice).
+    #[must_use]
+    pub fn power(&self, bits: u32) -> Watts {
+        let bits_scale = self.base_power(bits);
+        let input_scale = self.n_inputs as f64 / 40.0;
+        // Worse mismatch costs power too (bigger devices at equal speed, or
+        // equal devices pushed to higher bias): linear in σ beyond the
+        // calibration corner.
+        let sigma_scale = (self.sigma_vt.0 / CALIBRATION_SIGMA_VT.0).max(1.0);
+        Watts(bits_scale * input_scale * sigma_scale.sqrt())
+    }
+
+    /// Operating frequency at the calibration corner (both designs run at
+    /// 50 MHz in Table 1); delay grows quadratically with σ_VT because
+    /// resolution-preserving device area — and with it every node
+    /// capacitance — grows as σ_VT².
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        let base = 50e6;
+        let slowdown = (self.sigma_vt.0 / CALIBRATION_SIGMA_VT.0).powi(2).max(1.0);
+        Hertz(base / slowdown)
+    }
+
+    /// One recognition takes one WTA evaluation.
+    #[must_use]
+    pub fn delay(&self) -> Seconds {
+        Seconds(1.0 / self.frequency().0)
+    }
+
+    /// Energy per recognition, `P/f`.
+    #[must_use]
+    pub fn energy_per_op(&self, bits: u32) -> Joules {
+        self.power(bits) / self.frequency()
+    }
+
+    /// Power–delay product, the Fig. 13b metric.
+    #[must_use]
+    pub fn power_delay_product(&self, bits: u32) -> Joules {
+        self.power(bits) * self.delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table1_power_calibration() {
+        // The calibrated models must land on Table 1 within 10 %.
+        let a = AnalogWtaModel::new(WtaStyle::Andreou17, 40).unwrap();
+        let d = AnalogWtaModel::new(WtaStyle::Dlugosz18, 40).unwrap();
+        let expect = [
+            (a, 3, 3.2e-3),
+            (a, 4, 5.0e-3),
+            (a, 5, 8.0e-3),
+            (d, 3, 2.3e-3),
+            (d, 4, 2.9e-3),
+            (d, 5, 5.5e-3),
+        ];
+        for (m, bits, p) in expect {
+            let got = m.power(bits).0;
+            assert!(
+                (got - p).abs() / p < 0.10,
+                "{:?} {bits}-bit: {got} vs {p}",
+                m.style
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_at_calibration_corner() {
+        let m = AnalogWtaModel::new(WtaStyle::Andreou17, 40).unwrap();
+        assert!((m.frequency().0 - 50e6).abs() < 1.0);
+        assert!((m.delay().0 - 20e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pd_product_grows_quadratically_with_sigma() {
+        let m = AnalogWtaModel::new(WtaStyle::Dlugosz18, 40).unwrap();
+        let base = m.power_delay_product(5).0;
+        let worse = m
+            .with_sigma_vt(Volts(15e-3))
+            .unwrap()
+            .power_delay_product(5)
+            .0;
+        let ratio = worse / base;
+        // 3× σ → ≥ 9× delay, plus the power term: strictly superquadratic.
+        assert!(ratio > 9.0, "PD ratio {ratio}");
+    }
+
+    #[test]
+    fn power_scales_with_inputs() {
+        let small = AnalogWtaModel::new(WtaStyle::Andreou17, 20).unwrap();
+        let big = AnalogWtaModel::new(WtaStyle::Andreou17, 80).unwrap();
+        assert!((big.power(5).0 / small.power(5).0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_op_magnitude() {
+        // [18] at 5 bits: 5.5 mW / 50 MHz = 110 pJ per recognition.
+        let m = AnalogWtaModel::new(WtaStyle::Dlugosz18, 40).unwrap();
+        let e = m.energy_per_op(5).0;
+        assert!((e - 110e-12).abs() / 110e-12 < 0.15, "{e}");
+    }
+
+    #[test]
+    fn functional_tree_picks_clear_winner() {
+        let sim = BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 40).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut currents: Vec<Amps> = (0..40).map(|k| Amps(1e-6 * (k as f64 + 1.0))).collect();
+        currents[17] = Amps(60e-6);
+        for _ in 0..50 {
+            assert_eq!(sim.winner(&currents, &mut rng).unwrap(), 17);
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_with_smaller_margin() {
+        let sim = BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let wide = sim.selection_accuracy(16, 0.20, 400, &mut rng).unwrap();
+        let narrow = sim.selection_accuracy(16, 0.005, 400, &mut rng).unwrap();
+        assert!(wide > 0.95, "wide-margin accuracy {wide}");
+        assert!(narrow < wide, "narrow {narrow} must be below wide {wide}");
+    }
+
+    #[test]
+    fn accuracy_degrades_with_cheap_mirrors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let good = BtWtaSim::sized_for(&Tech45::DEFAULT, 6, 16).unwrap();
+        let bad = BtWtaSim::new(
+            CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap(),
+        );
+        let margin = 0.03; // one 5-bit LSB
+        let acc_good = good.selection_accuracy(16, margin, 400, &mut rng).unwrap();
+        let acc_bad = bad.selection_accuracy(16, margin, 400, &mut rng).unwrap();
+        assert!(
+            acc_good > acc_bad + 0.05,
+            "sized {acc_good} vs minimum-area {acc_bad}"
+        );
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        let sim = BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(sim.winner(&[Amps(1e-6)], &mut rng).unwrap(), 0);
+        assert!(matches!(
+            sim.winner(&[], &mut rng),
+            Err(CmosError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn odd_input_counts_handled() {
+        let sim = BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 7).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut currents = vec![Amps(1e-6); 7];
+        currents[6] = Amps(50e-6); // the bye slot must still be able to win
+        assert_eq!(sim.winner(&currents, &mut rng).unwrap(), 6);
+    }
+
+    #[test]
+    fn cc_wta_picks_clear_winner() {
+        let mirror = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), 16.0).unwrap();
+        let cc = CcWtaSim::new(&mirror);
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let mut currents = vec![Amps(2e-6); 12];
+        currents[7] = Amps(30e-6);
+        for _ in 0..50 {
+            assert_eq!(cc.winner(&currents, &mut rng).unwrap(), 7);
+        }
+        assert!(matches!(cc.winner(&[], &mut rng), Err(CmosError::EmptyInput)));
+    }
+
+    #[test]
+    fn cc_accuracy_beats_tree_at_equal_mirrors() {
+        // One mismatch event per cell vs log₂N accumulated copies: at the
+        // same device sizing the current conveyor resolves tighter margins.
+        let mirror = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), 4.0).unwrap();
+        let cc = CcWtaSim::new(&mirror);
+        let bt = BtWtaSim::new(mirror);
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let margin = 0.05;
+        let acc_cc = cc.selection_accuracy(32, margin, 600, &mut rng).unwrap();
+        let acc_bt = bt.selection_accuracy(32, margin, 600, &mut rng).unwrap();
+        assert!(
+            acc_cc > acc_bt,
+            "CC {acc_cc} should beat BT {acc_bt} at equal sizing"
+        );
+    }
+
+    #[test]
+    fn cc_delay_grows_linearly_with_inputs() {
+        // ...but its shared node makes it slow at scale — the paper's
+        // reason to prefer the binary tree for large input counts.
+        let mirror = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), 4.0).unwrap();
+        let cc = CcWtaSim::new(&mirror);
+        assert!((cc.delay(80).0 / cc.delay(40).0 - 2.0).abs() < 1e-12);
+        // At 40+ inputs the shared node is slower than the tree's 20 ns.
+        assert!(cc.delay(64).0 > 20e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AnalogWtaModel::new(WtaStyle::Andreou17, 1).is_err());
+        assert!(BtWtaSim::sized_for(&Tech45::DEFAULT, 0, 8).is_err());
+        assert!(BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 1).is_err());
+        let m = AnalogWtaModel::new(WtaStyle::Andreou17, 40).unwrap();
+        assert!(m.with_sigma_vt(Volts(0.0)).is_err());
+        let sim = BtWtaSim::sized_for(&Tech45::DEFAULT, 5, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        assert!(sim.selection_accuracy(1, 0.1, 10, &mut rng).is_err());
+    }
+}

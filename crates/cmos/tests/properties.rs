@@ -1,0 +1,123 @@
+//! Property-based tests for the CMOS models: DAC monotonicity, mirror
+//! statistics and device-law invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Amps, Micrometers, Siemens, Volts};
+use spinamm_cmos::{CurrentMirror, DtcsDac, MosPolarity, MosTransistor, Tech45};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The nominal DAC transfer is strictly monotone into any load, for any
+    /// design point.
+    #[test]
+    fn dac_monotone_into_any_load(
+        bits in 1u32..=8,
+        fs_ua in 1.0..100.0f64,
+        load_ratio in 0.1..100.0f64,
+    ) {
+        let dac = DtcsDac::design(bits, Amps(fs_ua * 1e-6), Volts(0.030), &Tech45::DEFAULT)
+            .unwrap();
+        let g_full = dac.ideal_conductance((1 << bits) - 1).unwrap();
+        let load = Siemens(g_full.0.max(1e-12) * load_ratio);
+        let mut last = -1.0;
+        for code in 0..(1u32 << bits) {
+            let i = dac.ideal_current(code, load).unwrap().0;
+            prop_assert!(i > last, "code {code}: {i} after {last}");
+            last = i;
+        }
+    }
+
+    /// Compression only ever *reduces* the current relative to the unloaded
+    /// ideal `ΔV·G(code)`, and INL grows monotonically as the load shrinks.
+    #[test]
+    fn dac_compression_is_one_sided(bits in 2u32..=6, code_frac in 0.1..1.0f64) {
+        let dac = DtcsDac::design(bits, Amps(10e-6), Volts(0.030), &Tech45::DEFAULT).unwrap();
+        let top = (1u32 << bits) - 1;
+        let code = ((f64::from(top) * code_frac) as u32).max(1);
+        let unloaded = 0.030 * dac.ideal_conductance(code).unwrap().0;
+        for ratio in [100.0, 10.0, 1.0, 0.3] {
+            let g_full = dac.ideal_conductance(top).unwrap();
+            let i = dac
+                .ideal_current(code, Siemens(g_full.0 * ratio))
+                .unwrap()
+                .0;
+            prop_assert!(i <= unloaded * (1.0 + 1e-12));
+        }
+        let g_full = dac.ideal_conductance(top).unwrap();
+        let inl_light = dac.current_inl(Siemens(g_full.0 * 50.0));
+        let inl_heavy = dac.current_inl(Siemens(g_full.0 * 0.5));
+        prop_assert!(inl_heavy >= inl_light);
+    }
+
+    /// Sampled DAC instances remain monotone with overwhelming probability
+    /// at the minimum-device mismatch level (binary-weighted DACs lose
+    /// monotonicity only when branch errors exceed an LSB, which σ ≈ 0.8 %
+    /// cannot do at ≤ 6 bits).
+    #[test]
+    fn sampled_dac_monotone(seed in 0u64..100, bits in 2u32..=6) {
+        let dac = DtcsDac::design(bits, Amps(32e-6), Volts(0.030), &Tech45::DEFAULT).unwrap();
+        let inst = dac.sample(&mut ChaCha8Rng::seed_from_u64(seed));
+        let mut last = -1.0;
+        for code in 0..(1u32 << bits) {
+            let g = inst.conductance(code).unwrap().0;
+            prop_assert!(g > last - 1e-15, "code {code}");
+            last = g;
+        }
+    }
+
+    /// Square-law device invariants: current is non-negative, zero below
+    /// threshold, and increasing in V_gs and V_ds.
+    #[test]
+    fn mosfet_square_law_invariants(
+        w in 0.09..5.0f64,
+        l in 0.045..1.0f64,
+        vgs in 0.0..1.2f64,
+        vds in 0.0..1.2f64,
+    ) {
+        let d = MosTransistor::new(
+            MosPolarity::Nmos,
+            Micrometers(w),
+            Micrometers(l),
+            Tech45::DEFAULT,
+        )
+        .unwrap();
+        let i = d.saturation_current(Volts(vgs), Volts(vds)).0;
+        prop_assert!(i >= 0.0);
+        if vgs <= d.vt().0 {
+            prop_assert_eq!(i, 0.0);
+        }
+        let i_up = d.saturation_current(Volts(vgs + 0.05), Volts(vds)).0;
+        prop_assert!(i_up >= i);
+        let i_vds = d.saturation_current(Volts(vgs), Volts(vds + 0.1)).0;
+        prop_assert!(i_vds >= i);
+    }
+
+    /// Mirror copies are unbiased: the mean over many copies approaches
+    /// input × (1 + systematic error).
+    #[test]
+    fn mirror_copies_unbiased(seed in 0u64..20, area in 1.0..32.0f64) {
+        let m = CurrentMirror::regulated(&Tech45::DEFAULT, Volts(0.15), area).unwrap();
+        let input = Amps(20e-6);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| m.copy(input, &mut rng).0).sum::<f64>() / f64::from(n);
+        let expected = input.0 * (1.0 + m.systematic_gain_error());
+        let sigma_of_mean = input.0 * m.random_gain_sigma() / f64::from(n).sqrt();
+        prop_assert!(
+            (mean - expected).abs() < 5.0 * sigma_of_mean,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    /// Pelgrom scaling: σ_VT falls as 1/√area for any device shape.
+    #[test]
+    fn pelgrom_scaling(w in 0.09..2.0f64, l in 0.045..0.5f64, k in 2.0..10.0f64) {
+        let t = Tech45::DEFAULT;
+        let s1 = t.sigma_vt(Micrometers(w), Micrometers(l)).0;
+        let s2 = t.sigma_vt(Micrometers(w * k), Micrometers(l * k)).0;
+        prop_assert!((s1 / s2 - k).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,607 @@
+//! The complete associative memory module (AMM).
+//!
+//! Programming, input conversion, correlation, digitization and winner
+//! selection, wired together exactly as in the paper's Figs. 8 and 11–12:
+//!
+//! 1. Templates are written column-wise into the crossbar with the
+//!    program-and-verify scheme, and every row gets a dummy conductance so
+//!    all rows present the same load `G_TS` to their input DACs.
+//! 2. A digital input vector drives per-row DTCS DACs from the `V + ΔV`
+//!    rail; the DAC full scale is sized so a perfectly matching input
+//!    produces the WTA's full-scale column current `2^bits × I_th`.
+//! 3. Column currents are digitized by per-column spin SAR ADCs while the
+//!    digital tracker follows the conversion (see [`crate::wta`]).
+
+use crate::energy::{EnergyBreakdown, PowerReport};
+use crate::params::DesignParams;
+use crate::wta::{SpinWta, WtaOutcome};
+use crate::{adc::SpinSarAdc, CoreError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Amps, Joules, Seconds, Watts};
+use spinamm_cmos::{DtcsDac, Tech45};
+use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
+use spinamm_memristor::{LevelMap, WriteScheme};
+
+/// How faithfully the crossbar is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Perfect input current sources and lossless wires — the algorithmic
+    /// reference.
+    Ideal,
+    /// DTCS source-conductance loading included analytically (Fig. 8b
+    /// non-linearity), lossless wires.
+    #[default]
+    Driven,
+    /// Full nodal-analysis netlist with wire parasitics (Fig. 9 effects).
+    Parasitic,
+}
+
+/// Configuration of an AMM instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmmConfig {
+    /// Device/system constants (Table 2); template geometry fields are
+    /// overridden by the actual pattern set handed to
+    /// [`AssociativeMemoryModule::build`].
+    pub params: DesignParams,
+    /// Crossbar evaluation fidelity.
+    pub fidelity: Fidelity,
+    /// Sample input-DAC mismatch ("variations in input source").
+    pub input_mismatch: bool,
+    /// Enable Néel–Brown thermal switching in the DWNs.
+    pub thermal: bool,
+    /// Enable latch offset sampling.
+    pub latch_noise: bool,
+    /// Minimum DOM for a winner to be *accepted*; below it the input is
+    /// reported as not in the stored set (paper §4B: "if the DOM is lower
+    /// than a predetermined threshold, the winner is discarded").
+    pub dom_threshold: u32,
+    /// Apply the paper's per-row dummy (`G_TS`) equalization. Disable only
+    /// for ablation studies: without it every input DAC sees a
+    /// data-dependent load and the Fig. 8b non-linearity becomes
+    /// row-dependent.
+    pub equalize_rows: bool,
+    /// Apply design-time input-gain calibration (size the DAC range to the
+    /// stored data's maximum dot product). Disable only for ablation
+    /// studies: without it real workloads use a fraction of the ADC range.
+    pub gain_calibration: bool,
+    /// Master seed for all stochastic elements (programming, mismatch,
+    /// thermal).
+    pub seed: u64,
+}
+
+impl Default for AmmConfig {
+    fn default() -> Self {
+        Self {
+            params: DesignParams::PAPER,
+            fidelity: Fidelity::Driven,
+            input_mismatch: true,
+            thermal: false,
+            latch_noise: false,
+            dom_threshold: 0,
+            equalize_rows: true,
+            gain_calibration: true,
+            seed: 0xa1b2,
+        }
+    }
+}
+
+/// Result of one recognition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecallResult {
+    /// The accepted winner (argmax column), or `None` if the DOM fell below
+    /// the acceptance threshold.
+    pub winner: Option<usize>,
+    /// The argmax column regardless of acceptance.
+    pub raw_winner: usize,
+    /// The hardware tracker's single-winner output, when unambiguous.
+    pub tracked_winner: Option<usize>,
+    /// Degree of match of the raw winner.
+    pub dom: u32,
+    /// All column codes.
+    pub codes: Vec<u32>,
+    /// Analog column currents that entered the ADCs.
+    pub column_currents: Vec<Amps>,
+    /// Energy of this recognition.
+    pub energy: EnergyBreakdown,
+}
+
+/// The full module.
+#[derive(Debug, Clone)]
+pub struct AssociativeMemoryModule {
+    config: AmmConfig,
+    array: CrossbarArray,
+    input_dacs: Vec<spinamm_cmos::DacInstance>,
+    wta: SpinWta,
+    geometry: CrossbarGeometry,
+    rng: ChaCha8Rng,
+}
+
+impl AssociativeMemoryModule {
+    /// The fraction of the ADC range the largest stored-pattern
+    /// self-correlation is calibrated to occupy (headroom for inputs that
+    /// correlate slightly better than any stored self-match).
+    pub const FULL_SCALE_HEADROOM: f64 = 0.9;
+
+    /// Builds and programs a module storing `patterns` (one per column;
+    /// each element a `template_bits`-bit level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty or ragged
+    /// pattern set or out-of-range levels, and propagates device errors.
+    pub fn build(patterns: &[Vec<u32>], config: &AmmConfig) -> Result<Self, CoreError> {
+        let first = patterns.first().ok_or(CoreError::InvalidParameter {
+            what: "at least one pattern must be stored",
+        })?;
+        let rows = first.len();
+        if rows == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "patterns must have at least one element",
+            });
+        }
+        if patterns.iter().any(|p| p.len() != rows) {
+            return Err(CoreError::InvalidParameter {
+                what: "all patterns must share one length",
+            });
+        }
+        let p = &config.params;
+        let level_cap = 1u32 << p.template_bits;
+        if patterns.iter().flatten().any(|&l| l >= level_cap) {
+            return Err(CoreError::InvalidParameter {
+                what: "pattern level exceeds template bit width",
+            });
+        }
+        let cols = patterns.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Program the crossbar.
+        let map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let write = WriteScheme::new(p.write_tolerance)?;
+        let mut array = CrossbarArray::new(rows, cols, p.memristor_limits)?;
+        for (j, pattern) in patterns.iter().enumerate() {
+            array.program_pattern(j, pattern, &map, &write, &mut rng)?;
+        }
+        if config.equalize_rows {
+            array.equalize_rows(None)?;
+        }
+
+        // Column converters + tracker.
+        let tech = Tech45::DEFAULT;
+        let clock = Seconds(1.0 / p.input_rate.0);
+        let adcs: Vec<SpinSarAdc> = (0..cols)
+            .map(|_| {
+                let mut adc = SpinSarAdc::build(
+                    p.comparator_bits,
+                    p.dwn_threshold,
+                    p.delta_v,
+                    clock,
+                    &tech,
+                    &mut rng,
+                )?;
+                adc.thermal = config.thermal;
+                adc.latch_noise = config.latch_noise;
+                Ok(adc)
+            })
+            .collect::<Result<_, CoreError>>()?;
+
+        // Input DACs, sized in two steps.
+        //
+        // First-order sizing: a full-level input on a full-level column
+        // must reach the WTA's full-scale current. With G_TS = cols·g_max,
+        // I_col ≈ ΔV·G_T·rows/cols, so G_T(max) = I_fs·cols/(rows·ΔV).
+        //
+        // Gain calibration: real workloads never present all-maximum
+        // vectors, so their best-match currents would occupy only a
+        // fraction of the ADC range and the WTA resolution would be wasted.
+        // The paper sizes against the *actual* maximum dot product ("the
+        // maximum value of the dot-product output must be greater than
+        // 32 µA"), i.e. a design-time calibration against the stored data.
+        // We reproduce that: measure the largest self-correlation current
+        // over the stored patterns at unit gain, then scale the DAC full
+        // scale so that maximum lands at [`Self::FULL_SCALE_HEADROOM`] of
+        // the ADC range.
+        let i_fs_col = adcs[0].nominal_full_scale();
+        let dac_fs = Amps(i_fs_col.0 * cols as f64 / rows as f64);
+        // Fixed-point calibration: the DAC compression depends on its own
+        // size, so after the first rescale, re-measure and correct once
+        // more. The probe uses the same drive style as the configured
+        // fidelity so Ideal-fidelity modules cannot saturate.
+        let mut gain = 1.0_f64;
+        let calibration_passes = if config.gain_calibration { 2 } else { 0 };
+        for _ in 0..calibration_passes {
+            let probe = DtcsDac::design(
+                p.template_bits,
+                Amps(dac_fs.0 * gain),
+                p.delta_v,
+                &tech,
+            )?
+            .nominal();
+            let mut max_self: f64 = 0.0;
+            for (j, pattern) in patterns.iter().enumerate() {
+                let drives: Vec<RowDrive> = pattern
+                    .iter()
+                    .map(|&l| match config.fidelity {
+                        Fidelity::Ideal => Ok(RowDrive::Current(probe.clamped_current(l)?)),
+                        Fidelity::Driven | Fidelity::Parasitic => {
+                            Ok(RowDrive::SourceConductance {
+                                g: probe.conductance(l)?,
+                                supply: p.delta_v,
+                            })
+                        }
+                    })
+                    .collect::<Result<_, CoreError>>()?;
+                let currents = array.driven_column_currents(&drives)?;
+                max_self = max_self.max(currents[j].0);
+            }
+            if max_self > 0.0 {
+                gain *= Self::FULL_SCALE_HEADROOM * i_fs_col.0 / max_self;
+            }
+        }
+        let input_design =
+            DtcsDac::design(p.template_bits, Amps(dac_fs.0 * gain), p.delta_v, &tech)?;
+        let input_dacs = (0..rows)
+            .map(|_| {
+                if config.input_mismatch {
+                    input_design.sample(&mut rng)
+                } else {
+                    input_design.nominal()
+                }
+            })
+            .collect();
+        let wta = SpinWta::new(adcs, tech)?;
+
+        Ok(Self {
+            config: *config,
+            array,
+            input_dacs,
+            wta,
+            geometry: p.crossbar_geometry(),
+            rng,
+        })
+    }
+
+    /// Number of stored patterns.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.array.cols()
+    }
+
+    /// Input vector length.
+    #[must_use]
+    pub fn vector_len(&self) -> usize {
+        self.array.rows()
+    }
+
+    /// The configuration this module was built with.
+    #[must_use]
+    pub fn config(&self) -> &AmmConfig {
+        &self.config
+    }
+
+    /// The programmed crossbar (for inspection and margin studies).
+    #[must_use]
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Recognition latency (`comparator_bits` SAR cycles).
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.wta.latency()
+    }
+
+    /// Ages the programmed array in place under a memristor drift model
+    /// (see [`spinamm_memristor::DriftModel`]) — used by retention studies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar errors.
+    pub fn age_array<R: rand::Rng + ?Sized>(
+        &mut self,
+        elapsed: Seconds,
+        model: &spinamm_memristor::DriftModel,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        self.array.age(elapsed, model, rng)?;
+        Ok(())
+    }
+
+    /// The ADC's nominal LSB current — the smallest column-current gap the
+    /// WTA can resolve.
+    #[must_use]
+    pub fn lsb_current(&self) -> Amps {
+        let adc = &self.wta.adcs()[0];
+        Amps(adc.nominal_full_scale().0 / f64::from(1u32 << adc.bits()))
+    }
+
+    /// Builds the row drives for an input vector.
+    fn drives(&self, levels: &[u32]) -> Result<Vec<RowDrive>, CoreError> {
+        if levels.len() != self.vector_len() {
+            return Err(CoreError::InputLengthMismatch {
+                expected: self.vector_len(),
+                found: levels.len(),
+            });
+        }
+        let cap = 1u32 << self.config.params.template_bits;
+        if levels.iter().any(|&l| l >= cap) {
+            return Err(CoreError::InvalidParameter {
+                what: "input level exceeds template bit width",
+            });
+        }
+        let dv = self.config.params.delta_v;
+        levels
+            .iter()
+            .enumerate()
+            .map(|(i, &level)| {
+                let dac = &self.input_dacs[i];
+                match self.config.fidelity {
+                    Fidelity::Ideal => {
+                        // Perfect current source proportional to the level.
+                        let i_nominal = dac.clamped_current(level)?;
+                        Ok(RowDrive::Current(i_nominal))
+                    }
+                    Fidelity::Driven | Fidelity::Parasitic => Ok(RowDrive::SourceConductance {
+                        g: dac.conductance(level)?,
+                        supply: dv,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the crossbar for an input, returning the column currents
+    /// and the static power burned in the RCM (rails → clamp).
+    fn correlate(&self, drives: &[RowDrive]) -> Result<(Vec<Amps>, Watts), CoreError> {
+        match self.config.fidelity {
+            Fidelity::Ideal | Fidelity::Driven => {
+                let currents = self.array.driven_column_currents(drives)?;
+                // All input current falls through ΔV (rail to clamp).
+                let mut total_in = 0.0;
+                for (i, d) in drives.iter().enumerate() {
+                    let load = self.array.row_total_conductance(i)?;
+                    total_in += d.current_into(load).0;
+                }
+                let power = Watts(total_in * self.config.params.delta_v.0);
+                Ok((currents, power))
+            }
+            Fidelity::Parasitic => {
+                let pc = ParasiticCrossbar::new(self.geometry);
+                let readout = pc.evaluate(&self.array, drives)?;
+                Ok((readout.column_currents, readout.dissipated_power))
+            }
+        }
+    }
+
+    /// Runs one recognition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputLengthMismatch`] or
+    /// [`CoreError::InvalidParameter`] for bad inputs; propagates solver
+    /// errors in parasitic mode.
+    pub fn recall(&mut self, levels: &[u32]) -> Result<RecallResult, CoreError> {
+        let drives = self.drives(levels)?;
+        let (currents, rcm_power) = self.correlate(&drives)?;
+        let outcome: WtaOutcome = self.wta.evaluate(&currents, &mut self.rng)?;
+        let mut energy = outcome.energy;
+        energy.rcm_static = Joules(rcm_power.0 * self.latency().0);
+        let accepted = outcome.dom >= self.config.dom_threshold;
+        Ok(RecallResult {
+            winner: accepted.then_some(outcome.winner),
+            raw_winner: outcome.winner,
+            tracked_winner: outcome.tracked_winner,
+            dom: outcome.dom,
+            codes: outcome.codes,
+            column_currents: currents,
+            energy,
+        })
+    }
+
+    /// Power summary for a representative input.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall`].
+    pub fn power_report(&mut self, levels: &[u32]) -> Result<PowerReport, CoreError> {
+        let result = self.recall(levels)?;
+        Ok(PowerReport::from_energy(result.energy, self.latency()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthogonal_patterns() -> Vec<Vec<u32>> {
+        vec![
+            vec![31, 31, 31, 31, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 31, 31, 31, 31, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 31, 31, 31, 31],
+        ]
+    }
+
+    fn config(fidelity: Fidelity) -> AmmConfig {
+        AmmConfig {
+            fidelity,
+            ..AmmConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_validation() {
+        let c = AmmConfig::default();
+        assert!(AssociativeMemoryModule::build(&[], &c).is_err());
+        assert!(AssociativeMemoryModule::build(&[vec![]], &c).is_err());
+        assert!(
+            AssociativeMemoryModule::build(&[vec![1, 2], vec![1, 2, 3]], &c).is_err()
+        );
+        assert!(AssociativeMemoryModule::build(&[vec![32]], &c).is_err());
+        let amm = AssociativeMemoryModule::build(&orthogonal_patterns(), &c).unwrap();
+        assert_eq!(amm.pattern_count(), 3);
+        assert_eq!(amm.vector_len(), 12);
+        assert_eq!(amm.config().fidelity, Fidelity::Driven);
+        assert_eq!(amm.array().cols(), 3);
+    }
+
+    #[test]
+    fn recalls_stored_patterns_all_fidelities() {
+        let patterns = orthogonal_patterns();
+        for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+            let mut amm =
+                AssociativeMemoryModule::build(&patterns, &config(fidelity)).unwrap();
+            for (j, p) in patterns.iter().enumerate() {
+                let r = amm.recall(p).unwrap();
+                assert_eq!(r.winner, Some(j), "{fidelity:?}: pattern {j}");
+                assert_eq!(r.raw_winner, j);
+            }
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut amm =
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
+                .unwrap();
+        assert!(matches!(
+            amm.recall(&[0; 5]),
+            Err(CoreError::InputLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            amm.recall(&[40; 12]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dom_threshold_rejects_poor_matches() {
+        let patterns = orthogonal_patterns();
+        // A stored one-third-active pattern self-correlates at roughly a
+        // third of full scale (code ~10); set the acceptance bar just
+        // below that.
+        let cfg = AmmConfig {
+            dom_threshold: 7,
+            ..AmmConfig::default()
+        };
+        let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        // A stored pattern clears the threshold easily.
+        let good = amm.recall(&patterns[0]).unwrap();
+        assert!(good.winner.is_some(), "stored DOM {}", good.dom);
+        assert!(good.dom >= 7);
+        // A dim, unrelated input produces a low DOM and is rejected.
+        let junk = vec![1u32; 12];
+        let bad = amm.recall(&junk).unwrap();
+        assert!(bad.dom < 7, "junk DOM {}", bad.dom);
+        assert_eq!(bad.winner, None);
+        // Raw winner still identifies the nearest pattern.
+        assert!(bad.raw_winner < 3);
+    }
+
+    #[test]
+    fn full_scale_input_hits_full_scale_code() {
+        // Storing an all-max pattern and presenting it should digitize near
+        // the WTA's full scale — validates the DAC sizing chain.
+        let patterns = vec![vec![31u32; 16], vec![0u32; 16]];
+        let mut amm =
+            AssociativeMemoryModule::build(&patterns, &config(Fidelity::Driven)).unwrap();
+        let r = amm.recall(&patterns[0]).unwrap();
+        // Gain calibration places the best self-match at ~90 % of range.
+        assert!(r.dom >= 26, "DOM {} should be near full scale 31", r.dom);
+        // Physical currents also at scale: winner column near 32 µA.
+        let i_win = r.column_currents[r.raw_winner].0;
+        assert!(
+            i_win > 24e-6 && i_win < 40e-6,
+            "winner current {i_win} A"
+        );
+    }
+
+    #[test]
+    fn driven_and_parasitic_agree_closely() {
+        let patterns = orthogonal_patterns();
+        let mut driven =
+            AssociativeMemoryModule::build(&patterns, &config(Fidelity::Driven)).unwrap();
+        let mut parasitic =
+            AssociativeMemoryModule::build(&patterns, &config(Fidelity::Parasitic)).unwrap();
+        for p in &patterns {
+            let a = driven.recall(p).unwrap();
+            let b = parasitic.recall(p).unwrap();
+            assert_eq!(a.raw_winner, b.raw_winner);
+            for (x, y) in a.column_currents.iter().zip(&b.column_currents) {
+                let scale = x.0.abs().max(1e-9);
+                assert!(
+                    (x.0 - y.0).abs() / scale < 0.05,
+                    "driven {} vs parasitic {}",
+                    x.0,
+                    y.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_is_complete() {
+        let mut amm =
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
+                .unwrap();
+        let r = amm.recall(&orthogonal_patterns()[0]).unwrap();
+        assert!(r.energy.rcm_static.0 > 0.0);
+        assert!(r.energy.dac_static.0 > 0.0);
+        assert!(r.energy.dwn_write.0 > 0.0);
+        assert!(r.energy.latch_sense.0 > 0.0);
+        assert!(r.energy.digital.0 > 0.0);
+        assert!(r.energy.total().0 < 1e-9, "per-recognition energy sane");
+    }
+
+    #[test]
+    fn power_report_magnitude() {
+        // A 12×3 module is much smaller than the paper's 128×40, but power
+        // must land in the µW decade, far below the mW of MS-CMOS.
+        let mut amm =
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
+                .unwrap();
+        let report = amm.power_report(&orthogonal_patterns()[0]).unwrap();
+        let total = report.total_power().0;
+        assert!(total > 1e-7 && total < 1e-3, "total power {total} W");
+        assert!(report.static_power.0 > 0.0);
+        assert!(report.dynamic_power.0 > 0.0);
+        assert!((report.latency.0 - 50e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let patterns = orthogonal_patterns();
+        let run = || {
+            let mut amm =
+                AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+            amm.recall(&patterns[1]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noisy_input_still_recalls() {
+        let patterns = orthogonal_patterns();
+        let mut amm =
+            AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        // Perturb pattern 1 by one level on several elements.
+        let noisy: Vec<u32> = patterns[1]
+            .iter()
+            .map(|&l| if l > 0 { l - 1 } else { l + 1 })
+            .collect();
+        let r = amm.recall(&noisy).unwrap();
+        assert_eq!(r.raw_winner, 1);
+    }
+
+    #[test]
+    fn thermal_and_latch_noise_modes_run() {
+        let patterns = orthogonal_patterns();
+        let cfg = AmmConfig {
+            thermal: true,
+            latch_noise: true,
+            ..AmmConfig::default()
+        };
+        let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let r = amm.recall(&patterns[2]).unwrap();
+        assert_eq!(r.raw_winner, 2, "wide margins survive noise");
+    }
+}

@@ -1,0 +1,189 @@
+//! Power and energy accounting for the proposed design.
+//!
+//! The breakdown follows the paper's Fig. 13a decomposition: a *static*
+//! component (current flowing continuously through the RCM and the SAR
+//! DACs across the ΔV rails) and a *dynamic* component (DWN writes, latch
+//! firings and the digital winner-tracking logic, all switched per cycle).
+
+use spinamm_circuit::units::{Hertz, Joules, Seconds, Watts};
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Energy consumed by one recognition, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Static dissipation in the crossbar (input DACs driving rows across
+    /// ΔV, current through memristors and dummies) over the conversion.
+    pub rcm_static: Joules,
+    /// Static dissipation in the SAR DACs (trial currents sunk across 2ΔV).
+    pub dac_static: Joules,
+    /// Ohmic write energy in the DWNs.
+    pub dwn_write: Joules,
+    /// Dynamic latch sense energy.
+    pub latch_sense: Joules,
+    /// Digital switching energy (SAR registers, tracking registers,
+    /// detection line, control).
+    pub digital: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        Joules(
+            self.rcm_static.0
+                + self.dac_static.0
+                + self.dwn_write.0
+                + self.latch_sense.0
+                + self.digital.0,
+        )
+    }
+
+    /// The static share (RCM + DAC rails).
+    #[must_use]
+    pub fn static_energy(&self) -> Joules {
+        Joules(self.rcm_static.0 + self.dac_static.0)
+    }
+
+    /// The dynamic share (everything switched).
+    #[must_use]
+    pub fn dynamic_energy(&self) -> Joules {
+        Joules(self.dwn_write.0 + self.latch_sense.0 + self.digital.0)
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            rcm_static: self.rcm_static + rhs.rcm_static,
+            dac_static: self.dac_static + rhs.dac_static,
+            dwn_write: self.dwn_write + rhs.dwn_write,
+            latch_sense: self.latch_sense + rhs.latch_sense,
+            digital: self.digital + rhs.digital,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+/// Power summary of a module running recognitions back to back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Per-recognition energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Recognition latency.
+    pub latency: Seconds,
+    /// Static power (continuous rails).
+    pub static_power: Watts,
+    /// Dynamic power at the achieved recognition rate.
+    pub dynamic_power: Watts,
+}
+
+impl PowerReport {
+    /// Builds a report from a per-recognition breakdown and latency.
+    #[must_use]
+    pub fn from_energy(energy: EnergyBreakdown, latency: Seconds) -> Self {
+        Self {
+            energy,
+            latency,
+            static_power: energy.static_energy() / latency,
+            dynamic_power: energy.dynamic_energy() / latency,
+        }
+    }
+
+    /// Total power.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        Watts(self.static_power.0 + self.dynamic_power.0)
+    }
+
+    /// Recognition throughput.
+    #[must_use]
+    pub fn recognition_rate(&self) -> Hertz {
+        Hertz(1.0 / self.latency.0)
+    }
+
+    /// Energy per recognition.
+    #[must_use]
+    pub fn energy_per_recognition(&self) -> Joules {
+        self.energy.total()
+    }
+
+    /// Energy per recognition when the module is *pipelined* at `rate`
+    /// (one recognition retired per clock, conversions overlapped): the
+    /// static rails burn for `1/rate` per result while the dynamic
+    /// (per-recognition switching) energy is paid in full.
+    #[must_use]
+    pub fn pipelined_energy(&self, rate: Hertz) -> Joules {
+        Joules(self.static_power.0 / rate.0 + self.energy.dynamic_energy().0)
+    }
+
+    /// Average power when pipelined at `rate`: static rails plus dynamic
+    /// switching at the recognition rate.
+    #[must_use]
+    pub fn pipelined_power(&self, rate: Hertz) -> Watts {
+        Watts(self.static_power.0 + self.energy.dynamic_energy().0 * rate.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            rcm_static: Joules(1e-12),
+            dac_static: Joules(2e-12),
+            dwn_write: Joules(0.5e-12),
+            latch_sense: Joules(0.25e-12),
+            digital: Joules(0.25e-12),
+        }
+    }
+
+    #[test]
+    fn totals_and_splits() {
+        let e = sample();
+        assert!((e.total().0 - 4e-12).abs() < 1e-24);
+        assert!((e.static_energy().0 - 3e-12).abs() < 1e-24);
+        assert!((e.dynamic_energy().0 - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let e = sample() + sample();
+        assert!((e.total().0 - 8e-12).abs() < 1e-24);
+        let s: EnergyBreakdown = (0..4).map(|_| sample()).sum();
+        assert!((s.total().0 - 16e-12).abs() < 1e-24);
+        assert_eq!(EnergyBreakdown::default().total(), Joules::ZERO);
+    }
+
+    #[test]
+    fn pipelined_accounting() {
+        let report = PowerReport::from_energy(sample(), Seconds(50e-9));
+        // At a 100 MHz pipeline: static 60 µW burns 0.6 pJ per 10 ns slot,
+        // plus the full 1 pJ of dynamic energy per recognition.
+        let e = report.pipelined_energy(Hertz(100e6));
+        assert!((e.0 - 1.6e-12).abs() < 1e-24, "{}", e.0);
+        let p = report.pipelined_power(Hertz(100e6));
+        assert!((p.0 - 160e-6).abs() < 1e-12, "{}", p.0);
+        // Pipelining never reduces the energy per op below the dynamic
+        // floor.
+        assert!(e.0 > report.energy.dynamic_energy().0);
+    }
+
+    #[test]
+    fn power_report_consistency() {
+        let report = PowerReport::from_energy(sample(), Seconds(50e-9));
+        // 3 pJ static over 50 ns = 60 µW; 1 pJ dynamic = 20 µW.
+        assert!((report.static_power.0 - 60e-6).abs() < 1e-12);
+        assert!((report.dynamic_power.0 - 20e-6).abs() < 1e-12);
+        assert!((report.total_power().0 - 80e-6).abs() < 1e-12);
+        assert!((report.recognition_rate().0 - 20e6).abs() < 1.0);
+        assert!((report.energy_per_recognition().0 - 4e-12).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,276 @@
+//! Detection-margin analysis (paper Fig. 9).
+//!
+//! The *detection margin* is the relative gap between the best and the
+//! second-best column current for a given input — what the WTA must
+//! resolve. The paper's Fig. 9 shows it being squeezed from two sides:
+//!
+//! * **low memristor conductance** (high-R window): the row's total load
+//!   `G_TS` approaches the input-DAC conductance `G_T`, compressing the
+//!   DAC transfer (Fig. 8b) and shrinking margins;
+//! * **high memristor conductance** (low-R window): wire IR drops corrupt
+//!   the µV-scale row potentials;
+//!
+//! with an optimum in between — and similarly shrinks as ΔV is reduced
+//! (Fig. 9b), because the DAC conductances must grow as `1/ΔV` to keep the
+//! same currents.
+
+use crate::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+use crate::CoreError;
+use spinamm_circuit::units::{Amps, Volts};
+use spinamm_memristor::DeviceLimits;
+
+/// Relative detection margin `(I_best − I_second)/I_best` of a current
+/// vector, or zero when fewer than two columns exist.
+#[must_use]
+pub fn detection_margin(currents: &[Amps]) -> f64 {
+    if currents.len() < 2 {
+        return 0.0;
+    }
+    let (best, second) = best_two(currents);
+    if best <= 0.0 {
+        0.0
+    } else {
+        (best - second) / best
+    }
+}
+
+/// Absolute detection margin `(I_best − I_second)` expressed in units of
+/// the WTA's LSB current — the number of resolvable steps between the
+/// winner and the runner-up. This is the quantity the paper's Fig. 9
+/// tracks: a fixed comparator (I_th ≈ 1 µA class) must resolve the gap, so
+/// signal compression (low `G_TS`) and parasitic IR drops both shrink it.
+#[must_use]
+pub fn detection_margin_lsb(currents: &[Amps], lsb: Amps) -> f64 {
+    if currents.len() < 2 || lsb.0 <= 0.0 {
+        return 0.0;
+    }
+    let (best, second) = best_two(currents);
+    ((best - second) / lsb.0).max(0.0)
+}
+
+fn best_two(currents: &[Amps]) -> (f64, f64) {
+    let mut best = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for i in currents {
+        if i.0 > best {
+            second = best;
+            best = i.0;
+        } else if i.0 > second {
+            second = i.0;
+        }
+    }
+    (best, second)
+}
+
+/// One point of a margin sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginPoint {
+    /// The swept parameter's value (window scale factor, or ΔV in volts).
+    pub parameter: f64,
+    /// Mean detection margin over the probed inputs, in WTA-LSB units.
+    pub margin: f64,
+}
+
+/// Signed classification margin of one labelled probe, in LSB units:
+/// `(I_label − max_{j≠label} I_j)/LSB`. Positive when the true class wins;
+/// negative when any impostor column carries more current — so both signal
+/// compression *and* signal corruption reduce it, which is what the paper's
+/// read-margin metric captures.
+#[must_use]
+pub fn labelled_margin_lsb(currents: &[Amps], label: usize, lsb: Amps) -> f64 {
+    if currents.len() < 2 || label >= currents.len() || lsb.0 <= 0.0 {
+        return 0.0;
+    }
+    let own = currents[label].0;
+    let best_other = currents
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != label)
+        .map(|(_, i)| i.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (own - best_other) / lsb.0
+}
+
+/// Mean signed margin (in LSB units) of a module over labelled probe
+/// inputs, measured on the *analog* column currents (pre-ADC, parasitic
+/// fidelity included per the module's configuration).
+///
+/// # Errors
+///
+/// Propagates recall errors.
+pub fn mean_margin(
+    amm: &mut AssociativeMemoryModule,
+    probes: &[(usize, Vec<u32>)],
+) -> Result<f64, CoreError> {
+    if probes.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            what: "margin study needs at least one probe input",
+        });
+    }
+    let lsb = amm.lsb_current();
+    let mut acc = 0.0;
+    for (label, p) in probes {
+        let r = amm.recall(p)?;
+        acc += labelled_margin_lsb(&r.column_currents, *label, lsb);
+    }
+    Ok(acc / probes.len() as f64)
+}
+
+/// Sweeps the memristor conductance window (Fig. 9a): each factor scales
+/// the paper's 1 kΩ–32 kΩ window, the module is rebuilt and the mean margin
+/// measured with full parasitic fidelity.
+///
+/// # Errors
+///
+/// Propagates build/recall errors.
+pub fn margin_vs_conductance_window(
+    patterns: &[Vec<u32>],
+    probes: &[(usize, Vec<u32>)],
+    window_scales: &[f64],
+    base: &AmmConfig,
+) -> Result<Vec<MarginPoint>, CoreError> {
+    window_scales
+        .iter()
+        .map(|&scale| {
+            let mut cfg = *base;
+            cfg.fidelity = Fidelity::Parasitic;
+            cfg.params.memristor_limits = DeviceLimits::scaled_from_paper(scale)?;
+            let mut amm = AssociativeMemoryModule::build(patterns, &cfg)?;
+            Ok(MarginPoint {
+                parameter: scale,
+                margin: mean_margin(&mut amm, probes)?,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the crossbar bias ΔV (Fig. 9b) at the paper's conductance window.
+///
+/// # Errors
+///
+/// Propagates build/recall errors.
+pub fn margin_vs_delta_v(
+    patterns: &[Vec<u32>],
+    probes: &[(usize, Vec<u32>)],
+    delta_vs: &[Volts],
+    base: &AmmConfig,
+) -> Result<Vec<MarginPoint>, CoreError> {
+    delta_vs
+        .iter()
+        .map(|&dv| {
+            let mut cfg = *base;
+            cfg.fidelity = Fidelity::Parasitic;
+            cfg.params.delta_v = dv;
+            let mut amm = AssociativeMemoryModule::build(patterns, &cfg)?;
+            Ok(MarginPoint {
+                parameter: dv.0,
+                margin: mean_margin(&mut amm, probes)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+
+    fn workload() -> PatternWorkload {
+        PatternWorkload::generate(&WorkloadConfig {
+            pattern_count: 5,
+            vector_len: 20,
+            bits: 5,
+            query_count: 6,
+            query_noise: 0.1,
+            seed: 77,
+            noise_magnitude: 1,
+            similarity: 0.0,
+        })
+        .unwrap()
+    }
+
+    fn probes(w: &PatternWorkload) -> Vec<(usize, Vec<u32>)> {
+        w.queries.iter().take(4).cloned().collect()
+    }
+
+    #[test]
+    fn margin_of_current_vectors() {
+        assert_eq!(detection_margin(&[]), 0.0);
+        assert_eq!(detection_margin(&[Amps(1e-6)]), 0.0);
+        let m = detection_margin(&[Amps(10e-6), Amps(8e-6), Amps(2e-6)]);
+        assert!((m - 0.2).abs() < 1e-12);
+        // Negative/zero best degenerates safely.
+        assert_eq!(detection_margin(&[Amps(0.0), Amps(-1e-6)]), 0.0);
+    }
+
+    #[test]
+    fn mean_margin_positive_for_separable_patterns() {
+        let w = workload();
+        let mut amm =
+            AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
+        let m = mean_margin(&mut amm, &probes(&w)).unwrap();
+        assert!(m > 0.0 && m < 32.0, "margin {m} LSB");
+        assert!(mean_margin(&mut amm, &[]).is_err());
+    }
+
+    #[test]
+    fn margin_lsb_units() {
+        let currents = [Amps(10e-6), Amps(7e-6), Amps(1e-6)];
+        let m = detection_margin_lsb(&currents, Amps(1e-6));
+        assert!((m - 3.0).abs() < 1e-9);
+        assert_eq!(detection_margin_lsb(&currents, Amps(0.0)), 0.0);
+        assert_eq!(detection_margin_lsb(&currents[..1], Amps(1e-6)), 0.0);
+    }
+
+    #[test]
+    fn labelled_margin_signs() {
+        let currents = [Amps(10e-6), Amps(7e-6), Amps(1e-6)];
+        // True class wins by 3 LSB.
+        assert!((labelled_margin_lsb(&currents, 0, Amps(1e-6)) - 3.0).abs() < 1e-9);
+        // True class loses by 3 LSB.
+        assert!((labelled_margin_lsb(&currents, 1, Amps(1e-6)) + 3.0).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(labelled_margin_lsb(&currents, 9, Amps(1e-6)), 0.0);
+        assert_eq!(labelled_margin_lsb(&currents, 0, Amps(0.0)), 0.0);
+    }
+
+    #[test]
+    fn conductance_window_sweep_has_interior_optimum_tendency() {
+        // With exaggerated conditions the sweep must show the low-G_TS
+        // degradation: a very high-R window yields a smaller margin than
+        // the paper window.
+        let w = workload();
+        let points = margin_vs_conductance_window(
+            &w.patterns,
+            &probes(&w),
+            &[1.0, 30.0],
+            &AmmConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].margin < points[0].margin,
+            "high-R window ({}) should degrade vs paper ({})",
+            points[1].margin,
+            points[0].margin
+        );
+    }
+
+    #[test]
+    fn delta_v_sweep_degrades_at_low_bias() {
+        let w = workload();
+        let points = margin_vs_delta_v(
+            &w.patterns,
+            &probes(&w),
+            &[Volts(0.030), Volts(0.002)],
+            &AmmConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            points[1].margin <= points[0].margin + 1e-9,
+            "2 mV margin {} should not beat 30 mV margin {}",
+            points[1].margin,
+            points[0].margin
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Successive-approximation register logic (paper Fig. 10, first half).
+//!
+//! "To begin the conversion, the approximation register is initialized to
+//! the mid-scale (i.e., all but the most significant bit is set to 0). At
+//! every cycle a DAC produces an analog level corresponding to the digital
+//! value stored in the SAR and a comparator compares it with the analog
+//! input. If the comparator output is high, the current bit remains high,
+//! else it is turned low and the next lower bit is turned high."
+
+/// One SAR register: tracks the trial code through a conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarRegister {
+    bits: u32,
+    code: u32,
+    /// Bit currently under trial (counts down from `bits − 1`); `None`
+    /// after conversion completes.
+    trial_bit: Option<u32>,
+}
+
+impl SarRegister {
+    /// Starts a conversion: code = mid-scale (MSB set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 16` — register width is a static
+    /// design property, not runtime data.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "SAR width must be 1..=16 bits");
+        Self {
+            bits,
+            code: 1 << (bits - 1),
+            trial_bit: Some(bits - 1),
+        }
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The current (trial or final) code — what drives the DAC.
+    #[must_use]
+    pub fn code(&self) -> u32 {
+        self.code
+    }
+
+    /// The bit index currently under trial, or `None` when done.
+    #[must_use]
+    pub fn trial_bit(&self) -> Option<u32> {
+        self.trial_bit
+    }
+
+    /// `true` once all bits have been resolved.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.trial_bit.is_none()
+    }
+
+    /// Advances one conversion cycle with the comparator's decision for the
+    /// current trial code: `comparator_high == true` means *input ≥ DAC*,
+    /// so the trial bit is kept.
+    ///
+    /// Calling after completion is a no-op (hardware holds the result).
+    pub fn step(&mut self, comparator_high: bool) {
+        let Some(bit) = self.trial_bit else {
+            return;
+        };
+        if !comparator_high {
+            self.code &= !(1 << bit);
+        }
+        if bit == 0 {
+            self.trial_bit = None;
+        } else {
+            let next = bit - 1;
+            self.code |= 1 << next;
+            self.trial_bit = Some(next);
+        }
+    }
+
+    /// Runs a whole conversion against a comparator closure that receives
+    /// each trial code and returns "input ≥ DAC(code)". Returns the final
+    /// code.
+    pub fn convert(bits: u32, mut comparator: impl FnMut(u32) -> bool) -> u32 {
+        let mut sar = Self::new(bits);
+        while sar.trial_bit.is_some() {
+            let decision = comparator(sar.code);
+            sar.step(decision);
+        }
+        sar.code
+    }
+
+    /// Bit `index` of the current code (used by the winner-tracking logic,
+    /// which watches specific bit positions as they resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ bits`.
+    #[must_use]
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.bits, "bit index out of range");
+        self.code & (1 << index) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference conversion: ideal comparator against a quantized input.
+    fn ideal_convert(bits: u32, input: f64) -> u32 {
+        SarRegister::convert(bits, |code| input >= f64::from(code))
+    }
+
+    #[test]
+    fn starts_at_midscale() {
+        let sar = SarRegister::new(5);
+        assert_eq!(sar.code(), 16);
+        assert_eq!(sar.trial_bit(), Some(4));
+        assert!(!sar.is_done());
+    }
+
+    #[test]
+    fn converges_to_floor_of_input() {
+        for bits in 1..=8 {
+            let max = (1u32 << bits) - 1;
+            for k in 0..=max {
+                let input = f64::from(k) + 0.5;
+                assert_eq!(
+                    ideal_convert(bits, input),
+                    k,
+                    "bits={bits} input={input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_code_boundaries() {
+        // Input exactly equal to a code compares "high" and keeps it.
+        assert_eq!(ideal_convert(5, 16.0), 16);
+        assert_eq!(ideal_convert(5, 0.0), 0);
+        assert_eq!(ideal_convert(5, 31.0), 31);
+        // Overrange clips to full scale.
+        assert_eq!(ideal_convert(5, 100.0), 31);
+        // Negative input gives zero.
+        assert_eq!(ideal_convert(5, -3.0), 0);
+    }
+
+    #[test]
+    fn manual_stepping_matches_paper_narrative() {
+        // The paper's example: "if at least one of the SAR's (5-bit)
+        // evaluated to '11000' in the second conversion cycle" — i.e. after
+        // keeping the MSB, the trial code is 11000.
+        let mut sar = SarRegister::new(5);
+        assert_eq!(sar.code(), 0b10000);
+        sar.step(true); // MSB kept
+        assert_eq!(sar.code(), 0b11000);
+        sar.step(false); // second MSB dropped
+        assert_eq!(sar.code(), 0b10100);
+    }
+
+    #[test]
+    fn done_register_holds() {
+        let mut sar = SarRegister::new(2);
+        sar.step(true);
+        sar.step(true);
+        assert!(sar.is_done());
+        let code = sar.code();
+        sar.step(false);
+        assert_eq!(sar.code(), code);
+    }
+
+    #[test]
+    fn bit_accessor() {
+        let mut sar = SarRegister::new(5);
+        sar.step(true);
+        assert!(sar.bit(4));
+        assert!(sar.bit(3));
+        assert!(!sar.bit(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "SAR width")]
+    fn zero_width_panics() {
+        let _ = SarRegister::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index")]
+    fn bit_out_of_range_panics() {
+        let sar = SarRegister::new(3);
+        let _ = sar.bit(3);
+    }
+
+    #[test]
+    fn conversion_is_binary_search() {
+        // The sequence of trial codes is exactly a binary search.
+        let mut trials = Vec::new();
+        SarRegister::convert(4, |code| {
+            trials.push(code);
+            9.0 >= f64::from(code)
+        });
+        assert_eq!(trials, vec![8, 12, 10, 9]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the core algorithms: the SAR logic, the spin
+//! ADC and the parallel winner tracker must satisfy their contracts for
+//! *any* input, not just curated examples.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Amps, Seconds, Volts};
+use spinamm_cmos::Tech45;
+use spinamm_core::adc::SpinSarAdc;
+use spinamm_core::sar::SarRegister;
+use spinamm_core::wta::SpinWta;
+
+// ---------------------------------------------------------------------------
+// SAR register
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The SAR register implements exact binary search: for any ideal
+    /// comparator threshold, the final code is the floor of the input.
+    #[test]
+    fn sar_is_exact_binary_search(bits in 1u32..=12, input in -10.0..5000.0f64) {
+        let code = SarRegister::convert(bits, |trial| input >= f64::from(trial));
+        let max = f64::from((1u32 << bits) - 1);
+        let expected = input.floor().clamp(0.0, max);
+        prop_assert_eq!(f64::from(code), expected);
+    }
+
+    /// The register always terminates in exactly `bits` steps and the code
+    /// stays in range throughout.
+    #[test]
+    fn sar_terminates_in_bits_steps(bits in 1u32..=12, decisions in proptest::collection::vec(any::<bool>(), 12)) {
+        let mut sar = SarRegister::new(bits);
+        let mut steps = 0;
+        for &d in decisions.iter().take(bits as usize) {
+            prop_assert!(!sar.is_done());
+            prop_assert!(sar.code() < (1 << bits));
+            sar.step(d);
+            steps += 1;
+        }
+        prop_assert_eq!(steps, bits);
+        prop_assert!(sar.is_done());
+        prop_assert!(sar.code() < (1 << bits));
+    }
+
+    /// Monotonicity: a strictly larger input never produces a smaller code
+    /// under the same ideal comparator.
+    #[test]
+    fn sar_monotone(bits in 1u32..=10, a in 0.0..1000.0f64, delta in 0.0..100.0f64) {
+        let code = |x: f64| SarRegister::convert(bits, |trial| x >= f64::from(trial));
+        prop_assert!(code(a + delta) >= code(a));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spin SAR ADC
+// ---------------------------------------------------------------------------
+
+fn adc(bits: u32, seed: u64) -> SpinSarAdc {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SpinSarAdc::build(
+        bits,
+        Amps(1e-6),
+        Volts(0.030),
+        Seconds(10e-9),
+        &Tech45::DEFAULT,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any input inside the range, the converted code sits inside the
+    /// comparator's asymmetric error band: the 1-LSB dead zone only ever
+    /// pushes codes *down* (by at most 2 codes at a boundary), and DAC
+    /// mismatch adds a fraction of an LSB either way.
+    #[test]
+    fn adc_code_tracks_input(seed in 0u64..50, frac in 0.0..1.0f64) {
+        let a = adc(5, seed);
+        let lsb = a.nominal_full_scale().0 / 32.0;
+        let input = frac * 31.0 * lsb;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xff);
+        let code = a.convert(Amps(input), &mut rng).unwrap().code;
+        let expected = input / lsb;
+        let err = f64::from(code) - expected;
+        prop_assert!(
+            (-2.2..=0.7).contains(&err),
+            "input {expected:.2} LSB → code {code} (err {err:.2})"
+        );
+    }
+
+    /// Negative inputs always give code zero (the comparator never sees a
+    /// positive net current).
+    #[test]
+    fn adc_clamps_negative(seed in 0u64..20, mag in 0.0..1e-4f64) {
+        let a = adc(5, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert_eq!(a.convert(Amps(-mag), &mut rng).unwrap().code, 0);
+    }
+
+    /// The per-cycle trajectory is consistent: the final trajectory entry
+    /// equals the reported code, and every entry stays in range.
+    #[test]
+    fn adc_trajectory_consistent(seed in 0u64..20, frac in 0.0..1.2f64) {
+        let a = adc(5, seed);
+        let input = frac * a.nominal_full_scale().0;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xabc);
+        let out = a.convert(Amps(input), &mut rng).unwrap();
+        prop_assert_eq!(out.code_trajectory.len(), 5);
+        prop_assert_eq!(*out.code_trajectory.last().unwrap(), out.code);
+        for &c in &out.code_trajectory {
+            prop_assert!(c < 32);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Winner tracker
+// ---------------------------------------------------------------------------
+
+fn wta(cols: usize, seed: u64) -> SpinWta {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let adcs = (0..cols)
+        .map(|_| {
+            SpinSarAdc::build(
+                5,
+                Amps(1e-6),
+                Volts(0.030),
+                Seconds(10e-9),
+                &Tech45::DEFAULT,
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect();
+    SpinWta::new(adcs, Tech45::DEFAULT).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reported winner always carries the maximum code, and whenever
+    /// the hardware tracker singles out a column, it agrees with the scan.
+    #[test]
+    fn tracker_agrees_with_scan(
+        seed in 0u64..20,
+        fracs in proptest::collection::vec(0.0..1.0f64, 2..10),
+    ) {
+        let w = wta(fracs.len(), seed);
+        let fs = w.adcs()[0].nominal_full_scale().0;
+        let currents: Vec<Amps> = fracs.iter().map(|&f| Amps(f * fs)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x77);
+        let out = w.evaluate(&currents, &mut rng).unwrap();
+
+        let max_code = *out.codes.iter().max().unwrap();
+        prop_assert_eq!(out.dom, max_code);
+        prop_assert_eq!(out.codes[out.winner], max_code);
+
+        if let Some(t) = out.tracked_winner {
+            prop_assert_eq!(
+                out.codes[t], max_code,
+                "tracker singled out a non-maximal column"
+            );
+        }
+        // Every tracked column carries the max code when the max is above
+        // midscale (the tracker only latches MSB-high columns).
+        if max_code >= 16 {
+            for &t in &out.tracked {
+                prop_assert_eq!(out.codes[t], max_code);
+            }
+            prop_assert!(!out.tracked.is_empty(), "an MSB-high winner must be tracked");
+        }
+    }
+
+    /// Permuting the inputs permutes the winner accordingly (no positional
+    /// bias in the tracker; ties may resolve differently, so restrict to a
+    /// unique maximum with a wide margin).
+    #[test]
+    fn tracker_is_permutation_equivariant(
+        seed in 0u64..10,
+        n in 3usize..8,
+        winner_pos in 0usize..8,
+        rot in 0usize..8,
+    ) {
+        let winner_pos = winner_pos % n;
+        let rot = rot % n;
+        let w = wta(n, seed);
+        let fs = w.adcs()[0].nominal_full_scale().0;
+        // A clear winner and graded losers.
+        let base: Vec<f64> = (0..n).map(|k| 0.1 + 0.02 * k as f64).collect();
+        let mut fracs = base;
+        fracs[winner_pos] = 0.85;
+
+        let run = |fr: &[f64], seed2: u64| {
+            let currents: Vec<Amps> = fr.iter().map(|&f| Amps(f * fs)).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed2);
+            w.evaluate(&currents, &mut rng).unwrap().winner
+        };
+        prop_assert_eq!(run(&fracs, 1), winner_pos);
+
+        let mut rotated = fracs.clone();
+        rotated.rotate_left(rot);
+        let expected = (winner_pos + n - rot) % n;
+        prop_assert_eq!(run(&rotated, 2), expected);
+    }
+}

@@ -1,0 +1,563 @@
+//! The memristor array: storage, programming and ideal evaluation.
+
+use crate::drive::RowDrive;
+use crate::CrossbarError;
+use rand::Rng;
+use spinamm_circuit::units::{Amps, Siemens, Volts, Watts};
+use spinamm_memristor::{DeviceLimits, LevelMap, Memristor, WriteReport, WriteScheme};
+
+/// A `rows × cols` crossbar of memristors, plus one optional *dummy*
+/// conductance per row.
+///
+/// Patterns live in columns: column `j` stores one template, and the current
+/// leaving column `j` is the correlation of the input vector with that
+/// template. The dummy conductances implement the paper's G_TS equalization:
+/// "dummy memristors are added for each horizontal input bar such that G_ST
+/// is equal for all horizontal bars", which makes every DTCS DAC see the same
+/// load regardless of the stored data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    limits: DeviceLimits,
+    cells: Vec<Memristor>,
+    dummy: Vec<Siemens>,
+}
+
+impl CrossbarArray {
+    /// Creates an array with every cell in the off state and no dummies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidParameter`] if either dimension is
+    /// zero.
+    pub fn new(rows: usize, cols: usize, limits: DeviceLimits) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::InvalidParameter {
+                what: "crossbar dimensions must be non-zero",
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            limits,
+            cells: vec![Memristor::new(limits); rows * cols],
+            dummy: vec![Siemens::ZERO; rows],
+        })
+    }
+
+    /// Number of rows (input dimension).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (stored patterns).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device window of the cells.
+    #[must_use]
+    pub fn limits(&self) -> DeviceLimits {
+        self.limits
+    }
+
+    fn check(&self, row: usize, col: usize) -> Result<usize, CrossbarError> {
+        if row < self.rows && col < self.cols {
+            Ok(row * self.cols + col)
+        } else {
+            Err(CrossbarError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            })
+        }
+    }
+
+    /// The cell at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index.
+    pub fn cell(&self, row: usize, col: usize) -> Result<&Memristor, CrossbarError> {
+        Ok(&self.cells[self.check(row, col)?])
+    }
+
+    /// The programmed conductance at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index.
+    pub fn conductance(&self, row: usize, col: usize) -> Result<Siemens, CrossbarError> {
+        Ok(self.cells[self.check(row, col)?].conductance())
+    }
+
+    /// Exactly sets one cell's conductance (idealized write; real writes go
+    /// through [`CrossbarArray::program_conductance`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index or a
+    /// device error if `g` is outside the programmable window.
+    pub fn set_conductance(
+        &mut self,
+        row: usize,
+        col: usize,
+        g: Siemens,
+    ) -> Result<(), CrossbarError> {
+        let idx = self.check(row, col)?;
+        self.cells[idx].set_conductance(g)?;
+        Ok(())
+    }
+
+    /// Programs one cell to a target conductance with a realistic
+    /// program-and-verify write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index or a
+    /// device error for an unreachable target.
+    pub fn program_conductance<R: Rng + ?Sized>(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: Siemens,
+        scheme: &WriteScheme,
+        rng: &mut R,
+    ) -> Result<WriteReport, CrossbarError> {
+        let idx = self.check(row, col)?;
+        Ok(self.cells[idx].program(target, scheme, rng)?)
+    }
+
+    /// Programs one cell to a digital level under a [`LevelMap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index or a
+    /// device error for a bad level.
+    pub fn program_level<R: Rng + ?Sized>(
+        &mut self,
+        row: usize,
+        col: usize,
+        level: u32,
+        map: &LevelMap,
+        scheme: &WriteScheme,
+        rng: &mut R,
+    ) -> Result<WriteReport, CrossbarError> {
+        let target = map.conductance(level)?;
+        self.program_conductance(row, col, target, scheme, rng)
+    }
+
+    /// Programs a whole column (one stored pattern) from digital levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `levels.len()`
+    /// differs from the row count, plus any per-cell error.
+    pub fn program_pattern<R: Rng + ?Sized>(
+        &mut self,
+        col: usize,
+        levels: &[u32],
+        map: &LevelMap,
+        scheme: &WriteScheme,
+        rng: &mut R,
+    ) -> Result<WriteReport, CrossbarError> {
+        if levels.len() != self.rows {
+            return Err(CrossbarError::InputLengthMismatch {
+                expected: self.rows,
+                found: levels.len(),
+            });
+        }
+        let mut pulses = 0;
+        let mut energy = spinamm_circuit::units::Joules::ZERO;
+        for (row, &level) in levels.iter().enumerate() {
+            let rep = self.program_level(row, col, level, map, scheme, rng)?;
+            pulses += rep.pulses;
+            energy += rep.energy;
+        }
+        Ok(WriteReport {
+            pulses,
+            energy,
+            relative_error: 0.0,
+        })
+    }
+
+    /// Total memristor conductance hanging on row `i` (stored cells only,
+    /// excluding the dummy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn row_cell_conductance(&self, row: usize) -> Result<Siemens, CrossbarError> {
+        self.check(row, 0)?;
+        Ok(Siemens(
+            (0..self.cols)
+                .map(|j| self.cells[row * self.cols + j].conductance().0)
+                .sum(),
+        ))
+    }
+
+    /// Total load on row `i` including its dummy conductance — the paper's
+    /// per-row `G_TS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn row_total_conductance(&self, row: usize) -> Result<Siemens, CrossbarError> {
+        Ok(Siemens(
+            self.row_cell_conductance(row)?.0 + self.dummy[row].0,
+        ))
+    }
+
+    /// The dummy conductance attached to row `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn dummy_conductance(&self, row: usize) -> Result<Siemens, CrossbarError> {
+        self.check(row, 0)?;
+        Ok(self.dummy[row])
+    }
+
+    /// Sizes the per-row dummy conductances so every row's total load equals
+    /// `target` (defaulting to `cols × g_max`, the largest load any pattern
+    /// could present). Returns the target used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidParameter`] if some row already
+    /// exceeds the target (the dummy cannot be negative).
+    pub fn equalize_rows(&mut self, target: Option<Siemens>) -> Result<Siemens, CrossbarError> {
+        let target =
+            target.unwrap_or(Siemens(self.limits.g_max().0 * self.cols as f64));
+        let mut dummies = Vec::with_capacity(self.rows);
+        for row in 0..self.rows {
+            let have = self.row_cell_conductance(row)?;
+            if have.0 > target.0 * (1.0 + 1e-12) {
+                return Err(CrossbarError::InvalidParameter {
+                    what: "row conductance already exceeds equalization target",
+                });
+            }
+            dummies.push(Siemens((target.0 - have.0).max(0.0)));
+        }
+        self.dummy = dummies;
+        Ok(target)
+    }
+
+    /// Removes all dummy conductances.
+    pub fn clear_dummies(&mut self) {
+        self.dummy = vec![Siemens::ZERO; self.rows];
+    }
+
+    /// Ages every cell by `elapsed` under a drift model (the dummies are
+    /// passive loads and are re-equalized afterwards so `G_TS` stays
+    /// uniform — a refresh controller would re-trim them the same way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates equalization errors (cannot occur: drift only lowers row
+    /// conductance).
+    pub fn age<R: Rng + ?Sized>(
+        &mut self,
+        elapsed: spinamm_circuit::units::Seconds,
+        model: &spinamm_memristor::DriftModel,
+        rng: &mut R,
+    ) -> Result<(), CrossbarError> {
+        for cell in &mut self.cells {
+            cell.age(elapsed, model, rng);
+        }
+        // Preserve the previous equalization target if any dummy was set.
+        let had_dummies = self.dummy.iter().any(|d| d.0 > 0.0);
+        if had_dummies {
+            self.equalize_rows(None)?;
+        }
+        Ok(())
+    }
+
+    /// The stored conductance matrix as nested vectors (row-major), useful
+    /// for diagnostics and for building reference computations.
+    #[must_use]
+    pub fn conductance_matrix(&self) -> Vec<Vec<Siemens>> {
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self.cells[i * self.cols + j].conductance())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Ideal (zero wire resistance, perfectly clamped columns) column
+    /// currents for rows held at the given voltages: `I_j = Σᵢ vᵢ·gᵢⱼ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `row_voltages.len()`
+    /// differs from the row count.
+    pub fn ideal_column_currents(
+        &self,
+        row_voltages: &[Volts],
+    ) -> Result<Vec<Amps>, CrossbarError> {
+        if row_voltages.len() != self.rows {
+            return Err(CrossbarError::InputLengthMismatch {
+                expected: self.rows,
+                found: row_voltages.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, v) in row_voltages.iter().enumerate() {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += v.0 * self.cells[i * self.cols + j].conductance().0;
+            }
+        }
+        Ok(out.into_iter().map(Amps).collect())
+    }
+
+    /// Ideal column currents when the rows are excited through
+    /// [`RowDrive`]s: each row input settles at the voltage set by its drive
+    /// against the row's total load (`G_TS`, including the dummy), and the
+    /// columns then split that row current in proportion to conductance.
+    ///
+    /// This captures the DTCS-DAC loading non-linearity (Fig. 8b) but not
+    /// wire IR drops — for those use
+    /// [`crate::parasitic::ParasiticCrossbar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `drives.len()`
+    /// differs from the row count.
+    pub fn driven_column_currents(
+        &self,
+        drives: &[RowDrive],
+    ) -> Result<Vec<Amps>, CrossbarError> {
+        let voltages = self.driven_row_voltages(drives)?;
+        self.ideal_column_currents(&voltages)
+    }
+
+    /// The row input voltages produced by the given drives against each
+    /// row's total load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `drives.len()`
+    /// differs from the row count.
+    pub fn driven_row_voltages(&self, drives: &[RowDrive]) -> Result<Vec<Volts>, CrossbarError> {
+        if drives.len() != self.rows {
+            return Err(CrossbarError::InputLengthMismatch {
+                expected: self.rows,
+                found: drives.len(),
+            });
+        }
+        (0..self.rows)
+            .map(|i| {
+                let load = self.row_total_conductance(i)?;
+                Ok(drives[i].input_voltage(load))
+            })
+            .collect()
+    }
+
+    /// Static power burned in the array (cells + dummies) under the given
+    /// drives, in the ideal (no-wire-resistance) picture: `Σᵢ vᵢ²·G_TS(i)`.
+    ///
+    /// This is the quantity the paper minimizes by pushing `ΔV` down to
+    /// ~30 mV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `drives.len()`
+    /// differs from the row count.
+    pub fn ideal_static_power(&self, drives: &[RowDrive]) -> Result<Watts, CrossbarError> {
+        let voltages = self.driven_row_voltages(drives)?;
+        let mut p = 0.0;
+        for (i, v) in voltages.iter().enumerate() {
+            p += v.0 * v.0 * self.row_total_conductance(i)?.0;
+        }
+        Ok(Watts(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_array() -> CrossbarArray {
+        CrossbarArray::new(3, 2, DeviceLimits::PAPER).unwrap()
+    }
+
+    #[test]
+    fn construction_and_bounds() {
+        assert!(CrossbarArray::new(0, 4, DeviceLimits::PAPER).is_err());
+        assert!(CrossbarArray::new(4, 0, DeviceLimits::PAPER).is_err());
+        let a = small_array();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 2);
+        assert!(a.cell(3, 0).is_err());
+        assert!(a.cell(0, 2).is_err());
+        assert!(a.cell(2, 1).is_ok());
+        assert_eq!(a.limits(), DeviceLimits::PAPER);
+    }
+
+    #[test]
+    fn fresh_array_is_off() {
+        let a = small_array();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(a.conductance(i, j).unwrap(), DeviceLimits::PAPER.g_min());
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_get_conductance() {
+        let mut a = small_array();
+        a.set_conductance(1, 1, Siemens(5e-4)).unwrap();
+        assert_eq!(a.conductance(1, 1).unwrap(), Siemens(5e-4));
+        assert!(a.set_conductance(1, 1, Siemens(1.0)).is_err());
+        assert!(a.set_conductance(9, 0, Siemens(5e-4)).is_err());
+    }
+
+    #[test]
+    fn program_pattern_writes_column() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let scheme = WriteScheme::paper();
+        let mut a = small_array();
+        a.program_pattern(0, &[0, 16, 31], &map, &scheme, &mut rng)
+            .unwrap();
+        // Level 0 ≈ g_min, level 31 ≈ g_max, each within the write band.
+        let g0 = a.conductance(0, 0).unwrap().0;
+        let g2 = a.conductance(2, 0).unwrap().0;
+        assert!((g0 - DeviceLimits::PAPER.g_min().0).abs() / DeviceLimits::PAPER.g_min().0 < 0.04);
+        assert!((g2 - DeviceLimits::PAPER.g_max().0).abs() / DeviceLimits::PAPER.g_max().0 < 0.04);
+        // Column 1 untouched.
+        assert_eq!(a.conductance(0, 1).unwrap(), DeviceLimits::PAPER.g_min());
+        // Wrong length rejected.
+        assert!(matches!(
+            a.program_pattern(1, &[1, 2], &map, &scheme, &mut rng),
+            Err(CrossbarError::InputLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors the matrix literal
+    fn ideal_dot_product_matches_manual() {
+        let mut a = small_array();
+        let g = [[2e-4, 3e-4], [4e-4, 5e-4], [6e-4, 7e-4]];
+        for i in 0..3 {
+            for j in 0..2 {
+                a.set_conductance(i, j, Siemens(g[i][j])).unwrap();
+            }
+        }
+        let v = [Volts(0.01), Volts(0.02), Volts(0.03)];
+        let out = a.ideal_column_currents(&v).unwrap();
+        let expect0 = 0.01 * 2e-4 + 0.02 * 4e-4 + 0.03 * 6e-4;
+        let expect1 = 0.01 * 3e-4 + 0.02 * 5e-4 + 0.03 * 7e-4;
+        assert!((out[0].0 - expect0).abs() < 1e-15);
+        assert!((out[1].0 - expect1).abs() < 1e-15);
+        assert!(a.ideal_column_currents(&v[..2]).is_err());
+    }
+
+    #[test]
+    fn equalize_rows_levels_loads() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let scheme = WriteScheme::paper();
+        let mut a = CrossbarArray::new(4, 3, DeviceLimits::PAPER).unwrap();
+        for j in 0..3 {
+            let levels: Vec<u32> = (0..4).map(|i| (i as u32 * 7 + j as u32 * 3) % 32).collect();
+            a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        }
+        let target = a.equalize_rows(None).unwrap();
+        assert!((target.0 - 3.0 * DeviceLimits::PAPER.g_max().0).abs() < 1e-15);
+        for i in 0..4 {
+            assert!(
+                (a.row_total_conductance(i).unwrap().0 - target.0).abs() < 1e-12,
+                "row {i} not equalized"
+            );
+            assert!(a.dummy_conductance(i).unwrap().0 >= 0.0);
+        }
+        a.clear_dummies();
+        assert_eq!(a.dummy_conductance(0).unwrap(), Siemens::ZERO);
+    }
+
+    #[test]
+    fn equalize_rejects_too_small_target() {
+        let mut a = small_array();
+        a.set_conductance(0, 0, Siemens(1e-3)).unwrap();
+        a.set_conductance(0, 1, Siemens(1e-3)).unwrap();
+        assert!(a.equalize_rows(Some(Siemens(1e-3))).is_err());
+    }
+
+    #[test]
+    fn driven_currents_reduce_to_ideal_for_voltage_drives() {
+        let mut a = small_array();
+        a.set_conductance(0, 0, Siemens(4e-4)).unwrap();
+        a.set_conductance(2, 1, Siemens(8e-4)).unwrap();
+        let v = [Volts(0.03); 3];
+        let drives = [RowDrive::Voltage(Volts(0.03)); 3];
+        let ideal = a.ideal_column_currents(&v).unwrap();
+        let driven = a.driven_column_currents(&drives).unwrap();
+        for (x, y) in ideal.iter().zip(&driven) {
+            assert!((x.0 - y.0).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn dtcs_linearity_improves_with_high_gts() {
+        // Fig. 8b: the column current should be ∝ G_T (the DAC code). With
+        // G_TS ≫ G_T the transfer is nearly linear; with G_TS ≲ G_T it
+        // compresses. Measure end-point non-linearity of I(G_T) for a row
+        // with low cell conductance, with and without a big dummy load.
+        let dv = Volts(0.03);
+        let nonlinearity = |array: &CrossbarArray| -> f64 {
+            // Compare I at full-scale code vs 2 × I at half-scale code; a
+            // perfectly linear DAC gives ratio 2.
+            let drive = |g| RowDrive::SourceConductance { g: Siemens(g), supply: dv };
+            let i_half = array.driven_column_currents(&[drive(2.5e-4)]).unwrap()[0].0;
+            let i_full = array.driven_column_currents(&[drive(5e-4)]).unwrap()[0].0;
+            (2.0 - i_full / i_half).abs()
+        };
+
+        let mut low_gts = CrossbarArray::new(1, 2, DeviceLimits::PAPER).unwrap();
+        low_gts.set_conductance(0, 0, Siemens(3.2e-5)).unwrap();
+        low_gts.set_conductance(0, 1, Siemens(3.2e-5)).unwrap();
+
+        let mut high_gts = low_gts.clone();
+        high_gts.equalize_rows(Some(Siemens(5e-3))).unwrap();
+
+        let nl_low = nonlinearity(&low_gts);
+        let nl_high = nonlinearity(&high_gts);
+        assert!(
+            nl_high < nl_low / 5.0,
+            "high G_TS must be far more linear: {nl_high} vs {nl_low}"
+        );
+    }
+
+    #[test]
+    fn static_power_scales_with_voltage_squared() {
+        let mut a = small_array();
+        a.equalize_rows(None).unwrap();
+        let p1 = a
+            .ideal_static_power(&[RowDrive::Voltage(Volts(0.03)); 3])
+            .unwrap();
+        let p2 = a
+            .ideal_static_power(&[RowDrive::Voltage(Volts(0.06)); 3])
+            .unwrap();
+        assert!((p2.0 / p1.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conductance_matrix_snapshot() {
+        let mut a = small_array();
+        a.set_conductance(1, 0, Siemens(2e-4)).unwrap();
+        let m = a.conductance_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[1][0], Siemens(2e-4));
+    }
+}

@@ -1,0 +1,178 @@
+//! Row drive specifications.
+//!
+//! How a crossbar row is excited matters as much as what is stored in it.
+//! The paper drives rows through deep-triode current-source (DTCS) DACs: a
+//! data-dependent conductance `G_T(i)` tied to the `V + ΔV` rail, in series
+//! with the row. Because the row's total memristor conductance `G_TS` loads
+//! the DAC, the delivered current is `ΔV·G_T·G_TS/(G_T + G_TS)` — the
+//! non-linear characteristic of Fig. 8b. [`RowDrive::SourceConductance`]
+//! models exactly that; the idealized alternatives are also provided.
+
+use spinamm_circuit::units::{Amps, Siemens, Volts};
+
+/// Excitation applied to one crossbar row (relative to the column clamp
+/// potential, so a `Voltage(ΔV)` drive puts `ΔV` across an unloaded cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowDrive {
+    /// Ideal voltage source at the row input.
+    Voltage(Volts),
+    /// Ideal current source injected into the row input.
+    Current(Amps),
+    /// A source conductance `g` from the supply rail at `supply` to the row
+    /// input — the paper's DTCS DAC in deep triode. The delivered current
+    /// depends on the row's load, which is what creates the Fig. 8b
+    /// non-linearity.
+    SourceConductance {
+        /// DAC conductance `G_T` (data dependent).
+        g: Siemens,
+        /// Supply rail voltage (the paper's `ΔV` above the column clamp).
+        supply: Volts,
+    },
+}
+
+impl RowDrive {
+    /// The current this drive would deliver into a *perfect virtual ground*
+    /// (zero row resistance, columns clamped): the paper's first-order
+    /// current `ΔV·G_T` for a source conductance, the source value for a
+    /// current drive, and unbounded (returned as `None`) for an ideal
+    /// voltage drive, whose short-circuit current depends on the load.
+    #[must_use]
+    pub fn short_circuit_current(&self) -> Option<Amps> {
+        match *self {
+            RowDrive::Voltage(_) => None,
+            RowDrive::Current(i) => Some(i),
+            RowDrive::SourceConductance { g, supply } => Some(supply * g),
+        }
+    }
+
+    /// The current delivered into a purely resistive load of conductance
+    /// `load` (used by the ideal, zero-wire-resistance evaluation):
+    ///
+    /// * voltage drive: `V · load`,
+    /// * current drive: the source value (independent of load),
+    /// * source conductance: `supply · g·load/(g + load)` — the paper's
+    ///   DTCS formula `ΔV·G_T·G_TS/(G_T + G_TS)`.
+    #[must_use]
+    pub fn current_into(&self, load: Siemens) -> Amps {
+        match *self {
+            RowDrive::Voltage(v) => v * load,
+            RowDrive::Current(i) => i,
+            RowDrive::SourceConductance { g, supply } => supply * g.series(load),
+        }
+    }
+
+    /// The voltage developed at the row input when driving a load of
+    /// conductance `load` (relative to the column clamp).
+    #[must_use]
+    pub fn input_voltage(&self, load: Siemens) -> Volts {
+        match *self {
+            RowDrive::Voltage(v) => v,
+            RowDrive::Current(i) => {
+                if load.0 == 0.0 {
+                    Volts(f64::INFINITY)
+                } else {
+                    Volts(i.0 / load.0)
+                }
+            }
+            RowDrive::SourceConductance { .. } => {
+                let i = self.current_into(load);
+                if load.0 == 0.0 {
+                    match *self {
+                        RowDrive::SourceConductance { supply, .. } => supply,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    Volts(i.0 / load.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_drive_is_linear_in_load() {
+        let d = RowDrive::Voltage(Volts(0.03));
+        let i1 = d.current_into(Siemens(1e-3));
+        let i2 = d.current_into(Siemens(2e-3));
+        assert!((i2.0 - 2.0 * i1.0).abs() < 1e-15);
+        assert!(d.short_circuit_current().is_none());
+    }
+
+    #[test]
+    fn current_drive_ignores_load() {
+        let d = RowDrive::Current(Amps(5e-6));
+        assert_eq!(d.current_into(Siemens(1e-3)), Amps(5e-6));
+        assert_eq!(d.current_into(Siemens(1.0)), Amps(5e-6));
+        assert_eq!(d.short_circuit_current(), Some(Amps(5e-6)));
+    }
+
+    #[test]
+    fn dtcs_matches_paper_formula() {
+        // I = ΔV·G_T·G_TS/(G_T + G_TS)
+        let g_t = Siemens(4e-4);
+        let g_ts = Siemens(1.2e-3);
+        let dv = Volts(0.03);
+        let d = RowDrive::SourceConductance { g: g_t, supply: dv };
+        let expect = dv.0 * g_t.0 * g_ts.0 / (g_t.0 + g_ts.0);
+        assert!((d.current_into(g_ts).0 - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dtcs_saturates_for_small_load() {
+        // When the load conductance is far below G_T, the delivered current
+        // approaches ΔV·G_TS (load-limited) — sub-linear in G_T: this is the
+        // Fig. 8b compression.
+        let dv = Volts(0.03);
+        let load = Siemens(1e-5);
+        let lo = RowDrive::SourceConductance { g: Siemens(1e-4), supply: dv };
+        let hi = RowDrive::SourceConductance { g: Siemens(1e-3), supply: dv };
+        let (i_lo, i_hi) = (lo.current_into(load).0, hi.current_into(load).0);
+        // 10× the DAC conductance produces much less than 10× the current.
+        assert!(i_hi < 2.0 * i_lo, "i_hi {i_hi} vs i_lo {i_lo}");
+    }
+
+    #[test]
+    fn dtcs_linear_for_large_load() {
+        // When the load dominates (G_TS ≫ G_T), current ≈ ΔV·G_T: linear in
+        // the DAC code — the regime the paper designs for.
+        let dv = Volts(0.03);
+        let load = Siemens(1e-1);
+        let lo = RowDrive::SourceConductance { g: Siemens(1e-4), supply: dv };
+        let hi = RowDrive::SourceConductance { g: Siemens(1e-3), supply: dv };
+        let ratio = hi.current_into(load).0 / lo.current_into(load).0;
+        assert!((ratio - 10.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn short_circuit_current_of_dtcs() {
+        let d = RowDrive::SourceConductance {
+            g: Siemens(2e-4),
+            supply: Volts(0.03),
+        };
+        assert!((d.short_circuit_current().unwrap().0 - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn input_voltage_behaviour() {
+        assert_eq!(
+            RowDrive::Voltage(Volts(0.5)).input_voltage(Siemens(1.0)),
+            Volts(0.5)
+        );
+        let i = RowDrive::Current(Amps(1e-3));
+        assert!((i.input_voltage(Siemens(1e-3)).0 - 1.0).abs() < 1e-12);
+        assert!(i.input_voltage(Siemens(0.0)).0.is_infinite());
+        // DTCS into open circuit floats to the supply rail.
+        let d = RowDrive::SourceConductance {
+            g: Siemens(1e-4),
+            supply: Volts(0.03),
+        };
+        assert_eq!(d.input_voltage(Siemens(0.0)), Volts(0.03));
+        // DTCS into a load divides the rail.
+        let v = d.input_voltage(Siemens(1e-4));
+        assert!((v.0 - 0.015).abs() < 1e-12);
+    }
+}

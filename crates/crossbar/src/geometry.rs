@@ -1,0 +1,147 @@
+//! Physical geometry and wiring parameters of the crossbar.
+
+use crate::CrossbarError;
+use spinamm_circuit::units::{Farads, Micrometers, Ohms};
+
+/// Physical description of the crossbar wiring: cell pitch and per-length Cu
+/// parasitics. The paper's Table 2 lists 1 Ω/µm and 0.4 fF/µm for Cu bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarGeometry {
+    /// Centre-to-centre spacing of adjacent cells along a bar.
+    pub pitch: Micrometers,
+    /// Wire resistance per micrometre.
+    pub wire_resistance_per_um: Ohms,
+    /// Wire capacitance per micrometre (enters dynamic-energy accounting,
+    /// not the DC solve).
+    pub wire_capacitance_per_um: Farads,
+}
+
+impl CrossbarGeometry {
+    /// The paper's Cu crossbar: 1 Ω/µm, 0.4 fF/µm, and a 0.1 µm cell pitch
+    /// typical of dense nano-crossbars (the paper's arrays are built on
+    /// nano-scale Ag-Si cells \[6\]).
+    pub const PAPER: CrossbarGeometry = CrossbarGeometry {
+        pitch: Micrometers(0.1),
+        wire_resistance_per_um: Ohms(1.0),
+        wire_capacitance_per_um: Farads(0.4e-15),
+    };
+
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidParameter`] unless the pitch is
+    /// positive and the per-length parasitics are non-negative (all finite).
+    pub fn new(
+        pitch: Micrometers,
+        wire_resistance_per_um: Ohms,
+        wire_capacitance_per_um: Farads,
+    ) -> Result<Self, CrossbarError> {
+        if !(pitch.0.is_finite() && pitch.0 > 0.0) {
+            return Err(CrossbarError::InvalidParameter {
+                what: "pitch must be finite and positive",
+            });
+        }
+        if !(wire_resistance_per_um.0.is_finite() && wire_resistance_per_um.0 >= 0.0) {
+            return Err(CrossbarError::InvalidParameter {
+                what: "wire resistance per µm must be finite and non-negative",
+            });
+        }
+        if !(wire_capacitance_per_um.0.is_finite() && wire_capacitance_per_um.0 >= 0.0) {
+            return Err(CrossbarError::InvalidParameter {
+                what: "wire capacitance per µm must be finite and non-negative",
+            });
+        }
+        Ok(Self {
+            pitch,
+            wire_resistance_per_um,
+            wire_capacitance_per_um,
+        })
+    }
+
+    /// An idealized geometry with zero wire parasitics (for reference
+    /// solves; the parasitic netlist then reproduces the ideal dot product —
+    /// a property the tests rely on).
+    #[must_use]
+    pub fn lossless() -> Self {
+        Self {
+            pitch: Micrometers(0.1),
+            wire_resistance_per_um: Ohms(0.0),
+            wire_capacitance_per_um: Farads(0.0),
+        }
+    }
+
+    /// Resistance of one cell-to-cell wire segment.
+    #[must_use]
+    pub fn segment_resistance(&self) -> Ohms {
+        Ohms(self.wire_resistance_per_um.0 * self.pitch.0)
+    }
+
+    /// Capacitance of one cell-to-cell wire segment.
+    #[must_use]
+    pub fn segment_capacitance(&self) -> Farads {
+        Farads(self.wire_capacitance_per_um.0 * self.pitch.0)
+    }
+
+    /// Total resistance of a bar spanning `cells` cell pitches.
+    #[must_use]
+    pub fn bar_resistance(&self, cells: usize) -> Ohms {
+        Ohms(self.segment_resistance().0 * cells as f64)
+    }
+
+    /// Total capacitance of a bar spanning `cells` cell pitches — used for
+    /// switched-capacitance dynamic energy of charging/discharging the bars.
+    #[must_use]
+    pub fn bar_capacitance(&self, cells: usize) -> Farads {
+        Farads(self.segment_capacitance().0 * cells as f64)
+    }
+}
+
+impl Default for CrossbarGeometry {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_values() {
+        let g = CrossbarGeometry::PAPER;
+        assert_eq!(g.wire_resistance_per_um, Ohms(1.0));
+        assert_eq!(g.wire_capacitance_per_um, Farads(0.4e-15));
+        assert!((g.segment_resistance().0 - 0.1).abs() < 1e-12);
+        assert!((g.segment_capacitance().0 - 0.04e-15).abs() < 1e-30);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(CrossbarGeometry::default(), CrossbarGeometry::PAPER);
+    }
+
+    #[test]
+    fn bar_totals_scale_linearly() {
+        let g = CrossbarGeometry::PAPER;
+        // A 128-row column bar spans 128 pitches = 12.8 µm → 12.8 Ω.
+        assert!((g.bar_resistance(128).0 - 12.8).abs() < 1e-9);
+        assert!((g.bar_capacitance(128).0 - 128.0 * 0.04e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn lossless_has_zero_parasitics() {
+        let g = CrossbarGeometry::lossless();
+        assert_eq!(g.segment_resistance(), Ohms(0.0));
+        assert_eq!(g.segment_capacitance(), Farads(0.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CrossbarGeometry::new(Micrometers(0.0), Ohms(1.0), Farads(0.0)).is_err());
+        assert!(CrossbarGeometry::new(Micrometers(0.1), Ohms(-1.0), Farads(0.0)).is_err());
+        assert!(CrossbarGeometry::new(Micrometers(0.1), Ohms(1.0), Farads(-1e-15)).is_err());
+        assert!(CrossbarGeometry::new(Micrometers(f64::NAN), Ohms(1.0), Farads(0.0)).is_err());
+        assert!(CrossbarGeometry::new(Micrometers(0.2), Ohms(2.0), Farads(1e-15)).is_ok());
+    }
+}

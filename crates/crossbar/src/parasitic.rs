@@ -1,0 +1,445 @@
+//! Full nodal-analysis crossbar model with wire parasitics.
+//!
+//! Every cell-to-cell span of a row or column bar becomes a resistor of
+//! `geometry.segment_resistance()`; memristors sit at the crossings; the
+//! rows are excited at one end through [`RowDrive`]s and the columns are
+//! clamped at the opposite end (the paper's DWN inputs, "effectively
+//! clamped" at the supply `V`, here taken as the 0 V reference).
+//!
+//! The resulting network reproduces the two signal-corruption mechanisms the
+//! paper trades off in Fig. 9:
+//!
+//! * for *high* memristor conductances, IR drops along the bars corrupt the
+//!   dot product, and
+//! * for *low* conductances (low `G_TS`), the DTCS source conductance makes
+//!   the delivered current a compressive function of the DAC code
+//!   (Fig. 8b).
+
+use crate::array::CrossbarArray;
+use crate::drive::RowDrive;
+use crate::geometry::CrossbarGeometry;
+use crate::CrossbarError;
+use spinamm_circuit::prelude::*;
+use spinamm_circuit::ElementId;
+use spinamm_circuit::units::{Amps, Watts};
+
+/// Result of one parasitic crossbar evaluation.
+#[derive(Debug, Clone)]
+pub struct ColumnReadout {
+    /// Current absorbed by each column clamp — the dot-product outputs.
+    pub column_currents: Vec<Amps>,
+    /// Voltage at each row's input end (diagnostic for drive loading).
+    pub row_input_voltages: Vec<Volts>,
+    /// Total power dissipated in the network (cells, dummies and wires).
+    pub dissipated_power: Watts,
+    /// Number of circuit nodes in the solved netlist.
+    pub node_count: usize,
+}
+
+/// Crossbar evaluator that builds and solves the full parasitic netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParasiticCrossbar {
+    /// Wiring geometry (segment resistances).
+    pub geometry: CrossbarGeometry,
+    /// Solver selection forwarded to [`spinamm_circuit`].
+    pub method: SolveMethod,
+}
+
+impl ParasiticCrossbar {
+    /// Creates an evaluator with the paper's Cu geometry and automatic
+    /// solver selection.
+    #[must_use]
+    pub fn new(geometry: CrossbarGeometry) -> Self {
+        Self {
+            geometry,
+            method: SolveMethod::Auto,
+        }
+    }
+
+    /// Evaluates the array under the given row drives, with the column
+    /// output ends clamped at the 0 V reference (the DWN clamp potential;
+    /// drives are specified relative to it).
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::InputLengthMismatch`] if `drives.len()` differs
+    ///   from the row count.
+    /// * [`CrossbarError::Circuit`] if the netlist solve fails.
+    pub fn evaluate(
+        &self,
+        array: &CrossbarArray,
+        drives: &[RowDrive],
+    ) -> Result<ColumnReadout, CrossbarError> {
+        let built = self.build_network(array, drives, false)?;
+        let net = built.net;
+        let sol = net.solve_dc_with(self.method)?;
+
+        // Column output current = current flowing *into* the clamp from the
+        // network = −(current delivered by the clamp).
+        let column_currents = built
+            .clamp_ids
+            .iter()
+            .map(|&id| Amps(-sol.current(id).0))
+            .collect();
+        let row_input_voltages = built
+            .row_inputs
+            .iter()
+            .map(|&n| sol.voltage(n))
+            .collect();
+        let dissipated_power = sol.dissipated_power(&net);
+
+        Ok(ColumnReadout {
+            column_currents,
+            row_input_voltages,
+            dissipated_power,
+            node_count: net.node_count(),
+        })
+    }
+
+    /// Builds the crossbar netlist. With `with_capacitance`, every wire
+    /// segment also contributes its capacitance to ground (lumped at the
+    /// crossing nodes), enabling transient settling studies.
+    #[allow(clippy::needless_range_loop)] // (i, j) grid indexing mirrors the array layout
+    pub(crate) fn build_network(
+        &self,
+        array: &CrossbarArray,
+        drives: &[RowDrive],
+        with_capacitance: bool,
+    ) -> Result<BuiltNetwork, CrossbarError> {
+        if drives.len() != array.rows() {
+            return Err(CrossbarError::InputLengthMismatch {
+                expected: array.rows(),
+                found: drives.len(),
+            });
+        }
+        let rows = array.rows();
+        let cols = array.cols();
+        let r_seg = self.geometry.segment_resistance();
+        let lossless = r_seg.0 == 0.0;
+
+        let mut net = Netlist::new();
+
+        // Node layout. Lossless wires collapse each bar to a single node.
+        let row_node: Vec<Vec<NodeId>>;
+        let col_node: Vec<Vec<NodeId>>;
+        if lossless {
+            let r: Vec<NodeId> = (0..rows).map(|i| net.node(format!("row{i}"))).collect();
+            let c: Vec<NodeId> = (0..cols).map(|j| net.node(format!("col{j}"))).collect();
+            row_node = (0..rows).map(|i| vec![r[i]; cols]).collect();
+            col_node = (0..rows).map(|_| c.clone()).collect();
+        } else {
+            row_node = (0..rows)
+                .map(|i| (0..cols).map(|j| net.node(format!("r{i}_{j}"))).collect())
+                .collect();
+            col_node = (0..rows)
+                .map(|i| (0..cols).map(|j| net.node(format!("c{i}_{j}"))).collect())
+                .collect();
+            // Row bar segments: input end at column 0.
+            for i in 0..rows {
+                for j in 0..cols - 1 {
+                    net.resistor(row_node[i][j], row_node[i][j + 1], r_seg);
+                }
+            }
+            // Column bar segments: output (clamp) end at row `rows-1`, the
+            // far side from the row inputs ("outward ends of the in-plane
+            // bars", paper Fig. 1).
+            for j in 0..cols {
+                for i in 0..rows - 1 {
+                    net.resistor(col_node[i][j], col_node[i + 1][j], r_seg);
+                }
+            }
+        }
+
+        // Wire capacitance, lumped to ground at every crossing node (one
+        // segment's worth per node on each bar).
+        if with_capacitance {
+            let c_seg = self.geometry.segment_capacitance();
+            if c_seg.0 > 0.0 && !lossless {
+                for i in 0..rows {
+                    for j in 0..cols {
+                        net.capacitor(row_node[i][j], Netlist::GROUND, c_seg);
+                        net.capacitor(col_node[i][j], Netlist::GROUND, c_seg);
+                    }
+                }
+            }
+        }
+
+        // Memristors at the crossings.
+        for i in 0..rows {
+            for j in 0..cols {
+                let g = array
+                    .conductance(i, j)
+                    .expect("indices bounded by construction");
+                net.conductance(row_node[i][j], col_node[i][j], g);
+            }
+        }
+
+        // Dummy conductances: from the far end of each row bar to the clamp
+        // reference (ground in this frame).
+        for i in 0..rows {
+            let dummy = array.dummy_conductance(i).expect("row bounded");
+            if dummy.0 > 0.0 {
+                net.conductance(row_node[i][cols - 1], Netlist::GROUND, dummy);
+            }
+        }
+
+        // Column clamps at the 0 V reference; the clamp element reports its
+        // branch current, which is the column output.
+        let clamp_ids: Vec<ElementId> = (0..cols)
+            .map(|j| net.voltage_source(col_node[rows - 1][j], Volts(0.0)))
+            .collect();
+
+        // Row drives at the input end (column 0 side).
+        let mut rail_nodes: Vec<(u64, NodeId)> = Vec::new();
+        let mut row_inputs = Vec::with_capacity(rows);
+        for (i, drive) in drives.iter().enumerate() {
+            let input = row_node[i][0];
+            row_inputs.push(input);
+            match *drive {
+                RowDrive::Voltage(v) => {
+                    net.voltage_source(input, v);
+                }
+                RowDrive::Current(amps) => {
+                    net.current_source(Netlist::GROUND, input, amps);
+                }
+                RowDrive::SourceConductance { g, supply } => {
+                    // Share one clamped rail node per distinct supply value.
+                    let key = supply.0.to_bits();
+                    let rail = match rail_nodes.iter().find(|(k, _)| *k == key) {
+                        Some(&(_, node)) => node,
+                        None => {
+                            let node = net.node(format!("rail{}", rail_nodes.len()));
+                            net.voltage_source(node, supply);
+                            rail_nodes.push((key, node));
+                            node
+                        }
+                    };
+                    net.conductance(rail, input, g);
+                }
+            }
+        }
+
+        // Column output-end nodes (where the currents are collected).
+        let column_ends = (0..cols).map(|j| col_node[rows - 1][j]).collect();
+
+        Ok(BuiltNetwork {
+            net,
+            row_inputs,
+            column_ends,
+            clamp_ids,
+        })
+    }
+}
+
+/// A constructed crossbar netlist plus the handles needed to read it out.
+pub(crate) struct BuiltNetwork {
+    pub(crate) net: Netlist,
+    /// The input-end node of each row bar.
+    pub(crate) row_inputs: Vec<NodeId>,
+    /// The clamp-end node of each column bar.
+    #[allow(dead_code)]
+    pub(crate) column_ends: Vec<NodeId>,
+    /// Clamp elements whose branch currents are the column outputs.
+    pub(crate) clamp_ids: Vec<ElementId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spinamm_circuit::units::Siemens;
+    use spinamm_memristor::{DeviceLimits, LevelMap, WriteScheme};
+
+    fn programmed_array(rows: usize, cols: usize, seed: u64) -> CrossbarArray {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let scheme = WriteScheme::paper();
+        let mut a = CrossbarArray::new(rows, cols, DeviceLimits::PAPER).unwrap();
+        for j in 0..cols {
+            let levels: Vec<u32> = (0..rows)
+                .map(|i| ((i * 13 + j * 7) % 32) as u32)
+                .collect();
+            a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn lossless_netlist_matches_ideal_formula() {
+        let a = programmed_array(6, 4, 1);
+        let drives: Vec<RowDrive> = (0..6)
+            .map(|i| RowDrive::Voltage(Volts(0.005 * (i + 1) as f64)))
+            .collect();
+        let voltages: Vec<Volts> = (0..6).map(|i| Volts(0.005 * (i + 1) as f64)).collect();
+
+        let pc = ParasiticCrossbar::new(CrossbarGeometry::lossless());
+        let readout = pc.evaluate(&a, &drives).unwrap();
+        let ideal = a.ideal_column_currents(&voltages).unwrap();
+        for (got, want) in readout.column_currents.iter().zip(&ideal) {
+            assert!(
+                (got.0 - want.0).abs() < 1e-12,
+                "netlist {} vs ideal {}",
+                got.0,
+                want.0
+            );
+        }
+    }
+
+    #[test]
+    fn lossless_dtcs_matches_driven_formula() {
+        let mut a = programmed_array(5, 3, 2);
+        a.equalize_rows(None).unwrap();
+        let drives: Vec<RowDrive> = (0..5)
+            .map(|i| RowDrive::SourceConductance {
+                g: Siemens(1e-4 * (i + 1) as f64),
+                supply: Volts(0.03),
+            })
+            .collect();
+        let pc = ParasiticCrossbar::new(CrossbarGeometry::lossless());
+        let readout = pc.evaluate(&a, &drives).unwrap();
+        let analytic = a.driven_column_currents(&drives).unwrap();
+        for (got, want) in readout.column_currents.iter().zip(&analytic) {
+            let scale = want.0.abs().max(1e-12);
+            assert!(
+                (got.0 - want.0).abs() / scale < 1e-9,
+                "netlist {} vs analytic {}",
+                got.0,
+                want.0
+            );
+        }
+    }
+
+    #[test]
+    fn parasitics_reduce_column_currents() {
+        let a = programmed_array(8, 4, 3);
+        let drives = vec![RowDrive::Voltage(Volts(0.03)); 8];
+        let lossless = ParasiticCrossbar::new(CrossbarGeometry::lossless())
+            .evaluate(&a, &drives)
+            .unwrap();
+        // Exaggerated wire resistance to make the effect unmistakable.
+        let lossy_geom = CrossbarGeometry::new(
+            spinamm_circuit::units::Micrometers(1.0),
+            spinamm_circuit::units::Ohms(50.0),
+            spinamm_circuit::units::Farads(0.0),
+        )
+        .unwrap();
+        let lossy = ParasiticCrossbar::new(lossy_geom)
+            .evaluate(&a, &drives)
+            .unwrap();
+        let sum_ideal: f64 = lossless.column_currents.iter().map(|i| i.0).sum();
+        let sum_lossy: f64 = lossy.column_currents.iter().map(|i| i.0).sum();
+        assert!(
+            sum_lossy < sum_ideal * 0.999,
+            "IR drops must reduce total output: {sum_lossy} vs {sum_ideal}"
+        );
+        // And all currents remain positive.
+        for i in &lossy.column_currents {
+            assert!(i.0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_geometry_perturbs_mildly() {
+        // With the paper's real numbers (0.1 Ω per segment vs ≥1 kΩ cells),
+        // parasitic corruption at small size is sub-1%.
+        let a = programmed_array(8, 4, 4);
+        let drives = vec![RowDrive::Voltage(Volts(0.03)); 8];
+        let ideal = ParasiticCrossbar::new(CrossbarGeometry::lossless())
+            .evaluate(&a, &drives)
+            .unwrap();
+        let paper = ParasiticCrossbar::new(CrossbarGeometry::PAPER)
+            .evaluate(&a, &drives)
+            .unwrap();
+        for (i, (got, want)) in paper
+            .column_currents
+            .iter()
+            .zip(&ideal.column_currents)
+            .enumerate()
+        {
+            let rel = (got.0 - want.0).abs() / want.0;
+            assert!(rel < 0.01, "column {i} deviates {rel}");
+            assert!(got.0 <= want.0 * (1.0 + 1e-9), "IR drop cannot boost output");
+        }
+    }
+
+    #[test]
+    fn current_drive_conserved_through_network() {
+        // All injected current must come out of the clamps (plus dummies; no
+        // dummies here).
+        let a = programmed_array(4, 3, 5);
+        let drives = vec![RowDrive::Current(Amps(2e-6)); 4];
+        let readout = ParasiticCrossbar::new(CrossbarGeometry::PAPER)
+            .evaluate(&a, &drives)
+            .unwrap();
+        let total_in = 8e-6;
+        let total_out: f64 = readout.column_currents.iter().map(|i| i.0).sum();
+        assert!(
+            (total_in - total_out).abs() / total_in < 1e-9,
+            "KCL: in {total_in} out {total_out}"
+        );
+    }
+
+    #[test]
+    fn dissipated_power_positive_and_scales() {
+        let mut a = programmed_array(4, 3, 6);
+        a.equalize_rows(None).unwrap();
+        let mk = |dv: f64| vec![
+            RowDrive::SourceConductance {
+                g: Siemens(5e-4),
+                supply: Volts(dv),
+            };
+            4
+        ];
+        let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+        let p1 = pc.evaluate(&a, &mk(0.03)).unwrap().dissipated_power;
+        let p2 = pc.evaluate(&a, &mk(0.06)).unwrap().dissipated_power;
+        assert!(p1.0 > 0.0);
+        assert!((p2.0 / p1.0 - 4.0).abs() < 1e-6, "P ∝ V²: {}", p2.0 / p1.0);
+    }
+
+    #[test]
+    fn drive_length_checked() {
+        let a = programmed_array(4, 3, 7);
+        let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+        assert!(matches!(
+            pc.evaluate(&a, &[RowDrive::Voltage(Volts(0.03)); 3]),
+            Err(CrossbarError::InputLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn node_count_reported() {
+        let a = programmed_array(4, 3, 8);
+        let drives = vec![RowDrive::Voltage(Volts(0.03)); 4];
+        let lossy = ParasiticCrossbar::new(CrossbarGeometry::PAPER)
+            .evaluate(&a, &drives)
+            .unwrap();
+        // 2 × 4 × 3 crossing nodes + ground.
+        assert_eq!(lossy.node_count, 25);
+        let lossless = ParasiticCrossbar::new(CrossbarGeometry::lossless())
+            .evaluate(&a, &drives)
+            .unwrap();
+        // 4 row + 3 col + ground.
+        assert_eq!(lossless.node_count, 8);
+    }
+
+    #[test]
+    fn row_input_voltages_track_drive() {
+        let mut a = programmed_array(3, 3, 9);
+        a.equalize_rows(None).unwrap();
+        let drives = vec![
+            RowDrive::SourceConductance {
+                g: Siemens(1e-3),
+                supply: Volts(0.03),
+            };
+            3
+        ];
+        let readout = ParasiticCrossbar::new(CrossbarGeometry::lossless())
+            .evaluate(&a, &drives)
+            .unwrap();
+        for v in &readout.row_input_voltages {
+            assert!(v.0 > 0.0 && v.0 < 0.03, "input voltage {v} inside (0, ΔV)");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests: the parasitic netlist model must degenerate to the
+//! ideal dot product when wires are lossless, and must obey conservation
+//! laws for any programmed pattern.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Farads, Micrometers, Ohms, Siemens, Volts};
+use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
+use spinamm_memristor::{DeviceLimits, LevelMap, WriteScheme};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    rows: usize,
+    cols: usize,
+    /// Level of each cell, row-major (`rows × cols` entries).
+    levels: Vec<u32>,
+    /// Row drive voltages in volts.
+    drives: Vec<f64>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    ((2usize..7), (2usize..5)).prop_flat_map(|(rows, cols)| {
+        (
+            proptest::collection::vec(0u32..32, rows * cols),
+            proptest::collection::vec(0.001..0.06f64, rows),
+        )
+            .prop_map(move |(levels, drives)| Scenario {
+                rows,
+                cols,
+                levels,
+                drives,
+            })
+    })
+}
+
+fn build(s: &Scenario) -> CrossbarArray {
+    let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+    let mut a = CrossbarArray::new(s.rows, s.cols, DeviceLimits::PAPER).unwrap();
+    for i in 0..s.rows {
+        for j in 0..s.cols {
+            // Exact programming: the property is about network behaviour,
+            // not write noise.
+            a.set_conductance(i, j, map.conductance(s.levels[i * s.cols + j]).unwrap())
+                .unwrap();
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lossless parasitic solve == analytic dot product, for any pattern and
+    /// any voltage drives.
+    #[test]
+    fn lossless_equals_ideal(s in scenario()) {
+        let a = build(&s);
+        let drives: Vec<RowDrive> = s.drives.iter().map(|&v| RowDrive::Voltage(Volts(v))).collect();
+        let volts: Vec<Volts> = s.drives.iter().map(|&v| Volts(v)).collect();
+        let netlist = ParasiticCrossbar::new(CrossbarGeometry::lossless())
+            .evaluate(&a, &drives)
+            .unwrap();
+        let ideal = a.ideal_column_currents(&volts).unwrap();
+        for (got, want) in netlist.column_currents.iter().zip(&ideal) {
+            let scale = want.0.abs().max(1e-12);
+            prop_assert!((got.0 - want.0).abs() / scale < 1e-8);
+        }
+    }
+
+    /// With real wire resistance, every column current is positive and no
+    /// larger than the ideal value (IR drops only attenuate when all drives
+    /// are non-negative).
+    #[test]
+    fn parasitic_attenuates(s in scenario()) {
+        let a = build(&s);
+        let drives: Vec<RowDrive> = s.drives.iter().map(|&v| RowDrive::Voltage(Volts(v))).collect();
+        let volts: Vec<Volts> = s.drives.iter().map(|&v| Volts(v)).collect();
+        let lossy = ParasiticCrossbar::new(CrossbarGeometry::PAPER)
+            .evaluate(&a, &drives)
+            .unwrap();
+        let ideal = a.ideal_column_currents(&volts).unwrap();
+        for (got, want) in lossy.column_currents.iter().zip(&ideal) {
+            prop_assert!(got.0 > 0.0);
+            prop_assert!(got.0 <= want.0 * (1.0 + 1e-9));
+        }
+    }
+
+    /// Current-source drives: total injected current equals total collected
+    /// current (KCL through the whole array), for any wire resistance.
+    #[test]
+    fn current_conservation(
+        s in scenario(),
+        r_per_um in 0.1..100.0f64,
+        inject in 1e-7..1e-5f64,
+    ) {
+        let a = build(&s);
+        let drives = vec![RowDrive::Current(spinamm_circuit::units::Amps(inject)); s.rows];
+        let geom = CrossbarGeometry::new(
+            Micrometers(0.5),
+            Ohms(r_per_um),
+            Farads(0.0),
+        ).unwrap();
+        let readout = ParasiticCrossbar::new(geom).evaluate(&a, &drives).unwrap();
+        let total_in = inject * s.rows as f64;
+        let total_out: f64 = readout.column_currents.iter().map(|i| i.0).sum();
+        prop_assert!((total_in - total_out).abs() / total_in < 1e-7);
+    }
+
+    /// Equalized rows present identical loads regardless of stored data.
+    #[test]
+    fn equalization_invariant(s in scenario()) {
+        let mut a = build(&s);
+        let target = a.equalize_rows(None).unwrap();
+        for i in 0..s.rows {
+            let total = a.row_total_conductance(i).unwrap();
+            prop_assert!((total.0 - target.0).abs() < 1e-12);
+        }
+    }
+
+    /// Programming with realistic writes lands every cell within the write
+    /// tolerance of its level's conductance.
+    #[test]
+    fn realistic_writes_in_band(s in scenario(), seed in 0u64..1000) {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let scheme = WriteScheme::paper();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut a = CrossbarArray::new(s.rows, s.cols, DeviceLimits::PAPER).unwrap();
+        for i in 0..s.rows {
+            for j in 0..s.cols {
+                a.program_level(i, j, s.levels[i * s.cols + j], &map, &scheme, &mut rng).unwrap();
+            }
+        }
+        for i in 0..s.rows {
+            for j in 0..s.cols {
+                let target = map.conductance(s.levels[i * s.cols + j]).unwrap();
+                let got = a.conductance(i, j).unwrap();
+                prop_assert!(((got.0 - target.0) / target.0).abs() <= scheme.tolerance + 1e-12);
+            }
+        }
+    }
+
+    /// Dot-product linearity: doubling all drive voltages doubles all column
+    /// currents (parasitic network is linear).
+    #[test]
+    fn drive_linearity(s in scenario()) {
+        let a = build(&s);
+        let d1: Vec<RowDrive> = s.drives.iter().map(|&v| RowDrive::Voltage(Volts(v))).collect();
+        let d2: Vec<RowDrive> = s.drives.iter().map(|&v| RowDrive::Voltage(Volts(2.0 * v))).collect();
+        let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+        let r1 = pc.evaluate(&a, &d1).unwrap();
+        let r2 = pc.evaluate(&a, &d2).unwrap();
+        for (a1, a2) in r1.column_currents.iter().zip(&r2.column_currents) {
+            let scale = a1.0.abs().max(1e-12);
+            prop_assert!((a2.0 - 2.0 * a1.0).abs() / scale < 1e-7);
+        }
+    }
+}
+
+/// Deterministic sanity check kept outside proptest: a mid-sized array at
+/// the paper's exact operating point solves through the sparse CG path.
+#[test]
+fn medium_array_solves_via_sparse_path() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+    let scheme = WriteScheme::paper();
+    let mut a = CrossbarArray::new(32, 10, DeviceLimits::PAPER).unwrap();
+    for j in 0..10 {
+        let levels: Vec<u32> = (0..32).map(|i| ((i * 5 + j * 11) % 32) as u32).collect();
+        a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+    }
+    a.equalize_rows(None).unwrap();
+    let drives = vec![
+        RowDrive::SourceConductance {
+            g: Siemens(5e-4),
+            supply: Volts(0.03),
+        };
+        32
+    ];
+    let readout = ParasiticCrossbar::new(CrossbarGeometry::PAPER)
+        .evaluate(&a, &drives)
+        .unwrap();
+    // 32×10 → 640 crossing nodes > AUTO_DENSE_LIMIT → CG path.
+    assert!(readout.node_count > 400);
+    for i in &readout.column_currents {
+        assert!(i.0 > 0.0);
+    }
+    assert!(readout.dissipated_power.0 > 0.0);
+}

@@ -1,0 +1,387 @@
+//! The 40-individual × 10-image dataset and template construction.
+
+use crate::faces::FaceParams;
+use crate::image::{GrayImage, Resolution};
+use crate::DataError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of identities (paper: 40).
+    pub individuals: usize,
+    /// Images per identity (paper: 10).
+    pub samples_per_individual: usize,
+    /// Source image size (paper: 128×96).
+    pub resolution: Resolution,
+    /// Master seed; everything else derives deterministically.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            individuals: 40,
+            samples_per_individual: 10,
+            resolution: Resolution::source(),
+            seed: 0x5eed_face,
+        }
+    }
+}
+
+/// A generated face dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaceDataset {
+    config: DatasetConfig,
+    identities: Vec<FaceParams>,
+    /// `images[person][sample]`, full resolution, un-normalized.
+    images: Vec<Vec<GrayImage>>,
+}
+
+impl FaceDataset {
+    /// Generates the dataset deterministically from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if either count is zero.
+    pub fn generate(config: &DatasetConfig) -> Result<Self, DataError> {
+        if config.individuals == 0 || config.samples_per_individual == 0 {
+            return Err(DataError::InvalidParameter {
+                what: "dataset counts must be non-zero",
+            });
+        }
+        let mut id_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let identities: Vec<FaceParams> = (0..config.individuals)
+            .map(|_| FaceParams::sample(&mut id_rng))
+            .collect();
+        let images = identities
+            .iter()
+            .enumerate()
+            .map(|(person, id)| {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(config.seed ^ (person as u64).wrapping_mul(0x9e37));
+                (0..config.samples_per_individual)
+                    .map(|_| id.render(config.resolution, &mut rng))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            config: *config,
+            identities,
+            images,
+        })
+    }
+
+    /// Number of identities.
+    #[must_use]
+    pub fn individuals(&self) -> usize {
+        self.config.individuals
+    }
+
+    /// Images per identity.
+    #[must_use]
+    pub fn samples_per_individual(&self) -> usize {
+        self.config.samples_per_individual
+    }
+
+    /// The generating configuration.
+    #[must_use]
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The raw image of `person`'s sample `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for bad indices.
+    pub fn image(&self, person: usize, sample: usize) -> Result<&GrayImage, DataError> {
+        let group = self
+            .images
+            .get(person)
+            .ok_or(DataError::IndexOutOfBounds {
+                index: person,
+                len: self.images.len(),
+            })?;
+        group.get(sample).ok_or(DataError::IndexOutOfBounds {
+            index: sample,
+            len: group.len(),
+        })
+    }
+
+    /// Applies the paper's reduction pipeline to one image: normalize →
+    /// box-downsample to `target` → quantize to `bits` levels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors (bad target or bit width).
+    pub fn reduce(
+        image: &GrayImage,
+        target: Resolution,
+        bits: u32,
+    ) -> Result<Vec<u32>, DataError> {
+        image.normalized().downsampled(target)?.to_levels(bits)
+    }
+
+    /// Builds the stored template of one person: the pixel-average of all
+    /// their reduced images, quantized to `bits` levels (paper Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for a bad person index, or a
+    /// reduction error.
+    pub fn template(
+        &self,
+        person: usize,
+        target: Resolution,
+        bits: u32,
+    ) -> Result<Vec<u32>, DataError> {
+        let group = self
+            .images
+            .get(person)
+            .ok_or(DataError::IndexOutOfBounds {
+                index: person,
+                len: self.images.len(),
+            })?;
+        let reduced: Result<Vec<GrayImage>, DataError> = group
+            .iter()
+            .map(|im| im.normalized().downsampled(target))
+            .collect();
+        GrayImage::average(&reduced?)?.to_levels(bits)
+    }
+
+    /// All templates (one per person), **energy-equalized**: each averaged
+    /// template image is rescaled so every stored level vector has the same
+    /// L2 norm before quantization.
+    ///
+    /// Equalization is essential for dot-product ("correlation magnitude")
+    /// matching: face images share a large common-mode component, and
+    /// without equal norms the winning column is decided by each template's
+    /// projection onto that common mode instead of by identity. This is the
+    /// operational content of the paper's "normalized" preprocessing — an
+    /// associative memory ranking raw dot products requires equal-energy
+    /// stored patterns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors.
+    pub fn templates(&self, target: Resolution, bits: u32) -> Result<Vec<Vec<u32>>, DataError> {
+        // Build the averaged reduced image per person, pre-quantization.
+        let averaged: Result<Vec<GrayImage>, DataError> = (0..self.individuals())
+            .map(|person| {
+                let group = &self.images[person];
+                let reduced: Result<Vec<GrayImage>, DataError> = group
+                    .iter()
+                    .map(|im| im.normalized().downsampled(target))
+                    .collect();
+                GrayImage::average(&reduced?)
+            })
+            .collect();
+        let averaged = averaged?;
+        let norm = |im: &GrayImage| -> f64 {
+            im.as_bytes()
+                .iter()
+                .map(|&p| f64::from(p) * f64::from(p))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let target_norm = averaged
+            .iter()
+            .map(norm)
+            .fold(f64::INFINITY, f64::min);
+        averaged
+            .into_iter()
+            .map(|im| {
+                let scale = if norm(&im) > 0.0 {
+                    target_norm / norm(&im)
+                } else {
+                    1.0
+                };
+                let res = im.resolution();
+                GrayImage::from_fn(res, |x, y| f64::from(im.pixel(x, y)) * scale)
+                    .to_levels(bits)
+            })
+            .collect()
+    }
+
+    /// Iterates over every test image as `(person, reduced level vector)` —
+    /// the paper tests on the same 400 images the templates were built from
+    /// ("training accuracy", Fig. 3a).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors.
+    pub fn test_vectors(
+        &self,
+        target: Resolution,
+        bits: u32,
+    ) -> Result<Vec<(usize, Vec<u32>)>, DataError> {
+        let mut out = Vec::with_capacity(self.individuals() * self.samples_per_individual());
+        for (person, group) in self.images.iter().enumerate() {
+            for im in group {
+                out.push((person, Self::reduce(im, target, bits)?));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Nearest-template classification by integer dot product — the *ideal*
+/// (infinite-precision, noise-free) reference the paper compares hardware
+/// accuracy against.
+///
+/// Returns the index of the template with the highest correlation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] if `templates` is empty or
+/// lengths disagree.
+pub fn ideal_best_match(input: &[u32], templates: &[Vec<u32>]) -> Result<usize, DataError> {
+    if templates.is_empty() {
+        return Err(DataError::InvalidParameter {
+            what: "need at least one template",
+        });
+    }
+    if templates.iter().any(|t| t.len() != input.len()) {
+        return Err(DataError::InvalidParameter {
+            what: "template length must match input length",
+        });
+    }
+    let mut best = 0usize;
+    let mut best_score = u64::MIN;
+    for (j, t) in templates.iter().enumerate() {
+        let score: u64 = input
+            .iter()
+            .zip(t)
+            .map(|(&a, &b)| u64::from(a) * u64::from(b))
+            .sum();
+        if score > best_score {
+            best_score = score;
+            best = j;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DatasetConfig {
+        DatasetConfig {
+            individuals: 8,
+            samples_per_individual: 4,
+            resolution: Resolution::source(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_shape_and_determinism() {
+        let a = FaceDataset::generate(&small_config()).unwrap();
+        let b = FaceDataset::generate(&small_config()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.individuals(), 8);
+        assert_eq!(a.samples_per_individual(), 4);
+        assert!(a.image(0, 0).is_ok());
+        assert!(a.image(8, 0).is_err());
+        assert!(a.image(0, 4).is_err());
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = FaceDataset::generate(&small_config()).unwrap();
+        let mut cfg = small_config();
+        cfg.seed = 8;
+        let b = FaceDataset::generate(&cfg).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn template_shape() {
+        let data = FaceDataset::generate(&small_config()).unwrap();
+        let t = data
+            .template(0, Resolution::template(), 5)
+            .unwrap();
+        assert_eq!(t.len(), 128);
+        assert!(t.iter().all(|&l| l < 32));
+        let all = data.templates(Resolution::template(), 5).unwrap();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn test_vectors_cover_dataset() {
+        let data = FaceDataset::generate(&small_config()).unwrap();
+        let v = data.test_vectors(Resolution::template(), 5).unwrap();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[0].1.len(), 128);
+        // Persons appear in order, 4 samples each.
+        assert_eq!(v[0].0, 0);
+        assert_eq!(v[4].0, 1);
+    }
+
+    #[test]
+    fn ideal_classification_is_accurate_at_paper_operating_point() {
+        // At 16×8, 5-bit — the paper's chosen point — ideal matching should
+        // classify the large majority of test images correctly.
+        let data = FaceDataset::generate(&DatasetConfig {
+            individuals: 12,
+            samples_per_individual: 6,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let templates = data.templates(Resolution::template(), 5).unwrap();
+        let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+        let correct = tests
+            .iter()
+            .filter(|(person, v)| ideal_best_match(v, &templates).unwrap() == *person)
+            .count();
+        let accuracy = correct as f64 / tests.len() as f64;
+        assert!(accuracy > 0.9, "ideal accuracy {accuracy}");
+    }
+
+    #[test]
+    fn accuracy_collapses_under_extreme_downsizing() {
+        // Fig. 3a's mechanism: below some size the classes merge.
+        let data = FaceDataset::generate(&DatasetConfig {
+            individuals: 12,
+            samples_per_individual: 6,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let tiny = Resolution::new(2, 1).unwrap();
+        let templates = data.templates(tiny, 5).unwrap();
+        let tests = data.test_vectors(tiny, 5).unwrap();
+        let correct = tests
+            .iter()
+            .filter(|(person, v)| ideal_best_match(v, &templates).unwrap() == *person)
+            .count();
+        let accuracy = correct as f64 / tests.len() as f64;
+        assert!(accuracy < 0.7, "2-pixel accuracy should collapse, got {accuracy}");
+    }
+
+    #[test]
+    fn ideal_best_match_validation() {
+        assert!(ideal_best_match(&[1, 2], &[]).is_err());
+        assert!(ideal_best_match(&[1, 2], &[vec![1]]).is_err());
+        assert_eq!(
+            ideal_best_match(&[3, 1], &[vec![0, 9], vec![9, 0]]).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FaceDataset::generate(&DatasetConfig {
+            individuals: 0,
+            ..small_config()
+        })
+        .is_err());
+        assert!(FaceDataset::generate(&DatasetConfig {
+            samples_per_individual: 0,
+            ..small_config()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! 8-bit grayscale images and the paper's reduction operators.
+
+use crate::DataError;
+
+/// An image size. `width × height` in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    width: usize,
+    height: usize,
+}
+
+impl Resolution {
+    /// Creates a resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, DataError> {
+        if width == 0 || height == 0 {
+            return Err(DataError::InvalidParameter {
+                what: "resolution dimensions must be non-zero",
+            });
+        }
+        Ok(Self { width, height })
+    }
+
+    /// The paper's source format: 128×96.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: constants are valid.
+    #[must_use]
+    pub fn source() -> Self {
+        Self::new(128, 96).expect("constants valid")
+    }
+
+    /// The paper's reduced template format: 16×8 (width 16? the paper's
+    /// "16x8" lists rows × columns of the 128-element vector; we take
+    /// 16 wide × 8 tall so that 128×96 reduces by 8× and 12×).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: constants are valid.
+    #[must_use]
+    pub fn template() -> Self {
+        Self::new(16, 8).expect("constants valid")
+    }
+
+    /// Width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[must_use]
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// A row-major 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    resolution: Resolution,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    #[must_use]
+    pub fn new(resolution: Resolution) -> Self {
+        Self {
+            pixels: vec![0; resolution.pixels()],
+            resolution,
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` (clamped to 0–255) at every
+    /// pixel.
+    pub fn from_fn(resolution: Resolution, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut pixels = Vec::with_capacity(resolution.pixels());
+        for y in 0..resolution.height() {
+            for x in 0..resolution.width() {
+                pixels.push(f(x, y).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        Self { resolution, pixels }
+    }
+
+    /// The image size.
+    #[must_use]
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(
+            x < self.resolution.width() && y < self.resolution.height(),
+            "pixel ({x}, {y}) out of bounds"
+        );
+        self.pixels[y * self.resolution.width() + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, value: u8) {
+        assert!(
+            x < self.resolution.width() && y < self.resolution.height(),
+            "pixel ({x}, {y}) out of bounds"
+        );
+        self.pixels[y * self.resolution.width() + x] = value;
+    }
+
+    /// The raw row-major pixel buffer.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Mean pixel intensity.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Contrast-normalizes (linearly stretches the occupied intensity range
+    /// to 0–255) — the paper's "normalized" preprocessing step. A constant
+    /// image is returned unchanged.
+    #[must_use]
+    pub fn normalized(&self) -> GrayImage {
+        let lo = f64::from(*self.pixels.iter().min().expect("non-empty"));
+        let hi = f64::from(*self.pixels.iter().max().expect("non-empty"));
+        if hi <= lo {
+            return self.clone();
+        }
+        let scale = 255.0 / (hi - lo);
+        GrayImage {
+            resolution: self.resolution,
+            pixels: self
+                .pixels
+                .iter()
+                .map(|&p| ((f64::from(p) - lo) * scale).round().clamp(0.0, 255.0) as u8)
+                .collect(),
+        }
+    }
+
+    /// Box-filter down-sample to `target` (each output pixel is the mean of
+    /// its source box). Requires the target to be no larger than the source
+    /// in either dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `target` exceeds the
+    /// source size.
+    pub fn downsampled(&self, target: Resolution) -> Result<GrayImage, DataError> {
+        let (sw, sh) = (self.resolution.width(), self.resolution.height());
+        let (tw, th) = (target.width(), target.height());
+        if tw > sw || th > sh {
+            return Err(DataError::InvalidParameter {
+                what: "down-sample target must not exceed source size",
+            });
+        }
+        let mut out = Vec::with_capacity(target.pixels());
+        for ty in 0..th {
+            let y0 = ty * sh / th;
+            let y1 = ((ty + 1) * sh / th).max(y0 + 1);
+            for tx in 0..tw {
+                let x0 = tx * sw / tw;
+                let x1 = ((tx + 1) * sw / tw).max(x0 + 1);
+                let mut acc = 0.0;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        acc += f64::from(self.pixels[y * sw + x]);
+                    }
+                }
+                let n = ((y1 - y0) * (x1 - x0)) as f64;
+                out.push((acc / n).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        Ok(GrayImage {
+            resolution: target,
+            pixels: out,
+        })
+    }
+
+    /// Quantizes to `bits`-bit levels: returns the row-major level vector
+    /// (each level in `0..2^bits`) — the format stored into the crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] unless `1 ≤ bits ≤ 8`.
+    pub fn to_levels(&self, bits: u32) -> Result<Vec<u32>, DataError> {
+        if !(1..=8).contains(&bits) {
+            return Err(DataError::InvalidParameter {
+                what: "pixel quantization requires 1..=8 bits",
+            });
+        }
+        let shift = 8 - bits;
+        Ok(self.pixels.iter().map(|&p| u32::from(p >> shift)).collect())
+    }
+
+    /// Pixel-wise average of several same-sized images — the template
+    /// construction step ("pixel wise average of the 10 reduced images").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `images` is empty or the
+    /// sizes disagree.
+    pub fn average(images: &[GrayImage]) -> Result<GrayImage, DataError> {
+        let first = images.first().ok_or(DataError::InvalidParameter {
+            what: "average requires at least one image",
+        })?;
+        let res = first.resolution;
+        if images.iter().any(|im| im.resolution != res) {
+            return Err(DataError::InvalidParameter {
+                what: "all images in an average must share one resolution",
+            });
+        }
+        let mut acc = vec![0.0_f64; res.pixels()];
+        for im in images {
+            for (a, &p) in acc.iter_mut().zip(&im.pixels) {
+                *a += f64::from(p);
+            }
+        }
+        let n = images.len() as f64;
+        Ok(GrayImage {
+            resolution: res,
+            pixels: acc
+                .into_iter()
+                .map(|a| (a / n).round().clamp(0.0, 255.0) as u8)
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(res: Resolution) -> GrayImage {
+        GrayImage::from_fn(res, |x, _| x as f64 * 255.0 / (res.width() - 1) as f64)
+    }
+
+    #[test]
+    fn resolution_properties() {
+        let r = Resolution::new(16, 8).unwrap();
+        assert_eq!(r.width(), 16);
+        assert_eq!(r.height(), 8);
+        assert_eq!(r.pixels(), 128);
+        assert!(Resolution::new(0, 8).is_err());
+        assert!(Resolution::new(8, 0).is_err());
+        assert_eq!(Resolution::source().pixels(), 128 * 96);
+        assert_eq!(Resolution::template().pixels(), 128);
+    }
+
+    #[test]
+    fn pixel_access() {
+        let mut im = GrayImage::new(Resolution::new(4, 3).unwrap());
+        assert_eq!(im.pixel(0, 0), 0);
+        im.set_pixel(2, 1, 200);
+        assert_eq!(im.pixel(2, 1), 200);
+        assert_eq!(im.as_bytes()[4 + 2], 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_bounds_checked() {
+        let im = GrayImage::new(Resolution::new(4, 3).unwrap());
+        let _ = im.pixel(4, 0);
+    }
+
+    #[test]
+    fn from_fn_clamps() {
+        let im = GrayImage::from_fn(Resolution::new(3, 1).unwrap(), |x, _| {
+            -100.0 + x as f64 * 300.0
+        });
+        assert_eq!(im.as_bytes(), &[0, 200, 255]);
+    }
+
+    #[test]
+    fn normalize_stretches_range() {
+        let im = GrayImage::from_fn(Resolution::new(4, 1).unwrap(), |x, _| {
+            100.0 + 20.0 * x as f64
+        });
+        let n = im.normalized();
+        assert_eq!(n.as_bytes()[0], 0);
+        assert_eq!(n.as_bytes()[3], 255);
+        // Constant image unchanged.
+        let flat = GrayImage::from_fn(Resolution::new(4, 1).unwrap(), |_, _| 77.0);
+        assert_eq!(flat.normalized(), flat);
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let res = Resolution::new(128, 96).unwrap();
+        let im = gradient(res);
+        let small = im.downsampled(Resolution::template()).unwrap();
+        assert_eq!(small.resolution(), Resolution::template());
+        assert!((im.mean() - small.mean()).abs() < 2.0);
+    }
+
+    #[test]
+    fn downsample_box_values() {
+        // 4×2 → 2×1: each output is the mean of a 2×2 box.
+        let mut im = GrayImage::new(Resolution::new(4, 2).unwrap());
+        for (i, v) in [10u8, 20, 30, 40, 50, 60, 70, 80].iter().enumerate() {
+            im.set_pixel(i % 4, i / 4, *v);
+        }
+        let small = im.downsampled(Resolution::new(2, 1).unwrap()).unwrap();
+        assert_eq!(small.as_bytes(), &[35, 55]);
+    }
+
+    #[test]
+    fn downsample_rejects_upscale() {
+        let im = GrayImage::new(Resolution::new(4, 4).unwrap());
+        assert!(im.downsampled(Resolution::new(8, 4).unwrap()).is_err());
+    }
+
+    #[test]
+    fn downsample_non_divisible() {
+        let im = gradient(Resolution::new(10, 7).unwrap());
+        let small = im.downsampled(Resolution::new(3, 2).unwrap()).unwrap();
+        assert_eq!(small.resolution().pixels(), 6);
+    }
+
+    #[test]
+    fn quantization_levels() {
+        let im = GrayImage::from_fn(Resolution::new(4, 1).unwrap(), |x, _| {
+            [0.0, 64.0, 128.0, 255.0][x]
+        });
+        assert_eq!(im.to_levels(5).unwrap(), vec![0, 8, 16, 31]);
+        assert_eq!(im.to_levels(1).unwrap(), vec![0, 0, 1, 1]);
+        assert!(im.to_levels(0).is_err());
+        assert!(im.to_levels(9).is_err());
+        // 8-bit quantization is the identity.
+        assert_eq!(
+            im.to_levels(8).unwrap(),
+            vec![0u32, 64, 128, 255]
+        );
+    }
+
+    #[test]
+    fn averaging_images() {
+        let a = GrayImage::from_fn(Resolution::new(2, 1).unwrap(), |x, _| 100.0 * x as f64);
+        let b = GrayImage::from_fn(Resolution::new(2, 1).unwrap(), |x, _| 200.0 * x as f64);
+        let avg = GrayImage::average(&[a, b]).unwrap();
+        assert_eq!(avg.as_bytes(), &[0, 150]);
+        assert!(GrayImage::average(&[]).is_err());
+        let c = GrayImage::new(Resolution::new(3, 1).unwrap());
+        let d = GrayImage::new(Resolution::new(2, 1).unwrap());
+        assert!(GrayImage::average(&[c, d]).is_err());
+    }
+}

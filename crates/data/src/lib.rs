@@ -1,0 +1,102 @@
+//! Synthetic face dataset and the paper's feature-extraction pipeline.
+//!
+//! The paper evaluates on the ATT Cambridge face database \[26\]: 400 images
+//! of 40 individuals (10 each), 128×96 8-bit pixels, normalized and
+//! down-sized to 16×8 5-bit pixels; the 10 reduced images of each person
+//! are pixel-averaged into one 128-element, 32-level template (paper
+//! Fig. 2).
+//!
+//! The ATT database cannot ship with this repository, so [`faces`] provides
+//! a deterministic synthetic substitute: each "individual" is a seeded
+//! parametric face (head ellipse, eye/nose/mouth geometry, skin tone, plus a
+//! low-frequency per-identity texture field) and each of their images adds
+//! pose shift, illumination gradient and pixel noise. What the experiments
+//! need from the data — larger between-class than within-class distance,
+//! with class information that progressively disappears under down-sizing
+//! and quantization — is preserved; absolute accuracy values will differ
+//! from the paper's but the trends of Fig. 3 arise from the same
+//! information-loss mechanism.
+//!
+//! * [`image`] — 8-bit grayscale images and the normalize / box-downsample /
+//!   quantize operators of the paper's pipeline.
+//! * [`faces`] — the parametric face renderer.
+//! * [`dataset`] — the 40×10 dataset, template construction and test
+//!   iteration.
+//! * [`workload`] — random pattern workloads for benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use spinamm_data::{dataset::FaceDataset, image::Resolution};
+//!
+//! # fn main() -> Result<(), spinamm_data::DataError> {
+//! let data = FaceDataset::generate(&Default::default())?;
+//! assert_eq!(data.individuals(), 40);
+//! let templates = data.templates(Resolution::new(8, 16)?, 5)?;
+//! assert_eq!(templates.len(), 40);
+//! assert_eq!(templates[0].len(), 128);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dataset;
+pub mod faces;
+pub mod image;
+pub mod workload;
+
+pub use dataset::{DatasetConfig, FaceDataset};
+pub use faces::FaceParams;
+pub use image::{GrayImage, Resolution};
+pub use workload::PatternWorkload;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating or transforming data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataError {
+    /// A dimension or count is zero or otherwise out of domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// An index addressed outside the dataset.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Size of the indexed collection.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            DataError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!DataError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(DataError::IndexOutOfBounds { index: 41, len: 40 }
+            .to_string()
+            .contains("41"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Random pattern workloads for benchmarks and stress tests.
+//!
+//! The face pipeline is the paper's showcase, but the benchmark harness
+//! also needs generic level-vector workloads: stored patterns plus inputs
+//! at controlled distances, with a known ground-truth best match.
+
+use crate::DataError;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A generated associative-matching workload: stored patterns plus queries
+/// with known answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternWorkload {
+    /// Stored patterns, `patterns[j][i]` is element `i` of pattern `j`.
+    pub patterns: Vec<Vec<u32>>,
+    /// Queries as `(true best-match index, query vector)`.
+    pub queries: Vec<(usize, Vec<u32>)>,
+    /// Bits per element.
+    pub bits: u32,
+}
+
+/// Configuration for [`PatternWorkload::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of stored patterns (paper: 40).
+    pub pattern_count: usize,
+    /// Elements per pattern (paper: 128).
+    pub vector_len: usize,
+    /// Bits per element (paper: 5).
+    pub bits: u32,
+    /// Queries to generate.
+    pub query_count: usize,
+    /// Fraction of elements perturbed when deriving a query from its source
+    /// pattern: 0 = exact copies, 1 = every element jittered.
+    pub query_noise: f64,
+    /// Magnitude of each perturbation in levels (uniform in
+    /// `±1..=magnitude`); 1 reproduces the classic ±1-step jitter.
+    pub noise_magnitude: u32,
+    /// Fraction of elements every pattern shares with a common base
+    /// pattern (0 = independent random patterns; towards 1 the patterns
+    /// become a "family" that is progressively harder to tell apart —
+    /// the regime real same-category data like faces lives in).
+    pub similarity: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            pattern_count: 40,
+            vector_len: 128,
+            bits: 5,
+            query_count: 100,
+            query_noise: 0.25,
+            noise_magnitude: 1,
+            similarity: 0.0,
+            seed: 0xbead,
+        }
+    }
+}
+
+impl PatternWorkload {
+    /// Generates a workload deterministically. Stored patterns are
+    /// L2-norm-equalized (see the body comment) so that dot-product
+    /// matching is identity-driven rather than energy-driven.
+    ///
+    /// Queries are derived from uniformly chosen stored patterns with a
+    /// controlled perturbation, so each query's intended answer is known.
+    /// (With heavy noise the perturbed query's *actual* nearest pattern can
+    /// differ; callers measuring accuracy should treat the label as the
+    /// intended source, as the paper does for its noisy test images.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] for zero counts, bits outside
+    /// `1..=8`, or noise outside `[0, 1]`.
+    pub fn generate(config: &WorkloadConfig) -> Result<Self, DataError> {
+        if config.pattern_count == 0 || config.vector_len == 0 {
+            return Err(DataError::InvalidParameter {
+                what: "workload counts must be non-zero",
+            });
+        }
+        if !(1..=8).contains(&config.bits) {
+            return Err(DataError::InvalidParameter {
+                what: "workload bits must be 1..=8",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.query_noise) {
+            return Err(DataError::InvalidParameter {
+                what: "query noise must lie in [0, 1]",
+            });
+        }
+        if config.noise_magnitude == 0 || config.noise_magnitude >= (1 << config.bits) {
+            return Err(DataError::InvalidParameter {
+                what: "noise magnitude must lie in 1..2^bits",
+            });
+        }
+        if !(0.0..1.0).contains(&config.similarity) {
+            return Err(DataError::InvalidParameter {
+                what: "similarity must lie in [0, 1)",
+            });
+        }
+        let levels = 1u32 << config.bits;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let base: Vec<u32> = (0..config.vector_len)
+            .map(|_| rng.gen_range(0..levels))
+            .collect();
+        let raw: Vec<Vec<u32>> = (0..config.pattern_count)
+            .map(|_| {
+                base.iter()
+                    .map(|&b| {
+                        if rng.gen::<f64>() < config.similarity {
+                            b
+                        } else {
+                            rng.gen_range(0..levels)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Norm-equalize the stored patterns (as the face pipeline does for
+        // its templates): dot-product matching ranks by correlation
+        // *magnitude*, so unequal pattern energies would let the largest
+        // pattern win every query regardless of identity.
+        let norm = |p: &[u32]| -> f64 {
+            p.iter()
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let target = raw
+            .iter()
+            .map(|p| norm(p))
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        let patterns: Vec<Vec<u32>> = raw
+            .into_iter()
+            .map(|p| {
+                let scale = target / norm(&p).max(1.0);
+                p.into_iter()
+                    .map(|v| {
+                        ((f64::from(v) * scale).round() as u32).min(levels - 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut queries = Vec::with_capacity(config.query_count);
+        let indices: Vec<usize> = (0..config.pattern_count).collect();
+        for _ in 0..config.query_count {
+            let &source = indices.choose(&mut rng).expect("non-empty");
+            let mut q = patterns[source].clone();
+            for elem in &mut q {
+                if rng.gen::<f64>() < config.query_noise {
+                    let step = i64::from(rng.gen_range(1..=config.noise_magnitude));
+                    let delta: i64 = if rng.gen() { step } else { -step };
+                    let perturbed = (i64::from(*elem) + delta).clamp(0, i64::from(levels) - 1);
+                    *elem = perturbed as u32;
+                }
+            }
+            queries.push((source, q));
+        }
+        Ok(Self {
+            patterns,
+            queries,
+            bits: config.bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ideal_best_match;
+
+    #[test]
+    fn generation_shape() {
+        let w = PatternWorkload::generate(&WorkloadConfig::default()).unwrap();
+        assert_eq!(w.patterns.len(), 40);
+        assert_eq!(w.patterns[0].len(), 128);
+        assert_eq!(w.queries.len(), 100);
+        assert!(w.patterns.iter().flatten().all(|&l| l < 32));
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = PatternWorkload::generate(&WorkloadConfig::default()).unwrap();
+        let b = PatternWorkload::generate(&WorkloadConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let c = PatternWorkload::generate(&WorkloadConfig {
+            seed: 1,
+            ..WorkloadConfig::default()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_noise_queries_match_exactly() {
+        let w = PatternWorkload::generate(&WorkloadConfig {
+            query_noise: 0.0,
+            ..WorkloadConfig::default()
+        })
+        .unwrap();
+        for (src, q) in &w.queries {
+            assert_eq!(q, &w.patterns[*src]);
+            assert_eq!(ideal_best_match(q, &w.patterns).unwrap(), *src);
+        }
+    }
+
+    #[test]
+    fn moderate_noise_mostly_recoverable() {
+        let w = PatternWorkload::generate(&WorkloadConfig::default()).unwrap();
+        let correct = w
+            .queries
+            .iter()
+            .filter(|(src, q)| ideal_best_match(q, &w.patterns).unwrap() == *src)
+            .count();
+        // ±1-level jitter on a quarter of 128 elements barely moves a
+        // 5-bit dot product: recovery should be near-perfect.
+        assert!(correct >= 95, "only {correct}/100 recovered");
+    }
+
+    #[test]
+    fn validation() {
+        let base = WorkloadConfig::default();
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            pattern_count: 0,
+            ..base
+        })
+        .is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            vector_len: 0,
+            ..base
+        })
+        .is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig { bits: 0, ..base }).is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig { bits: 9, ..base }).is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            query_noise: 1.5,
+            ..base
+        })
+        .is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            noise_magnitude: 0,
+            ..base
+        })
+        .is_err());
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            noise_magnitude: 32,
+            ..base
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn heavier_noise_moves_queries_farther() {
+        let dist = |mag: u32| -> f64 {
+            let w = PatternWorkload::generate(&WorkloadConfig {
+                query_noise: 1.0,
+                noise_magnitude: mag,
+                ..WorkloadConfig::default()
+            })
+            .unwrap();
+            w.queries
+                .iter()
+                .map(|(src, q)| {
+                    q.iter()
+                        .zip(&w.patterns[*src])
+                        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / w.queries.len() as f64
+        };
+        assert!(dist(8) > 3.0 * dist(1));
+    }
+
+    #[test]
+    fn similarity_brings_patterns_closer() {
+        let spread = |sim: f64| -> f64 {
+            let w = PatternWorkload::generate(&WorkloadConfig {
+                similarity: sim,
+                ..WorkloadConfig::default()
+            })
+            .unwrap();
+            let a = &w.patterns[0];
+            let b = &w.patterns[1];
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs())
+                .sum()
+        };
+        assert!(spread(0.9) < 0.4 * spread(0.0));
+        assert!(PatternWorkload::generate(&WorkloadConfig {
+            similarity: 1.0,
+            ..WorkloadConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the data pipeline: reduction operators and
+//! workload generation must hold their invariants for arbitrary inputs.
+
+use proptest::prelude::*;
+use spinamm_data::dataset::ideal_best_match;
+use spinamm_data::image::{GrayImage, Resolution};
+use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+
+fn arbitrary_image() -> impl Strategy<Value = GrayImage> {
+    ((2usize..40), (2usize..30)).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h).prop_map(move |pixels| {
+            let res = Resolution::new(w, h).unwrap();
+            let mut im = GrayImage::new(res);
+            for (k, &p) in pixels.iter().enumerate() {
+                im.set_pixel(k % w, k / w, p);
+            }
+            im
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Box down-sampling preserves the global mean within rounding when the
+    /// target divides the source evenly (equal boxes). Unequal boxes weight
+    /// the mean — which is why the pipeline's sizes are chosen divisible
+    /// (128×96 → 16×8 uses 8×12 boxes).
+    #[test]
+    fn downsample_preserves_mean(
+        tw in 1usize..6,
+        th in 1usize..6,
+        mx in 1usize..6,
+        my in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let (w, h) = (tw * mx, th * my);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let im = GrayImage::from_fn(Resolution::new(w, h).unwrap(), |_, _| {
+            f64::from(rng.gen_range(0u8..=255))
+        });
+        let small = im.downsampled(Resolution::new(tw, th).unwrap()).unwrap();
+        prop_assert!(
+            (im.mean() - small.mean()).abs() <= 0.5,
+            "mean drift {} → {}",
+            im.mean(),
+            small.mean()
+        );
+    }
+
+    /// Normalization is idempotent and bounded.
+    #[test]
+    fn normalize_idempotent(im in arbitrary_image()) {
+        let once = im.normalized();
+        let twice = once.normalized();
+        prop_assert_eq!(&once, &twice);
+        let lo = *once.as_bytes().iter().min().unwrap();
+        let hi = *once.as_bytes().iter().max().unwrap();
+        // A non-constant image stretches to the full range.
+        if im.as_bytes().iter().min() != im.as_bytes().iter().max() {
+            prop_assert_eq!(lo, 0);
+            prop_assert_eq!(hi, 255);
+        }
+    }
+
+    /// Quantization is monotone: brighter pixels never get smaller levels,
+    /// and levels stay in range.
+    #[test]
+    fn quantization_monotone(im in arbitrary_image(), bits in 1u32..=8) {
+        let levels = im.to_levels(bits).unwrap();
+        let cap = 1u32 << bits;
+        for (p, l) in im.as_bytes().iter().zip(&levels) {
+            prop_assert!(*l < cap);
+            // Reconstruct: level = pixel >> (8-bits).
+            prop_assert_eq!(*l, u32::from(p >> (8 - bits)));
+        }
+    }
+
+    /// Averaging commutes with constant shifts: avg(a+c) = avg(a)+c (when
+    /// no clipping occurs).
+    #[test]
+    fn average_is_linear_in_constants(
+        base in arbitrary_image(),
+        shift in 1u8..40,
+    ) {
+        // Clamp the base away from the rails so the shift cannot clip.
+        let res = base.resolution();
+        let safe = GrayImage::from_fn(res, |x, y| {
+            f64::from(base.pixel(x, y)).clamp(0.0, 200.0)
+        });
+        let shifted = GrayImage::from_fn(res, |x, y| {
+            f64::from(safe.pixel(x, y)) + f64::from(shift)
+        });
+        let avg = GrayImage::average(&[safe.clone(), shifted.clone()]).unwrap();
+        for y in 0..res.height() {
+            for x in 0..res.width() {
+                let expect = (f64::from(safe.pixel(x, y)) + f64::from(shift) / 2.0).round();
+                prop_assert!((f64::from(avg.pixel(x, y)) - expect).abs() <= 1.0);
+            }
+        }
+    }
+
+    /// The workload's ground truth is sound: with zero noise every query is
+    /// its source pattern, and `ideal_best_match` finds it. (Needs enough
+    /// dimensions: random patterns in very low dimension can nearly
+    /// collide, where norm-equalization rounding legitimately flips the
+    /// argmax — the paper's vectors are 128-dimensional.)
+    #[test]
+    fn workload_ground_truth(seed in 0u64..200, patterns in 2usize..12, len in 16usize..64) {
+        let w = PatternWorkload::generate(&WorkloadConfig {
+            pattern_count: patterns,
+            vector_len: len,
+            bits: 5,
+            query_count: 16,
+            query_noise: 0.0,
+            seed,
+            noise_magnitude: 1,
+            similarity: 0.0,
+        })
+        .unwrap();
+        for (src, q) in &w.queries {
+            prop_assert_eq!(ideal_best_match(q, &w.patterns).unwrap(), *src);
+        }
+    }
+
+    /// Best-match is invariant under uniform scaling of the query (dot
+    /// products scale together).
+    #[test]
+    fn best_match_scale_invariant(seed in 0u64..100) {
+        let w = PatternWorkload::generate(&WorkloadConfig {
+            pattern_count: 6,
+            vector_len: 24,
+            bits: 5,
+            query_count: 4,
+            query_noise: 0.1,
+            seed,
+            noise_magnitude: 1,
+            similarity: 0.0,
+        })
+        .unwrap();
+        for (_, q) in &w.queries {
+            let m1 = ideal_best_match(q, &w.patterns).unwrap();
+            let doubled: Vec<u32> = q.iter().map(|&x| x * 2).collect();
+            let m2 = ideal_best_match(&doubled, &w.patterns).unwrap();
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Conductance drift (retention) of programmed Ag-Si cells.
+//!
+//! Filamentary memristors relax after programming: conductance decays
+//! toward the off state with a roughly logarithmic time dependence
+//! (`g(t) = g₀·(1 − ν·log₁₀(1 + t/t₀))` with device-to-device variation of
+//! the drift coefficient ν). The paper treats the stored templates as
+//! non-volatile, which is valid over its evaluation horizon — this module
+//! makes the horizon *quantitative*: how long until drift eats the 3 %
+//! write tolerance, and what a reprogramming refresh restores.
+
+use crate::device::Memristor;
+use crate::MemristorError;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use spinamm_circuit::units::{Seconds, Siemens};
+
+/// Logarithmic drift model.
+///
+/// # Example
+///
+/// ```
+/// use spinamm_memristor::DriftModel;
+///
+/// let m = DriftModel::TYPICAL;
+/// // How long until the 3 % write band is consumed?
+/// let t = m.time_to_loss(0.03).expect("nonzero drift");
+/// assert!(t.0 > 1e5, "days, not seconds");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Median relative decay per decade of time, `ν`.
+    pub nu: f64,
+    /// Onset time `t₀` (drift is negligible before it).
+    pub t0: Seconds,
+    /// Device-to-device relative spread of `ν`.
+    pub nu_sigma: f64,
+}
+
+impl DriftModel {
+    /// A representative Ag-Si retention corner: 0.5 % decay per decade
+    /// starting at 1 s, with 30 % device spread. At this corner a template
+    /// stays within the 3 % write band for months — consistent with the
+    /// paper's treatment of the stored patterns as non-volatile.
+    pub const TYPICAL: DriftModel = DriftModel {
+        nu: 0.005,
+        t0: Seconds(1.0),
+        nu_sigma: 0.3,
+    };
+
+    /// An aggressive (worn / hot) corner: 3 % per decade.
+    pub const AGGRESSIVE: DriftModel = DriftModel {
+        nu: 0.03,
+        t0: Seconds(1.0),
+        nu_sigma: 0.3,
+    };
+
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] unless `0 ≤ nu < 1`,
+    /// `t0 > 0` and `nu_sigma ≥ 0` (all finite).
+    pub fn new(nu: f64, t0: Seconds, nu_sigma: f64) -> Result<Self, MemristorError> {
+        if !(nu.is_finite() && (0.0..1.0).contains(&nu)) {
+            return Err(MemristorError::InvalidParameter {
+                what: "drift coefficient must lie in [0, 1)",
+            });
+        }
+        if !(t0.0.is_finite() && t0.0 > 0.0) {
+            return Err(MemristorError::InvalidParameter {
+                what: "drift onset time must be finite and positive",
+            });
+        }
+        if !(nu_sigma.is_finite() && nu_sigma >= 0.0) {
+            return Err(MemristorError::InvalidParameter {
+                what: "drift spread must be finite and non-negative",
+            });
+        }
+        Ok(Self { nu, t0, nu_sigma })
+    }
+
+    /// Median remaining fraction of the programmed conductance after
+    /// `elapsed` (clamped at zero).
+    #[must_use]
+    pub fn median_retention(&self, elapsed: Seconds) -> f64 {
+        if elapsed.0 <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0)
+    }
+
+    /// The elapsed time at which the median drift reaches a relative loss
+    /// of `tolerance` (e.g. the 3 % write band), or `None` if it never does
+    /// (`nu == 0`).
+    #[must_use]
+    pub fn time_to_loss(&self, tolerance: f64) -> Option<Seconds> {
+        if self.nu <= 0.0 {
+            return None;
+        }
+        // 1 − ν·log10(1 + t/t0) = 1 − tolerance → t = t0·(10^(tol/ν) − 1).
+        Some(Seconds(self.t0.0 * (10.0_f64.powf(tolerance / self.nu) - 1.0)))
+    }
+
+    /// Samples one device's retention fraction after `elapsed` (its ν drawn
+    /// with the configured spread, truncated at zero).
+    pub fn sample_retention<R: Rng + ?Sized>(&self, elapsed: Seconds, rng: &mut R) -> f64 {
+        if elapsed.0 <= 0.0 || self.nu == 0.0 {
+            return 1.0;
+        }
+        let nu = if self.nu_sigma > 0.0 {
+            let normal = Normal::new(0.0, self.nu_sigma).expect("sigma validated");
+            (self.nu * (1.0 + normal.sample(rng))).max(0.0)
+        } else {
+            self.nu
+        };
+        (1.0 - nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0)
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::TYPICAL
+    }
+}
+
+impl Memristor {
+    /// Ages the cell by `elapsed` under a drift model (conductance decays
+    /// toward — and is floored at — the device's off state).
+    pub fn age<R: Rng + ?Sized>(&mut self, elapsed: Seconds, model: &DriftModel, rng: &mut R) {
+        let fraction = model.sample_retention(elapsed, rng);
+        let g = self.conductance().0 * fraction;
+        let floored = g.max(self.limits().g_min().0);
+        self.force_conductance(Siemens(floored));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceLimits;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn median_retention_shape() {
+        let m = DriftModel::TYPICAL;
+        assert_eq!(m.median_retention(Seconds(0.0)), 1.0);
+        let day = m.median_retention(Seconds(86_400.0));
+        let year = m.median_retention(Seconds(3.15e7));
+        assert!(day < 1.0 && year < day, "day {day}, year {year}");
+        // Typical corner: still inside the 3 % write band after a day.
+        assert!(1.0 - day < 0.03, "day loss {}", 1.0 - day);
+    }
+
+    #[test]
+    fn time_to_write_band_is_long_at_typical_corner() {
+        let t = DriftModel::TYPICAL.time_to_loss(0.03).unwrap();
+        // 3 % / 0.5 % per decade = 6 decades from 1 s ≈ 11 days.
+        assert!(t.0 > 5e5, "time to 3 % loss {} s", t.0);
+        // The aggressive corner crosses the band within minutes.
+        let t_bad = DriftModel::AGGRESSIVE.time_to_loss(0.03).unwrap();
+        assert!(t_bad.0 < 60.0, "aggressive {} s", t_bad.0);
+        // Zero drift never loses.
+        let frozen = DriftModel::new(0.0, Seconds(1.0), 0.0).unwrap();
+        assert!(frozen.time_to_loss(0.03).is_none());
+        assert_eq!(frozen.median_retention(Seconds(1e9)), 1.0);
+    }
+
+    #[test]
+    fn time_to_loss_is_consistent_with_retention() {
+        let m = DriftModel::TYPICAL;
+        let t = m.time_to_loss(0.03).unwrap();
+        let r = m.median_retention(t);
+        assert!((r - 0.97).abs() < 1e-9, "retention at crossing {r}");
+    }
+
+    #[test]
+    fn aging_a_cell_reduces_conductance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut cell =
+            Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        cell.age(Seconds(1e6), &DriftModel::AGGRESSIVE, &mut rng);
+        assert!(cell.conductance().0 < 8e-4);
+        assert!(cell.conductance().0 >= DeviceLimits::PAPER.g_min().0);
+    }
+
+    #[test]
+    fn aging_floors_at_off_state() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut cell = Memristor::new(DeviceLimits::PAPER); // already off
+        cell.age(Seconds(1e12), &DriftModel::AGGRESSIVE, &mut rng);
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_min());
+    }
+
+    #[test]
+    fn device_spread_produces_distinct_retentions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = DriftModel::TYPICAL;
+        let samples: Vec<f64> = (0..50)
+            .map(|_| m.sample_retention(Seconds(1e6), &mut rng))
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert!(sorted.len() > 40, "spread produced {} distinct values", sorted.len());
+        // All within a sane band around the median.
+        let median = m.median_retention(Seconds(1e6));
+        for s in samples {
+            assert!((s - median).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DriftModel::new(-0.1, Seconds(1.0), 0.1).is_err());
+        assert!(DriftModel::new(1.0, Seconds(1.0), 0.1).is_err());
+        assert!(DriftModel::new(0.01, Seconds(0.0), 0.1).is_err());
+        assert!(DriftModel::new(0.01, Seconds(1.0), -1.0).is_err());
+        assert_eq!(DriftModel::default(), DriftModel::TYPICAL);
+    }
+}

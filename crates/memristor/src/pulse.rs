@@ -1,0 +1,184 @@
+//! Voltage-pulse write dynamics: the threshold behaviour that makes V/2
+//! crossbar programming possible.
+//!
+//! Filamentary Ag-Si cells are strongly voltage-non-linear writers: below a
+//! threshold voltage nothing moves (which is also why small read biases such
+//! as the paper's ΔV ≈ 30 mV do not disturb the stored state), and above it
+//! the conductance slews at a roughly linear rate in the overdrive. This
+//! module gives [`Memristor`] that behaviour so
+//! [`spinamm_crossbar`](https://docs.rs)'s programming study can quantify
+//! the half-select disturb of V/2 biasing.
+
+use crate::device::Memristor;
+use crate::MemristorError;
+use spinamm_circuit::units::{Seconds, Siemens, Volts};
+
+/// Threshold-linear voltage write model.
+///
+/// A pulse of `v > set_threshold` SETs (raises conductance); a pulse of
+/// `v < −reset_threshold` RESETs (lowers conductance); anything in between
+/// leaves the state untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseWriteModel {
+    /// SET threshold voltage (positive polarity magnitude).
+    pub set_threshold: Volts,
+    /// RESET threshold voltage (negative polarity magnitude).
+    pub reset_threshold: Volts,
+    /// Conductance slew rate per volt of overdrive, S/(V·s).
+    pub rate: f64,
+}
+
+impl PulseWriteModel {
+    /// Representative Ag-Si programming: ±1.3 V thresholds and a slew rate
+    /// that moves the full 1 kΩ–32 kΩ window in ~1 µs of 1 V overdrive.
+    pub const TYPICAL: PulseWriteModel = PulseWriteModel {
+        set_threshold: Volts(1.3),
+        reset_threshold: Volts(1.3),
+        rate: 1e3 * (1e-3 - 3.125e-5), // full window per ms·V
+    };
+
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] unless both thresholds
+    /// and the rate are finite and positive.
+    pub fn new(
+        set_threshold: Volts,
+        reset_threshold: Volts,
+        rate: f64,
+    ) -> Result<Self, MemristorError> {
+        for v in [set_threshold.0, reset_threshold.0, rate] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(MemristorError::InvalidParameter {
+                    what: "pulse model parameters must be finite and positive",
+                });
+            }
+        }
+        Ok(Self {
+            set_threshold,
+            reset_threshold,
+            rate,
+        })
+    }
+
+    /// The conductance change produced by one pulse of amplitude `v` and
+    /// width `dt` (signed; zero inside the threshold window).
+    #[must_use]
+    pub fn delta(&self, v: Volts, dt: Seconds) -> Siemens {
+        if v.0 >= self.set_threshold.0 {
+            Siemens(self.rate * (v.0 - self.set_threshold.0) * dt.0)
+        } else if v.0 <= -self.reset_threshold.0 {
+            Siemens(-self.rate * (-v.0 - self.reset_threshold.0) * dt.0)
+        } else {
+            Siemens(0.0)
+        }
+    }
+
+    /// Number of pulses of amplitude `v` (toward the correct polarity) and
+    /// width `dt` needed to traverse a conductance distance `span`.
+    ///
+    /// Returns `u32::MAX` if the pulse is sub-threshold.
+    #[must_use]
+    pub fn pulses_for(&self, span: Siemens, v: Volts, dt: Seconds) -> u32 {
+        let step = self.delta(v, dt).0.abs();
+        if step <= 0.0 {
+            return u32::MAX;
+        }
+        (span.0.abs() / step).ceil().max(1.0) as u32
+    }
+}
+
+impl Default for PulseWriteModel {
+    fn default() -> Self {
+        Self::TYPICAL
+    }
+}
+
+impl Memristor {
+    /// Applies one voltage pulse under a [`PulseWriteModel`], clamping the
+    /// state to the programmable window. Returns the realized conductance
+    /// change.
+    pub fn apply_voltage_pulse(
+        &mut self,
+        v: Volts,
+        dt: Seconds,
+        model: &PulseWriteModel,
+    ) -> Siemens {
+        let before = self.conductance();
+        let delta = model.delta(v, dt);
+        if delta.0 != 0.0 {
+            self.force_conductance(Siemens(before.0 + delta.0));
+        }
+        Siemens(self.conductance().0 - before.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceLimits;
+
+    const DT: Seconds = Seconds(100e-9);
+
+    #[test]
+    fn sub_threshold_pulses_do_nothing() {
+        let m = PulseWriteModel::TYPICAL;
+        assert_eq!(m.delta(Volts(1.0), DT), Siemens(0.0));
+        assert_eq!(m.delta(Volts(-1.0), DT), Siemens(0.0));
+        assert_eq!(m.delta(Volts(0.03), DT), Siemens(0.0), "read bias is harmless");
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(5e-4)).unwrap();
+        assert_eq!(cell.apply_voltage_pulse(Volts(1.2), DT, &m), Siemens(0.0));
+        assert_eq!(cell.conductance(), Siemens(5e-4));
+    }
+
+    #[test]
+    fn set_and_reset_move_opposite_ways() {
+        let m = PulseWriteModel::TYPICAL;
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(5e-4)).unwrap();
+        let up = cell.apply_voltage_pulse(Volts(2.3), DT, &m);
+        assert!(up.0 > 0.0);
+        let down = cell.apply_voltage_pulse(Volts(-2.3), DT, &m);
+        assert!(down.0 < 0.0);
+        assert!((up.0 + down.0).abs() < 1e-12, "symmetric thresholds and rate");
+    }
+
+    #[test]
+    fn delta_linear_in_overdrive_and_width() {
+        let m = PulseWriteModel::TYPICAL;
+        let d1 = m.delta(Volts(1.8), DT).0; // 0.5 V overdrive
+        let d2 = m.delta(Volts(2.3), DT).0; // 1.0 V overdrive
+        assert!((d2 / d1 - 2.0).abs() < 1e-12);
+        let d_wide = m.delta(Volts(1.8), Seconds(2.0 * DT.0)).0;
+        assert!((d_wide / d1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulses_for_traversal() {
+        let m = PulseWriteModel::TYPICAL;
+        let span = Siemens(DeviceLimits::PAPER.g_max().0 - DeviceLimits::PAPER.g_min().0);
+        let n = m.pulses_for(span, Volts(2.3), Seconds(1e-6));
+        // Full window at 1 V overdrive in ~1 ms → 1000 µs-pulses.
+        assert!((900..=1100).contains(&n), "{n} pulses");
+        assert_eq!(m.pulses_for(span, Volts(1.0), DT), u32::MAX);
+    }
+
+    #[test]
+    fn pulse_clamps_to_window() {
+        let m = PulseWriteModel::TYPICAL;
+        let mut cell =
+            Memristor::with_conductance(DeviceLimits::PAPER, DeviceLimits::PAPER.g_max())
+                .unwrap();
+        let realized = cell.apply_voltage_pulse(Volts(3.0), Seconds(1e-3), &m);
+        assert_eq!(realized, Siemens(0.0), "already at the rail");
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_max());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PulseWriteModel::new(Volts(0.0), Volts(1.0), 1.0).is_err());
+        assert!(PulseWriteModel::new(Volts(1.0), Volts(-1.0), 1.0).is_err());
+        assert!(PulseWriteModel::new(Volts(1.0), Volts(1.0), 0.0).is_err());
+        assert_eq!(PulseWriteModel::default(), PulseWriteModel::TYPICAL);
+    }
+}

@@ -1,0 +1,197 @@
+//! Digital-level ↔ conductance mapping.
+//!
+//! The paper stores 5-bit (32-level) template pixels as memristor
+//! conductances spread linearly over the programmable window. [`LevelMap`]
+//! owns that mapping in both directions.
+
+use crate::device::DeviceLimits;
+use crate::MemristorError;
+use spinamm_circuit::units::Siemens;
+
+/// Linear mapping between `2^bits` digital levels and conductances in a
+/// device window.
+///
+/// Level `0` maps to the lowest conductance (`g_min`) and the top level to
+/// `g_max`, matching the convention that a dark pixel contributes the least
+/// column current.
+///
+/// # Example
+///
+/// ```
+/// use spinamm_memristor::{DeviceLimits, LevelMap};
+///
+/// # fn main() -> Result<(), spinamm_memristor::MemristorError> {
+/// let map = LevelMap::new(DeviceLimits::PAPER, 5)?;
+/// assert_eq!(map.level_count(), 32);
+/// let g = map.conductance(31)?;
+/// assert_eq!(g, DeviceLimits::PAPER.g_max());
+/// assert_eq!(map.nearest_level(g), 31);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelMap {
+    limits: DeviceLimits,
+    bits: u32,
+}
+
+impl LevelMap {
+    /// Creates a map storing `bits`-bit values in the given window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] unless `1 ≤ bits ≤ 16`.
+    pub fn new(limits: DeviceLimits, bits: u32) -> Result<Self, MemristorError> {
+        if !(1..=16).contains(&bits) {
+            return Err(MemristorError::InvalidParameter {
+                what: "level map requires 1..=16 bits",
+            });
+        }
+        Ok(Self { limits, bits })
+    }
+
+    /// Bits per stored value.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of representable levels, `2^bits`.
+    #[must_use]
+    pub fn level_count(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// The device window this map spans.
+    #[must_use]
+    pub fn limits(&self) -> DeviceLimits {
+        self.limits
+    }
+
+    /// Conductance spacing between adjacent levels.
+    #[must_use]
+    pub fn step(&self) -> Siemens {
+        let span = self.limits.g_max().0 - self.limits.g_min().0;
+        Siemens(span / f64::from(self.level_count() - 1))
+    }
+
+    /// Conductance of a digital level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::LevelOutOfRange`] if `level ≥ 2^bits`.
+    pub fn conductance(&self, level: u32) -> Result<Siemens, MemristorError> {
+        if level >= self.level_count() {
+            return Err(MemristorError::LevelOutOfRange {
+                level,
+                count: self.level_count(),
+            });
+        }
+        Ok(Siemens(
+            self.limits.g_min().0 + f64::from(level) * self.step().0,
+        ))
+    }
+
+    /// The digital level whose conductance is closest to `g` (clamped to the
+    /// representable range — values beyond the window snap to the extreme
+    /// levels).
+    #[must_use]
+    pub fn nearest_level(&self, g: Siemens) -> u32 {
+        let step = self.step().0;
+        let raw = (g.0 - self.limits.g_min().0) / step;
+        let idx = raw.round().clamp(0.0, f64::from(self.level_count() - 1));
+        idx as u32
+    }
+
+    /// Normalized value in `[0, 1]` of a level (`level / (2^bits − 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::LevelOutOfRange`] if `level ≥ 2^bits`.
+    pub fn normalized(&self, level: u32) -> Result<f64, MemristorError> {
+        if level >= self.level_count() {
+            return Err(MemristorError::LevelOutOfRange {
+                level,
+                count: self.level_count(),
+            });
+        }
+        Ok(f64::from(level) / f64::from(self.level_count() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_bit_paper_map() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        assert_eq!(map.bits(), 5);
+        assert_eq!(map.level_count(), 32);
+        assert_eq!(map.conductance(0).unwrap(), DeviceLimits::PAPER.g_min());
+        assert_eq!(map.conductance(31).unwrap(), DeviceLimits::PAPER.g_max());
+    }
+
+    #[test]
+    fn levels_are_evenly_spaced() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 3).unwrap();
+        let step = map.step().0;
+        for k in 0..7 {
+            let a = map.conductance(k).unwrap().0;
+            let b = map.conductance(k + 1).unwrap().0;
+            assert!((b - a - step).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn round_trip_every_level() {
+        for bits in 1..=8 {
+            let map = LevelMap::new(DeviceLimits::PAPER, bits).unwrap();
+            for level in 0..map.level_count() {
+                let g = map.conductance(level).unwrap();
+                assert_eq!(map.nearest_level(g), level, "bits={bits} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_level_clamps() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        assert_eq!(map.nearest_level(Siemens(0.0)), 0);
+        assert_eq!(map.nearest_level(Siemens(1.0)), 31);
+    }
+
+    #[test]
+    fn nearest_level_rounds_half_window() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let g0 = map.conductance(10).unwrap().0;
+        let step = map.step().0;
+        assert_eq!(map.nearest_level(Siemens(g0 + 0.4 * step)), 10);
+        assert_eq!(map.nearest_level(Siemens(g0 + 0.6 * step)), 11);
+    }
+
+    #[test]
+    fn level_bounds_checked() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        assert!(matches!(
+            map.conductance(32),
+            Err(MemristorError::LevelOutOfRange { level: 32, count: 32 })
+        ));
+        assert!(map.normalized(32).is_err());
+    }
+
+    #[test]
+    fn normalized_endpoints() {
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        assert_eq!(map.normalized(0).unwrap(), 0.0);
+        assert_eq!(map.normalized(31).unwrap(), 1.0);
+        assert!((map.normalized(16).unwrap() - 16.0 / 31.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bits_validation() {
+        assert!(LevelMap::new(DeviceLimits::PAPER, 0).is_err());
+        assert!(LevelMap::new(DeviceLimits::PAPER, 17).is_err());
+        assert!(LevelMap::new(DeviceLimits::PAPER, 16).is_ok());
+    }
+}

@@ -1,0 +1,153 @@
+//! Free-domain geometry of the domain-wall neuron.
+
+use crate::SpinError;
+use spinamm_circuit::units::Nanometers;
+
+/// Geometry of the free domain (`d2`) of a DWN: a thin rectangular strip.
+///
+/// The paper's reference device is 3×20×60 nm³ (Fig. 6 text; Table 2 lists
+/// the free layer as 3×22×60 nm³ — we expose both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DwGeometry {
+    /// Film thickness.
+    pub thickness: Nanometers,
+    /// Strip width.
+    pub width: Nanometers,
+    /// Strip length — the distance the wall must travel to switch the
+    /// domain.
+    pub length: Nanometers,
+}
+
+impl DwGeometry {
+    /// The 3×20×60 nm³ device the paper's threshold discussion uses.
+    pub const REFERENCE: DwGeometry = DwGeometry {
+        thickness: Nanometers(3.0),
+        width: Nanometers(20.0),
+        length: Nanometers(60.0),
+    };
+
+    /// The 3×22×60 nm³ free layer of Table 2.
+    pub const TABLE2: DwGeometry = DwGeometry {
+        thickness: Nanometers(3.0),
+        width: Nanometers(22.0),
+        length: Nanometers(60.0),
+    };
+
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinError::InvalidParameter`] unless all dimensions are
+    /// finite and positive.
+    pub fn new(
+        thickness: Nanometers,
+        width: Nanometers,
+        length: Nanometers,
+    ) -> Result<Self, SpinError> {
+        for v in [thickness.0, width.0, length.0] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SpinError::InvalidParameter {
+                    what: "all dimensions must be finite and positive",
+                });
+            }
+        }
+        Ok(Self {
+            thickness,
+            width,
+            length,
+        })
+    }
+
+    /// Uniformly scales all three dimensions by `factor` (the Fig. 5b/5c
+    /// scaling study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinError::InvalidParameter`] if `factor` is not finite and
+    /// positive.
+    pub fn scaled(&self, factor: f64) -> Result<Self, SpinError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(SpinError::InvalidParameter {
+                what: "scale factor must be finite and positive",
+            });
+        }
+        Self::new(
+            Nanometers(self.thickness.0 * factor),
+            Nanometers(self.width.0 * factor),
+            Nanometers(self.length.0 * factor),
+        )
+    }
+
+    /// Cross-section area perpendicular to current flow, m².
+    #[must_use]
+    pub fn cross_section(&self) -> f64 {
+        self.thickness.to_meters() * self.width.to_meters()
+    }
+
+    /// Free-domain volume, m³.
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.cross_section() * self.length.to_meters()
+    }
+
+    /// Current density for a given terminal current, A/m².
+    #[must_use]
+    pub fn current_density(&self, current_amps: f64) -> f64 {
+        current_amps / self.cross_section()
+    }
+
+    /// Terminal current for a given current density, A.
+    #[must_use]
+    pub fn current_for_density(&self, density: f64) -> f64 {
+        density * self.cross_section()
+    }
+}
+
+impl Default for DwGeometry {
+    fn default() -> Self {
+        Self::REFERENCE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_cross_section() {
+        let a = DwGeometry::REFERENCE.cross_section();
+        assert!((a - 60e-18).abs() < 1e-24, "{a}");
+        assert!((DwGeometry::REFERENCE.volume() - 3600e-27).abs() < 1e-32);
+    }
+
+    #[test]
+    fn table2_width() {
+        assert_eq!(DwGeometry::TABLE2.width, Nanometers(22.0));
+    }
+
+    #[test]
+    fn current_density_round_trip() {
+        let g = DwGeometry::REFERENCE;
+        let j = g.current_density(1e-6);
+        // 1 µA / 60 nm² ≈ 1.67e10 A/m² — the paper's ~10⁶ A/cm² order.
+        assert!((j - 1.6667e10).abs() / 1.6667e10 < 1e-3);
+        assert!((g.current_for_density(j) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scaling_shrinks_cross_section_quadratically() {
+        let g = DwGeometry::REFERENCE.scaled(0.5).unwrap();
+        assert!((g.cross_section() - 15e-18).abs() < 1e-24);
+        assert_eq!(g.length, Nanometers(30.0));
+        assert!(DwGeometry::REFERENCE.scaled(0.0).is_err());
+        assert!(DwGeometry::REFERENCE.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DwGeometry::new(Nanometers(0.0), Nanometers(20.0), Nanometers(60.0)).is_err());
+        assert!(DwGeometry::new(Nanometers(3.0), Nanometers(-1.0), Nanometers(60.0)).is_err());
+        assert!(DwGeometry::new(Nanometers(3.0), Nanometers(20.0), Nanometers(f64::NAN)).is_err());
+        assert_eq!(DwGeometry::default(), DwGeometry::REFERENCE);
+    }
+}

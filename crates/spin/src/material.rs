@@ -1,0 +1,197 @@
+//! Magnetic material parameters.
+
+use crate::SpinError;
+use spinamm_circuit::units::{BOHR_MAGNETON, ELEMENTARY_CHARGE, GYROMAGNETIC_RATIO, MU_0};
+
+/// Material parameters of the domain-wall strip.
+///
+/// Units are SI: magnetization in A/m (the paper's Table 2 gives NiFe's
+/// Ms = 800 emu/cm³ = 8×10⁵ A/m), fields in A/m, lengths in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MagnetMaterial {
+    /// Saturation magnetization, A/m.
+    pub saturation_magnetization: f64,
+    /// Gilbert damping constant α (dimensionless).
+    pub gilbert_damping: f64,
+    /// Non-adiabatic spin-torque parameter β (dimensionless).
+    pub nonadiabaticity: f64,
+    /// Current spin polarization P (dimensionless, 0–1).
+    pub spin_polarization: f64,
+    /// Domain-wall width Δ, metres.
+    pub wall_width: f64,
+    /// Hard-axis (demagnetizing) anisotropy field H_K, A/m. For a thin
+    /// in-plane strip the hard axis is out-of-plane and H_K ≈ N·Ms with a
+    /// demag factor N close to 1.
+    pub hard_axis_field: f64,
+    /// Anisotropy energy barrier of the free domain in units of kT at 300 K
+    /// (Table 2: Ku₂V = 20 kT for the computing-grade device).
+    pub barrier_kt: f64,
+}
+
+impl MagnetMaterial {
+    /// Permalloy (NiFe) with the paper's Table-2 values and standard
+    /// literature dynamics constants.
+    ///
+    /// * Ms = 800 emu/cm³ = 8×10⁵ A/m (Table 2)
+    /// * α = 0.01 (NiFe)
+    /// * β = 0.35 — the non-adiabatic torque is taken large, consistent with
+    ///   the paper's reliance on low-current, sub-ns wall motion
+    ///   (experiments [13-14] report efficient DW drive in engineered
+    ///   stacks); β/α sets the wall mobility.
+    /// * P = 0.5
+    /// * Δ = 10 nm wall width (width-limited in a 20 nm strip)
+    /// * H_K = 0.8·Ms out-of-plane demag field
+    /// * Eb = 20 kT (Table 2, computing-grade barrier)
+    pub const NIFE: MagnetMaterial = MagnetMaterial {
+        saturation_magnetization: 8.0e5,
+        gilbert_damping: 0.01,
+        nonadiabaticity: 0.35,
+        spin_polarization: 0.5,
+        wall_width: 10e-9,
+        hard_axis_field: 0.8 * 8.0e5,
+        barrier_kt: 20.0,
+    };
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinError::InvalidParameter`] for non-positive Ms, Δ, H_K or
+    /// barrier, for α or β outside (0, 1], or P outside (0, 1].
+    pub fn validate(&self) -> Result<(), SpinError> {
+        let pos = [
+            (self.saturation_magnetization, "Ms must be positive"),
+            (self.wall_width, "wall width must be positive"),
+            (self.hard_axis_field, "hard-axis field must be positive"),
+            (self.barrier_kt, "energy barrier must be positive"),
+        ];
+        for (v, what) in pos {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SpinError::InvalidParameter { what });
+            }
+        }
+        if !(self.gilbert_damping > 0.0 && self.gilbert_damping <= 1.0) {
+            return Err(SpinError::InvalidParameter {
+                what: "Gilbert damping must lie in (0, 1]",
+            });
+        }
+        if !(self.nonadiabaticity >= 0.0 && self.nonadiabaticity <= 1.0) {
+            return Err(SpinError::InvalidParameter {
+                what: "non-adiabaticity must lie in [0, 1]",
+            });
+        }
+        if !(self.spin_polarization > 0.0 && self.spin_polarization <= 1.0) {
+            return Err(SpinError::InvalidParameter {
+                what: "spin polarization must lie in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    /// Spin-drift velocity per unit current density,
+    /// `u/J = µ_B·P / (e·Ms)`, in (m/s)/(A/m²).
+    ///
+    /// This is the conversion between electrical drive and wall motion: with
+    /// the NiFe defaults it is ≈ 3.6×10⁻¹¹, so the paper's
+    /// J ≈ 10¹⁰–10¹¹ A/m² gives u below a metre per second at threshold and
+    /// tens of m/s under overdrive.
+    #[must_use]
+    pub fn drift_velocity_per_current_density(&self) -> f64 {
+        BOHR_MAGNETON * self.spin_polarization
+            / (ELEMENTARY_CHARGE * self.saturation_magnetization)
+    }
+
+    /// Reduced gyromagnetic ratio γ′ = γ·µ₀ in m/(A·s), converting A/m
+    /// fields into precession rates.
+    #[must_use]
+    pub fn gamma_prime(&self) -> f64 {
+        GYROMAGNETIC_RATIO * MU_0
+    }
+
+    /// Walker-breakdown drift velocity
+    /// `u_W = Δ·γ′·α·H_K / (2·|β − α|)` — above it the steady (viscous)
+    /// wall motion gives way to precessional motion. The defaults put u_W
+    /// above the operating range so the comparator stays in the
+    /// high-mobility viscous regime.
+    #[must_use]
+    pub fn walker_velocity(&self) -> f64 {
+        let da = (self.nonadiabaticity - self.gilbert_damping).abs();
+        if da == 0.0 {
+            f64::INFINITY
+        } else {
+            self.wall_width * self.gamma_prime() * self.gilbert_damping * self.hard_axis_field
+                / (2.0 * da)
+        }
+    }
+
+    /// Wall mobility in the viscous regime, `v/u = β/α`.
+    #[must_use]
+    pub fn viscous_mobility(&self) -> f64 {
+        self.nonadiabaticity / self.gilbert_damping
+    }
+}
+
+impl Default for MagnetMaterial {
+    fn default() -> Self {
+        Self::NIFE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nife_is_valid() {
+        MagnetMaterial::NIFE.validate().unwrap();
+        assert_eq!(MagnetMaterial::default(), MagnetMaterial::NIFE);
+    }
+
+    #[test]
+    fn drift_velocity_coefficient() {
+        let c = MagnetMaterial::NIFE.drift_velocity_per_current_density();
+        // µB·0.5/(e·8e5) ≈ 3.62e-11
+        assert!((c - 3.62e-11).abs() / 3.62e-11 < 0.01, "{c}");
+    }
+
+    #[test]
+    fn walker_velocity_above_operating_range() {
+        // Operating u tops out around 19 m/s (32 µA through 60 nm²); Walker
+        // must sit above that for the viscous model to hold.
+        let uw = MagnetMaterial::NIFE.walker_velocity();
+        assert!(uw > 19.0, "Walker velocity {uw} m/s too low");
+    }
+
+    #[test]
+    fn viscous_mobility_is_beta_over_alpha() {
+        let m = MagnetMaterial::NIFE;
+        assert!((m.viscous_mobility() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_alpha_beta_has_no_walker() {
+        let mut m = MagnetMaterial::NIFE;
+        m.nonadiabaticity = m.gilbert_damping;
+        assert!(m.walker_velocity().is_infinite());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let base = MagnetMaterial::NIFE;
+        let cases: Vec<MagnetMaterial> = vec![
+            MagnetMaterial { saturation_magnetization: 0.0, ..base },
+            MagnetMaterial { saturation_magnetization: f64::NAN, ..base },
+            MagnetMaterial { gilbert_damping: 0.0, ..base },
+            MagnetMaterial { gilbert_damping: 1.5, ..base },
+            MagnetMaterial { nonadiabaticity: -0.1, ..base },
+            MagnetMaterial { spin_polarization: 0.0, ..base },
+            MagnetMaterial { spin_polarization: 1.1, ..base },
+            MagnetMaterial { wall_width: -1e-9, ..base },
+            MagnetMaterial { hard_axis_field: 0.0, ..base },
+            MagnetMaterial { barrier_kt: 0.0, ..base },
+        ];
+        for (k, m) in cases.iter().enumerate() {
+            assert!(m.validate().is_err(), "case {k} should fail");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Magnetic tunnel junction read stack.
+//!
+//! An MTJ between a fixed magnet `m1` and the free domain `d2` converts the
+//! neuron's magnetic state into a resistance: low when `d2` is parallel to
+//! `m1` (the paper's Rp ≈ 5 kΩ), high when anti-parallel (Rap ≈ 15 kΩ). A
+//! reference MTJ "whose resistance is midway between the two resistances"
+//! gives the dynamic latch its comparison point.
+
+use crate::SpinError;
+use spinamm_circuit::units::Ohms;
+
+/// Magnetization polarity of the free domain, as seen by the read MTJ.
+///
+/// [`Polarity::Up`] is defined as *parallel* to the MTJ fixed layer `m1`
+/// (low resistance); [`Polarity::Down`] is anti-parallel (high resistance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Parallel to the read stack's fixed layer — low MTJ resistance.
+    Up,
+    /// Anti-parallel — high MTJ resistance.
+    Down,
+}
+
+impl Polarity {
+    /// The opposite polarity.
+    #[must_use]
+    pub fn flipped(self) -> Polarity {
+        match self {
+            Polarity::Up => Polarity::Down,
+            Polarity::Down => Polarity::Up,
+        }
+    }
+
+    /// Signed representation: `Up → +1`, `Down → −1`.
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Up => 1.0,
+            Polarity::Down => -1.0,
+        }
+    }
+}
+
+/// An MTJ read stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mtj {
+    r_parallel: Ohms,
+    r_antiparallel: Ohms,
+}
+
+impl Mtj {
+    /// The paper's stack: Rp = 5 kΩ, Rap = 15 kΩ.
+    pub const PAPER: Mtj = Mtj {
+        r_parallel: Ohms(5_000.0),
+        r_antiparallel: Ohms(15_000.0),
+    };
+
+    /// Creates an MTJ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinError::InvalidParameter`] unless
+    /// `0 < r_parallel < r_antiparallel` (both finite).
+    pub fn new(r_parallel: Ohms, r_antiparallel: Ohms) -> Result<Self, SpinError> {
+        if !(r_parallel.0.is_finite() && r_antiparallel.0.is_finite()) {
+            return Err(SpinError::InvalidParameter {
+                what: "MTJ resistances must be finite",
+            });
+        }
+        if r_parallel.0 <= 0.0 || r_antiparallel.0 <= r_parallel.0 {
+            return Err(SpinError::InvalidParameter {
+                what: "require 0 < r_parallel < r_antiparallel",
+            });
+        }
+        Ok(Self {
+            r_parallel,
+            r_antiparallel,
+        })
+    }
+
+    /// Low (parallel) resistance.
+    #[must_use]
+    pub fn r_parallel(&self) -> Ohms {
+        self.r_parallel
+    }
+
+    /// High (anti-parallel) resistance.
+    #[must_use]
+    pub fn r_antiparallel(&self) -> Ohms {
+        self.r_antiparallel
+    }
+
+    /// Resistance for a given free-domain polarity.
+    #[must_use]
+    pub fn resistance(&self, polarity: Polarity) -> Ohms {
+        match polarity {
+            Polarity::Up => self.r_parallel,
+            Polarity::Down => self.r_antiparallel,
+        }
+    }
+
+    /// The reference cell: resistance midway between the two states (the
+    /// paper's explicit construction for the latch's second load branch).
+    #[must_use]
+    pub fn reference_resistance(&self) -> Ohms {
+        Ohms(0.5 * (self.r_parallel.0 + self.r_antiparallel.0))
+    }
+
+    /// Tunnel magneto-resistance ratio `(Rap − Rp)/Rp`.
+    #[must_use]
+    pub fn tmr(&self) -> f64 {
+        (self.r_antiparallel.0 - self.r_parallel.0) / self.r_parallel.0
+    }
+}
+
+impl Default for Mtj {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stack() {
+        let m = Mtj::PAPER;
+        assert_eq!(m.resistance(Polarity::Up), Ohms(5_000.0));
+        assert_eq!(m.resistance(Polarity::Down), Ohms(15_000.0));
+        assert_eq!(m.reference_resistance(), Ohms(10_000.0));
+        assert!((m.tmr() - 2.0).abs() < 1e-12);
+        assert_eq!(Mtj::default(), Mtj::PAPER);
+    }
+
+    #[test]
+    fn polarity_algebra() {
+        assert_eq!(Polarity::Up.flipped(), Polarity::Down);
+        assert_eq!(Polarity::Down.flipped(), Polarity::Up);
+        assert_eq!(Polarity::Up.sign(), 1.0);
+        assert_eq!(Polarity::Down.sign(), -1.0);
+    }
+
+    #[test]
+    fn reference_sits_between_states() {
+        let m = Mtj::new(Ohms(4_000.0), Ohms(9_000.0)).unwrap();
+        let r = m.reference_resistance().0;
+        assert!(m.r_parallel().0 < r && r < m.r_antiparallel().0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Mtj::new(Ohms(0.0), Ohms(15e3)).is_err());
+        assert!(Mtj::new(Ohms(15e3), Ohms(5e3)).is_err());
+        assert!(Mtj::new(Ohms(5e3), Ohms(5e3)).is_err());
+        assert!(Mtj::new(Ohms(f64::NAN), Ohms(15e3)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Device-level tour: the physics underneath the associative memory.
+//!
+//! Walks through the domain-wall dynamics (threshold, switching times),
+//! the behavioural neuron's hysteresis, the thermal statistics, the MTJ
+//! read stack, and the memristor write process.
+//!
+//! ```text
+//! cargo run --release --example device_playground
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Amps, Seconds};
+use spinamm_memristor::{DeviceLimits, LevelMap, Memristor, WriteScheme};
+use spinamm_spin::dynamics::DwDynamics;
+use spinamm_spin::neuron::{DomainWallNeuron, NeuronConfig};
+use spinamm_spin::thermal::ThermalModel;
+use spinamm_spin::{Mtj, Polarity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Domain-wall dynamics (paper Fig. 5, Table 2). --------------------
+    let d = DwDynamics::paper_reference();
+    println!("== domain-wall magnet (NiFe, 3x20x60 nm^3) ==");
+    println!(
+        "analytic threshold : {:.3} µA",
+        d.analytic_threshold().0 * 1e6
+    );
+    println!(
+        "simulated threshold: {:.3} µA (1-D q–φ model, RK4)",
+        d.critical_current()?.0 * 1e6
+    );
+    for i_ua in [1.5, 2.0, 3.0, 5.0] {
+        let t = d.switching_time(Amps(i_ua * 1e-6));
+        println!(
+            "  I = {i_ua:.1} µA -> t_switch = {}",
+            t.map_or("no switch".to_string(), |t| format!("{:.2} ns", t.0 * 1e9))
+        );
+    }
+
+    // --- Behavioural neuron hysteresis (paper Fig. 7a). -------------------
+    println!("\n== DWN transfer characteristic (hysteresis) ==");
+    let mut neuron = DomainWallNeuron::new(NeuronConfig::paper());
+    let curve = neuron.transfer_curve(Amps(3e-6), 25, Seconds(10e-9));
+    let (up, down) = curve.split_at(curve.len() / 2);
+    let line = |leg: &[spinamm_spin::TransferPoint]| -> String {
+        leg.iter()
+            .map(|p| if p.output > 0.0 { '#' } else { '.' })
+            .collect()
+    };
+    println!("  up   leg (-3µA -> +3µA): {}", line(up));
+    println!("  down leg (+3µA -> -3µA): {}", line(down));
+
+    // --- Thermal statistics (Eb = 20 kT). ----------------------------------
+    let thermal = ThermalModel::PAPER;
+    println!("\n== thermal activation (Eb = 20 kT, f0 = 1 GHz) ==");
+    println!(
+        "retention time     : {:.2} s (computing-grade, not storage-grade)",
+        thermal.retention_time().0
+    );
+    for frac in [0.5, 0.8, 0.95] {
+        println!(
+            "  P(switch | I = {:.2} I_c, 10 ns) = {:.4}",
+            frac,
+            thermal.switching_probability(
+                Amps(frac * 1e-6),
+                Amps(1e-6),
+                Seconds(10e-9)
+            )
+        );
+    }
+
+    // --- MTJ read stack. ----------------------------------------------------
+    let mtj = Mtj::PAPER;
+    println!("\n== MTJ read stack ==");
+    println!(
+        "Rp = {:.0} Ω, Rap = {:.0} Ω, reference = {:.0} Ω, TMR = {:.0} %",
+        mtj.resistance(Polarity::Up).0,
+        mtj.resistance(Polarity::Down).0,
+        mtj.reference_resistance().0,
+        100.0 * mtj.tmr()
+    );
+
+    // --- Memristor program-and-verify (paper §2). ---------------------------
+    println!("\n== Ag-Si memristor writes (3 % tolerance = 5-bit) ==");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let map = LevelMap::new(DeviceLimits::PAPER, 5)?;
+    let scheme = WriteScheme::paper();
+    for level in [4u32, 16, 28] {
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        let report = cell.program(map.conductance(level)?, &scheme, &mut rng)?;
+        println!(
+            "  level {level:2}: {} pulses, residual error {:+.2} %, readback level {}",
+            report.pulses,
+            report.relative_error * 100.0,
+            map.nearest_level(cell.conductance())
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: store three patterns in a spin-neuron associative memory and
+//! recall one of them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three 12-element, 5-bit patterns — one per crossbar column.
+    let patterns = vec![
+        vec![31, 31, 31, 31, 0, 0, 0, 0, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 31, 31, 31, 31, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 0, 0, 0, 0, 31, 31, 31, 31],
+    ];
+
+    // Build the module with the paper's device parameters (Table 2):
+    // Ag-Si memristors (1–32 kΩ), 1 µA domain-wall neurons, ΔV = 30 mV.
+    let mut amm = AssociativeMemoryModule::build(&patterns, &AmmConfig::default())?;
+
+    // Present a noisy version of pattern 1.
+    let noisy = vec![0, 1, 0, 2, 30, 29, 31, 30, 1, 0, 2, 0];
+    let result = amm.recall(&noisy)?;
+
+    println!("stored patterns : {}", amm.pattern_count());
+    println!("winner          : column {}", result.raw_winner);
+    println!("tracked winner  : {:?}", result.tracked_winner);
+    println!("degree of match : {}/31", result.dom);
+    println!("column codes    : {:?}", result.codes);
+    println!(
+        "energy          : {:.3} pJ per recognition",
+        result.energy.total().0 * 1e12
+    );
+
+    let report = amm.power_report(&noisy)?;
+    println!(
+        "power           : {:.1} µW ({:.1} µW static + {:.1} µW dynamic)",
+        report.total_power().0 * 1e6,
+        report.static_power.0 * 1e6,
+        report.dynamic_power.0 * 1e6,
+    );
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: synthetic faces → feature extraction → crossbar
+//! programming → spin-WTA recognition, at a realistic (sub-paper) scale.
+
+use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+use spinamm_core::recall;
+use spinamm_data::dataset::{DatasetConfig, FaceDataset};
+use spinamm_data::image::Resolution;
+
+fn dataset() -> FaceDataset {
+    FaceDataset::generate(&DatasetConfig {
+        individuals: 10,
+        samples_per_individual: 5,
+        ..DatasetConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn face_pipeline_recognizes_majority() {
+    let data = dataset();
+    let templates = data.templates(Resolution::template(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+
+    let ideal = recall::ideal_accuracy(&templates, &tests).unwrap();
+    assert!(ideal.accuracy() > 0.9, "ideal accuracy {}", ideal.accuracy());
+
+    let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+    let hw = recall::evaluate_accuracy(&mut amm, &tests).unwrap();
+    assert!(
+        hw.accuracy() > 0.6,
+        "hardware accuracy {} too far below ideal {}",
+        hw.accuracy(),
+        ideal.accuracy()
+    );
+}
+
+#[test]
+fn recognition_is_deterministic() {
+    let data = dataset();
+    let templates = data.templates(Resolution::template(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+    let run = || {
+        let mut amm =
+            AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+        tests
+            .iter()
+            .take(5)
+            .map(|(_, t)| amm.recall(t).unwrap().codes)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn power_is_microwatt_class_and_energy_accounted() {
+    let data = dataset();
+    let templates = data.templates(Resolution::template(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+    let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+    let report = amm.power_report(&tests[0].1).unwrap();
+    let total = report.total_power().0;
+    assert!(
+        total > 1e-6 && total < 1e-3,
+        "total power {total} W outside the µW decade"
+    );
+    // The breakdown is complete: every component present, totals add up.
+    let e = report.energy;
+    assert!(e.rcm_static.0 > 0.0);
+    assert!(e.dac_static.0 > 0.0);
+    assert!(e.dwn_write.0 > 0.0);
+    assert!(e.latch_sense.0 > 0.0);
+    assert!(e.digital.0 > 0.0);
+    let sum = e.rcm_static.0 + e.dac_static.0 + e.dwn_write.0 + e.latch_sense.0 + e.digital.0;
+    assert!((sum - e.total().0).abs() < 1e-24);
+}
+
+#[test]
+fn parasitic_fidelity_agrees_with_driven_at_small_scale() {
+    let data = FaceDataset::generate(&DatasetConfig {
+        individuals: 4,
+        samples_per_individual: 3,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    let templates = data.templates(Resolution::new(8, 4).unwrap(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::new(8, 4).unwrap(), 5).unwrap();
+
+    let driven_cfg = AmmConfig {
+        fidelity: Fidelity::Driven,
+        ..AmmConfig::default()
+    };
+    let parasitic_cfg = AmmConfig {
+        fidelity: Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+
+    let mut driven = AssociativeMemoryModule::build(&templates, &driven_cfg).unwrap();
+    let mut parasitic = AssociativeMemoryModule::build(&templates, &parasitic_cfg).unwrap();
+    for (_, input) in tests.iter().take(6) {
+        let a = driven.recall(input).unwrap();
+        let b = parasitic.recall(input).unwrap();
+        for (x, y) in a.column_currents.iter().zip(&b.column_currents) {
+            let scale = x.0.abs().max(1e-9);
+            assert!(
+                (x.0 - y.0).abs() / scale < 0.05,
+                "driven {} vs parasitic {}",
+                x.0,
+                y.0
+            );
+        }
+    }
+}
+
+#[test]
+fn dom_threshold_separates_known_from_random() {
+    let data = dataset();
+    let templates = data.templates(Resolution::template(), 5).unwrap();
+    let tests = data.test_vectors(Resolution::template(), 5).unwrap();
+
+    // Find the DOM range of genuine images, then set the bar below it.
+    let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+    let genuine_min = tests
+        .iter()
+        .take(10)
+        .map(|(_, t)| amm.recall(t).unwrap().dom)
+        .min()
+        .unwrap();
+    assert!(genuine_min > 5, "genuine DOMs too weak: {genuine_min}");
+
+    let cfg = AmmConfig {
+        dom_threshold: genuine_min,
+        ..AmmConfig::default()
+    };
+    let mut gated = AssociativeMemoryModule::build(&templates, &cfg).unwrap();
+    // Every genuine probe is accepted.
+    for (_, t) in tests.iter().take(10) {
+        assert!(gated.recall(t).unwrap().winner.is_some());
+    }
+    // Dim random junk is rejected.
+    let junk = vec![2u32; templates[0].len()];
+    assert_eq!(gated.recall(&junk).unwrap().winner, None);
+}
