@@ -72,7 +72,11 @@ fn bench_extensions(c: &mut Criterion) {
         let programmer = ArrayProgrammer::safe(BiasScheme::HalfVoltage);
         b.iter(|| {
             let mut array = CrossbarArray::new(8, 6, DeviceLimits::PAPER).unwrap();
-            black_box(programmer.program(&mut array, &targets, &map, 0.03).unwrap())
+            black_box(
+                programmer
+                    .program(&mut array, &targets, &map, 0.03)
+                    .unwrap(),
+            )
         });
     });
 

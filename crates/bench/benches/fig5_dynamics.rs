@@ -25,9 +25,7 @@ fn bench_fig5(c: &mut Criterion) {
     });
 
     group.bench_function("fig5c_sweep", |b| {
-        b.iter(|| {
-            experiments::fig5c(black_box(&[1.0, 0.5]), black_box(&[2.0, 4.0, 8.0])).unwrap()
-        });
+        b.iter(|| experiments::fig5c(black_box(&[1.0, 0.5]), black_box(&[2.0, 4.0, 8.0])).unwrap());
     });
 
     group.finish();

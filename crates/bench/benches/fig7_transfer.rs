@@ -16,13 +16,7 @@ fn bench_fig7(c: &mut Criterion) {
 
     let t = ThermalModel::PAPER;
     group.bench_function("switching_probability", |b| {
-        b.iter(|| {
-            black_box(t.switching_probability(
-                Amps(0.8e-6),
-                Amps(1e-6),
-                Seconds(10e-9),
-            ))
-        });
+        b.iter(|| black_box(t.switching_probability(Amps(0.8e-6), Amps(1e-6), Seconds(10e-9))));
     });
 
     group.finish();

@@ -60,7 +60,9 @@ fn bench_substrate(c: &mut Criterion) {
     let mut array = CrossbarArray::new(128, 40, DeviceLimits::PAPER).unwrap();
     for j in 0..40 {
         let levels: Vec<u32> = (0..128).map(|i| ((i * 5 + j * 3) % 32) as u32).collect();
-        array.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        array
+            .program_pattern(j, &levels, &map, &scheme, &mut rng)
+            .unwrap();
     }
     array.equalize_rows(None).unwrap();
     let drives = vec![
@@ -96,11 +98,7 @@ fn bench_substrate(c: &mut Criterion) {
     .unwrap();
     let image = data.image(0, 0).unwrap().clone();
     group.bench_function("face_reduce_128x96_to_16x8", |b| {
-        b.iter(|| {
-            black_box(
-                FaceDataset::reduce(&image, Resolution::template(), 5).unwrap(),
-            )
-        });
+        b.iter(|| black_box(FaceDataset::reduce(&image, Resolution::template(), 5).unwrap()));
     });
 
     group.finish();

@@ -1,27 +1,64 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [--quick] [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
+//! experiments [--quick] [--json <path>]
+//!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
-//! miniature configuration used by the test suite.
+//! miniature configuration used by the test suite. `--json <path>` also
+//! writes every selected study's rows — plus a telemetry snapshot from an
+//! instrumented parasitic-fidelity recognition run — as one machine-readable
+//! JSON report (see README.md, "Observability").
 
 use spinamm_bench::report::{eng, Table};
 use spinamm_bench::{experiments, Scale};
+use spinamm_telemetry::json::{self, JsonValue};
 use std::process::ExitCode;
+
+/// One rendered study: the printable text and its structured twin.
+struct Section {
+    text: String,
+    json: JsonValue,
+}
+
+impl Section {
+    fn table(t: &Table) -> Self {
+        Self {
+            text: t.render(),
+            json: t.to_json(),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let wanted: Vec<&str> = args
+    let json_path = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+        .position(|a| a == "--json")
+        .and_then(|k| args.get(k + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--json") && json_path.is_none() {
+        eprintln!("--json requires a path argument");
+        return ExitCode::FAILURE;
+    }
+    let mut skip_next = false;
+    let mut wanted: Vec<&str> = Vec::new();
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--json" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
     let wanted: Vec<&str> = if wanted.is_empty() {
         vec!["all"]
     } else {
@@ -31,12 +68,16 @@ fn main() -> ExitCode {
     let all = wanted.contains(&"all");
     let run = |name: &str| all || wanted.contains(&name);
     let mut failures = 0;
+    let mut studies: Vec<(String, JsonValue)> = Vec::new();
 
     macro_rules! section {
         ($name:literal, $body:expr) => {
             if run($name) {
                 match $body {
-                    Ok(text) => println!("{text}"),
+                    Ok(section) => {
+                        println!("{}", section.text);
+                        studies.push(($name.to_string(), section.json));
+                    }
                     Err(e) => {
                         eprintln!("{}: FAILED: {e}", $name);
                         failures += 1;
@@ -66,6 +107,16 @@ fn main() -> ExitCode {
     section!("disturb", render_disturb());
     section!("noise", render_noise(&scale));
 
+    if let Some(path) = json_path {
+        match write_json_report(&path, &scale, quick, studies) {
+            Ok(()) => println!("wrote JSON report to {path}"),
+            Err(e) => {
+                eprintln!("--json {path}: FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+
     if failures == 0 {
         ExitCode::SUCCESS
     } else {
@@ -73,13 +124,55 @@ fn main() -> ExitCode {
     }
 }
 
-type Rendered = Result<String, spinamm_core::CoreError>;
+/// Assembles and writes the machine-readable report: every rendered study
+/// plus a telemetry snapshot from an instrumented recognition workload.
+fn write_json_report(
+    path: &str,
+    scale: &Scale,
+    quick: bool,
+    studies: Vec<(String, JsonValue)>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = experiments::telemetry_capture(scale)?;
+    let document = JsonValue::object([
+        ("schema_version", JsonValue::Uint(1)),
+        (
+            "scale",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        (
+            "studies",
+            JsonValue::Array(
+                studies
+                    .into_iter()
+                    .map(|(name, report)| {
+                        JsonValue::object([("name", JsonValue::Str(name)), ("report", report)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("telemetry", snapshot.to_json_value()),
+    ]);
+    let rendered = document.render();
+    json::validate(&rendered)?;
+    std::fs::write(path, rendered)?;
+    Ok(())
+}
+
+type Rendered = Result<Section, spinamm_core::CoreError>;
 
 fn render_table2() -> Rendered {
-    Ok(format!(
+    let text = format!(
         "== Table 2: design parameters ==\n{}",
         experiments::table2()
-    ))
+    );
+    let json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str("Table 2: design parameters".to_string()),
+        ),
+        ("text", JsonValue::Str(experiments::table2())),
+    ]);
+    Ok(Section { text, json })
 }
 
 fn render_fig3a(scale: &Scale) -> Rendered {
@@ -96,7 +189,7 @@ fn render_fig3a(scale: &Scale) -> Rendered {
             format!("{:.3}", r.hardware),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig3b(scale: &Scale) -> Rendered {
@@ -112,7 +205,7 @@ fn render_fig3b(scale: &Scale) -> Rendered {
             format!("{:.3}", r.hardware),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig5b() -> Rendered {
@@ -128,7 +221,7 @@ fn render_fig5b() -> Rendered {
             eng(r.simulated, "A"),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig5c() -> Rendered {
@@ -141,10 +234,11 @@ fn render_fig5c() -> Rendered {
         t.row(&[
             format!("{:.2}x", r.factor),
             eng(r.current, "A"),
-            r.time.map_or_else(|| "no switch".to_string(), |t| eng(t, "s")),
+            r.time
+                .map_or_else(|| "no switch".to_string(), |t| eng(t, "s")),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig7a() -> Rendered {
@@ -173,14 +267,20 @@ fn render_fig7a() -> Rendered {
             format!("{thermal:.3}"),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig8b() -> Rendered {
     let curves = experiments::fig8b(&[100.0, 10.0, 2.0, 0.5])?;
     let mut t = Table::new(
         "Fig 8b: DTCS-DAC non-linearity vs row load G_TS",
-        &["G_TS / G_T(max)", "INL (frac of FS)", "I(code 8)", "I(code 16)", "I(code 31)"],
+        &[
+            "G_TS / G_T(max)",
+            "INL (frac of FS)",
+            "I(code 8)",
+            "I(code 16)",
+            "I(code 31)",
+        ],
     );
     for c in curves {
         let at = |code: u32| {
@@ -197,7 +297,7 @@ fn render_fig8b() -> Rendered {
             eng(at(31), "A"),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig9a(scale: &Scale) -> Rendered {
@@ -217,7 +317,7 @@ fn render_fig9a(scale: &Scale) -> Rendered {
             format!("{:.2}", p.margin),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig9b(scale: &Scale) -> Rendered {
@@ -229,7 +329,7 @@ fn render_fig9b(scale: &Scale) -> Rendered {
     for p in points {
         t.row(&[eng(p.parameter, "V"), format!("{:.2}", p.margin)]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig13a(scale: &Scale) -> Rendered {
@@ -246,7 +346,7 @@ fn render_fig13a(scale: &Scale) -> Rendered {
             eng(r.total(), "W"),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_fig13b(scale: &Scale) -> Rendered {
@@ -262,7 +362,7 @@ fn render_fig13b(scale: &Scale) -> Rendered {
             format!("{:.0}", r.ratio_dlugosz),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_table1(scale: &Scale) -> Rendered {
@@ -292,14 +392,24 @@ fn render_table1(scale: &Scale) -> Rendered {
             format!("{:.0}", r.energy_ratios[2]),
         ]);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
+    let mut section = Section::table(&t);
+    section.text.push_str(&format!(
         "frequencies: spin-CMOS {} | MS-CMOS {} | digital {}\n",
         eng(experiments::SPIN_FREQUENCY, "Hz"),
         eng(experiments::ANALOG_FREQUENCY, "Hz"),
         eng(experiments::DIGITAL_FREQUENCY, "Hz"),
     ));
-    Ok(out)
+    if let JsonValue::Object(pairs) = &mut section.json {
+        pairs.push((
+            "frequencies_hz".to_string(),
+            JsonValue::object([
+                ("spin_cmos", JsonValue::Num(experiments::SPIN_FREQUENCY)),
+                ("ms_cmos", JsonValue::Num(experiments::ANALOG_FREQUENCY)),
+                ("digital", JsonValue::Num(experiments::DIGITAL_FREQUENCY)),
+            ]),
+        ));
+    }
+    Ok(section)
 }
 
 fn render_ablations(scale: &Scale) -> Rendered {
@@ -316,7 +426,7 @@ fn render_ablations(scale: &Scale) -> Rendered {
             format!("{:.2}", r.tracker_agreement),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_settling() -> Rendered {
@@ -332,7 +442,7 @@ fn render_settling() -> Rendered {
             if r.within_cycle { "yes" } else { "NO" }.to_string(),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_drift(scale: &Scale) -> Rendered {
@@ -348,7 +458,7 @@ fn render_drift(scale: &Scale) -> Rendered {
             format!("{:.3}", r.refreshed_accuracy),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_write_precision(scale: &Scale) -> Rendered {
@@ -364,7 +474,7 @@ fn render_write_precision(scale: &Scale) -> Rendered {
             format!("{:.1}", r.mean_pulses),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_noise(scale: &Scale) -> Rendered {
@@ -380,14 +490,19 @@ fn render_noise(scale: &Scale) -> Rendered {
             format!("{:.3}", r.hardware),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_disturb() -> Rendered {
     let rows = experiments::disturb_study(16, 10)?;
     let mut t = Table::new(
         "Programming disturb under V/2 biasing (16x10 array)",
-        &["scheme", "half-select pulses/cell", "max error", "corrupted cells"],
+        &[
+            "scheme",
+            "half-select pulses/cell",
+            "max error",
+            "corrupted cells",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -397,7 +512,7 @@ fn render_disturb() -> Rendered {
             format!("{}", r.corrupted_cells),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }
 
 fn render_hierarchy(scale: &Scale) -> Rendered {
@@ -413,5 +528,5 @@ fn render_hierarchy(scale: &Scale) -> Rendered {
             format!("{:.3}", r.accuracy),
         ]);
     }
-    Ok(t.render())
+    Ok(Section::table(&t))
 }

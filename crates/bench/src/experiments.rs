@@ -212,15 +212,14 @@ pub fn fig7a(points: usize) -> TransferStudy {
             let i = 3e-6 * k as f64 / (points - 1) as f64;
             (
                 i,
-                thermal_model.switching_probability(
-                    Amps(i),
-                    config.threshold,
-                    Seconds(10e-9),
-                ),
+                thermal_model.switching_probability(Amps(i), config.threshold, Seconds(10e-9)),
             )
         })
         .collect();
-    TransferStudy { hysteresis, thermal }
+    TransferStudy {
+        hysteresis,
+        thermal,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -294,12 +293,7 @@ fn margin_workload(scale: &Scale) -> Result<MarginWorkload, CoreError> {
 /// Propagates build/solve errors.
 pub fn fig9a(scale: &Scale, window_scales: &[f64]) -> Result<Vec<MarginPoint>, CoreError> {
     let (templates, probes) = margin_workload(scale)?;
-    margin::margin_vs_conductance_window(
-        &templates,
-        &probes,
-        window_scales,
-        &AmmConfig::default(),
-    )
+    margin::margin_vs_conductance_window(&templates, &probes, window_scales, &AmmConfig::default())
 }
 
 /// Fig. 9b: detection margin vs ΔV.
@@ -401,10 +395,10 @@ pub fn fig13b(scale: &Scale, sigmas_mv: &[f64]) -> Result<Vec<VariationRow>, Cor
         .iter()
         .map(|&mv| {
             let sigma = Volts(mv * 1e-3);
-            let a = AnalogWtaModel::new(WtaStyle::Andreou17, templates.len())?
-                .with_sigma_vt(sigma)?;
-            let d = AnalogWtaModel::new(WtaStyle::Dlugosz18, templates.len())?
-                .with_sigma_vt(sigma)?;
+            let a =
+                AnalogWtaModel::new(WtaStyle::Andreou17, templates.len())?.with_sigma_vt(sigma)?;
+            let d =
+                AnalogWtaModel::new(WtaStyle::Dlugosz18, templates.len())?.with_sigma_vt(sigma)?;
             Ok(VariationRow {
                 sigma_vt: sigma.0,
                 ratio_andreou: a.power_delay_product(4).0 / proposed_pd,
@@ -531,7 +525,10 @@ pub struct HierarchyRow {
 /// # Errors
 ///
 /// Propagates dataset/AMM errors.
-pub fn hierarchy_study(scale: &Scale, cluster_counts: &[usize]) -> Result<Vec<HierarchyRow>, CoreError> {
+pub fn hierarchy_study(
+    scale: &Scale,
+    cluster_counts: &[usize],
+) -> Result<Vec<HierarchyRow>, CoreError> {
     let data = face_dataset(scale)?;
     let target = Resolution::template();
     let templates = data.templates(target, 5)?;
@@ -551,7 +548,10 @@ pub fn hierarchy_study(scale: &Scale, cluster_counts: &[usize]) -> Result<Vec<Hi
                     correct += 1;
                 }
             }
-            (e / probes.len() as f64, correct as f64 / probes.len() as f64)
+            (
+                e / probes.len() as f64,
+                correct as f64 / probes.len() as f64,
+            )
         } else {
             let mut h = spinamm_core::hierarchy::HierarchicalAmm::build(
                 &templates,
@@ -567,7 +567,10 @@ pub fn hierarchy_study(scale: &Scale, cluster_counts: &[usize]) -> Result<Vec<Hi
                     correct += 1;
                 }
             }
-            (e / probes.len() as f64, correct as f64 / probes.len() as f64)
+            (
+                e / probes.len() as f64,
+                correct as f64 / probes.len() as f64,
+            )
         };
         rows.push(HierarchyRow {
             clusters: k.max(1),
@@ -640,11 +643,8 @@ pub fn ablation_study(scale: &Scale) -> Result<Vec<AblationRow>, CoreError> {
                 if r.raw_winner == *label {
                     correct += 1;
                 }
-                margin += spinamm_core::margin::labelled_margin_lsb(
-                    &r.column_currents,
-                    *label,
-                    lsb,
-                );
+                margin +=
+                    spinamm_core::margin::labelled_margin_lsb(&r.column_currents, *label, lsb);
                 if r.tracked_winner == Some(r.raw_winner) {
                     agree += 1;
                 }
@@ -714,7 +714,9 @@ pub fn write_precision_study(
             for k in 0..trials {
                 let mut cell = Memristor::new(DeviceLimits::PAPER);
                 let level = k % 32;
-                pulses += cell.program(map.conductance(level)?, &scheme, &mut rng)?.pulses;
+                pulses += cell
+                    .program(map.conductance(level)?, &scheme, &mut rng)?
+                    .pulses;
             }
             Ok(WritePrecisionRow {
                 tolerance: tol,
@@ -754,8 +756,8 @@ pub fn settling_study() -> Result<Vec<SettlingRow>, CoreError> {
 
     // Transient verification at a medium size (dense-solvable).
     let size = (12usize, 6usize);
-    let mut array = CrossbarArray::new(size.0, size.1, DeviceLimits::PAPER)
-        .map_err(CoreError::Crossbar)?;
+    let mut array =
+        CrossbarArray::new(size.0, size.1, DeviceLimits::PAPER).map_err(CoreError::Crossbar)?;
     for i in 0..size.0 {
         for j in 0..size.1 {
             let g = DeviceLimits::PAPER.g_min().0
@@ -785,7 +787,10 @@ pub fn settling_study() -> Result<Vec<SettlingRow>, CoreError> {
     });
 
     // Elmore extrapolations.
-    for (cells, label) in [(40usize, "row bar, 40 cells"), (128, "column bar, 128 cells")] {
+    for (cells, label) in [
+        (40usize, "row bar, 40 cells"),
+        (128, "column bar, 128 cells"),
+    ] {
         let tau = study.elmore_estimate(cells, Ohms(3_000.0)).0;
         rows.push(SettlingRow {
             label: format!("Elmore 10τ, {label} (paper scale)"),
@@ -884,7 +889,10 @@ pub fn disturb_study(rows: usize, cols: usize) -> Result<Vec<DisturbStudyRow>, C
     let map = LevelMap::new(DeviceLimits::PAPER, 5)?;
     let targets: Vec<u32> = (0..rows * cols).map(|k| (k * 11 % 32) as u32).collect();
     let variants = [
-        ("V/2, safe margin (Vw/2 < Vth)", ArrayProgrammer::safe(BiasScheme::HalfVoltage)),
+        (
+            "V/2, safe margin (Vw/2 < Vth)",
+            ArrayProgrammer::safe(BiasScheme::HalfVoltage),
+        ),
         (
             "V/2, violated margin (Vw/2 > Vth)",
             ArrayProgrammer::unsafe_margin(BiasScheme::HalfVoltage),
@@ -894,8 +902,8 @@ pub fn disturb_study(rows: usize, cols: usize) -> Result<Vec<DisturbStudyRow>, C
     variants
         .iter()
         .map(|(label, programmer)| {
-            let mut array = CrossbarArray::new(rows, cols, DeviceLimits::PAPER)
-                .map_err(CoreError::Crossbar)?;
+            let mut array =
+                CrossbarArray::new(rows, cols, DeviceLimits::PAPER).map_err(CoreError::Crossbar)?;
             let report = programmer
                 .program(&mut array, &targets, &map, 0.03)
                 .map_err(CoreError::Crossbar)?;
@@ -958,6 +966,40 @@ pub fn noise_robustness_study(
             })
         })
         .collect()
+}
+
+/// Runs a representative instrumented recognition workload — parasitic
+/// fidelity so every layer fires (programming pulses, crossbar solves, SAR
+/// cycles, WTA transitions, hardware/ideal mismatch events) — and returns
+/// the captured telemetry.
+///
+/// The workload is deliberately small even at paper [`Scale`] (parasitic
+/// nodal solves dominate wall time); `scale` only bounds the query count.
+///
+/// # Errors
+///
+/// Propagates workload/AMM errors.
+pub fn telemetry_capture(scale: &Scale) -> Result<spinamm_telemetry::TelemetrySnapshot, CoreError> {
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+
+    let w = PatternWorkload::generate(&WorkloadConfig {
+        pattern_count: 8,
+        vector_len: 32,
+        bits: 5,
+        query_count: scale.queries.clamp(8, 24),
+        query_noise: 0.3,
+        noise_magnitude: 2,
+        similarity: 0.5,
+        seed: 0x7e1e,
+    })?;
+    let cfg = AmmConfig {
+        fidelity: spinamm_core::amm::Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+    let recorder = spinamm_telemetry::MemoryRecorder::default();
+    let mut amm = AssociativeMemoryModule::build_with(&w.patterns, &cfg, &recorder)?;
+    recall::evaluate_accuracy_with(&mut amm, &w.queries, Some(&w.patterns), &recorder)?;
+    Ok(recorder.snapshot())
 }
 
 #[cfg(test)]
@@ -1066,7 +1108,10 @@ mod tests {
     fn fig13b_ratio_grows_with_sigma() {
         let rows = fig13b(&quick(), &[5.0, 15.0]).unwrap();
         assert!(rows[1].ratio_andreou > 5.0 * rows[0].ratio_andreou);
-        assert!(rows[0].ratio_dlugosz > 1.0, "MS-CMOS must be worse even at 5 mV");
+        assert!(
+            rows[0].ratio_dlugosz > 1.0,
+            "MS-CMOS must be worse even at 5 mV"
+        );
     }
 
     #[test]
@@ -1097,8 +1142,7 @@ mod tests {
             assert!(
                 r.within_cycle,
                 "{} takes {} s — outside the 10 ns cycle",
-                r.label,
-                r.time
+                r.label, r.time
             );
             assert!(r.time > 0.0 && r.time < 10e-9);
         }

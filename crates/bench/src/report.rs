@@ -1,5 +1,6 @@
 //! Minimal fixed-width table formatting for experiment output.
 
+use spinamm_telemetry::json::JsonValue;
 use std::fmt::Write as _;
 
 /// A simple printable table.
@@ -22,8 +23,23 @@ impl Table {
     }
 
     /// Appends a row (stringified cells).
+    ///
+    /// The row is normalized to exactly one cell per header — short rows
+    /// are padded with empty cells, long rows are trimmed — so no data can
+    /// silently vanish at render time. A mismatched width is a caller bug
+    /// and panics in debug builds.
     pub fn row(&mut self, cells: &[String]) {
-        self.rows.push(cells.to_vec());
+        debug_assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table '{}': row has {} cells for {} columns",
+            self.title,
+            cells.len(),
+            self.headers.len()
+        );
+        let mut row = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
     }
 
     /// Number of data rows.
@@ -65,6 +81,23 @@ impl Table {
         }
         out
     }
+
+    /// The table as a structured JSON value: `{title, columns, rows}` with
+    /// every cell carried as its rendered string.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let strings = |items: &[String]| {
+            JsonValue::Array(items.iter().map(|s| JsonValue::Str(s.clone())).collect())
+        };
+        JsonValue::object([
+            ("title", JsonValue::Str(self.title.clone())),
+            ("columns", strings(&self.headers)),
+            (
+                "rows",
+                JsonValue::Array(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+        ])
+    }
 }
 
 /// Formats a value in engineering notation with a unit.
@@ -105,6 +138,41 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("long-name"));
         assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells for 2 columns")]
+    fn short_row_panics_in_debug() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["only-one".to_string()]);
+    }
+
+    #[test]
+    fn rows_are_normalized_to_header_width() {
+        // In release builds (no debug assertions) a short row must pad
+        // rather than silently shifting columns, and a long row must trim.
+        let mut t = Table::new("demo", &["a", "b"]);
+        if cfg!(debug_assertions) {
+            t.row(&["x".to_string(), "y".to_string()]);
+            assert_eq!(t.rows[0].len(), 2);
+        } else {
+            t.row(&["x".to_string()]);
+            t.row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+            assert_eq!(t.rows[0], vec!["x".to_string(), String::new()]);
+            assert_eq!(t.rows[1].len(), 2);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_all_cells() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".to_string(), "1".to_string()]);
+        t.row(&["b".to_string(), "2".to_string()]);
+        let j = t.to_json().render();
+        spinamm_telemetry::json::validate(&j).expect("table JSON must parse");
+        assert!(j.contains("\"title\":\"demo\""));
+        assert!(j.contains("\"columns\":[\"name\",\"value\"]"));
+        assert!(j.contains("[\"b\",\"2\"]"));
     }
 
     #[test]

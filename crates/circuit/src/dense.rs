@@ -422,12 +422,8 @@ mod tests {
 
     #[test]
     fn lu_solves_general_system() {
-        let a = DenseMatrix::from_rows(
-            3,
-            3,
-            &[2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0],
-        )
-        .unwrap();
+        let a = DenseMatrix::from_rows(3, 3, &[2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0])
+            .unwrap();
         let b = [8.0, -11.0, -3.0];
         let x = a.solve(&b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
@@ -482,12 +478,8 @@ mod tests {
 
     #[test]
     fn cholesky_matches_lu_on_spd() {
-        let a = DenseMatrix::from_rows(
-            3,
-            3,
-            &[4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0],
-        )
-        .unwrap();
+        let a =
+            DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0]).unwrap();
         assert_eq!(a.asymmetry(), 0.0);
         let b = [1.0, 2.0, 3.0];
         let x_lu = a.solve(&b).unwrap();

@@ -55,9 +55,9 @@ pub mod units;
 
 pub use dense::DenseMatrix;
 pub use netlist::{ElementId, Netlist, NodeId};
-pub use solve::{DcSolution, SolveMethod};
+pub use solve::{DcSolution, SolveMethod, SolveStats};
+pub use sparse::{CgSolution, ConjugateGradient, CsrMatrix, SparseBuilder};
 pub use transient::{TransientAnalysis, TransientResult};
-pub use sparse::{ConjugateGradient, CsrMatrix, SparseBuilder};
 pub use units::{
     Amps, Celsius, Farads, Hertz, Joules, Kelvin, Micrometers, Nanometers, Ohms, Seconds, Siemens,
     Volts, Watts,
@@ -142,7 +142,7 @@ impl Error for CircuitError {}
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
     pub use crate::netlist::{Netlist, NodeId};
-    pub use crate::solve::{DcSolution, SolveMethod};
+    pub use crate::solve::{DcSolution, SolveMethod, SolveStats};
     pub use crate::units::*;
     pub use crate::CircuitError;
 }

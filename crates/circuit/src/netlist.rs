@@ -227,10 +227,12 @@ impl Netlist {
     ///
     /// Panics if either node is foreign or the value is non-finite.
     pub fn current_source(&mut self, from: NodeId, to: NodeId, amps: Amps) -> ElementId {
-        self.check_node(from).expect("node `from` not in this netlist");
+        self.check_node(from)
+            .expect("node `from` not in this netlist");
         self.check_node(to).expect("node `to` not in this netlist");
         assert!(amps.0.is_finite(), "source current must be finite");
-        self.elements.push(Element::CurrentSource { from, to, amps });
+        self.elements
+            .push(Element::CurrentSource { from, to, amps });
         ElementId(self.elements.len() - 1)
     }
 
@@ -265,7 +267,8 @@ impl Netlist {
         minus: NodeId,
         volts: Volts,
     ) -> ElementId {
-        self.check_node(plus).expect("node `plus` not in this netlist");
+        self.check_node(plus)
+            .expect("node `plus` not in this netlist");
         self.check_node(minus)
             .expect("node `minus` not in this netlist");
         assert!(volts.0.is_finite(), "source voltage must be finite");

@@ -43,6 +43,24 @@ pub enum SolveMethod {
 /// Cholesky to sparse CG.
 pub const AUTO_DENSE_LIMIT: usize = 400;
 
+/// What a DC solve actually did, for observability layers above this crate.
+///
+/// Direct methods report the factored dimension as `iterations` (a proxy for
+/// settling work) with zero residual; the CG path reports its true iteration
+/// count and final relative residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Which backend ran, after `Auto` resolution: `"dense_lu"`,
+    /// `"dense_cholesky"` or `"sparse_cg"`.
+    pub method: &'static str,
+    /// Number of unknowns in the solved system.
+    pub unknowns: usize,
+    /// Iterations taken (CG), or the system dimension (direct backends).
+    pub iterations: usize,
+    /// Final relative residual (CG), 0.0 for direct backends.
+    pub residual: f64,
+}
+
 /// DC operating point of a netlist: all node voltages plus the branch current
 /// of every element.
 #[derive(Debug, Clone)]
@@ -168,6 +186,20 @@ impl Netlist {
     /// * [`CircuitError::InvalidParameter`] if a reduced method is requested
     ///   for a netlist with floating sources.
     pub fn solve_dc_with(&self, method: SolveMethod) -> Result<DcSolution, CircuitError> {
+        self.solve_dc_stats(method).map(|(sol, _)| sol)
+    }
+
+    /// Like [`Netlist::solve_dc_with`], additionally reporting a
+    /// [`SolveStats`] describing the backend that ran and how much work the
+    /// solve took.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::solve_dc_with`].
+    pub fn solve_dc_stats(
+        &self,
+        method: SolveMethod,
+    ) -> Result<(DcSolution, SolveStats), CircuitError> {
         let method = match method {
             SolveMethod::Auto => {
                 if self.has_floating_sources() {
@@ -183,13 +215,25 @@ impl Netlist {
             }
             m => m,
         };
-        let voltages = match method {
-            SolveMethod::DenseLu => self.solve_full_mna()?,
+        let (voltages, stats) = match method {
+            SolveMethod::DenseLu => {
+                let voltages = self.solve_full_mna()?;
+                let unknowns = self.node_count().saturating_sub(1);
+                (
+                    voltages,
+                    SolveStats {
+                        method: "dense_lu",
+                        unknowns,
+                        iterations: unknowns,
+                        residual: 0.0,
+                    },
+                )
+            }
             SolveMethod::DenseCholesky => self.solve_reduced(ReducedBackend::Cholesky)?,
             SolveMethod::SparseCg(cg) => self.solve_reduced(ReducedBackend::Cg(cg))?,
             SolveMethod::Auto => unreachable!("Auto resolved above"),
         };
-        Ok(self.finish(voltages))
+        Ok((self.finish(voltages), stats))
     }
 
     /// Collects clamps as `(node index, volts)`, checking consistency.
@@ -201,9 +245,7 @@ impl Netlist {
                 match clamp[node.index()] {
                     None => clamp[node.index()] = Some(volts.0),
                     Some(v) if v == volts.0 => {}
-                    Some(_) => {
-                        return Err(CircuitError::ConflictingClamp { node: node.index() })
-                    }
+                    Some(_) => return Err(CircuitError::ConflictingClamp { node: node.index() }),
                 }
             }
         }
@@ -212,7 +254,10 @@ impl Netlist {
 
     /// Dirichlet-eliminated solve: unknowns are the unclamped, non-ground
     /// nodes.
-    fn solve_reduced(&self, backend: ReducedBackend) -> Result<Vec<f64>, CircuitError> {
+    fn solve_reduced(
+        &self,
+        backend: ReducedBackend,
+    ) -> Result<(Vec<f64>, SolveStats), CircuitError> {
         if self.has_floating_sources() {
             return Err(CircuitError::InvalidParameter {
                 what: "reduced solve methods do not support floating voltage sources",
@@ -257,10 +302,19 @@ impl Netlist {
         }
 
         if m == 0 {
-            return Ok(voltages);
+            let stats = SolveStats {
+                method: match backend {
+                    ReducedBackend::Cholesky => "dense_cholesky",
+                    ReducedBackend::Cg(_) => "sparse_cg",
+                },
+                unknowns: 0,
+                iterations: 0,
+                residual: 0.0,
+            };
+            return Ok((voltages, stats));
         }
 
-        let solution = match backend {
+        let (solution, stats) = match backend {
             ReducedBackend::Cholesky => {
                 let mut a = DenseMatrix::zeros(m, m);
                 for e in self.elements() {
@@ -276,7 +330,16 @@ impl Netlist {
                         );
                     }
                 }
-                a.cholesky()?.solve(&rhs)?
+                let x = a.cholesky()?.solve(&rhs)?;
+                (
+                    x,
+                    SolveStats {
+                        method: "dense_cholesky",
+                        unknowns: m,
+                        iterations: m,
+                        residual: 0.0,
+                    },
+                )
             }
             ReducedBackend::Cg(cg) => {
                 let mut b = SparseBuilder::new(m, m);
@@ -293,14 +356,21 @@ impl Netlist {
                         );
                     }
                 }
-                cg.solve(&b.build(), &rhs)?
+                let cg_sol = cg.solve_stats(&b.build(), &rhs)?;
+                let stats = SolveStats {
+                    method: "sparse_cg",
+                    unknowns: m,
+                    iterations: cg_sol.iterations,
+                    residual: cg_sol.residual,
+                };
+                (cg_sol.x, stats)
             }
         };
 
         for (k, &node) in free_nodes.iter().enumerate() {
             voltages[node] = solution[k];
         }
-        Ok(voltages)
+        Ok((voltages, stats))
     }
 
     /// Classical MNA: node voltages plus one branch-current unknown per
@@ -421,16 +491,14 @@ impl Netlist {
         let mut claimed = vec![false; self.node_count()];
         for (idx, e) in self.elements().iter().enumerate() {
             match e {
-                Element::Clamp { node, .. }
-                    if !claimed[node.index()] => {
-                        currents[idx] = node_outflow[node.index()];
-                        claimed[node.index()] = true;
-                    }
-                Element::FloatingSource { plus, .. }
-                    if !claimed[plus.index()] => {
-                        currents[idx] = node_outflow[plus.index()];
-                        claimed[plus.index()] = true;
-                    }
+                Element::Clamp { node, .. } if !claimed[node.index()] => {
+                    currents[idx] = node_outflow[node.index()];
+                    claimed[node.index()] = true;
+                }
+                Element::FloatingSource { plus, .. } if !claimed[plus.index()] => {
+                    currents[idx] = node_outflow[plus.index()];
+                    claimed[plus.index()] = true;
+                }
                 _ => {}
             }
         }
@@ -456,11 +524,15 @@ fn stamp_reduced_dense(
     let (ia, ib) = (reduced_index[na], reduced_index[nb]);
     if ia != usize::MAX {
         a[(ia, ia)] += g;
-        if let Some(vb) = clamp[nb] { rhs[ia] += g * vb }
+        if let Some(vb) = clamp[nb] {
+            rhs[ia] += g * vb
+        }
     }
     if ib != usize::MAX {
         a[(ib, ib)] += g;
-        if let Some(va) = clamp[na] { rhs[ib] += g * va }
+        if let Some(va) = clamp[na] {
+            rhs[ib] += g * va
+        }
     }
     if ia != usize::MAX && ib != usize::MAX {
         a[(ia, ib)] -= g;

@@ -75,8 +75,7 @@ impl SparseBuilder {
     /// cancel to exactly zero.
     #[must_use]
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::new();
@@ -287,6 +286,16 @@ impl ConjugateGradient {
     /// * [`CircuitError::SingularSystem`] if a diagonal (Jacobi) entry is not
     ///   strictly positive — an SPD matrix always has a positive diagonal.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        self.solve_stats(a, b).map(|s| s.x)
+    }
+
+    /// Like [`ConjugateGradient::solve`], additionally reporting how many
+    /// iterations the solve took and the final relative residual.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConjugateGradient::solve`].
+    pub fn solve_stats(&self, a: &CsrMatrix, b: &[f64]) -> Result<CgSolution, CircuitError> {
         if a.rows() != a.cols() {
             return Err(CircuitError::DimensionMismatch {
                 expected: a.rows(),
@@ -302,7 +311,11 @@ impl ConjugateGradient {
         let n = a.rows();
         let b_norm = norm2(b);
         if b_norm == 0.0 {
-            return Ok(vec![0.0; n]);
+            return Ok(CgSolution {
+                x: vec![0.0; n],
+                iterations: 0,
+                residual: 0.0,
+            });
         }
 
         let diag = a.diagonal();
@@ -336,7 +349,11 @@ impl ConjugateGradient {
             }
             let res = norm2(&r) / b_norm;
             if res <= self.tolerance {
-                return Ok(x);
+                return Ok(CgSolution {
+                    x,
+                    iterations: iter + 1,
+                    residual: res,
+                });
             }
             for i in 0..n {
                 z[i] = r[i] * inv_diag[i];
@@ -354,6 +371,17 @@ impl ConjugateGradient {
             residual: norm2(&r) / b_norm,
         })
     }
+}
+
+/// A converged conjugate-gradient solution with its iteration statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations taken to converge (0 for a zero right-hand side).
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub residual: f64,
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -510,7 +538,11 @@ mod tests {
         let mut bld = SparseBuilder::new(n, n);
         for i in 0..n {
             let g_wire = 1.0; // 1 S segment
-            let g_mem = if i % 2 == 0 { 1.0 / 200.0 } else { 1.0 / 32_000.0 };
+            let g_mem = if i % 2 == 0 {
+                1.0 / 200.0
+            } else {
+                1.0 / 32_000.0
+            };
             bld.add(i, i, 2.0 * g_wire + g_mem);
             if i > 0 {
                 bld.add(i, i - 1, -g_wire);

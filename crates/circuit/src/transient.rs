@@ -80,9 +80,7 @@ impl TransientAnalysis {
                 match clamp[node.index()] {
                     None => clamp[node.index()] = Some(volts.0),
                     Some(v) if v == volts.0 => {}
-                    Some(_) => {
-                        return Err(CircuitError::ConflictingClamp { node: node.index() })
-                    }
+                    Some(_) => return Err(CircuitError::ConflictingClamp { node: node.index() }),
                 }
             }
         }
@@ -118,11 +116,7 @@ impl TransientAnalysis {
         // with usize::MAX marking a clamped/ground terminal.
         let mut caps: Vec<(usize, usize, f64, usize, usize)> = Vec::new();
 
-        let stamp = |a: &mut DenseMatrix,
-                         rhs: &mut [f64],
-                         na: usize,
-                         nb: usize,
-                         g: f64| {
+        let stamp = |a: &mut DenseMatrix, rhs: &mut [f64], na: usize, nb: usize, g: f64| {
             let (ia, ib) = (reduced_index[na], reduced_index[nb]);
             if ia != usize::MAX {
                 a[(ia, ia)] += g;
@@ -147,7 +141,11 @@ impl TransientAnalysis {
                 Element::Resistor { a: na, b: nb, g } => {
                     stamp(&mut a, &mut rhs_const, na.index(), nb.index(), g.0);
                 }
-                Element::Capacitor { a: na, b: nb, farads } => {
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                } => {
                     let g_c = farads.0 / dt;
                     // The companion conductance enters the matrix, but its
                     // clamp coupling belongs to the *history* term, not the
@@ -346,8 +344,7 @@ mod tests {
     fn rc_step_response_matches_analytic() {
         let (net, out) = rc_netlist();
         let tau = 1e-9; // 1 kΩ × 1 pF
-        let analysis =
-            TransientAnalysis::new(Seconds(tau / 200.0), Seconds(6.0 * tau)).unwrap();
+        let analysis = TransientAnalysis::new(Seconds(tau / 200.0), Seconds(6.0 * tau)).unwrap();
         let result = analysis.run(&net).unwrap();
         for (t, v) in result.times().iter().zip(result.waveform(out)) {
             let expect = 1.0 - (-t / tau).exp();
@@ -363,8 +360,7 @@ mod tests {
     fn settling_time_about_right() {
         let (net, out) = rc_netlist();
         let tau = 1e-9;
-        let analysis =
-            TransientAnalysis::new(Seconds(tau / 200.0), Seconds(10.0 * tau)).unwrap();
+        let analysis = TransientAnalysis::new(Seconds(tau / 200.0), Seconds(10.0 * tau)).unwrap();
         let result = analysis.run(&net).unwrap();
         // 1 % settling of a first-order system happens at ~4.6 τ.
         let t_s = result.settling_time(out, Volts(0.01)).unwrap().0;

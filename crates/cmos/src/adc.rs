@@ -93,8 +93,8 @@ impl CmosSarAdc {
     pub fn dynamic_energy_per_conversion(&self) -> Joules {
         let cdac_total = Farads(1e-15 * f64::from(1u32 << self.bits));
         let cdac = switched_capacitor_energy(cdac_total, self.tech.vdd).0;
-        let logic = f64::from(self.bits)
-            * (2.0 * self.tech.flop_energy.0 + 4.0 * self.tech.gate_energy.0);
+        let logic =
+            f64::from(self.bits) * (2.0 * self.tech.flop_energy.0 + 4.0 * self.tech.gate_energy.0);
         Joules(cdac + logic)
     }
 
@@ -164,18 +164,9 @@ mod tests {
     #[test]
     fn scaling_with_resolution() {
         let adc5 = CmosSarAdc::paper_column();
-        let adc8 = CmosSarAdc::new(
-            8,
-            Amps(32e-6),
-            4.0,
-            Seconds(10e-9),
-            Tech45::DEFAULT,
-        )
-        .unwrap();
+        let adc8 = CmosSarAdc::new(8, Amps(32e-6), 4.0, Seconds(10e-9), Tech45::DEFAULT).unwrap();
         assert!(adc8.conversion_time().0 > adc5.conversion_time().0);
-        assert!(
-            adc8.dynamic_energy_per_conversion().0 > adc5.dynamic_energy_per_conversion().0
-        );
+        assert!(adc8.dynamic_energy_per_conversion().0 > adc5.dynamic_energy_per_conversion().0);
     }
 
     #[test]

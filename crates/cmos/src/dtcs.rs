@@ -181,12 +181,7 @@ impl DtcsDac {
     #[must_use]
     pub fn transfer_curve(&self, load: Siemens) -> Vec<(u32, Amps)> {
         (0..self.code_count())
-            .map(|code| {
-                (
-                    code,
-                    self.ideal_current(code, load).expect("code in range"),
-                )
-            })
+            .map(|code| (code, self.ideal_current(code, load).expect("code in range")))
             .collect()
     }
 }
@@ -295,8 +290,10 @@ mod tests {
         let inl_big = dac.current_inl(big_load);
         let inl_med = dac.current_inl(medium_load);
         let inl_small = dac.current_inl(small_load);
-        assert!(inl_big < inl_med && inl_med < inl_small,
-            "{inl_big} {inl_med} {inl_small}");
+        assert!(
+            inl_big < inl_med && inl_med < inl_small,
+            "{inl_big} {inl_med} {inl_small}"
+        );
         assert!(inl_big < 0.01, "nearly linear under light loading");
         assert!(inl_small > 0.05, "strongly compressed at G_TS = G_T(max)");
     }

@@ -76,7 +76,10 @@ impl fmt::Display for CmosError {
         match self {
             CmosError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             CmosError::CodeOutOfRange { code, count } => {
-                write!(f, "DAC code {code} out of range (converter has {count} codes)")
+                write!(
+                    f,
+                    "DAC code {code} out of range (converter has {count} codes)"
+                )
             }
             CmosError::EmptyInput => write!(f, "input collection must not be empty"),
         }
@@ -91,10 +94,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(!CmosError::InvalidParameter { what: "x" }.to_string().is_empty());
-        assert!(CmosError::CodeOutOfRange { code: 32, count: 32 }
+        assert!(!CmosError::InvalidParameter { what: "x" }
             .to_string()
-            .contains("32"));
+            .is_empty());
+        assert!(CmosError::CodeOutOfRange {
+            code: 32,
+            count: 32
+        }
+        .to_string()
+        .contains("32"));
         assert!(!CmosError::EmptyInput.to_string().is_empty());
     }
 

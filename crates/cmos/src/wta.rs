@@ -51,11 +51,7 @@ impl BtWtaSim {
     ///
     /// Returns [`CmosError::InvalidParameter`] for a zero-input tree or
     /// zero-bit budget.
-    pub fn sized_for(
-        tech: &Tech45,
-        bits: u32,
-        n_inputs: usize,
-    ) -> Result<Self, CmosError> {
+    pub fn sized_for(tech: &Tech45, bits: u32, n_inputs: usize) -> Result<Self, CmosError> {
         if n_inputs < 2 {
             return Err(CmosError::InvalidParameter {
                 what: "a WTA needs at least two inputs",
@@ -194,8 +190,8 @@ impl CcWtaSim {
         if currents.is_empty() {
             return Err(CmosError::EmptyInput);
         }
-        let normal = Normal::new(0.0, self.cell_sigma.max(f64::MIN_POSITIVE))
-            .expect("sigma non-negative");
+        let normal =
+            Normal::new(0.0, self.cell_sigma.max(f64::MIN_POSITIVE)).expect("sigma non-negative");
         let mut best = 0usize;
         let mut best_i = f64::NEG_INFINITY;
         for (k, i) in currents.iter().enumerate() {
@@ -456,9 +452,8 @@ mod tests {
     fn accuracy_degrades_with_cheap_mirrors() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         let good = BtWtaSim::sized_for(&Tech45::DEFAULT, 6, 16).unwrap();
-        let bad = BtWtaSim::new(
-            CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap(),
-        );
+        let bad =
+            BtWtaSim::new(CurrentMirror::with_area(&Tech45::DEFAULT, Volts(0.15), 1.0).unwrap());
         let margin = 0.03; // one 5-bit LSB
         let acc_good = good.selection_accuracy(16, margin, 400, &mut rng).unwrap();
         let acc_bad = bad.selection_accuracy(16, margin, 400, &mut rng).unwrap();
@@ -498,7 +493,10 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(cc.winner(&currents, &mut rng).unwrap(), 7);
         }
-        assert!(matches!(cc.winner(&[], &mut rng), Err(CmosError::EmptyInput)));
+        assert!(matches!(
+            cc.winner(&[], &mut rng),
+            Err(CmosError::EmptyInput)
+        ));
     }
 
     #[test]

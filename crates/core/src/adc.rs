@@ -21,6 +21,7 @@ use rand::Rng;
 use spinamm_circuit::units::{Amps, Joules, Seconds, Volts};
 use spinamm_cmos::{DacInstance, DtcsDac, Tech45};
 use spinamm_spin::{DomainWallNeuron, DynamicLatch, Mtj, NeuronConfig, Polarity};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// One column's converter.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +136,23 @@ impl SpinSarAdc {
         input: Amps,
         rng: &mut R,
     ) -> Result<AdcConversion, CoreError> {
+        self.convert_with(input, rng, &NoopRecorder)
+    }
+
+    /// Like [`SpinSarAdc::convert`], recording device-event telemetry on
+    /// `recorder`: `adc.sar_cycles` per SAR bit cycle, plus the
+    /// `spin.dwn_switch_events` and `spin.latch_fires` counters from the
+    /// underlying devices.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinSarAdc::convert`].
+    pub fn convert_with<R: Rng + ?Sized, T: Recorder>(
+        &self,
+        input: Amps,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<AdcConversion, CoreError> {
         let bits = self.bits();
         let mut sar = SarRegister::new(bits);
         let mut trajectory = Vec::with_capacity(bits as usize);
@@ -149,6 +167,7 @@ impl SpinSarAdc {
 
         let mut neuron = DomainWallNeuron::new(self.neuron);
         while !sar.is_done() {
+            recorder.counter("adc.sar_cycles", 1);
             let trial = sar.code();
             let i_dac = self.dac.clamped_current(trial)?;
             let net = Amps(input.0 - i_dac.0);
@@ -156,16 +175,17 @@ impl SpinSarAdc {
             // Reset and write the comparator.
             neuron.set_state(Polarity::Down);
             let state = if self.thermal {
-                neuron.apply_thermal(net, pulse, rng)
+                neuron.apply_thermal_with(net, pulse, rng, recorder)
             } else {
-                neuron.apply(net, pulse)
+                neuron.apply_with(net, pulse, recorder)
             };
             dwn_energy += self.neuron.write_energy(net, pulse);
 
             // Latch read.
             let sensed = if self.latch_noise {
-                self.latch.sense(&self.mtj, state, rng)
+                self.latch.sense_with(&self.mtj, state, rng, recorder)
             } else {
+                recorder.counter("spin.latch_fires", 1);
                 state
             };
             latch_energy += self.latch.sense_energy();
@@ -223,8 +243,15 @@ mod tests {
 
     fn adc(bits: u32, seed: u64) -> SpinSarAdc {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        SpinSarAdc::build(bits, Amps(1e-6), Volts(0.030), CLOCK, &Tech45::DEFAULT, &mut rng)
-            .unwrap()
+        SpinSarAdc::build(
+            bits,
+            Amps(1e-6),
+            Volts(0.030),
+            CLOCK,
+            &Tech45::DEFAULT,
+            &mut rng,
+        )
+        .unwrap()
     }
 
     /// The nominal LSB (mismatch-free effective threshold).
@@ -331,10 +358,7 @@ mod tests {
         for k in 0..64 {
             let input = Amps(f64::from(k) * 0.5 * l);
             let code = a.convert(input, &mut rng).unwrap().code;
-            assert!(
-                code + 1 >= last,
-                "non-monotonic: code {code} after {last}"
-            );
+            assert!(code + 1 >= last, "non-monotonic: code {code} after {last}");
             last = code;
         }
     }
@@ -370,6 +394,9 @@ mod tests {
         let short = SpinSarAdc::effective_threshold(&neuron, Seconds(2e-9));
         let long = SpinSarAdc::effective_threshold(&neuron, Seconds(20e-9));
         assert!(short.0 > long.0);
-        assert!(long.0 > neuron.threshold.0, "always above the bare threshold");
+        assert!(
+            long.0 > neuron.threshold.0,
+            "always above the bare threshold"
+        );
     }
 }

@@ -22,6 +22,7 @@ use spinamm_circuit::units::{Amps, Joules, Seconds, Watts};
 use spinamm_cmos::{DtcsDac, Tech45};
 use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
 use spinamm_memristor::{LevelMap, WriteScheme};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// How faithfully the crossbar is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +132,21 @@ impl AssociativeMemoryModule {
     /// Returns [`CoreError::InvalidParameter`] for an empty or ragged
     /// pattern set or out-of-range levels, and propagates device errors.
     pub fn build(patterns: &[Vec<u32>], config: &AmmConfig) -> Result<Self, CoreError> {
+        Self::build_with(patterns, config, &NoopRecorder)
+    }
+
+    /// [`AssociativeMemoryModule::build`] with telemetry: programming pulse
+    /// and verify counts from the write scheme are reported to `recorder`
+    /// under a `"build.program"` span.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::build`].
+    pub fn build_with<T: Recorder>(
+        patterns: &[Vec<u32>],
+        config: &AmmConfig,
+        recorder: &T,
+    ) -> Result<Self, CoreError> {
         let first = patterns.first().ok_or(CoreError::InvalidParameter {
             what: "at least one pattern must be stored",
         })?;
@@ -159,8 +175,11 @@ impl AssociativeMemoryModule {
         let map = LevelMap::new(p.memristor_limits, p.template_bits)?;
         let write = WriteScheme::new(p.write_tolerance)?;
         let mut array = CrossbarArray::new(rows, cols, p.memristor_limits)?;
-        for (j, pattern) in patterns.iter().enumerate() {
-            array.program_pattern(j, pattern, &map, &write, &mut rng)?;
+        {
+            let _program_span = recorder.span("build.program");
+            for (j, pattern) in patterns.iter().enumerate() {
+                array.program_pattern_with(j, pattern, &map, &write, &mut rng, recorder)?;
+            }
         }
         if config.equalize_rows {
             array.equalize_rows(None)?;
@@ -210,25 +229,18 @@ impl AssociativeMemoryModule {
         let mut gain = 1.0_f64;
         let calibration_passes = if config.gain_calibration { 2 } else { 0 };
         for _ in 0..calibration_passes {
-            let probe = DtcsDac::design(
-                p.template_bits,
-                Amps(dac_fs.0 * gain),
-                p.delta_v,
-                &tech,
-            )?
-            .nominal();
+            let probe = DtcsDac::design(p.template_bits, Amps(dac_fs.0 * gain), p.delta_v, &tech)?
+                .nominal();
             let mut max_self: f64 = 0.0;
             for (j, pattern) in patterns.iter().enumerate() {
                 let drives: Vec<RowDrive> = pattern
                     .iter()
                     .map(|&l| match config.fidelity {
                         Fidelity::Ideal => Ok(RowDrive::Current(probe.clamped_current(l)?)),
-                        Fidelity::Driven | Fidelity::Parasitic => {
-                            Ok(RowDrive::SourceConductance {
-                                g: probe.conductance(l)?,
-                                supply: p.delta_v,
-                            })
-                        }
+                        Fidelity::Driven | Fidelity::Parasitic => Ok(RowDrive::SourceConductance {
+                            g: probe.conductance(l)?,
+                            supply: p.delta_v,
+                        }),
                     })
                     .collect::<Result<_, CoreError>>()?;
                 let currents = array.driven_column_currents(&drives)?;
@@ -352,7 +364,11 @@ impl AssociativeMemoryModule {
 
     /// Evaluates the crossbar for an input, returning the column currents
     /// and the static power burned in the RCM (rails → clamp).
-    fn correlate(&self, drives: &[RowDrive]) -> Result<(Vec<Amps>, Watts), CoreError> {
+    fn correlate_with<T: Recorder>(
+        &self,
+        drives: &[RowDrive],
+        recorder: &T,
+    ) -> Result<(Vec<Amps>, Watts), CoreError> {
         match self.config.fidelity {
             Fidelity::Ideal | Fidelity::Driven => {
                 let currents = self.array.driven_column_currents(drives)?;
@@ -367,7 +383,7 @@ impl AssociativeMemoryModule {
             }
             Fidelity::Parasitic => {
                 let pc = ParasiticCrossbar::new(self.geometry);
-                let readout = pc.evaluate(&self.array, drives)?;
+                let readout = pc.evaluate_with(&self.array, drives, recorder)?;
                 Ok((readout.column_currents, readout.dissipated_power))
             }
         }
@@ -381,9 +397,39 @@ impl AssociativeMemoryModule {
     /// [`CoreError::InvalidParameter`] for bad inputs; propagates solver
     /// errors in parasitic mode.
     pub fn recall(&mut self, levels: &[u32]) -> Result<RecallResult, CoreError> {
-        let drives = self.drives(levels)?;
-        let (currents, rcm_power) = self.correlate(&drives)?;
-        let outcome: WtaOutcome = self.wta.evaluate(&currents, &mut self.rng)?;
+        self.recall_with(levels, &NoopRecorder)
+    }
+
+    /// [`AssociativeMemoryModule::recall`] with telemetry: the recognition
+    /// is timed end to end (`"recall.total"`) and per stage
+    /// (`"recall.drive"` for DAC drive construction, `"recall.settle"` for
+    /// crossbar evaluation, and — inside the WTA — `"recall.convert"` /
+    /// `"recall.select"`), and device-event counters from every layer
+    /// (`"adc.sar_cycles"`, `"spin.dwn_switch_events"`,
+    /// `"crossbar.settle_iterations"`, …) flow into `recorder`.
+    ///
+    /// Telemetry is observational only: for any recorder the returned
+    /// [`RecallResult`] is bit-identical to [`AssociativeMemoryModule::recall`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall`].
+    pub fn recall_with<T: Recorder>(
+        &mut self,
+        levels: &[u32],
+        recorder: &T,
+    ) -> Result<RecallResult, CoreError> {
+        let _total_span = recorder.span("recall.total");
+        recorder.counter("recall.count", 1);
+        let drives = {
+            let _drive_span = recorder.span("recall.drive");
+            self.drives(levels)?
+        };
+        let (currents, rcm_power) = {
+            let _settle_span = recorder.span("recall.settle");
+            self.correlate_with(&drives, recorder)?
+        };
+        let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
         let mut energy = outcome.energy;
         energy.rcm_static = Joules(rcm_power.0 * self.latency().0);
         let accepted = outcome.dom >= self.config.dom_threshold;
@@ -433,9 +479,7 @@ mod tests {
         let c = AmmConfig::default();
         assert!(AssociativeMemoryModule::build(&[], &c).is_err());
         assert!(AssociativeMemoryModule::build(&[vec![]], &c).is_err());
-        assert!(
-            AssociativeMemoryModule::build(&[vec![1, 2], vec![1, 2, 3]], &c).is_err()
-        );
+        assert!(AssociativeMemoryModule::build(&[vec![1, 2], vec![1, 2, 3]], &c).is_err());
         assert!(AssociativeMemoryModule::build(&[vec![32]], &c).is_err());
         let amm = AssociativeMemoryModule::build(&orthogonal_patterns(), &c).unwrap();
         assert_eq!(amm.pattern_count(), 3);
@@ -448,8 +492,7 @@ mod tests {
     fn recalls_stored_patterns_all_fidelities() {
         let patterns = orthogonal_patterns();
         for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
-            let mut amm =
-                AssociativeMemoryModule::build(&patterns, &config(fidelity)).unwrap();
+            let mut amm = AssociativeMemoryModule::build(&patterns, &config(fidelity)).unwrap();
             for (j, p) in patterns.iter().enumerate() {
                 let r = amm.recall(p).unwrap();
                 assert_eq!(r.winner, Some(j), "{fidelity:?}: pattern {j}");
@@ -461,8 +504,7 @@ mod tests {
     #[test]
     fn input_validation() {
         let mut amm =
-            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
-                .unwrap();
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default()).unwrap();
         assert!(matches!(
             amm.recall(&[0; 5]),
             Err(CoreError::InputLengthMismatch { .. })
@@ -502,17 +544,13 @@ mod tests {
         // Storing an all-max pattern and presenting it should digitize near
         // the WTA's full scale — validates the DAC sizing chain.
         let patterns = vec![vec![31u32; 16], vec![0u32; 16]];
-        let mut amm =
-            AssociativeMemoryModule::build(&patterns, &config(Fidelity::Driven)).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&patterns, &config(Fidelity::Driven)).unwrap();
         let r = amm.recall(&patterns[0]).unwrap();
         // Gain calibration places the best self-match at ~90 % of range.
         assert!(r.dom >= 26, "DOM {} should be near full scale 31", r.dom);
         // Physical currents also at scale: winner column near 32 µA.
         let i_win = r.column_currents[r.raw_winner].0;
-        assert!(
-            i_win > 24e-6 && i_win < 40e-6,
-            "winner current {i_win} A"
-        );
+        assert!(i_win > 24e-6 && i_win < 40e-6, "winner current {i_win} A");
     }
 
     #[test]
@@ -541,8 +579,7 @@ mod tests {
     #[test]
     fn energy_breakdown_is_complete() {
         let mut amm =
-            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
-                .unwrap();
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default()).unwrap();
         let r = amm.recall(&orthogonal_patterns()[0]).unwrap();
         assert!(r.energy.rcm_static.0 > 0.0);
         assert!(r.energy.dac_static.0 > 0.0);
@@ -557,8 +594,7 @@ mod tests {
         // A 12×3 module is much smaller than the paper's 128×40, but power
         // must land in the µW decade, far below the mW of MS-CMOS.
         let mut amm =
-            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default())
-                .unwrap();
+            AssociativeMemoryModule::build(&orthogonal_patterns(), &AmmConfig::default()).unwrap();
         let report = amm.power_report(&orthogonal_patterns()[0]).unwrap();
         let total = report.total_power().0;
         assert!(total > 1e-7 && total < 1e-3, "total power {total} W");
@@ -571,8 +607,7 @@ mod tests {
     fn deterministic_given_seed() {
         let patterns = orthogonal_patterns();
         let run = || {
-            let mut amm =
-                AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+            let mut amm = AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
             amm.recall(&patterns[1]).unwrap()
         };
         assert_eq!(run(), run());
@@ -581,8 +616,7 @@ mod tests {
     #[test]
     fn noisy_input_still_recalls() {
         let patterns = orthogonal_patterns();
-        let mut amm =
-            AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
         // Perturb pattern 1 by one level on several elements.
         let noisy: Vec<u32> = patterns[1]
             .iter()

@@ -45,7 +45,10 @@ impl FeatureMap {
     /// Panics if out of bounds.
     #[must_use]
     pub fn at(&self, x: usize, y: usize) -> Amps {
-        assert!(x < self.width && y < self.height, "feature index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "feature index out of bounds"
+        );
         self.values[y * self.width + x]
     }
 }
@@ -148,8 +151,7 @@ impl CrossbarConvolution {
         }
         let out_w = width - k + 1;
         let out_h = height - k + 1;
-        let mut maps =
-            vec![Vec::with_capacity(out_w * out_h); self.kernel_count()];
+        let mut maps = vec![Vec::with_capacity(out_w * out_h); self.kernel_count()];
         let mut patch = vec![0u32; k * k];
         for y in 0..out_h {
             for x in 0..out_w {
@@ -209,8 +211,7 @@ mod tests {
 
     #[test]
     fn output_dimensions() {
-        let conv =
-            CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 2).unwrap();
+        let conv = CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 2).unwrap();
         let image = vec![10u32; 8 * 6];
         let maps = conv.apply(&image, 8, 6).unwrap();
         assert_eq!(maps.len(), 2);
@@ -221,8 +222,7 @@ mod tests {
 
     #[test]
     fn responds_to_matching_structure() {
-        let conv =
-            CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 3).unwrap();
+        let conv = CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 3).unwrap();
         // Image with a bright left column band: the vertical-edge kernel
         // responds more where the patch matches its bright-left pattern.
         let width = 7;
@@ -245,8 +245,7 @@ mod tests {
 
     #[test]
     fn apply_validation() {
-        let conv =
-            CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 4).unwrap();
+        let conv = CrossbarConvolution::build(&edge_kernels(), 3, &DesignParams::PAPER, 4).unwrap();
         assert!(conv.apply(&[0; 10], 5, 3).is_err()); // wrong length
         assert!(conv.apply(&[0; 4], 2, 2).is_err()); // smaller than kernel
         assert!(conv.apply(&[99; 25], 5, 5).is_err()); // bad levels

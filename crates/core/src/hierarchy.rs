@@ -75,8 +75,14 @@ fn kmeans(patterns: &[Vec<u32>], k: usize, iterations: usize) -> (Vec<usize>, Ve
     while seeds.len() < k {
         let next = (0..n)
             .max_by(|&a, &b| {
-                let da = seeds.iter().map(|&s| d2(&patterns[a], &patterns[s])).fold(f64::INFINITY, f64::min);
-                let db = seeds.iter().map(|&s| d2(&patterns[b], &patterns[s])).fold(f64::INFINITY, f64::min);
+                let da = seeds
+                    .iter()
+                    .map(|&s| d2(&patterns[a], &patterns[s]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = seeds
+                    .iter()
+                    .map(|&s| d2(&patterns[b], &patterns[s]))
+                    .fold(f64::INFINITY, f64::min);
                 da.total_cmp(&db)
             })
             .expect("n >= k >= 1");
@@ -110,8 +116,7 @@ fn kmeans(patterns: &[Vec<u32>], k: usize, iterations: usize) -> (Vec<usize>, Ve
                 continue;
             }
             for (d, slot) in centroid.iter_mut().enumerate() {
-                *slot = members.iter().map(|m| f64::from(m[d])).sum::<f64>()
-                    / members.len() as f64;
+                *slot = members.iter().map(|m| f64::from(m[d])).sum::<f64>() / members.len() as f64;
             }
         }
     }
@@ -290,11 +295,7 @@ mod tests {
             .unwrap();
             let offset = patterns.len();
             patterns.extend(w.patterns);
-            queries.extend(
-                w.queries
-                    .into_iter()
-                    .map(|(src, q)| (src + offset, q)),
-            );
+            queries.extend(w.queries.into_iter().map(|(src, q)| (src + offset, q)));
         }
         let cfg = AmmConfig::default();
         let mut flat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();

@@ -206,8 +206,7 @@ mod tests {
     #[test]
     fn mean_margin_positive_for_separable_patterns() {
         let w = workload();
-        let mut amm =
-            AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
         let m = mean_margin(&mut amm, &probes(&w)).unwrap();
         assert!(m > 0.0 && m < 32.0, "margin {m} LSB");
         assert!(mean_margin(&mut amm, &[]).is_err());

@@ -252,7 +252,11 @@ mod tests {
         let w = workload();
         let mut p = PartitionedAmm::build(&w.patterns, 3, &AmmConfig::default()).unwrap();
         let r = p.recall(&w.patterns[0]).unwrap();
-        assert!(r.dom > 31, "summed DOM {} exceeds one module's range", r.dom);
+        assert!(
+            r.dom > 31,
+            "summed DOM {} exceeds one module's range",
+            r.dom
+        );
         assert!(r.dom <= 3 * 31);
     }
 

@@ -3,6 +3,7 @@
 use crate::amm::AssociativeMemoryModule;
 use crate::CoreError;
 use rand::Rng;
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// Classification accuracy over a labelled test set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,11 +36,56 @@ pub fn evaluate_accuracy(
     amm: &mut AssociativeMemoryModule,
     tests: &[(usize, Vec<u32>)],
 ) -> Result<AccuracyReport, CoreError> {
+    evaluate_accuracy_with(amm, tests, None, &NoopRecorder)
+}
+
+/// [`evaluate_accuracy`] with telemetry: per-class hit/miss confusion
+/// counters (`"recall.class.<label>.hit"` / `".miss"`) plus, when the
+/// stored `templates` are supplied, a `"recall.hw_ideal_mismatch"` event
+/// for every query where the hardware winner differs from the
+/// infinite-precision best match — carrying the winning DOM and its code
+/// margin over the ideal column.
+///
+/// Diagnostics are computed only for an enabled recorder; the returned
+/// report is identical to [`evaluate_accuracy`] either way.
+///
+/// # Errors
+///
+/// Propagates recall errors, and (enabled recorders only) data errors from
+/// the ideal comparison if `templates` do not match the query length.
+pub fn evaluate_accuracy_with<T: Recorder>(
+    amm: &mut AssociativeMemoryModule,
+    tests: &[(usize, Vec<u32>)],
+    templates: Option<&[Vec<u32>]>,
+    recorder: &T,
+) -> Result<AccuracyReport, CoreError> {
     let mut correct = 0;
-    for (label, input) in tests {
-        let result = amm.recall(input)?;
-        if result.raw_winner == *label {
+    for (query, (label, input)) in tests.iter().enumerate() {
+        let result = amm.recall_with(input, recorder)?;
+        let hit = result.raw_winner == *label;
+        if hit {
             correct += 1;
+        }
+        if recorder.is_enabled() {
+            let outcome = if hit { "hit" } else { "miss" };
+            recorder.counter(&format!("recall.class.{label}.{outcome}"), 1);
+            if let Some(templates) = templates {
+                let ideal = spinamm_data::dataset::ideal_best_match(input, templates)?;
+                if result.raw_winner != ideal {
+                    let margin = f64::from(result.dom) - f64::from(result.codes[ideal]);
+                    recorder.event(
+                        "recall.hw_ideal_mismatch",
+                        &[
+                            ("query", query as f64),
+                            ("label", *label as f64),
+                            ("hw_winner", result.raw_winner as f64),
+                            ("ideal_winner", ideal as f64),
+                            ("dom", f64::from(result.dom)),
+                            ("dom_margin", margin),
+                        ],
+                    );
+                }
+            }
         }
     }
     Ok(AccuracyReport {
@@ -144,8 +190,7 @@ mod tests {
     #[test]
     fn hardware_tracks_ideal_on_easy_workload() {
         let w = workload();
-        let mut amm =
-            AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
         let hw = evaluate_accuracy(&mut amm, &w.queries).unwrap();
         let ideal = ideal_accuracy(&w.patterns, &w.queries).unwrap();
         assert!(ideal.accuracy() > 0.9, "ideal {}", ideal.accuracy());
@@ -203,8 +248,7 @@ mod tests {
     #[test]
     fn rejection_needs_trials() {
         let w = workload();
-        let mut amm =
-            AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert!(false_accept_rate(&mut amm, 0, &mut rng).is_err());
     }

@@ -127,11 +127,7 @@ mod tests {
             let max = (1u32 << bits) - 1;
             for k in 0..=max {
                 let input = f64::from(k) + 0.5;
-                assert_eq!(
-                    ideal_convert(bits, input),
-                    k,
-                    "bits={bits} input={input}"
-                );
+                assert_eq!(ideal_convert(bits, input), k, "bits={bits} input={input}");
             }
         }
     }

@@ -23,6 +23,7 @@ use crate::CoreError;
 use rand::Rng;
 use spinamm_circuit::units::{switched_capacitor_energy, Amps, Farads, Joules, Seconds};
 use spinamm_cmos::Tech45;
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// The multi-column converter + tracker.
 ///
@@ -133,18 +134,38 @@ impl SpinWta {
         currents: &[Amps],
         rng: &mut R,
     ) -> Result<WtaOutcome, CoreError> {
+        self.evaluate_with(currents, rng, &NoopRecorder)
+    }
+
+    /// Like [`SpinWta::evaluate`], recording telemetry on `recorder`: the
+    /// `recall.convert` and `recall.select` span timings, the per-device
+    /// counters from the column ADCs, and `wta.dl_transitions` — one count
+    /// per cycle in which the detection line actually discharged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWta::evaluate`].
+    pub fn evaluate_with<R: Rng + ?Sized, T: Recorder>(
+        &self,
+        currents: &[Amps],
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<WtaOutcome, CoreError> {
         if currents.len() != self.adcs.len() {
             return Err(CoreError::InputLengthMismatch {
                 expected: self.adcs.len(),
                 found: currents.len(),
             });
         }
+        let convert_span = recorder.span("recall.convert");
         let conversions: Vec<AdcConversion> = self
             .adcs
             .iter()
             .zip(currents)
-            .map(|(adc, &i)| adc.convert(i, rng))
+            .map(|(adc, &i)| adc.convert_with(i, rng, recorder))
             .collect::<Result<_, _>>()?;
+        drop(convert_span);
+        let _select_span = recorder.span("recall.select");
 
         let bits = self.bits();
         let n = self.adcs.len();
@@ -163,11 +184,9 @@ impl SpinWta {
                 .iter()
                 .map(|c| c.code_trajectory[cycle] & bit_mask != 0)
                 .collect();
-            let discharge = tr
-                .iter()
-                .zip(&resolved)
-                .any(|(&t, &b)| t && b);
+            let discharge = tr.iter().zip(&resolved).any(|(&t, &b)| t && b);
             if discharge {
+                recorder.counter("wta.dl_transitions", 1);
                 for (t, &b) in tr.iter_mut().zip(&resolved) {
                     *t = *t && b;
                 }
@@ -217,12 +236,10 @@ impl SpinWta {
     pub fn digital_energy(&self) -> Joules {
         let n = self.adcs.len() as f64;
         let cycles = f64::from(self.bits());
-        let per_column_cycle =
-            2.0 * self.tech.flop_energy.0 + 2.0 * self.tech.gate_energy.0;
+        let per_column_cycle = 2.0 * self.tech.flop_energy.0 + 2.0 * self.tech.gate_energy.0;
         // Detection line: ~1 fF per column of wire + drain load.
         let dl = switched_capacitor_energy(Farads(1e-15 * n), self.tech.vdd).0;
-        let leakage =
-            n * 10.0 * self.tech.gate_leakage.0 * self.latency().0;
+        let leakage = n * 10.0 * self.tech.gate_leakage.0 * self.latency().0;
         Joules(n * cycles * per_column_cycle + cycles * dl + leakage)
     }
 }
@@ -243,8 +260,15 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let adcs = (0..cols)
             .map(|_| {
-                SpinSarAdc::build(bits, Amps(1e-6), Volts(0.030), spinamm_circuit::units::Seconds(10e-9), &Tech45::DEFAULT, &mut rng)
-                    .unwrap()
+                SpinSarAdc::build(
+                    bits,
+                    Amps(1e-6),
+                    Volts(0.030),
+                    spinamm_circuit::units::Seconds(10e-9),
+                    &Tech45::DEFAULT,
+                    &mut rng,
+                )
+                .unwrap()
             })
             .collect();
         SpinWta::new(adcs, Tech45::DEFAULT).unwrap()
@@ -254,10 +278,24 @@ mod tests {
     fn construction_validation() {
         assert!(SpinWta::new(vec![], Tech45::DEFAULT).is_err());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let a5 =
-            SpinSarAdc::build(5, Amps(1e-6), Volts(0.030), spinamm_circuit::units::Seconds(10e-9), &Tech45::DEFAULT, &mut rng).unwrap();
-        let a3 =
-            SpinSarAdc::build(3, Amps(1e-6), Volts(0.030), spinamm_circuit::units::Seconds(10e-9), &Tech45::DEFAULT, &mut rng).unwrap();
+        let a5 = SpinSarAdc::build(
+            5,
+            Amps(1e-6),
+            Volts(0.030),
+            spinamm_circuit::units::Seconds(10e-9),
+            &Tech45::DEFAULT,
+            &mut rng,
+        )
+        .unwrap();
+        let a3 = SpinSarAdc::build(
+            3,
+            Amps(1e-6),
+            Volts(0.030),
+            spinamm_circuit::units::Seconds(10e-9),
+            &Tech45::DEFAULT,
+            &mut rng,
+        )
+        .unwrap();
         assert!(SpinWta::new(vec![a5, a3], Tech45::DEFAULT).is_err());
         let w = wta(4, 5, 2);
         assert_eq!(w.columns(), 4);

@@ -5,6 +5,7 @@ use crate::CrossbarError;
 use rand::Rng;
 use spinamm_circuit::units::{Amps, Siemens, Volts, Watts};
 use spinamm_memristor::{DeviceLimits, LevelMap, Memristor, WriteReport, WriteScheme};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// A `rows × cols` crossbar of memristors, plus one optional *dummy*
 /// conductance per row.
@@ -128,8 +129,26 @@ impl CrossbarArray {
         scheme: &WriteScheme,
         rng: &mut R,
     ) -> Result<WriteReport, CrossbarError> {
+        self.program_conductance_with(row, col, target, scheme, rng, &NoopRecorder)
+    }
+
+    /// Like [`CrossbarArray::program_conductance`], forwarding write-pulse
+    /// and verify-read telemetry to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossbarArray::program_conductance`].
+    pub fn program_conductance_with<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: Siemens,
+        scheme: &WriteScheme,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<WriteReport, CrossbarError> {
         let idx = self.check(row, col)?;
-        Ok(self.cells[idx].program(target, scheme, rng)?)
+        Ok(self.cells[idx].program_with(target, scheme, rng, recorder)?)
     }
 
     /// Programs one cell to a digital level under a [`LevelMap`].
@@ -165,6 +184,24 @@ impl CrossbarArray {
         scheme: &WriteScheme,
         rng: &mut R,
     ) -> Result<WriteReport, CrossbarError> {
+        self.program_pattern_with(col, levels, map, scheme, rng, &NoopRecorder)
+    }
+
+    /// Like [`CrossbarArray::program_pattern`], forwarding the per-cell
+    /// write-pulse and verify-read telemetry to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossbarArray::program_pattern`].
+    pub fn program_pattern_with<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        col: usize,
+        levels: &[u32],
+        map: &LevelMap,
+        scheme: &WriteScheme,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<WriteReport, CrossbarError> {
         if levels.len() != self.rows {
             return Err(CrossbarError::InputLengthMismatch {
                 expected: self.rows,
@@ -174,7 +211,8 @@ impl CrossbarArray {
         let mut pulses = 0;
         let mut energy = spinamm_circuit::units::Joules::ZERO;
         for (row, &level) in levels.iter().enumerate() {
-            let rep = self.program_level(row, col, level, map, scheme, rng)?;
+            let target = map.conductance(level)?;
+            let rep = self.program_conductance_with(row, col, target, scheme, rng, recorder)?;
             pulses += rep.pulses;
             energy += rep.energy;
         }
@@ -231,8 +269,7 @@ impl CrossbarArray {
     /// Returns [`CrossbarError::InvalidParameter`] if some row already
     /// exceeds the target (the dummy cannot be negative).
     pub fn equalize_rows(&mut self, target: Option<Siemens>) -> Result<Siemens, CrossbarError> {
-        let target =
-            target.unwrap_or(Siemens(self.limits.g_max().0 * self.cols as f64));
+        let target = target.unwrap_or(Siemens(self.limits.g_max().0 * self.cols as f64));
         let mut dummies = Vec::with_capacity(self.rows);
         for row in 0..self.rows {
             let have = self.row_cell_conductance(row)?;
@@ -329,10 +366,7 @@ impl CrossbarArray {
     ///
     /// Returns [`CrossbarError::InputLengthMismatch`] if `drives.len()`
     /// differs from the row count.
-    pub fn driven_column_currents(
-        &self,
-        drives: &[RowDrive],
-    ) -> Result<Vec<Amps>, CrossbarError> {
+    pub fn driven_column_currents(&self, drives: &[RowDrive]) -> Result<Vec<Amps>, CrossbarError> {
         let voltages = self.driven_row_voltages(drives)?;
         self.ideal_column_currents(&voltages)
     }
@@ -470,7 +504,8 @@ mod tests {
         let mut a = CrossbarArray::new(4, 3, DeviceLimits::PAPER).unwrap();
         for j in 0..3 {
             let levels: Vec<u32> = (0..4).map(|i| (i as u32 * 7 + j as u32 * 3) % 32).collect();
-            a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+            a.program_pattern(j, &levels, &map, &scheme, &mut rng)
+                .unwrap();
         }
         let target = a.equalize_rows(None).unwrap();
         assert!((target.0 - 3.0 * DeviceLimits::PAPER.g_max().0).abs() < 1e-15);
@@ -517,7 +552,10 @@ mod tests {
         let nonlinearity = |array: &CrossbarArray| -> f64 {
             // Compare I at full-scale code vs 2 × I at half-scale code; a
             // perfectly linear DAC gives ratio 2.
-            let drive = |g| RowDrive::SourceConductance { g: Siemens(g), supply: dv };
+            let drive = |g| RowDrive::SourceConductance {
+                g: Siemens(g),
+                supply: dv,
+            };
             let i_half = array.driven_column_currents(&[drive(2.5e-4)]).unwrap()[0].0;
             let i_full = array.driven_column_currents(&[drive(5e-4)]).unwrap()[0].0;
             (2.0 - i_full / i_half).abs()

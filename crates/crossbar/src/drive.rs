@@ -128,8 +128,14 @@ mod tests {
         // Fig. 8b compression.
         let dv = Volts(0.03);
         let load = Siemens(1e-5);
-        let lo = RowDrive::SourceConductance { g: Siemens(1e-4), supply: dv };
-        let hi = RowDrive::SourceConductance { g: Siemens(1e-3), supply: dv };
+        let lo = RowDrive::SourceConductance {
+            g: Siemens(1e-4),
+            supply: dv,
+        };
+        let hi = RowDrive::SourceConductance {
+            g: Siemens(1e-3),
+            supply: dv,
+        };
         let (i_lo, i_hi) = (lo.current_into(load).0, hi.current_into(load).0);
         // 10× the DAC conductance produces much less than 10× the current.
         assert!(i_hi < 2.0 * i_lo, "i_hi {i_hi} vs i_lo {i_lo}");
@@ -141,8 +147,14 @@ mod tests {
         // the DAC code — the regime the paper designs for.
         let dv = Volts(0.03);
         let load = Siemens(1e-1);
-        let lo = RowDrive::SourceConductance { g: Siemens(1e-4), supply: dv };
-        let hi = RowDrive::SourceConductance { g: Siemens(1e-3), supply: dv };
+        let lo = RowDrive::SourceConductance {
+            g: Siemens(1e-4),
+            supply: dv,
+        };
+        let hi = RowDrive::SourceConductance {
+            g: Siemens(1e-3),
+            supply: dv,
+        };
         let ratio = hi.current_into(load).0 / lo.current_into(load).0;
         assert!((ratio - 10.0).abs() < 0.2, "ratio {ratio}");
     }

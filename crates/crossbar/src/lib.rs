@@ -102,11 +102,22 @@ pub enum CrossbarError {
 impl fmt::Display for CrossbarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CrossbarError::IndexOutOfBounds { row, col, rows, cols } => {
-                write!(f, "cell ({row}, {col}) out of bounds for {rows}x{cols} array")
+            CrossbarError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "cell ({row}, {col}) out of bounds for {rows}x{cols} array"
+                )
             }
             CrossbarError::InputLengthMismatch { expected, found } => {
-                write!(f, "input vector has {found} entries, array has {expected} rows")
+                write!(
+                    f,
+                    "input vector has {found} entries, array has {expected} rows"
+                )
             }
             CrossbarError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             CrossbarError::Device(e) => write!(f, "device error: {e}"),

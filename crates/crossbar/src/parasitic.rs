@@ -20,8 +20,9 @@ use crate::drive::RowDrive;
 use crate::geometry::CrossbarGeometry;
 use crate::CrossbarError;
 use spinamm_circuit::prelude::*;
-use spinamm_circuit::ElementId;
 use spinamm_circuit::units::{Amps, Watts};
+use spinamm_circuit::ElementId;
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// Result of one parasitic crossbar evaluation.
 #[derive(Debug, Clone)]
@@ -70,9 +71,30 @@ impl ParasiticCrossbar {
         array: &CrossbarArray,
         drives: &[RowDrive],
     ) -> Result<ColumnReadout, CrossbarError> {
+        self.evaluate_with(array, drives, &NoopRecorder)
+    }
+
+    /// Like [`ParasiticCrossbar::evaluate`], recording solver telemetry on
+    /// `recorder`: the `crossbar.solves` counter, `crossbar.settle_iterations`
+    /// (CG iterations, or the system dimension for direct backends — a proxy
+    /// for settling work), and the `crossbar.solver_residual` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParasiticCrossbar::evaluate`].
+    pub fn evaluate_with<T: Recorder>(
+        &self,
+        array: &CrossbarArray,
+        drives: &[RowDrive],
+        recorder: &T,
+    ) -> Result<ColumnReadout, CrossbarError> {
         let built = self.build_network(array, drives, false)?;
         let net = built.net;
-        let sol = net.solve_dc_with(self.method)?;
+        let (sol, stats) = net.solve_dc_stats(self.method)?;
+        recorder.counter("crossbar.solves", 1);
+        recorder.counter("crossbar.settle_iterations", stats.iterations as u64);
+        recorder.gauge("crossbar.solver_residual", stats.residual);
+        recorder.observe("crossbar.unknowns", stats.unknowns as f64);
 
         // Column output current = current flowing *into* the clamp from the
         // network = −(current delivered by the clamp).
@@ -81,11 +103,7 @@ impl ParasiticCrossbar {
             .iter()
             .map(|&id| Amps(-sol.current(id).0))
             .collect();
-        let row_input_voltages = built
-            .row_inputs
-            .iter()
-            .map(|&n| sol.voltage(n))
-            .collect();
+        let row_input_voltages = built.row_inputs.iter().map(|&n| sol.voltage(n)).collect();
         let dissipated_power = sol.dissipated_power(&net);
 
         Ok(ColumnReadout {
@@ -257,10 +275,9 @@ mod tests {
         let scheme = WriteScheme::paper();
         let mut a = CrossbarArray::new(rows, cols, DeviceLimits::PAPER).unwrap();
         for j in 0..cols {
-            let levels: Vec<u32> = (0..rows)
-                .map(|i| ((i * 13 + j * 7) % 32) as u32)
-                .collect();
-            a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+            let levels: Vec<u32> = (0..rows).map(|i| ((i * 13 + j * 7) % 32) as u32).collect();
+            a.program_pattern(j, &levels, &map, &scheme, &mut rng)
+                .unwrap();
         }
         a
     }
@@ -359,7 +376,10 @@ mod tests {
         {
             let rel = (got.0 - want.0).abs() / want.0;
             assert!(rel < 0.01, "column {i} deviates {rel}");
-            assert!(got.0 <= want.0 * (1.0 + 1e-9), "IR drop cannot boost output");
+            assert!(
+                got.0 <= want.0 * (1.0 + 1e-9),
+                "IR drop cannot boost output"
+            );
         }
     }
 
@@ -384,13 +404,15 @@ mod tests {
     fn dissipated_power_positive_and_scales() {
         let mut a = programmed_array(4, 3, 6);
         a.equalize_rows(None).unwrap();
-        let mk = |dv: f64| vec![
-            RowDrive::SourceConductance {
-                g: Siemens(5e-4),
-                supply: Volts(dv),
-            };
-            4
-        ];
+        let mk = |dv: f64| {
+            vec![
+                RowDrive::SourceConductance {
+                    g: Siemens(5e-4),
+                    supply: Volts(dv),
+                };
+                4
+            ]
+        };
         let pc = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
         let p1 = pc.evaluate(&a, &mk(0.03)).unwrap().dissipated_power;
         let p2 = pc.evaluate(&a, &mk(0.06)).unwrap().dissipated_power;

@@ -207,12 +207,8 @@ mod tests {
     fn elmore_matches_transient_order() {
         // Exaggerated wires so the settling is resolvable, then compare the
         // transient result against the Elmore estimate within a factor 5.
-        let geometry = CrossbarGeometry::new(
-            Micrometers(1.0),
-            Ohms(2000.0),
-            Farads(40e-15),
-        )
-        .unwrap();
+        let geometry =
+            CrossbarGeometry::new(Micrometers(1.0), Ohms(2000.0), Farads(40e-15)).unwrap();
         let study = SettlingStudy::new(geometry);
         let array = programmed(10, 3);
         let report = study

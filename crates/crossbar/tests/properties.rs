@@ -167,7 +167,8 @@ fn medium_array_solves_via_sparse_path() {
     let mut a = CrossbarArray::new(32, 10, DeviceLimits::PAPER).unwrap();
     for j in 0..10 {
         let levels: Vec<u32> = (0..32).map(|i| ((i * 5 + j * 11) % 32) as u32).collect();
-        a.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        a.program_pattern(j, &levels, &map, &scheme, &mut rng)
+            .unwrap();
     }
     a.equalize_rows(None).unwrap();
     let drives = vec![

@@ -97,13 +97,10 @@ impl FaceDataset {
     ///
     /// Returns [`DataError::IndexOutOfBounds`] for bad indices.
     pub fn image(&self, person: usize, sample: usize) -> Result<&GrayImage, DataError> {
-        let group = self
-            .images
-            .get(person)
-            .ok_or(DataError::IndexOutOfBounds {
-                index: person,
-                len: self.images.len(),
-            })?;
+        let group = self.images.get(person).ok_or(DataError::IndexOutOfBounds {
+            index: person,
+            len: self.images.len(),
+        })?;
         group.get(sample).ok_or(DataError::IndexOutOfBounds {
             index: sample,
             len: group.len(),
@@ -116,11 +113,7 @@ impl FaceDataset {
     /// # Errors
     ///
     /// Propagates reduction errors (bad target or bit width).
-    pub fn reduce(
-        image: &GrayImage,
-        target: Resolution,
-        bits: u32,
-    ) -> Result<Vec<u32>, DataError> {
+    pub fn reduce(image: &GrayImage, target: Resolution, bits: u32) -> Result<Vec<u32>, DataError> {
         image.normalized().downsampled(target)?.to_levels(bits)
     }
 
@@ -137,13 +130,10 @@ impl FaceDataset {
         target: Resolution,
         bits: u32,
     ) -> Result<Vec<u32>, DataError> {
-        let group = self
-            .images
-            .get(person)
-            .ok_or(DataError::IndexOutOfBounds {
-                index: person,
-                len: self.images.len(),
-            })?;
+        let group = self.images.get(person).ok_or(DataError::IndexOutOfBounds {
+            index: person,
+            len: self.images.len(),
+        })?;
         let reduced: Result<Vec<GrayImage>, DataError> = group
             .iter()
             .map(|im| im.normalized().downsampled(target))
@@ -186,10 +176,7 @@ impl FaceDataset {
                 .sum::<f64>()
                 .sqrt()
         };
-        let target_norm = averaged
-            .iter()
-            .map(norm)
-            .fold(f64::INFINITY, f64::min);
+        let target_norm = averaged.iter().map(norm).fold(f64::INFINITY, f64::min);
         averaged
             .into_iter()
             .map(|im| {
@@ -199,8 +186,7 @@ impl FaceDataset {
                     1.0
                 };
                 let res = im.resolution();
-                GrayImage::from_fn(res, |x, y| f64::from(im.pixel(x, y)) * scale)
-                    .to_levels(bits)
+                GrayImage::from_fn(res, |x, y| f64::from(im.pixel(x, y)) * scale).to_levels(bits)
             })
             .collect()
     }
@@ -301,9 +287,7 @@ mod tests {
     #[test]
     fn template_shape() {
         let data = FaceDataset::generate(&small_config()).unwrap();
-        let t = data
-            .template(0, Resolution::template(), 5)
-            .unwrap();
+        let t = data.template(0, Resolution::template(), 5).unwrap();
         assert_eq!(t.len(), 128);
         assert!(t.iter().all(|&l| l < 32));
         let all = data.templates(Resolution::template(), 5).unwrap();
@@ -358,7 +342,10 @@ mod tests {
             .filter(|(person, v)| ideal_best_match(v, &templates).unwrap() == *person)
             .count();
         let accuracy = correct as f64 / tests.len() as f64;
-        assert!(accuracy < 0.7, "2-pixel accuracy should collapse, got {accuracy}");
+        assert!(
+            accuracy < 0.7,
+            "2-pixel accuracy should collapse, got {accuracy}"
+        );
     }
 
     #[test]

@@ -349,10 +349,7 @@ mod tests {
         assert!(im.to_levels(0).is_err());
         assert!(im.to_levels(9).is_err());
         // 8-bit quantization is the identity.
-        assert_eq!(
-            im.to_levels(8).unwrap(),
-            vec![0u32, 64, 128, 255]
-        );
+        assert_eq!(im.to_levels(8).unwrap(), vec![0u32, 64, 128, 255]);
     }
 
     #[test]

@@ -88,7 +88,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(!DataError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(!DataError::InvalidParameter { what: "x" }
+            .to_string()
+            .is_empty());
         assert!(DataError::IndexOutOfBounds { index: 41, len: 40 }
             .to_string()
             .contains("41"));

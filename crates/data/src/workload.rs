@@ -141,9 +141,7 @@ impl PatternWorkload {
             .map(|p| {
                 let scale = target / norm(&p).max(1.0);
                 p.into_iter()
-                    .map(|v| {
-                        ((f64::from(v) * scale).round() as u32).min(levels - 1)
-                    })
+                    .map(|v| ((f64::from(v) * scale).round() as u32).min(levels - 1))
                     .collect()
             })
             .collect();

@@ -83,12 +83,7 @@ impl MemristorBank {
     /// One noisy read of the total conductance (each device independently
     /// noisy).
     pub fn read<R: Rng + ?Sized>(&self, noise: ReadNoise, rng: &mut R) -> Siemens {
-        Siemens(
-            self.cells
-                .iter()
-                .map(|c| c.read(noise, rng).0)
-                .sum(),
-        )
+        Siemens(self.cells.iter().map(|c| c.read(noise, rng).0).sum())
     }
 
     /// The total-conductance window of the bank (`n ×` the device window).
@@ -164,7 +159,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut bank = MemristorBank::new(DeviceLimits::PAPER, 4).unwrap();
         let target = Siemens(1.2e-3);
-        bank.program(target, &WriteScheme::paper(), &mut rng).unwrap();
+        bank.program(target, &WriteScheme::paper(), &mut rng)
+            .unwrap();
         for cell in bank.cells() {
             let per = target.0 / 4.0;
             assert!(((cell.conductance().0 - per) / per).abs() <= 0.03);
@@ -222,9 +218,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut bank = MemristorBank::new(DeviceLimits::PAPER, 4).unwrap();
         let scheme = WriteScheme::paper();
-        let rep = bank
-            .program(Siemens(1.6e-3), &scheme, &mut rng)
-            .unwrap();
+        let rep = bank.program(Siemens(1.6e-3), &scheme, &mut rng).unwrap();
         assert!(rep.pulses >= 4, "each device needs at least one pulse");
         assert!((rep.energy.0 - f64::from(rep.pulses) * scheme.pulse_energy.0).abs() < 1e-24);
     }

@@ -98,7 +98,9 @@ impl DriftModel {
             return None;
         }
         // 1 − ν·log10(1 + t/t0) = 1 − tolerance → t = t0·(10^(tol/ν) − 1).
-        Some(Seconds(self.t0.0 * (10.0_f64.powf(tolerance / self.nu) - 1.0)))
+        Some(Seconds(
+            self.t0.0 * (10.0_f64.powf(tolerance / self.nu) - 1.0),
+        ))
     }
 
     /// Samples one device's retention fraction after `elapsed` (its ν drawn
@@ -177,8 +179,7 @@ mod tests {
     #[test]
     fn aging_a_cell_reduces_conductance() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut cell =
-            Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
         cell.age(Seconds(1e6), &DriftModel::AGGRESSIVE, &mut rng);
         assert!(cell.conductance().0 < 8e-4);
         assert!(cell.conductance().0 >= DeviceLimits::PAPER.g_min().0);
@@ -202,7 +203,11 @@ mod tests {
         let mut sorted = samples.clone();
         sorted.sort_by(f64::total_cmp);
         sorted.dedup();
-        assert!(sorted.len() > 40, "spread produced {} distinct values", sorted.len());
+        assert!(
+            sorted.len() > 40,
+            "spread produced {} distinct values",
+            sorted.len()
+        );
         // All within a sane band around the median.
         let median = m.median_retention(Seconds(1e6));
         for s in samples {

@@ -52,9 +52,9 @@ pub mod quantize;
 pub mod write;
 
 pub use bank::MemristorBank;
+pub use device::{DeviceLimits, Memristor, ReadNoise};
 pub use drift::DriftModel;
 pub use pulse::PulseWriteModel;
-pub use device::{DeviceLimits, Memristor, ReadNoise};
 pub use quantize::LevelMap;
 pub use write::{WriteReport, WriteScheme};
 
@@ -90,12 +90,19 @@ pub enum MemristorError {
 impl fmt::Display for MemristorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemristorError::ConductanceOutOfRange { requested, min, max } => write!(
+            MemristorError::ConductanceOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "conductance {requested:.3e} S outside programmable window [{min:.3e}, {max:.3e}] S"
             ),
             MemristorError::LevelOutOfRange { level, count } => {
-                write!(f, "level {level} out of range (device stores {count} levels)")
+                write!(
+                    f,
+                    "level {level} out of range (device stores {count} levels)"
+                )
             }
             MemristorError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
@@ -116,9 +123,12 @@ mod tests {
             max: 0.5,
         };
         assert!(e.to_string().contains("outside"));
-        assert!(MemristorError::LevelOutOfRange { level: 32, count: 32 }
-            .to_string()
-            .contains("32"));
+        assert!(MemristorError::LevelOutOfRange {
+            level: 32,
+            count: 32
+        }
+        .to_string()
+        .contains("32"));
         assert!(!MemristorError::InvalidParameter { what: "x" }
             .to_string()
             .is_empty());

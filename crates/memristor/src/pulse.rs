@@ -126,7 +126,11 @@ mod tests {
         let m = PulseWriteModel::TYPICAL;
         assert_eq!(m.delta(Volts(1.0), DT), Siemens(0.0));
         assert_eq!(m.delta(Volts(-1.0), DT), Siemens(0.0));
-        assert_eq!(m.delta(Volts(0.03), DT), Siemens(0.0), "read bias is harmless");
+        assert_eq!(
+            m.delta(Volts(0.03), DT),
+            Siemens(0.0),
+            "read bias is harmless"
+        );
         let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(5e-4)).unwrap();
         assert_eq!(cell.apply_voltage_pulse(Volts(1.2), DT, &m), Siemens(0.0));
         assert_eq!(cell.conductance(), Siemens(5e-4));
@@ -140,7 +144,10 @@ mod tests {
         assert!(up.0 > 0.0);
         let down = cell.apply_voltage_pulse(Volts(-2.3), DT, &m);
         assert!(down.0 < 0.0);
-        assert!((up.0 + down.0).abs() < 1e-12, "symmetric thresholds and rate");
+        assert!(
+            (up.0 + down.0).abs() < 1e-12,
+            "symmetric thresholds and rate"
+        );
     }
 
     #[test]
@@ -167,8 +174,7 @@ mod tests {
     fn pulse_clamps_to_window() {
         let m = PulseWriteModel::TYPICAL;
         let mut cell =
-            Memristor::with_conductance(DeviceLimits::PAPER, DeviceLimits::PAPER.g_max())
-                .unwrap();
+            Memristor::with_conductance(DeviceLimits::PAPER, DeviceLimits::PAPER.g_max()).unwrap();
         let realized = cell.apply_voltage_pulse(Volts(3.0), Seconds(1e-3), &m);
         assert_eq!(realized, Siemens(0.0), "already at the rail");
         assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_max());

@@ -175,7 +175,10 @@ mod tests {
         let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
         assert!(matches!(
             map.conductance(32),
-            Err(MemristorError::LevelOutOfRange { level: 32, count: 32 })
+            Err(MemristorError::LevelOutOfRange {
+                level: 32,
+                count: 32
+            })
         ));
         assert!(map.normalized(32).is_err());
     }

@@ -14,6 +14,7 @@ use crate::MemristorError;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use spinamm_circuit::units::{Joules, Siemens};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// Program-and-verify write configuration.
 ///
@@ -162,6 +163,24 @@ impl Memristor {
         scheme: &WriteScheme,
         rng: &mut R,
     ) -> Result<WriteReport, MemristorError> {
+        self.program_with(target, scheme, rng, &NoopRecorder)
+    }
+
+    /// Like [`Memristor::program`], recording device-event telemetry on
+    /// `recorder`: `memristor.write_pulses` counts every pulse applied and
+    /// `memristor.verify_checks` every verify read of the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::ConductanceOutOfRange`] if `target` is
+    /// outside the programmable window.
+    pub fn program_with<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        target: Siemens,
+        scheme: &WriteScheme,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<WriteReport, MemristorError> {
         if !self.limits().contains(target) {
             return Err(MemristorError::ConductanceOutOfRange {
                 requested: target.0,
@@ -172,12 +191,14 @@ impl Memristor {
         let noise = Normal::new(0.0, scheme.pulse_sigma.max(f64::MIN_POSITIVE))
             .expect("sigma validated at construction");
         let mut pulses = 0u32;
+        let mut verifies = 0u64;
         // Cap pulse count: tolerance ∈ (0,1) means ≤ ~60 ideal halvings; noise
         // can add a few more. A hard cap keeps the loop total.
         let cap = 4 * scheme.expected_pulses() + 16;
 
         // Coarse phase: halve the residual until within twice the band.
         while pulses < cap {
+            verifies += 1;
             let err = (self.conductance().0 - target.0) / target.0;
             if err.abs() <= 2.0 * scheme.tolerance {
                 break;
@@ -198,6 +219,7 @@ impl Memristor {
         // verify read sees the state in-band the loop stops, and reported
         // residuals in fine-tuning experiments [1-2] spread across the whole
         // band rather than hugging one edge.
+        verifies += 1;
         let err = (self.conductance().0 - target.0) / target.0;
         if err.abs() > scheme.tolerance && pulses < cap {
             let trim = Normal::new(0.0, scheme.tolerance / 2.0)
@@ -210,6 +232,8 @@ impl Memristor {
             pulses += 1;
         }
 
+        recorder.counter("memristor.write_pulses", u64::from(pulses));
+        recorder.counter("memristor.verify_checks", verifies);
         let relative_error = (self.conductance().0 - target.0) / target.0;
         Ok(WriteReport {
             pulses,

@@ -201,11 +201,11 @@ impl DwDynamics {
         let delta = m.wall_width;
         let gamma = m.gamma_prime();
         let hk2 = 0.5 * m.hard_axis_field;
-        let h_pin = -self.pinning_field * (2.0 * std::f64::consts::PI * q / self.pinning_period).sin();
+        let h_pin =
+            -self.pinning_field * (2.0 * std::f64::consts::PI * q / self.pinning_period).sin();
         let denom = 1.0 + alpha * alpha;
         let s2 = (2.0 * phi).sin();
-        let q_dot =
-            (delta * gamma * (alpha * h_pin + hk2 * s2) + (1.0 + alpha * beta) * u) / denom;
+        let q_dot = (delta * gamma * (alpha * h_pin + hk2 * s2) + (1.0 + alpha * beta) * u) / denom;
         let phi_dot = (gamma * (h_pin - alpha * hk2 * s2) + (beta - alpha) * u / delta) / denom;
         (q_dot, phi_dot)
     }
@@ -257,7 +257,11 @@ impl DwDynamics {
             .iter()
             .map(|&i| {
                 let out = self.simulate(i);
-                let v = if out.switched { out.average_velocity } else { 0.0 };
+                let v = if out.switched {
+                    out.average_velocity
+                } else {
+                    0.0
+                };
                 (i, v)
             })
             .collect()
@@ -421,12 +425,9 @@ mod tests {
 
     #[test]
     fn calibration_validation() {
-        assert!(DwDynamics::calibrated(
-            MagnetMaterial::NIFE,
-            DwGeometry::REFERENCE,
-            Amps(0.0)
-        )
-        .is_err());
+        assert!(
+            DwDynamics::calibrated(MagnetMaterial::NIFE, DwGeometry::REFERENCE, Amps(0.0)).is_err()
+        );
         let mut m = MagnetMaterial::NIFE;
         m.nonadiabaticity = 0.0;
         assert!(DwDynamics::calibrated(m, DwGeometry::REFERENCE, Amps(1e-6)).is_err());
@@ -438,12 +439,7 @@ mod tests {
     #[test]
     fn velocity_curve_shape() {
         let d = reference();
-        let curve = d.velocity_curve(&[
-            Amps(0.5e-6),
-            Amps(2e-6),
-            Amps(4e-6),
-            Amps(8e-6),
-        ]);
+        let curve = d.velocity_curve(&[Amps(0.5e-6), Amps(2e-6), Amps(4e-6), Amps(8e-6)]);
         assert_eq!(curve.len(), 4);
         assert_eq!(curve[0].1, 0.0, "below threshold: pinned");
         assert!(curve[1].1 > 0.0);

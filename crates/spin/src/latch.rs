@@ -19,6 +19,7 @@ use crate::SpinError;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use spinamm_circuit::units::{switched_capacitor_energy, Farads, Joules, Ohms, Volts};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// Abramowitz–Stegun 7.1.26 approximation of `erf` (|error| < 1.5e-7),
 /// sufficient for sensing-yield estimates.
@@ -27,8 +28,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -113,6 +113,19 @@ impl DynamicLatch {
     /// One stochastic sense: returns the detected polarity given the MTJ
     /// state resistance, sampling the latch offset.
     pub fn sense<R: Rng + ?Sized>(&self, mtj: &Mtj, state: Polarity, rng: &mut R) -> Polarity {
+        self.sense_with(mtj, state, rng, &NoopRecorder)
+    }
+
+    /// Like [`DynamicLatch::sense`], incrementing the `spin.latch_fires`
+    /// counter on `recorder` for every sense operation performed.
+    pub fn sense_with<R: Rng + ?Sized, T: Recorder>(
+        &self,
+        mtj: &Mtj,
+        state: Polarity,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Polarity {
+        recorder.counter("spin.latch_fires", 1);
         let signal = self.signal(mtj.resistance(state), mtj.reference_resistance());
         let offset = if self.offset_sigma_siemens > 0.0 {
             Normal::new(0.0, self.offset_sigma_siemens)
@@ -217,7 +230,10 @@ mod tests {
         let l = DynamicLatch::new(Volts(1.0), Farads(2e-15), 3e-5).unwrap();
         let m = Mtj::new(Ohms(8_000.0), Ohms(12_000.0)).unwrap();
         let p = l.error_probability(&m, Polarity::Down);
-        assert!(p > 0.01 && p < 0.5, "test needs a measurable error rate, p = {p}");
+        assert!(
+            p > 0.01 && p < 0.5,
+            "test needs a measurable error rate, p = {p}"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         let n = 30_000;
         let errors = (0..n)

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(!SpinError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(!SpinError::InvalidParameter { what: "x" }
+            .to_string()
+            .is_empty());
         assert!(SpinError::CalibrationFailed { what: "y" }
             .to_string()
             .contains("calibration"));

@@ -97,8 +97,7 @@ impl MagnetMaterial {
     /// tens of m/s under overdrive.
     #[must_use]
     pub fn drift_velocity_per_current_density(&self) -> f64 {
-        BOHR_MAGNETON * self.spin_polarization
-            / (ELEMENTARY_CHARGE * self.saturation_magnetization)
+        BOHR_MAGNETON * self.spin_polarization / (ELEMENTARY_CHARGE * self.saturation_magnetization)
     }
 
     /// Reduced gyromagnetic ratio γ′ = γ·µ₀ in m/(A·s), converting A/m
@@ -179,16 +178,46 @@ mod tests {
     fn validation_rejects_bad_values() {
         let base = MagnetMaterial::NIFE;
         let cases: Vec<MagnetMaterial> = vec![
-            MagnetMaterial { saturation_magnetization: 0.0, ..base },
-            MagnetMaterial { saturation_magnetization: f64::NAN, ..base },
-            MagnetMaterial { gilbert_damping: 0.0, ..base },
-            MagnetMaterial { gilbert_damping: 1.5, ..base },
-            MagnetMaterial { nonadiabaticity: -0.1, ..base },
-            MagnetMaterial { spin_polarization: 0.0, ..base },
-            MagnetMaterial { spin_polarization: 1.1, ..base },
-            MagnetMaterial { wall_width: -1e-9, ..base },
-            MagnetMaterial { hard_axis_field: 0.0, ..base },
-            MagnetMaterial { barrier_kt: 0.0, ..base },
+            MagnetMaterial {
+                saturation_magnetization: 0.0,
+                ..base
+            },
+            MagnetMaterial {
+                saturation_magnetization: f64::NAN,
+                ..base
+            },
+            MagnetMaterial {
+                gilbert_damping: 0.0,
+                ..base
+            },
+            MagnetMaterial {
+                gilbert_damping: 1.5,
+                ..base
+            },
+            MagnetMaterial {
+                nonadiabaticity: -0.1,
+                ..base
+            },
+            MagnetMaterial {
+                spin_polarization: 0.0,
+                ..base
+            },
+            MagnetMaterial {
+                spin_polarization: 1.1,
+                ..base
+            },
+            MagnetMaterial {
+                wall_width: -1e-9,
+                ..base
+            },
+            MagnetMaterial {
+                hard_axis_field: 0.0,
+                ..base
+            },
+            MagnetMaterial {
+                barrier_kt: 0.0,
+                ..base
+            },
         ];
         for (k, m) in cases.iter().enumerate() {
             assert!(m.validate().is_err(), "case {k} should fail");

@@ -15,6 +15,7 @@ use crate::thermal::ThermalModel;
 use crate::SpinError;
 use rand::Rng;
 use spinamm_circuit::units::{Amps, Joules, Ohms, Seconds, Volts};
+use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// Static configuration of a behavioural DWN.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,9 +40,7 @@ impl NeuronConfig {
     /// Derives the behavioural constants from a dynamics model.
     #[must_use]
     pub fn from_dynamics(dynamics: &DwDynamics) -> Self {
-        let u_per_j = dynamics
-            .material
-            .drift_velocity_per_current_density();
+        let u_per_j = dynamics.material.drift_velocity_per_current_density();
         let area = dynamics.geometry.cross_section();
         Self {
             threshold: dynamics.analytic_threshold(),
@@ -159,6 +158,18 @@ impl DomainWallNeuron {
     ///
     /// Returns the post-pulse state.
     pub fn apply(&mut self, current: Amps, pulse: Seconds) -> Polarity {
+        self.apply_with(current, pulse, &NoopRecorder)
+    }
+
+    /// Like [`DomainWallNeuron::apply`], incrementing the
+    /// `spin.dwn_switch_events` counter on `recorder` whenever the wall
+    /// completes a transit (the state actually flips).
+    pub fn apply_with<T: Recorder>(
+        &mut self,
+        current: Amps,
+        pulse: Seconds,
+        recorder: &T,
+    ) -> Polarity {
         let toward = if current.0 > 0.0 {
             Polarity::Up
         } else {
@@ -168,6 +179,7 @@ impl DomainWallNeuron {
             if let Some(t) = self.config.transit_time(Amps(current.0.abs())) {
                 if t.0 <= pulse.0 {
                     self.state = toward;
+                    recorder.counter("spin.dwn_switch_events", 1);
                 }
             }
         }
@@ -184,6 +196,19 @@ impl DomainWallNeuron {
         current: Amps,
         pulse: Seconds,
         rng: &mut R,
+    ) -> Polarity {
+        self.apply_thermal_with(current, pulse, rng, &NoopRecorder)
+    }
+
+    /// Like [`DomainWallNeuron::apply_thermal`], incrementing the
+    /// `spin.dwn_switch_events` counter on `recorder` whenever the state
+    /// flips (deterministically or by thermal activation).
+    pub fn apply_thermal_with<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        current: Amps,
+        pulse: Seconds,
+        rng: &mut R,
+        recorder: &T,
     ) -> Polarity {
         let toward = if current.0 > 0.0 {
             Polarity::Up
@@ -203,6 +228,7 @@ impl DomainWallNeuron {
                     .sample_switch(magnitude, self.config.threshold, pulse, rng)
             {
                 self.state = toward;
+                recorder.counter("spin.dwn_switch_events", 1);
             }
         }
         self.state
@@ -213,7 +239,12 @@ impl DomainWallNeuron {
     /// Fig. 7a. `peak` sets the sweep amplitude and `points` the number of
     /// samples per leg; each step lasts `pulse`.
     #[must_use]
-    pub fn transfer_curve(&mut self, peak: Amps, points: usize, pulse: Seconds) -> Vec<TransferPoint> {
+    pub fn transfer_curve(
+        &mut self,
+        peak: Amps,
+        points: usize,
+        pulse: Seconds,
+    ) -> Vec<TransferPoint> {
         let mut out = Vec::with_capacity(2 * points);
         let n = points.max(2) as f64;
         // Up leg: −peak → +peak; down leg: +peak → −peak.
@@ -411,10 +442,7 @@ mod tests {
         assert!((curve[81].output + 1.0).abs() < 0.05);
         // ...and fractional somewhere near the rising threshold: at least
         // one sweep point averages strictly between the rails.
-        let fractional = curve
-            .iter()
-            .filter(|p| p.output.abs() < 0.95)
-            .count();
+        let fractional = curve.iter().filter(|p| p.output.abs() < 0.95).count();
         assert!(fractional >= 1, "no thermal rounding observed");
     }
 

@@ -64,7 +64,10 @@ impl ThermalModel {
     ) -> Result<Self, SpinError> {
         for (v, what) in [
             (barrier_kt, "barrier must be finite and positive"),
-            (attempt_frequency.0, "attempt frequency must be finite and positive"),
+            (
+                attempt_frequency.0,
+                "attempt frequency must be finite and positive",
+            ),
             (temperature.0, "temperature must be finite and positive"),
         ] {
             if !(v.is_finite() && v > 0.0) {

@@ -138,7 +138,9 @@ fn thermal_sampling_converges() {
     let p = t.switching_probability(i, ic, pulse);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let n = 40_000;
-    let hits = (0..n).filter(|_| t.sample_switch(i, ic, pulse, &mut rng)).count();
+    let hits = (0..n)
+        .filter(|_| t.sample_switch(i, ic, pulse, &mut rng))
+        .count();
     let freq = hits as f64 / f64::from(n);
     assert!((freq - p).abs() < 0.01, "{freq} vs {p}");
 }

@@ -1,0 +1,392 @@
+//! Minimal hand-rolled JSON: a composable [`JsonValue`], an escaping
+//! renderer, and a syntax [`validate`]r used by tests and the bench layer
+//! to guarantee emitted artifacts parse.
+//!
+//! Non-finite floats render as `null` (JSON has no NaN/inf). Numbers use
+//! `{:e}` notation outside a comfortable fixed-point window, which JSON
+//! accepts.
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Finite check happens at render time; NaN/inf become `null`.
+    Num(f64),
+    Int(i64),
+    Uint(u64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor from `&str` keys.
+    #[must_use]
+    pub fn object<const N: usize>(pairs: [(&str, JsonValue); N]) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Serializes to a compact JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => out.push_str(&number(*v)),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Uint(v) => out.push_str(&v.to_string()),
+            JsonValue::Str(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Uint(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Uint(v as u64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Formats a float as a JSON number token (`null` when non-finite).
+#[must_use]
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let magnitude = v.abs();
+    if (1e-4..1e15).contains(&magnitude) {
+        // `{}` on f64 prints the shortest round-trip decimal.
+        format!("{v}")
+    } else {
+        // Exponent form keeps extreme magnitudes compact; JSON allows it.
+        format!("{v:e}")
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `input` is one complete, syntactically valid JSON value.
+///
+/// This is a strict recursive-descent syntax check (no number-range or
+/// duplicate-key semantics); it exists so artifacts written by this
+/// workspace can be verified without an external JSON dependency.
+///
+/// # Errors
+///
+/// Returns a description and byte offset of the first syntax error.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, expect: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(expect) {
+        *pos += expect.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos + 1).copied();
+                match esc {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 2..*pos + 6);
+                        match hex {
+                            Some(h) if h.iter().all(u8::is_ascii_hexdigit) => *pos += 6,
+                            _ => return Err(format!("bad \\u escape at byte {pos}")),
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    let int_start = *pos;
+    if !digits(bytes, pos) {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if bytes[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(format!("leading zero at byte {int_start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("expected fraction digits at byte {pos}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("expected exponent digits at byte {pos}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+                skip_ws(bytes, pos);
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string key at byte {pos}"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_validates_nested_document() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::from("fig3a")),
+            ("ok", JsonValue::from(true)),
+            (
+                "rows",
+                JsonValue::Array(vec![
+                    JsonValue::object([
+                        ("x", JsonValue::Num(0.5)),
+                        ("n", JsonValue::Uint(3)),
+                        ("note", JsonValue::from("a \"quoted\"\nline")),
+                    ]),
+                    JsonValue::Null,
+                ]),
+            ),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("tiny", JsonValue::Num(2.5e-19)),
+            ("neg", JsonValue::Int(-7)),
+        ]);
+        let s = doc.render();
+        validate(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        assert!(s.contains("\"nan\":null"));
+        assert!(s.contains("2.5e-19"));
+    }
+
+    #[test]
+    fn number_formatting_edges() {
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(-f64::INFINITY), "null");
+        assert_eq!(number(1.5), "1.5");
+        for v in [1e-300, -3.25e22, 1e-5, 123456.75, -0.25, 5.0e14] {
+            let tok = number(v);
+            validate(&tok).unwrap_or_else(|e| panic!("{v}: {e} in {tok}"));
+            assert_eq!(tok.parse::<f64>().unwrap(), v, "round trip {v} via {tok}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_valid_and_rejects_invalid() {
+        for good in [
+            "null",
+            "true",
+            "-0.5e-3",
+            "[]",
+            "{}",
+            "[1,2,3]",
+            r#"{"a":[{"b":null}],"c":"dé"}"#,
+            "  { \"k\" : 1 }  ",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{'a':1}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "nul",
+            "[1] extra",
+            "\"unterminated",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid: {bad}");
+        }
+    }
+}

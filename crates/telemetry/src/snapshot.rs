@@ -1,0 +1,277 @@
+//! Immutable aggregation results: [`TelemetrySnapshot`] and its pieces.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary statistics of one histogram or span series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    /// Total samples recorded (exact, beyond any retention cap).
+    pub count: u64,
+    /// Sum of all samples (exact).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank over retained samples).
+    pub p50: f64,
+    /// 95th percentile (nearest rank over retained samples).
+    pub p95: f64,
+}
+
+impl HistStats {
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::object([
+            ("count", JsonValue::Uint(self.count)),
+            ("sum", JsonValue::Num(self.sum)),
+            ("mean", JsonValue::Num(self.mean())),
+            ("min", JsonValue::Num(self.min)),
+            ("max", JsonValue::Num(self.max)),
+            ("p50", JsonValue::Num(self.p50)),
+            ("p95", JsonValue::Num(self.p95)),
+        ])
+    }
+}
+
+/// One structured event, e.g. a hardware/ideal winner divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Event kind, e.g. `recall.hw_ideal_mismatch`.
+    pub name: String,
+    /// Numeric payload fields in recording order.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// Frozen view of everything a [`crate::MemoryRecorder`] collected.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters (device events: SAR cycles, switch events, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges (solver residuals, calibration gains, ...).
+    pub gauges: BTreeMap<String, f64>,
+    /// Value distributions (DOM margins, iteration counts, ...).
+    pub histograms: BTreeMap<String, HistStats>,
+    /// Wall-time distributions per span name, in seconds.
+    pub spans: BTreeMap<String, HistStats>,
+    /// Retained structured events.
+    pub events: Vec<TelemetryEvent>,
+    /// Events dropped once the retention cap was hit.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// The value of a counter, `0` when never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Statistics of a span series, if it was recorded.
+    #[must_use]
+    pub fn span_stats(&self, name: &str) -> Option<&HistStats> {
+        self.spans.get(name)
+    }
+
+    /// Statistics of a histogram, if it was recorded.
+    #[must_use]
+    pub fn histogram_stats(&self, name: &str) -> Option<&HistStats> {
+        self.histograms.get(name)
+    }
+
+    /// Structured JSON value of the whole snapshot (stable, sorted keys).
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        let stats_map = |m: &BTreeMap<String, HistStats>| {
+            JsonValue::Object(m.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+        };
+        JsonValue::object([
+            (
+                "counters",
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), JsonValue::Uint(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), JsonValue::Num(v)))
+                        .collect(),
+                ),
+            ),
+            ("histograms", stats_map(&self.histograms)),
+            ("spans", stats_map(&self.spans)),
+            (
+                "events",
+                JsonValue::Array(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            JsonValue::object([
+                                ("name", JsonValue::Str(e.name.clone())),
+                                (
+                                    "fields",
+                                    JsonValue::Object(
+                                        e.fields
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("dropped_events", JsonValue::Uint(self.dropped_events)),
+        ])
+    }
+
+    /// Serializes the snapshot to a JSON string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Renders a human-readable table of counters, gauges and span/histogram
+    /// statistics.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {value:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {value:>14.6e}");
+            }
+        }
+        for (title, series, unit_scale, unit) in [
+            ("spans", &self.spans, 1e6, "us"),
+            ("histograms", &self.histograms, 1.0, ""),
+        ] {
+            if series.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{title}\n  {:<40} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "name",
+                "count",
+                format!("mean{unit}"),
+                format!("p50{unit}"),
+                format!("p95{unit}"),
+                format!("max{unit}"),
+            );
+            for (name, s) in series {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                    s.count,
+                    s.mean() * unit_scale,
+                    s.p50 * unit_scale,
+                    s.p95 * unit_scale,
+                    s.max * unit_scale,
+                );
+            }
+        }
+        if !self.events.is_empty() || self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "events: {} retained, {} dropped",
+                self.events.len(),
+                self.dropped_events
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::{MemoryRecorder, Recorder};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let r = MemoryRecorder::default();
+        r.counter("adc.sar_cycles", 40);
+        r.gauge("crossbar.solver_residual", 1.5e-11);
+        r.observe("recall.dom", 27.0);
+        r.record_span("recall.total", 0.002);
+        r.event(
+            "recall.hw_ideal_mismatch",
+            &[("query", 3.0), ("margin", 1.0)],
+        );
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_valid_and_carries_all_sections() {
+        let s = sample_snapshot();
+        let j = s.to_json();
+        json::validate(&j).expect("snapshot JSON must parse");
+        for key in ["counters", "gauges", "histograms", "spans", "events"] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"adc.sar_cycles\":40"));
+        assert!(j.contains("recall.hw_ideal_mismatch"));
+    }
+
+    #[test]
+    fn render_mentions_every_name() {
+        let s = sample_snapshot();
+        let text = s.render();
+        for name in [
+            "adc.sar_cycles",
+            "crossbar.solver_residual",
+            "recall.dom",
+            "recall.total",
+        ] {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet_but_valid() {
+        let s = TelemetrySnapshot::default();
+        json::validate(&s.to_json()).unwrap();
+        assert!(s.render().is_empty());
+        assert_eq!(s.counter("anything"), 0);
+        assert!(s.span_stats("anything").is_none());
+    }
+
+    #[test]
+    fn mean_of_empty_is_nan_and_json_null() {
+        let h = HistStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+            p50: f64::NAN,
+            p95: f64::NAN,
+        };
+        assert!(h.mean().is_nan());
+        assert!(h.to_json().render().contains("null"));
+    }
+}

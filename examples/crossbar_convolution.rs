@@ -22,12 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two 3×3 edge kernels (5-bit levels).
     let vertical = vec![31, 0, 0, 31, 0, 0, 31, 0, 0];
     let horizontal = vec![31, 31, 31, 0, 0, 0, 0, 0, 0];
-    let conv = CrossbarConvolution::build(
-        &[vertical, horizontal],
-        3,
-        &DesignParams::PAPER,
-        42,
-    )?;
+    let conv = CrossbarConvolution::build(&[vertical, horizontal], 3, &DesignParams::PAPER, 42)?;
 
     // A 24×18 face image as the input feature plane.
     let data = FaceDataset::generate(&DatasetConfig {

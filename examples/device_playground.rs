@@ -61,11 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  P(switch | I = {:.2} I_c, 10 ns) = {:.4}",
             frac,
-            thermal.switching_probability(
-                Amps(frac * 1e-6),
-                Amps(1e-6),
-                Seconds(10e-9)
-            )
+            thermal.switching_probability(Amps(frac * 1e-6), Amps(1e-6), Seconds(10e-9))
         );
     }
 

@@ -56,7 +56,10 @@ fn adc_lsb_traces_back_to_wall_physics() {
     .unwrap();
     let lsb = adc.nominal_full_scale().0 / 32.0;
     let eff = SpinSarAdc::effective_threshold(&neuron, Seconds(9e-9)).0;
-    assert!((lsb - eff).abs() / eff < 1e-12, "LSB {lsb} vs effective {eff}");
+    assert!(
+        (lsb - eff).abs() / eff < 1e-12,
+        "LSB {lsb} vs effective {eff}"
+    );
     // And the effective threshold strictly exceeds the depinning current.
     assert!(eff > dynamics.analytic_threshold().0);
 }
@@ -71,7 +74,9 @@ fn programmed_crossbar_to_adc_chain() {
     let mut array = CrossbarArray::new(16, 4, DeviceLimits::PAPER).unwrap();
     for j in 0..4 {
         let levels: Vec<u32> = (0..16).map(|i| ((i + j * 5) % 32) as u32).collect();
-        array.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        array
+            .program_pattern(j, &levels, &map, &scheme, &mut rng)
+            .unwrap();
     }
     array.equalize_rows(None).unwrap();
 
@@ -116,7 +121,9 @@ fn crossbar_power_balances() {
     let mut array = CrossbarArray::new(12, 5, DeviceLimits::PAPER).unwrap();
     for j in 0..5 {
         let levels: Vec<u32> = (0..12).map(|i| ((i * 3 + j * 7) % 32) as u32).collect();
-        array.program_pattern(j, &levels, &map, &scheme, &mut rng).unwrap();
+        array
+            .program_pattern(j, &levels, &map, &scheme, &mut rng)
+            .unwrap();
     }
     array.equalize_rows(None).unwrap();
     let drives = vec![
@@ -181,6 +188,96 @@ fn scaled_device_chain() {
     assert!(ratio > 0.25 && ratio < 0.75, "full-scale ratio {ratio}");
 }
 
+/// A fully instrumented recognition drives device-event counters in every
+/// layer: SAR cycles in the converters and settling iterations in the
+/// parasitic crossbar solver, with the per-stage spans populated.
+#[test]
+fn recall_telemetry_reaches_every_layer() {
+    use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+    use spinamm_telemetry::MemoryRecorder;
+
+    let w = PatternWorkload::generate(&WorkloadConfig {
+        pattern_count: 4,
+        vector_len: 16,
+        bits: 5,
+        query_count: 3,
+        query_noise: 0.2,
+        seed: 123,
+        noise_magnitude: 1,
+        similarity: 0.0,
+    })
+    .unwrap();
+    let cfg = AmmConfig {
+        fidelity: Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+    let recorder = MemoryRecorder::default();
+    let mut amm = AssociativeMemoryModule::build_with(&w.patterns, &cfg, &recorder).unwrap();
+    for (_, q) in &w.queries {
+        amm.recall_with(q, &recorder).unwrap();
+    }
+    let snap = recorder.snapshot();
+    assert!(snap.counter("adc.sar_cycles") > 0, "SAR cycles must fire");
+    assert!(
+        snap.counter("crossbar.settle_iterations") > 0,
+        "parasitic solves must report iterations"
+    );
+    assert!(
+        snap.counter("memristor.write_pulses") > 0,
+        "programming instrumented"
+    );
+    assert!(
+        snap.counter("spin.latch_fires") > 0,
+        "latch events instrumented"
+    );
+    assert_eq!(snap.counter("recall.count"), w.queries.len() as u64);
+    for span in [
+        "recall.total",
+        "recall.drive",
+        "recall.settle",
+        "recall.convert",
+        "recall.select",
+    ] {
+        let s = snap
+            .span_stats(span)
+            .unwrap_or_else(|| panic!("{span} missing"));
+        assert_eq!(s.count, w.queries.len() as u64, "{span}");
+    }
+    assert_eq!(snap.span_stats("build.program").map(|s| s.count), Some(1));
+}
+
+/// Telemetry is observational: recording into a [`MemoryRecorder`] must not
+/// perturb any numeric result relative to the uninstrumented path.
+#[test]
+fn telemetry_observation_changes_no_result() {
+    use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+    use spinamm_telemetry::MemoryRecorder;
+
+    let patterns = vec![
+        vec![31, 31, 0, 0, 17, 3, 0, 9],
+        vec![0, 0, 31, 31, 2, 25, 14, 0],
+        vec![9, 4, 7, 0, 31, 0, 31, 12],
+    ];
+    for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+        let cfg = AmmConfig {
+            fidelity,
+            thermal: true,
+            latch_noise: true,
+            ..AmmConfig::default()
+        };
+        let recorder = MemoryRecorder::default();
+        let mut plain = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut instrumented =
+            AssociativeMemoryModule::build_with(&patterns, &cfg, &recorder).unwrap();
+        for p in &patterns {
+            let a = plain.recall(p).unwrap();
+            let b = instrumented.recall_with(p, &recorder).unwrap();
+            assert_eq!(a, b, "{fidelity:?}: instrumented recall diverged");
+        }
+    }
+}
+
 /// The counterfactual the paper dismisses: implementing the same
 /// column-parallel SAR WTA with conventional CMOS ADCs burns milliwatts
 /// where the spin module burns microwatts.
@@ -197,9 +294,9 @@ fn cmos_adc_counterfactual_is_milliwatts() {
         query_count: 1,
         query_noise: 0.0,
         seed: 77,
-            noise_magnitude: 1,
-            similarity: 0.0,
-        })
+        noise_magnitude: 1,
+        similarity: 0.0,
+    })
     .unwrap();
     let mut amm = AssociativeMemoryModule::build(&w.patterns, &AmmConfig::default()).unwrap();
     let spin_power = amm.power_report(&w.queries[0].1).unwrap().total_power().0;

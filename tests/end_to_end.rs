@@ -22,7 +22,11 @@ fn face_pipeline_recognizes_majority() {
     let tests = data.test_vectors(Resolution::template(), 5).unwrap();
 
     let ideal = recall::ideal_accuracy(&templates, &tests).unwrap();
-    assert!(ideal.accuracy() > 0.9, "ideal accuracy {}", ideal.accuracy());
+    assert!(
+        ideal.accuracy() > 0.9,
+        "ideal accuracy {}",
+        ideal.accuracy()
+    );
 
     let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
     let hw = recall::evaluate_accuracy(&mut amm, &tests).unwrap();
@@ -40,8 +44,7 @@ fn recognition_is_deterministic() {
     let templates = data.templates(Resolution::template(), 5).unwrap();
     let tests = data.test_vectors(Resolution::template(), 5).unwrap();
     let run = || {
-        let mut amm =
-            AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
+        let mut amm = AssociativeMemoryModule::build(&templates, &AmmConfig::default()).unwrap();
         tests
             .iter()
             .take(5)
@@ -83,7 +86,9 @@ fn parasitic_fidelity_agrees_with_driven_at_small_scale() {
     })
     .unwrap();
     let templates = data.templates(Resolution::new(8, 4).unwrap(), 5).unwrap();
-    let tests = data.test_vectors(Resolution::new(8, 4).unwrap(), 5).unwrap();
+    let tests = data
+        .test_vectors(Resolution::new(8, 4).unwrap(), 5)
+        .unwrap();
 
     let driven_cfg = AmmConfig {
         fidelity: Fidelity::Driven,

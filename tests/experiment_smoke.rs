@@ -15,7 +15,10 @@ fn e1_fig3a_downsizing_degrades_accuracy() {
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
     assert!(first.parameter > last.parameter, "sweep orders big → small");
-    assert!(first.ideal > last.ideal + 0.2, "ideal accuracy must collapse");
+    assert!(
+        first.ideal > last.ideal + 0.2,
+        "ideal accuracy must collapse"
+    );
     assert!(first.hardware > last.hardware, "hardware follows");
 }
 
@@ -54,7 +57,9 @@ fn e4_fig5c_switching_faster_with_current_and_scaling() {
     let rows = experiments::fig5c(&[1.0, 0.5], &[2.0, 4.0, 8.0]).unwrap();
     let t = |factor: f64, current: f64| {
         rows.iter()
-            .find(|r| (r.factor - factor).abs() < 1e-9 && (r.current - current * 1e-6).abs() < 1e-12)
+            .find(|r| {
+                (r.factor - factor).abs() < 1e-9 && (r.current - current * 1e-6).abs() < 1e-12
+            })
             .and_then(|r| r.time)
             .unwrap()
     };
@@ -77,7 +82,10 @@ fn e5_fig7a_hysteresis_loop() {
         .min_by(|a, b| a.current.0.abs().total_cmp(&b.current.0.abs()))
         .unwrap()
         .output;
-    assert!(at_zero_up < 0.0 && at_zero_down > 0.0, "loop must be open at 0");
+    assert!(
+        at_zero_up < 0.0 && at_zero_down > 0.0,
+        "loop must be open at 0"
+    );
     // Thermal curve is a smooth monotone ramp.
     for w in study.thermal.windows(2) {
         assert!(w[1].1 >= w[0].1 - 1e-12);
