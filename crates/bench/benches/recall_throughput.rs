@@ -1,0 +1,130 @@
+//! Recall-throughput benchmark for the reusable-solver-state work: repeated
+//! parasitic evaluations of a paper-scale 128×40 crossbar, cold (netlist
+//! rebuilt and refactored per query) vs cached (netlist restamped, with the
+//! IC(0) preconditioner and warm starts reused), plus the end-to-end
+//! sequential vs batched recall path of the full module.
+//!
+//! The cached/cold ratio printed at the end is the headline number: the
+//! session cache must make repeated parasitic recalls several times faster
+//! than rebuilding the network every query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spinamm_circuit::units::{Siemens, Volts};
+use spinamm_core::{AmmConfig, AssociativeMemoryModule, Fidelity};
+use spinamm_crossbar::{
+    CachedParasiticCrossbar, CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive,
+};
+use spinamm_memristor::{DeviceLimits, LevelMap, WriteScheme};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 128;
+const COLS: usize = 40;
+const QUERIES: usize = 4;
+
+fn paper_array() -> CrossbarArray {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+    let scheme = WriteScheme::paper();
+    let mut array = CrossbarArray::new(ROWS, COLS, DeviceLimits::PAPER).unwrap();
+    for j in 0..COLS {
+        let levels: Vec<u32> = (0..ROWS).map(|i| ((i * 5 + j * 3) % 32) as u32).collect();
+        array
+            .program_pattern(j, &levels, &map, &scheme, &mut rng)
+            .unwrap();
+    }
+    array.equalize_rows(None).unwrap();
+    array
+}
+
+/// Distinct DTCS-style drive vectors, one per query, spanning the DAC's
+/// conductance range so every query restamps every row.
+fn query_drives() -> Vec<Vec<RowDrive>> {
+    (0..QUERIES)
+        .map(|q| {
+            (0..ROWS)
+                .map(|i| RowDrive::SourceConductance {
+                    g: Siemens(1.0e-4 + ((i * 31 + q * 17) % 97) as f64 * 2.0e-6),
+                    supply: Volts(0.03),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_recall_throughput(c: &mut Criterion) {
+    let array = paper_array();
+    let drives = query_drives();
+    let mut group = c.benchmark_group("recall_throughput");
+    group.sample_size(5);
+
+    let cold = ParasiticCrossbar::new(CrossbarGeometry::PAPER);
+    group.bench_function("cold_parasitic_128x40_4q", |b| {
+        b.iter(|| {
+            for d in &drives {
+                black_box(cold.evaluate(&array, d).unwrap());
+            }
+        });
+    });
+
+    group.bench_function("cached_parasitic_128x40_4q", |b| {
+        let mut cached = CachedParasiticCrossbar::new(CrossbarGeometry::PAPER);
+        cached.evaluate(&array, &drives[0]).unwrap();
+        b.iter(|| {
+            for d in &drives {
+                black_box(cached.evaluate(&array, d).unwrap());
+            }
+        });
+    });
+
+    // Headline ratio: one timed pass each, cache pre-warmed, same queries.
+    let cold_start = Instant::now();
+    for d in &drives {
+        black_box(cold.evaluate(&array, d).unwrap());
+    }
+    let cold_time = cold_start.elapsed();
+    let mut cached = CachedParasiticCrossbar::new(CrossbarGeometry::PAPER);
+    cached.evaluate(&array, &drives[0]).unwrap();
+    let cached_start = Instant::now();
+    for d in &drives {
+        black_box(cached.evaluate(&array, d).unwrap());
+    }
+    let cached_time = cached_start.elapsed();
+    println!(
+        "recall_throughput/speedup               cached {:.3?} vs cold {:.3?} -> {:.1}x",
+        cached_time,
+        cold_time,
+        cold_time.as_secs_f64() / cached_time.as_secs_f64().max(1e-12),
+    );
+
+    // End-to-end module path: sequential recalls vs one batched call.
+    let patterns: Vec<Vec<u32>> = (0..COLS)
+        .map(|j| (0..ROWS).map(|i| ((i * 5 + j * 3) % 32) as u32).collect())
+        .collect();
+    let inputs: Vec<Vec<u32>> = (0..8)
+        .map(|q| (0..ROWS).map(|i| ((i * 7 + q * 11) % 32) as u32).collect())
+        .collect();
+    let cfg = AmmConfig {
+        fidelity: Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+    let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+    group.bench_function("amm_sequential_128x40_8q", |b| {
+        b.iter(|| {
+            for input in &inputs {
+                black_box(amm.recall(input).unwrap());
+            }
+        });
+    });
+    let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+    group.bench_function("amm_batch_128x40_8q", |b| {
+        b.iter(|| black_box(amm.recall_batch(&inputs).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recall_throughput);
+criterion_main!(benches);

@@ -68,15 +68,21 @@ fn main() -> ExitCode {
     let all = wanted.contains(&"all");
     let run = |name: &str| all || wanted.contains(&name);
     let mut failures = 0;
-    let mut studies: Vec<(String, JsonValue)> = Vec::new();
+    let mut studies: Vec<TimedStudy> = Vec::new();
 
     macro_rules! section {
         ($name:literal, $body:expr) => {
             if run($name) {
+                let started = std::time::Instant::now();
                 match $body {
                     Ok(section) => {
+                        let wall_clock_seconds = started.elapsed().as_secs_f64();
                         println!("{}", section.text);
-                        studies.push(($name.to_string(), section.json));
+                        studies.push(TimedStudy {
+                            name: $name.to_string(),
+                            report: section.json,
+                            wall_clock_seconds,
+                        });
                     }
                     Err(e) => {
                         eprintln!("{}: FAILED: {e}", $name);
@@ -124,28 +130,46 @@ fn main() -> ExitCode {
     }
 }
 
+/// One selected study with its structured report and measured runtime.
+struct TimedStudy {
+    name: String,
+    report: JsonValue,
+    wall_clock_seconds: f64,
+}
+
 /// Assembles and writes the machine-readable report: every rendered study
-/// plus a telemetry snapshot from an instrumented recognition workload.
+/// (with its wall-clock runtime) plus a telemetry snapshot from an
+/// instrumented recognition workload.
+///
+/// Schema history: v1 had `studies[].{name, report}`; v2 adds
+/// `studies[].wall_clock_seconds` and the top-level
+/// `total_wall_clock_seconds`.
 fn write_json_report(
     path: &str,
     scale: &Scale,
     quick: bool,
-    studies: Vec<(String, JsonValue)>,
+    studies: Vec<TimedStudy>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let snapshot = experiments::telemetry_capture(scale)?;
+    let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(1)),
+        ("schema_version", JsonValue::Uint(2)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
         ),
+        ("total_wall_clock_seconds", JsonValue::Num(total_wall)),
         (
             "studies",
             JsonValue::Array(
                 studies
                     .into_iter()
-                    .map(|(name, report)| {
-                        JsonValue::object([("name", JsonValue::Str(name)), ("report", report)])
+                    .map(|s| {
+                        JsonValue::object([
+                            ("name", JsonValue::Str(s.name)),
+                            ("wall_clock_seconds", JsonValue::Num(s.wall_clock_seconds)),
+                            ("report", s.report),
+                        ])
                     })
                     .collect(),
             ),

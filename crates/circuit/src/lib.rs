@@ -48,6 +48,7 @@
 
 pub mod dense;
 pub mod netlist;
+pub mod prepared;
 pub mod solve;
 pub mod sparse;
 pub mod transient;
@@ -55,8 +56,11 @@ pub mod units;
 
 pub use dense::DenseMatrix;
 pub use netlist::{ElementId, Netlist, NodeId};
+pub use prepared::{PreparedSolveReport, PreparedSystem};
 pub use solve::{DcSolution, SolveMethod, SolveStats};
-pub use sparse::{CgSolution, ConjugateGradient, CsrMatrix, SparseBuilder};
+pub use sparse::{
+    CgRun, CgSolution, CgWorkspace, ConjugateGradient, CsrMatrix, IncompleteCholesky, SparseBuilder,
+};
 pub use transient::{TransientAnalysis, TransientResult};
 pub use units::{
     Amps, Celsius, Farads, Hertz, Joules, Kelvin, Micrometers, Nanometers, Ohms, Seconds, Siemens,

@@ -72,6 +72,12 @@ pub struct DcSolution {
 }
 
 impl DcSolution {
+    /// Assembles a solution from already-computed node voltages and branch
+    /// currents (the prepared-system fast path).
+    pub(crate) fn from_parts(voltages: Vec<f64>, currents: Vec<f64>) -> Self {
+        Self { voltages, currents }
+    }
+
     /// Voltage of `node` relative to ground.
     ///
     /// # Panics
@@ -238,18 +244,7 @@ impl Netlist {
 
     /// Collects clamps as `(node index, volts)`, checking consistency.
     fn clamps(&self) -> Result<Vec<Option<f64>>, CircuitError> {
-        let mut clamp: Vec<Option<f64>> = vec![None; self.node_count()];
-        clamp[0] = Some(0.0); // ground
-        for e in self.elements() {
-            if let Element::Clamp { node, volts } = e {
-                match clamp[node.index()] {
-                    None => clamp[node.index()] = Some(volts.0),
-                    Some(v) if v == volts.0 => {}
-                    Some(_) => return Err(CircuitError::ConflictingClamp { node: node.index() }),
-                }
-            }
-        }
-        Ok(clamp)
+        collect_clamps(self.elements(), self.node_count())
     }
 
     /// Dirichlet-eliminated solve: unknowns are the unclamped, non-ground
@@ -461,49 +456,79 @@ impl Netlist {
 
     /// Computes per-element branch currents from the node voltages.
     fn finish(&self, voltages: Vec<f64>) -> DcSolution {
-        let mut currents = vec![0.0; self.element_count()];
-        // For voltage sources, branch current = KCL sum of all *other*
-        // element currents leaving the source node(s). Accumulate per node.
-        let mut node_outflow = vec![0.0; self.node_count()];
-        for (idx, e) in self.elements().iter().enumerate() {
-            match e {
-                Element::Resistor { a, b, g } => {
-                    let i = g.0 * (voltages[a.index()] - voltages[b.index()]);
-                    currents[idx] = i;
-                    node_outflow[a.index()] += i;
-                    node_outflow[b.index()] -= i;
-                }
-                Element::CurrentSource { from, to, amps } => {
-                    currents[idx] = amps.0;
-                    node_outflow[from.index()] += amps.0;
-                    node_outflow[to.index()] -= amps.0;
-                }
-                Element::Clamp { .. }
-                | Element::FloatingSource { .. }
-                | Element::Capacitor { .. } => {}
-            }
-        }
-        // A source must supply whatever flows out of its positive node
-        // through the passive elements. Multiple sources on one node share
-        // arbitrarily in reality; here each clamp node has a unique value
-        // (checked at solve time), and we attribute the full outflow to the
-        // *first* source on that node and zero to duplicates.
-        let mut claimed = vec![false; self.node_count()];
-        for (idx, e) in self.elements().iter().enumerate() {
-            match e {
-                Element::Clamp { node, .. } if !claimed[node.index()] => {
-                    currents[idx] = node_outflow[node.index()];
-                    claimed[node.index()] = true;
-                }
-                Element::FloatingSource { plus, .. } if !claimed[plus.index()] => {
-                    currents[idx] = node_outflow[plus.index()];
-                    claimed[plus.index()] = true;
-                }
-                _ => {}
-            }
-        }
+        let currents = branch_currents(self.elements(), self.node_count(), &voltages);
         DcSolution { voltages, currents }
     }
+}
+
+/// Clamp map shared by the netlist solver and the prepared-system layer:
+/// `Some(volts)` per clamped node (ground included), `None` for free nodes.
+pub(crate) fn collect_clamps(
+    elements: &[Element],
+    node_count: usize,
+) -> Result<Vec<Option<f64>>, CircuitError> {
+    let mut clamp: Vec<Option<f64>> = vec![None; node_count];
+    clamp[0] = Some(0.0); // ground
+    for e in elements {
+        if let Element::Clamp { node, volts } = e {
+            match clamp[node.index()] {
+                None => clamp[node.index()] = Some(volts.0),
+                Some(v) if v == volts.0 => {}
+                Some(_) => return Err(CircuitError::ConflictingClamp { node: node.index() }),
+            }
+        }
+    }
+    Ok(clamp)
+}
+
+/// Per-element branch currents from solved node voltages — shared by the
+/// netlist solver and the prepared-system layer so cached solves report
+/// identical currents to cold solves.
+pub(crate) fn branch_currents(
+    elements: &[Element],
+    node_count: usize,
+    voltages: &[f64],
+) -> Vec<f64> {
+    let mut currents = vec![0.0; elements.len()];
+    // For voltage sources, branch current = KCL sum of all *other*
+    // element currents leaving the source node(s). Accumulate per node.
+    let mut node_outflow = vec![0.0; node_count];
+    for (idx, e) in elements.iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, g } => {
+                let i = g.0 * (voltages[a.index()] - voltages[b.index()]);
+                currents[idx] = i;
+                node_outflow[a.index()] += i;
+                node_outflow[b.index()] -= i;
+            }
+            Element::CurrentSource { from, to, amps } => {
+                currents[idx] = amps.0;
+                node_outflow[from.index()] += amps.0;
+                node_outflow[to.index()] -= amps.0;
+            }
+            Element::Clamp { .. } | Element::FloatingSource { .. } | Element::Capacitor { .. } => {}
+        }
+    }
+    // A source must supply whatever flows out of its positive node
+    // through the passive elements. Multiple sources on one node share
+    // arbitrarily in reality; here each clamp node has a unique value
+    // (checked at solve time), and we attribute the full outflow to the
+    // *first* source on that node and zero to duplicates.
+    let mut claimed = vec![false; node_count];
+    for (idx, e) in elements.iter().enumerate() {
+        match e {
+            Element::Clamp { node, .. } if !claimed[node.index()] => {
+                currents[idx] = node_outflow[node.index()];
+                claimed[node.index()] = true;
+            }
+            Element::FloatingSource { plus, .. } if !claimed[plus.index()] => {
+                currents[idx] = node_outflow[plus.index()];
+                claimed[plus.index()] = true;
+            }
+            _ => {}
+        }
+    }
+    currents
 }
 
 enum ReducedBackend {

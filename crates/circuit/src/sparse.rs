@@ -65,6 +65,25 @@ impl SparseBuilder {
         }
     }
 
+    /// Reserves a structural slot at `(row, col)` without contributing any
+    /// value. Unlike [`SparseBuilder::add`] with `0.0` (which is dropped),
+    /// a reserved slot survives [`SparseBuilder::build_pattern`] so the
+    /// entry can later be restamped in place — e.g. a conductance that is
+    /// zero for this query but non-zero for the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn reserve(&mut self, row: usize, col: usize) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "sparse entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, 0.0));
+    }
+
     /// Number of raw (pre-deduplication) entries accumulated so far.
     #[must_use]
     pub fn raw_len(&self) -> usize {
@@ -74,7 +93,21 @@ impl SparseBuilder {
     /// Builds the CSR matrix, summing duplicates and dropping entries that
     /// cancel to exactly zero.
     #[must_use]
-    pub fn build(mut self) -> CsrMatrix {
+    pub fn build(self) -> CsrMatrix {
+        self.build_impl(false)
+    }
+
+    /// Builds the CSR matrix keeping *every* distinct `(row, col)` slot,
+    /// including exact zeros (from [`SparseBuilder::reserve`] or values that
+    /// cancel). This fixes the sparsity pattern once so repeated solves can
+    /// restamp values through [`CsrMatrix::values_mut`] /
+    /// [`CsrMatrix::position`] without re-sorting triplets every build.
+    #[must_use]
+    pub fn build_pattern(self) -> CsrMatrix {
+        self.build_impl(true)
+    }
+
+    fn build_impl(mut self, keep_zeros: bool) -> CsrMatrix {
         self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
@@ -97,7 +130,7 @@ impl SparseBuilder {
                         break;
                     }
                 }
-                if sum != 0.0 {
+                if keep_zeros || sum != 0.0 {
                     col_idx.push(c);
                     values.push(sum);
                 }
@@ -160,6 +193,42 @@ impl CsrMatrix {
         }
     }
 
+    /// Index of the stored slot `(row, col)` into [`CsrMatrix::values`], or
+    /// `None` if the pattern has no such slot. Use with
+    /// [`CsrMatrix::values_mut`] to restamp a value in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[must_use]
+    pub fn position(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&col)
+            .ok()
+            .map(|k| lo + k)
+    }
+
+    /// The stored values in row order (parallel to the pattern).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values for in-place restamping. The
+    /// sparsity pattern itself is immutable; only the numbers change.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Zeroes every stored value while keeping the pattern — the first step
+    /// of a deterministic full restamp (accumulate into slots afterwards).
+    pub fn clear_values(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     /// Iterator over the stored `(row, col, value)` triplets in row order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
@@ -190,7 +259,15 @@ impl CsrMatrix {
     }
 
     /// Matrix–vector product into a caller-provided buffer (hot path of CG).
-    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert!(
+            x.len() == self.cols && y.len() == self.rows,
+            "matvec buffers do not match matrix shape"
+        );
         for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
@@ -296,6 +373,40 @@ impl ConjugateGradient {
     ///
     /// Same conditions as [`ConjugateGradient::solve`].
     pub fn solve_stats(&self, a: &CsrMatrix, b: &[f64]) -> Result<CgSolution, CircuitError> {
+        let mut ws = CgWorkspace::new();
+        let run = self.solve_into(a, b, None, None, &mut ws)?;
+        Ok(CgSolution {
+            x: std::mem::take(&mut ws.x),
+            iterations: run.iterations,
+            residual: run.residual,
+        })
+    }
+
+    /// Workspace-reusing solve for repeated systems: scratch vectors live in
+    /// `ws` (no per-call allocation once sized), `x0` optionally warm-starts
+    /// the iteration, and `precond` swaps the default Jacobi preconditioner
+    /// for a cached incomplete Cholesky factor. The solution is left in
+    /// [`CgWorkspace::solution`].
+    ///
+    /// With `x0 = None` and `precond = None` the iterates are bitwise
+    /// identical to [`ConjugateGradient::solve_stats`].
+    ///
+    /// A warm start whose residual already meets the tolerance returns with
+    /// zero iterations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConjugateGradient::solve`], plus
+    /// [`CircuitError::DimensionMismatch`] if `x0` or `precond` does not
+    /// match the system size.
+    pub fn solve_into(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        precond: Option<&IncompleteCholesky>,
+        ws: &mut CgWorkspace,
+    ) -> Result<CgRun, CircuitError> {
         if a.rows() != a.cols() {
             return Err(CircuitError::DimensionMismatch {
                 expected: a.rows(),
@@ -309,67 +420,309 @@ impl ConjugateGradient {
             });
         }
         let n = a.rows();
+        if let Some(x0) = x0 {
+            if x0.len() != n {
+                return Err(CircuitError::DimensionMismatch {
+                    expected: n,
+                    found: x0.len(),
+                });
+            }
+        }
+        if let Some(ic) = precond {
+            if ic.dim() != n {
+                return Err(CircuitError::DimensionMismatch {
+                    expected: n,
+                    found: ic.dim(),
+                });
+            }
+        }
         let b_norm = norm2(b);
         if b_norm == 0.0 {
-            return Ok(CgSolution {
-                x: vec![0.0; n],
+            ws.resize(n);
+            ws.x.iter_mut().for_each(|v| *v = 0.0);
+            return Ok(CgRun {
                 iterations: 0,
                 residual: 0.0,
             });
         }
 
-        let diag = a.diagonal();
-        let mut inv_diag = vec![0.0; n];
-        for (i, &d) in diag.iter().enumerate() {
-            if d <= 0.0 {
-                return Err(CircuitError::SingularSystem { pivot: i });
+        if precond.is_none() {
+            ws.inv_diag.resize(n, 0.0);
+            for i in 0..n {
+                let d = a.get(i, i);
+                if d <= 0.0 {
+                    return Err(CircuitError::SingularSystem { pivot: i });
+                }
+                ws.inv_diag[i] = 1.0 / d;
             }
-            inv_diag[i] = 1.0 / d;
         }
 
-        let max_iter = self.max_iterations.unwrap_or(10 * n.max(10));
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-        let mut p = z.clone();
-        let mut rz: f64 = dot(&r, &z);
-        let mut ap = vec![0.0; n];
+        ws.resize(n);
+        match x0 {
+            Some(x0) => {
+                ws.x.copy_from_slice(x0);
+                a.matvec_into(&ws.x, &mut ws.ap);
+                for (i, &bi) in b.iter().enumerate() {
+                    ws.r[i] = bi - ws.ap[i];
+                }
+                let res = norm2(&ws.r) / b_norm;
+                if res <= self.tolerance {
+                    return Ok(CgRun {
+                        iterations: 0,
+                        residual: res,
+                    });
+                }
+            }
+            None => {
+                ws.x.iter_mut().for_each(|v| *v = 0.0);
+                ws.r.copy_from_slice(b);
+            }
+        }
+        match precond {
+            Some(ic) => ic.apply(&ws.r, &mut ws.z),
+            None => {
+                for i in 0..n {
+                    ws.z[i] = ws.r[i] * ws.inv_diag[i];
+                }
+            }
+        }
+        ws.p.copy_from_slice(&ws.z);
+        let mut rz: f64 = dot(&ws.r, &ws.z);
 
+        let max_iter = self.max_iterations.unwrap_or(10 * n.max(10));
         for iter in 0..max_iter {
-            a.matvec_into(&p, &mut ap);
-            let pap = dot(&p, &ap);
+            a.matvec_into(&ws.p, &mut ws.ap);
+            let pap = dot(&ws.p, &ws.ap);
             if pap <= 0.0 {
                 // Not SPD along this direction — report as singular.
                 return Err(CircuitError::SingularSystem { pivot: iter });
             }
             let alpha = rz / pap;
             for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
+                ws.x[i] += alpha * ws.p[i];
+                ws.r[i] -= alpha * ws.ap[i];
             }
-            let res = norm2(&r) / b_norm;
+            let res = norm2(&ws.r) / b_norm;
             if res <= self.tolerance {
-                return Ok(CgSolution {
-                    x,
+                return Ok(CgRun {
                     iterations: iter + 1,
                     residual: res,
                 });
             }
-            for i in 0..n {
-                z[i] = r[i] * inv_diag[i];
+            match precond {
+                Some(ic) => ic.apply(&ws.r, &mut ws.z),
+                None => {
+                    for i in 0..n {
+                        ws.z[i] = ws.r[i] * ws.inv_diag[i];
+                    }
+                }
             }
-            let rz_next = dot(&r, &z);
+            let rz_next = dot(&ws.r, &ws.z);
             let beta = rz_next / rz;
             rz = rz_next;
             for i in 0..n {
-                p[i] = z[i] + beta * p[i];
+                ws.p[i] = ws.z[i] + beta * ws.p[i];
             }
         }
 
         Err(CircuitError::NotConverged {
             iterations: max_iter,
-            residual: norm2(&r) / b_norm,
+            residual: norm2(&ws.r) / b_norm,
         })
+    }
+}
+
+/// Preallocated scratch vectors for [`ConjugateGradient::solve_into`]. One
+/// workspace per solving context amortizes all per-solve allocation across a
+/// sweep; after a solve the result stays readable via
+/// [`CgWorkspace::solution`].
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    inv_diag: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solution vector left by the most recent solve (empty before any).
+    #[must_use]
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+}
+
+/// Iteration statistics from a workspace solve; the solution itself stays in
+/// the [`CgWorkspace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgRun {
+    /// Iterations taken (0 for a zero right-hand side or a warm start that
+    /// already meets the tolerance).
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub residual: f64,
+}
+
+/// Zero-fill-in incomplete Cholesky factor `L·Lᵀ ≈ A` on the lower-triangle
+/// sparsity pattern of `A` — the classic IC(0) preconditioner.
+///
+/// For the M-matrices produced by conductance stamping (positive diagonal,
+/// non-positive off-diagonals, diagonally dominant) the factorization exists
+/// without breakdown, and because CG convergence is judged on the *true*
+/// residual, a slightly stale factor only costs iterations, never accuracy —
+/// which is what makes it safe to compute once per prepared system and reuse
+/// while only the small DAC diagonal entries move between solves.
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl IncompleteCholesky {
+    /// Factors the lower triangle of `a` in IC(0) fashion.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::DimensionMismatch`] if `a` is not square.
+    /// * [`CircuitError::SingularSystem`] if a diagonal slot is missing from
+    ///   the pattern or a pivot is not strictly positive (breakdown).
+    pub fn factor(a: &CsrMatrix) -> Result<Self, CircuitError> {
+        if a.rows() != a.cols() {
+            return Err(CircuitError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut row = 0;
+        for (r, c, v) in a.iter() {
+            while row < r {
+                row += 1;
+                row_ptr.push(col_idx.len());
+            }
+            if c <= r {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        while row < n {
+            row += 1;
+            row_ptr.push(col_idx.len());
+        }
+        // Each lower-triangular row must end on its diagonal slot.
+        for i in 0..n {
+            let hi = row_ptr[i + 1];
+            if hi == row_ptr[i] || col_idx[hi - 1] != i {
+                return Err(CircuitError::SingularSystem { pivot: i });
+            }
+        }
+
+        // In-place row-oriented IC(0): when slot (i, j) is reached, row j
+        // (j < i) and the earlier part of row i are already factored.
+        for i in 0..n {
+            let ilo = row_ptr[i];
+            let ihi = row_ptr[i + 1];
+            for idx in ilo..ihi {
+                let j = col_idx[idx];
+                let mut s = values[idx];
+                if j < i {
+                    // s = A[i][j] − Σ_{k<j} L[i][k]·L[j][k] over shared slots.
+                    let jlo = row_ptr[j];
+                    let jdiag = row_ptr[j + 1] - 1;
+                    let mut ka = ilo;
+                    let mut kb = jlo;
+                    while ka < idx && kb < jdiag {
+                        match col_idx[ka].cmp(&col_idx[kb]) {
+                            std::cmp::Ordering::Equal => {
+                                s -= values[ka] * values[kb];
+                                ka += 1;
+                                kb += 1;
+                            }
+                            std::cmp::Ordering::Less => ka += 1,
+                            std::cmp::Ordering::Greater => kb += 1,
+                        }
+                    }
+                    values[idx] = s / values[jdiag];
+                } else {
+                    // Diagonal: s = A[i][i] − Σ_{k<i} L[i][k]².
+                    for &lv in &values[ilo..idx] {
+                        s -= lv * lv;
+                    }
+                    if s <= 0.0 {
+                        return Err(CircuitError::SingularSystem { pivot: i });
+                    }
+                    values[idx] = s.sqrt();
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// System dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Applies the preconditioner: `z = (L·Lᵀ)⁻¹ r` via forward then
+    /// backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `z` does not match the factor dimension.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert!(
+            r.len() == self.n && z.len() == self.n,
+            "preconditioner buffers do not match factor dimension"
+        );
+        z.copy_from_slice(r);
+        // Forward: L·y = r.
+        for i in 0..self.n {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut s = z[i];
+            for k in lo..hi - 1 {
+                s -= self.values[k] * z[self.col_idx[k]];
+            }
+            z[i] = s / self.values[hi - 1];
+        }
+        // Backward: Lᵀ·z = y, scattering column i of Lᵀ from row i of L.
+        for i in (0..self.n).rev() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            z[i] /= self.values[hi - 1];
+            let zi = z[i];
+            for k in lo..hi - 1 {
+                z[self.col_idx[k]] -= self.values[k] * zi;
+            }
+        }
     }
 }
 
@@ -565,5 +918,228 @@ mod tests {
     fn builder_bounds_check() {
         let mut b = SparseBuilder::new(2, 2);
         b.add(2, 0, 1.0);
+    }
+
+    #[test]
+    fn pattern_build_keeps_reserved_zero_slots() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.reserve(0, 0);
+        b.add(1, 1, 3.0);
+        b.add(1, 0, -1.0);
+        b.add(1, 0, 1.0); // cancels to zero but the slot must survive
+        let mut m = b.build_pattern();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        // The zero slot is restampable in place.
+        let slot00 = m.position(0, 0).unwrap();
+        m.values_mut()[slot00] = 5.0;
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.position(0, 1), None);
+    }
+
+    #[test]
+    fn clear_values_keeps_pattern() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(0, 0, 2.0);
+        b.add(1, 1, 3.0);
+        let mut m = b.build_pattern();
+        m.clear_values();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.position(1, 1), Some(1));
+    }
+
+    #[test]
+    fn restamped_pattern_solve_matches_fresh_build() {
+        // Stamp the laplacian into a fixed pattern, solve, restamp with
+        // different conductances, and check against a cold build.
+        let n = 30;
+        let mut b = SparseBuilder::new(n, n);
+        for i in 0..n {
+            b.reserve(i, i);
+            if i > 0 {
+                b.reserve(i, i - 1);
+            }
+            if i + 1 < n {
+                b.reserve(i, i + 1);
+            }
+        }
+        let mut m = b.build_pattern();
+        for scale in [1.0, 2.5] {
+            m.clear_values();
+            let mut fresh = SparseBuilder::new(n, n);
+            for i in 0..n {
+                let slot = m.position(i, i).unwrap();
+                m.values_mut()[slot] = 2.0 * scale;
+                fresh.add(i, i, 2.0 * scale);
+                if i > 0 {
+                    let slot = m.position(i, i - 1).unwrap();
+                    m.values_mut()[slot] = -scale;
+                    fresh.add(i, i - 1, -scale);
+                }
+                if i + 1 < n {
+                    let slot = m.position(i, i + 1).unwrap();
+                    m.values_mut()[slot] = -scale;
+                    fresh.add(i, i + 1, -scale);
+                }
+            }
+            let fresh = fresh.build();
+            let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let cg = ConjugateGradient::default();
+            let xa = cg.solve(&m, &rhs).unwrap();
+            let xb = cg.solve(&fresh, &rhs).unwrap();
+            assert_eq!(xa, xb, "restamped pattern must solve identically");
+        }
+    }
+
+    #[test]
+    fn solve_into_cold_matches_solve_stats_bitwise() {
+        let a = laplacian(64);
+        let rhs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.17).sin()).collect();
+        let cg = ConjugateGradient::default();
+        let cold = cg.solve_stats(&a, &rhs).unwrap();
+        let mut ws = CgWorkspace::new();
+        let run = cg.solve_into(&a, &rhs, None, None, &mut ws).unwrap();
+        assert_eq!(ws.solution(), cold.x.as_slice());
+        assert_eq!(run.iterations, cold.iterations);
+        assert_eq!(run.residual, cold.residual);
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let a = laplacian(40);
+        let rhs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin()).collect();
+        let cg = ConjugateGradient::default();
+        let mut ws = CgWorkspace::new();
+        let cold = cg.solve_into(&a, &rhs, None, None, &mut ws).unwrap();
+        assert!(cold.iterations > 0);
+        let x = ws.solution().to_vec();
+        let warm = cg.solve_into(&a, &rhs, Some(&x), None, &mut ws).unwrap();
+        assert_eq!(warm.iterations, 0, "exact warm start should be free");
+        assert_eq!(ws.solution(), x.as_slice());
+    }
+
+    #[test]
+    fn warm_start_near_solution_saves_iterations() {
+        // Diagonally dominant tridiagonal (the wire-dominated crossbar
+        // regime): smooth geometric CG convergence, so a warm start with a
+        // small initial residual reliably needs fewer sweeps.
+        let n = 80;
+        let mut b = SparseBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 4.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        let a = b.build();
+        let rhs: Vec<f64> = (0..80).map(|i| (i as f64 * 0.11).cos()).collect();
+        let cg = ConjugateGradient::default();
+        let mut ws = CgWorkspace::new();
+        let cold = cg.solve_into(&a, &rhs, None, None, &mut ws).unwrap();
+        // Perturb the RHS slightly — the old solution is a good guess.
+        let rhs2: Vec<f64> = rhs.iter().map(|v| v * 1.001).collect();
+        let x0 = ws.solution().to_vec();
+        let warm = cg.solve_into(&a, &rhs2, Some(&x0), None, &mut ws).unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        let check = a.matvec(ws.solution()).unwrap();
+        for (u, v) in check.iter().zip(&rhs2) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solve_into_dimension_checks() {
+        let a = laplacian(4);
+        let mut ws = CgWorkspace::new();
+        let cg = ConjugateGradient::default();
+        assert!(matches!(
+            cg.solve_into(&a, &[1.0; 4], Some(&[0.0; 3]), None, &mut ws),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+        let ic = IncompleteCholesky::factor(&laplacian(5)).unwrap();
+        assert!(matches!(
+            cg.solve_into(&a, &[1.0; 4], None, Some(&ic), &mut ws),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_cholesky_is_exact_on_tridiagonal() {
+        // IC(0) on a tridiagonal SPD matrix has no dropped fill, so the
+        // preconditioned solve converges in O(1) iterations.
+        let a = laplacian(120);
+        let rhs: Vec<f64> = (0..120).map(|i| (i as f64 * 0.07).sin()).collect();
+        let cg = ConjugateGradient::default();
+        let mut ws = CgWorkspace::new();
+        let jacobi = cg.solve_into(&a, &rhs, None, None, &mut ws).unwrap();
+        let x_jacobi = ws.solution().to_vec();
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let pcg = cg.solve_into(&a, &rhs, None, Some(&ic), &mut ws).unwrap();
+        assert!(
+            pcg.iterations * 4 < jacobi.iterations,
+            "ic {} vs jacobi {}",
+            pcg.iterations,
+            jacobi.iterations
+        );
+        for (u, v) in ws.solution().iter().zip(&x_jacobi) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn stale_preconditioner_still_solves_exactly() {
+        // Factor for one matrix, solve a *perturbed* one: convergence is on
+        // the true residual, so the answer is still correct.
+        let a = laplacian(60);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let mut b = SparseBuilder::new(60, 60);
+        for (r, c, v) in a.iter() {
+            b.add(r, c, if r == c { v + 0.05 } else { v });
+        }
+        let a2 = b.build();
+        let rhs: Vec<f64> = (0..60).map(|i| (i as f64 * 0.13).cos()).collect();
+        let cg = ConjugateGradient::default();
+        let mut ws = CgWorkspace::new();
+        cg.solve_into(&a2, &rhs, None, Some(&ic), &mut ws).unwrap();
+        let check = a2.matvec(ws.solution()).unwrap();
+        for (u, v) in check.iter().zip(&rhs) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn incomplete_cholesky_rejects_missing_diagonal() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(1, 0, -0.5); // (1,1) missing
+        let a = b.build();
+        assert!(matches!(
+            IncompleteCholesky::factor(&a),
+            Err(CircuitError::SingularSystem { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn incomplete_cholesky_rejects_indefinite() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 4.0);
+        b.add(1, 0, 4.0);
+        b.add(1, 1, 1.0); // pivot 1 − 16 < 0
+        let a = b.build();
+        assert!(matches!(
+            IncompleteCholesky::factor(&a),
+            Err(CircuitError::SingularSystem { pivot: 1 })
+        ));
     }
 }

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spinamm_circuit::units::{Amps, Joules, Seconds, Watts};
 use spinamm_cmos::{DtcsDac, Tech45};
-use spinamm_crossbar::{CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive};
+use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, RowDrive};
 use spinamm_memristor::{LevelMap, WriteScheme};
 use spinamm_telemetry::{NoopRecorder, Recorder};
 
@@ -87,6 +87,9 @@ impl Default for AmmConfig {
     }
 }
 
+/// One query's crossbar readout: column currents plus RCM static power.
+type Correlation = (Vec<Amps>, Watts);
+
 /// Result of one recognition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecallResult {
@@ -114,7 +117,7 @@ pub struct AssociativeMemoryModule {
     array: CrossbarArray,
     input_dacs: Vec<spinamm_cmos::DacInstance>,
     wta: SpinWta,
-    geometry: CrossbarGeometry,
+    parasitic: CachedParasiticCrossbar,
     rng: ChaCha8Rng,
 }
 
@@ -268,7 +271,7 @@ impl AssociativeMemoryModule {
             array,
             input_dacs,
             wta,
-            geometry: p.crossbar_geometry(),
+            parasitic: CachedParasiticCrossbar::new(p.crossbar_geometry()),
             rng,
         })
     }
@@ -362,29 +365,109 @@ impl AssociativeMemoryModule {
             .collect()
     }
 
+    /// Evaluates the crossbar analytically (ideal or driven fidelity),
+    /// returning the column currents and the static power burned in the
+    /// RCM (rails → clamp).
+    fn correlate_analytic(&self, drives: &[RowDrive]) -> Result<(Vec<Amps>, Watts), CoreError> {
+        let currents = self.array.driven_column_currents(drives)?;
+        // All input current falls through ΔV (rail to clamp).
+        let mut total_in = 0.0;
+        for (i, d) in drives.iter().enumerate() {
+            let load = self.array.row_total_conductance(i)?;
+            total_in += d.current_into(load).0;
+        }
+        let power = Watts(total_in * self.config.params.delta_v.0);
+        Ok((currents, power))
+    }
+
     /// Evaluates the crossbar for an input, returning the column currents
     /// and the static power burned in the RCM (rails → clamp).
+    ///
+    /// Parasitic fidelity goes through the module's cached netlist session:
+    /// the first recall builds and factorizes the parasitic network, later
+    /// recalls only restamp drive values and reuse the factorization.
     fn correlate_with<T: Recorder>(
-        &self,
+        &mut self,
         drives: &[RowDrive],
         recorder: &T,
     ) -> Result<(Vec<Amps>, Watts), CoreError> {
         match self.config.fidelity {
+            Fidelity::Ideal | Fidelity::Driven => self.correlate_analytic(drives),
+            Fidelity::Parasitic => {
+                let readout = self
+                    .parasitic
+                    .evaluate_with(&self.array, drives, recorder)?;
+                Ok((readout.column_currents, readout.dissipated_power))
+            }
+        }
+    }
+
+    /// Evaluates the crossbar for a whole batch of drive vectors.
+    ///
+    /// Analytic fidelities map the queries sequentially (they are already
+    /// allocation-light). Parasitic fidelity runs two steps: the master
+    /// session solves query 0 (warming the cached netlist and pinning the
+    /// warm-start reference and factorization all clones inherit), then
+    /// [`std::thread::scope`] workers — each holding a clone of the warmed
+    /// session — solve disjoint chunks of the remaining queries. Because the
+    /// cached evaluator is order-independent (deterministic full restamp,
+    /// fixed warm-start reference, stable preconditioner), every query's
+    /// readout is bit-identical to what a sequential loop would produce.
+    fn correlate_batch<T: Recorder + Sync>(
+        &mut self,
+        drives: &[Vec<RowDrive>],
+        recorder: &T,
+    ) -> Result<Vec<Correlation>, CoreError> {
+        if drives.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.config.fidelity {
             Fidelity::Ideal | Fidelity::Driven => {
-                let currents = self.array.driven_column_currents(drives)?;
-                // All input current falls through ΔV (rail to clamp).
-                let mut total_in = 0.0;
-                for (i, d) in drives.iter().enumerate() {
-                    let load = self.array.row_total_conductance(i)?;
-                    total_in += d.current_into(load).0;
-                }
-                let power = Watts(total_in * self.config.params.delta_v.0);
-                Ok((currents, power))
+                drives.iter().map(|d| self.correlate_analytic(d)).collect()
             }
             Fidelity::Parasitic => {
-                let pc = ParasiticCrossbar::new(self.geometry);
-                let readout = pc.evaluate_with(&self.array, drives, recorder)?;
-                Ok((readout.column_currents, readout.dissipated_power))
+                let n = drives.len();
+                let mut out: Vec<Option<Result<Correlation, CoreError>>> = Vec::new();
+                out.resize_with(n, || None);
+                // Master solve: query 0 on the session evaluator itself.
+                let first = self
+                    .parasitic
+                    .evaluate_with(&self.array, &drives[0], recorder)?;
+                out[0] = Some(Ok((first.column_currents, first.dissipated_power)));
+                let rest = &mut out[1..];
+                let workers = Self::batch_workers().min(rest.len());
+                if workers <= 1 {
+                    for (k, slot) in rest.iter_mut().enumerate() {
+                        let r = self
+                            .parasitic
+                            .evaluate_with(&self.array, &drives[k + 1], recorder)
+                            .map(|ro| (ro.column_currents, ro.dissipated_power))
+                            .map_err(CoreError::from);
+                        *slot = Some(r);
+                    }
+                } else {
+                    let chunk = rest.len().div_ceil(workers);
+                    let array = &self.array;
+                    let session = &self.parasitic;
+                    std::thread::scope(|s| {
+                        for (c, slots) in rest.chunks_mut(chunk).enumerate() {
+                            let base = 1 + c * chunk;
+                            let mut worker = session.clone();
+                            s.spawn(move || {
+                                for (k, slot) in slots.iter_mut().enumerate() {
+                                    let r = worker
+                                        .evaluate_with(array, &drives[base + k], recorder)
+                                        .map(|ro| (ro.column_currents, ro.dissipated_power))
+                                        .map_err(CoreError::from);
+                                    *slot = Some(r);
+                                }
+                            });
+                        }
+                    });
+                }
+                out.into_iter()
+                    .map(|slot| slot.expect("every batch slot is filled"))
+                    .collect()
             }
         }
     }
@@ -442,6 +525,100 @@ impl AssociativeMemoryModule {
             column_currents: currents,
             energy,
         })
+    }
+
+    /// Worker threads for the parallel phase of a batch: the machine's
+    /// available parallelism, overridable through `SPINAMM_BATCH_WORKERS`.
+    /// Results are worker-count independent, so the override is purely a
+    /// performance (and test-coverage) knob.
+    fn batch_workers() -> usize {
+        std::env::var("SPINAMM_BATCH_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    }
+
+    /// Runs a batch of recognitions, one per input vector.
+    ///
+    /// Results are **bit-identical** to calling
+    /// [`AssociativeMemoryModule::recall`] once per input in order: drive
+    /// construction and crossbar evaluation are RNG-free and
+    /// order-independent, so they can run on scoped worker threads, while
+    /// the stochastic WTA/ADC stage consumes the session RNG sequentially
+    /// in query order afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall`]. Input validation happens up
+    /// front: if any input is invalid, no recognition runs and the session
+    /// RNG is untouched.
+    pub fn recall_batch<S: AsRef<[u32]>>(
+        &mut self,
+        inputs: &[S],
+    ) -> Result<Vec<RecallResult>, CoreError> {
+        self.recall_batch_with(inputs, &NoopRecorder)
+    }
+
+    /// [`AssociativeMemoryModule::recall_batch`] with telemetry. The batch
+    /// is timed under a `"recall.batch"` span; per-query solver counters
+    /// are recorded from the worker threads (counter totals match the
+    /// sequential path; interleaving order does not).
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall_batch`].
+    pub fn recall_batch_with<S: AsRef<[u32]>, T: Recorder + Sync>(
+        &mut self,
+        inputs: &[S],
+        recorder: &T,
+    ) -> Result<Vec<RecallResult>, CoreError> {
+        let _batch_span = recorder.span("recall.batch");
+        // Phase 0 (RNG-free): validate every input and build its drives.
+        let drives: Vec<Vec<RowDrive>> = {
+            let _drive_span = recorder.span("recall.drive");
+            inputs
+                .iter()
+                .map(|levels| self.drives(levels.as_ref()))
+                .collect::<Result<_, _>>()?
+        };
+        // Phase 1 (RNG-free, parallel in parasitic mode): column currents.
+        let evaluated = {
+            let _settle_span = recorder.span("recall.settle");
+            self.correlate_batch(&drives, recorder)?
+        };
+        // Phase 2: sequential WTA/ADC, consuming the RNG in query order.
+        let mut results = Vec::with_capacity(evaluated.len());
+        for (currents, rcm_power) in evaluated {
+            recorder.counter("recall.count", 1);
+            let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
+            let mut energy = outcome.energy;
+            energy.rcm_static = Joules(rcm_power.0 * self.latency().0);
+            let accepted = outcome.dom >= self.config.dom_threshold;
+            results.push(RecallResult {
+                winner: accepted.then_some(outcome.winner),
+                raw_winner: outcome.winner,
+                tracked_winner: outcome.tracked_winner,
+                dom: outcome.dom,
+                codes: outcome.codes,
+                column_currents: currents,
+                energy,
+            });
+        }
+        Ok(results)
+    }
+
+    /// Cumulative `(factorization reuses, warm-start CG iterations saved)`
+    /// accumulated by the cached parasitic session. Both stay zero for
+    /// ideal/driven fidelity.
+    #[must_use]
+    pub fn solver_reuse_counters(&self) -> (u64, u64) {
+        (
+            self.parasitic.factorization_reuses(),
+            self.parasitic.warm_start_iterations_saved(),
+        )
     }
 
     /// Power summary for a representative input.
@@ -624,6 +801,114 @@ mod tests {
             .collect();
         let r = amm.recall(&noisy).unwrap();
         assert_eq!(r.raw_winner, 1);
+    }
+
+    #[test]
+    fn batch_recall_is_bit_identical_to_sequential() {
+        let patterns = orthogonal_patterns();
+        // Enough inputs that the parallel phase spans several workers.
+        let mut inputs: Vec<Vec<u32>> = Vec::new();
+        for shift in 0..3u32 {
+            for p in &patterns {
+                inputs.push(p.iter().map(|&l| (l + shift) % 32).collect());
+            }
+        }
+        for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+            let cfg = config(fidelity);
+            let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let sequential: Vec<RecallResult> =
+                inputs.iter().map(|i| seq.recall(i).unwrap()).collect();
+            let batched = bat.recall_batch(&inputs).unwrap();
+            assert_eq!(sequential, batched, "{fidelity:?}");
+        }
+    }
+
+    #[test]
+    fn batch_recall_matches_sequential_at_cg_scale() {
+        // 16×16 lossy parasitic network: ~480 reduced unknowns, past the
+        // dense auto-limit, so this exercises the warm-started CG backend
+        // with the IC(0) preconditioner shared across batch workers.
+        let patterns: Vec<Vec<u32>> = (0..16)
+            .map(|j| (0..16).map(|i| (i * 7 + j * 5) % 32).collect())
+            .collect();
+        let cfg = config(Fidelity::Parasitic);
+        let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let inputs: Vec<Vec<u32>> = patterns.iter().take(5).cloned().collect();
+        let sequential: Vec<RecallResult> = inputs.iter().map(|i| seq.recall(i).unwrap()).collect();
+        let batched = bat.recall_batch(&inputs).unwrap();
+        assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn batch_recall_leaves_rng_in_sequential_state() {
+        // After a batch, a further sequential recall must match the
+        // all-sequential run bit for bit (the RNG advanced identically).
+        let patterns = orthogonal_patterns();
+        let cfg = config(Fidelity::Parasitic);
+        let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        for p in &patterns {
+            seq.recall(p).unwrap();
+        }
+        bat.recall_batch(&patterns).unwrap();
+        assert_eq!(
+            seq.recall(&patterns[0]).unwrap(),
+            bat.recall(&patterns[0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_recall_validates_before_consuming_rng() {
+        let patterns = orthogonal_patterns();
+        let mut amm = AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        let mut reference = amm.clone();
+        let bad = vec![patterns[0].clone(), vec![0u32; 5]];
+        assert!(matches!(
+            amm.recall_batch(&bad),
+            Err(CoreError::InputLengthMismatch { .. })
+        ));
+        // The failed batch consumed no randomness.
+        assert_eq!(
+            amm.recall(&patterns[1]).unwrap(),
+            reference.recall(&patterns[1]).unwrap()
+        );
+        let empty: [Vec<u32>; 0] = [];
+        assert!(amm.recall_batch(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_recall_is_worker_count_independent() {
+        // Force real scoped-thread workers (this machine may report a
+        // single CPU) and check the batch still matches sequential bit for
+        // bit. The override is process-wide; every reader of the knob
+        // produces identical results at any worker count, so concurrent
+        // tests are unaffected.
+        let patterns = orthogonal_patterns();
+        let cfg = config(Fidelity::Parasitic);
+        let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let inputs: Vec<Vec<u32>> = patterns.iter().cycle().take(7).cloned().collect();
+        let sequential: Vec<RecallResult> = inputs.iter().map(|i| seq.recall(i).unwrap()).collect();
+        std::env::set_var("SPINAMM_BATCH_WORKERS", "3");
+        let batched = bat.recall_batch(&inputs);
+        std::env::remove_var("SPINAMM_BATCH_WORKERS");
+        assert_eq!(sequential, batched.unwrap());
+    }
+
+    #[test]
+    fn parasitic_recalls_reuse_solver_state() {
+        let patterns = orthogonal_patterns();
+        let mut amm =
+            AssociativeMemoryModule::build(&patterns, &config(Fidelity::Parasitic)).unwrap();
+        assert_eq!(amm.solver_reuse_counters(), (0, 0));
+        // Identical drives twice: the second solve reuses the dense
+        // Cholesky factor outright.
+        amm.recall(&patterns[0]).unwrap();
+        amm.recall(&patterns[0]).unwrap();
+        let (reuses, _) = amm.solver_reuse_counters();
+        assert!(reuses >= 1, "factorization reuses {reuses}");
     }
 
     #[test]

@@ -93,7 +93,9 @@ pub fn labelled_margin_lsb(currents: &[Amps], label: usize, lsb: Amps) -> f64 {
 
 /// Mean signed margin (in LSB units) of a module over labelled probe
 /// inputs, measured on the *analog* column currents (pre-ADC, parasitic
-/// fidelity included per the module's configuration).
+/// fidelity included per the module's configuration). Probes run as one
+/// [`AssociativeMemoryModule::recall_batch`], so parasitic sweeps solve
+/// the probe set on worker threads.
 ///
 /// # Errors
 ///
@@ -108,11 +110,13 @@ pub fn mean_margin(
         });
     }
     let lsb = amm.lsb_current();
-    let mut acc = 0.0;
-    for (label, p) in probes {
-        let r = amm.recall(p)?;
-        acc += labelled_margin_lsb(&r.column_currents, *label, lsb);
-    }
+    let inputs: Vec<&[u32]> = probes.iter().map(|(_, p)| p.as_slice()).collect();
+    let results = amm.recall_batch(&inputs)?;
+    let acc: f64 = probes
+        .iter()
+        .zip(&results)
+        .map(|((label, _), r)| labelled_margin_lsb(&r.column_currents, *label, lsb))
+        .sum();
     Ok(acc / probes.len() as f64)
 }
 

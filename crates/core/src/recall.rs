@@ -46,6 +46,11 @@ pub fn evaluate_accuracy(
 /// infinite-precision best match — carrying the winning DOM and its code
 /// margin over the ideal column.
 ///
+/// The whole test set goes through
+/// [`AssociativeMemoryModule::recall_batch_with`], so in parasitic mode the
+/// crossbar solves run on worker threads while results (and all
+/// diagnostics) keep the sequential query order bit for bit.
+///
 /// Diagnostics are computed only for an enabled recorder; the returned
 /// report is identical to [`evaluate_accuracy`] either way.
 ///
@@ -53,15 +58,16 @@ pub fn evaluate_accuracy(
 ///
 /// Propagates recall errors, and (enabled recorders only) data errors from
 /// the ideal comparison if `templates` do not match the query length.
-pub fn evaluate_accuracy_with<T: Recorder>(
+pub fn evaluate_accuracy_with<T: Recorder + Sync>(
     amm: &mut AssociativeMemoryModule,
     tests: &[(usize, Vec<u32>)],
     templates: Option<&[Vec<u32>]>,
     recorder: &T,
 ) -> Result<AccuracyReport, CoreError> {
+    let inputs: Vec<&[u32]> = tests.iter().map(|(_, input)| input.as_slice()).collect();
+    let results = amm.recall_batch_with(&inputs, recorder)?;
     let mut correct = 0;
-    for (query, (label, input)) in tests.iter().enumerate() {
-        let result = amm.recall_with(input, recorder)?;
+    for (query, ((label, input), result)) in tests.iter().zip(&results).enumerate() {
         let hit = result.raw_winner == *label;
         if hit {
             correct += 1;

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod array;
+pub mod cached;
 pub mod drive;
 pub mod geometry;
 pub mod parasitic;
@@ -56,6 +57,7 @@ pub mod programming;
 pub mod settling;
 
 pub use array::CrossbarArray;
+pub use cached::CachedParasiticCrossbar;
 pub use drive::RowDrive;
 pub use geometry::CrossbarGeometry;
 pub use parasitic::{ColumnReadout, ParasiticCrossbar};
