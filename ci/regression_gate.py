@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Regression gate: diff a fresh quick-scale experiment report against the
+committed baseline (BENCH_baseline.json).
+
+Checks, per study matched by name:
+
+* every accuracy-like number (table columns whose header mentions
+  "accuracy", "ideal" or "hardware", plus the yield study's numeric
+  ``*_accuracy`` fields) stays within +/-0.02 absolute of the baseline;
+* total wall clock stays within 3x of the baseline total (machines differ;
+  a 3x blowup means an algorithmic regression, not noise);
+* no study present in the baseline disappears.
+
+Failures print as a table of study / field / baseline / fresh / delta and
+exit non-zero.
+
+Usage: regression_gate.py BASELINE FRESH
+"""
+
+import json
+import sys
+
+ACCURACY_TOLERANCE = 0.02
+WALL_CLOCK_FACTOR = 3.0
+ACCURACY_HEADERS = ("accuracy", "ideal", "hardware")
+
+
+def accuracy_cells(report):
+    """Yields (field_label, value) for accuracy-like numbers in a study
+    report: rendered-table columns by header, or numeric fields whose name
+    ends in _accuracy (the yield study's structured rows)."""
+    columns = report.get("columns")
+    rows = report.get("rows", [])
+    if columns:
+        wanted = [
+            (k, h)
+            for k, h in enumerate(columns)
+            if any(n in h.lower() for n in ACCURACY_HEADERS)
+        ]
+        for r, row in enumerate(rows):
+            for k, header in wanted:
+                try:
+                    yield f"row {r} [{header}]", float(row[k])
+                except (ValueError, IndexError):
+                    continue
+    else:
+        for r, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            for key, value in row.items():
+                if key.endswith("_accuracy") and isinstance(value, (int, float)):
+                    yield f"row {r} [{key}]", float(value)
+
+
+def main(baseline_path, fresh_path):
+    baseline = json.load(open(baseline_path))
+    fresh = json.load(open(fresh_path))
+    failures = []
+
+    fresh_by_name = {s["name"]: s for s in fresh["studies"]}
+    for base_study in baseline["studies"]:
+        name = base_study["name"]
+        fresh_study = fresh_by_name.get(name)
+        if fresh_study is None:
+            failures.append((name, "<study>", "present", "MISSING", ""))
+            continue
+        base_cells = dict(accuracy_cells(base_study["report"]))
+        fresh_cells = dict(accuracy_cells(fresh_study["report"]))
+        for field, base_value in base_cells.items():
+            fresh_value = fresh_cells.get(field)
+            if fresh_value is None:
+                failures.append((name, field, f"{base_value:.3f}", "MISSING", ""))
+                continue
+            delta = fresh_value - base_value
+            if abs(delta) > ACCURACY_TOLERANCE:
+                failures.append(
+                    (name, field, f"{base_value:.3f}", f"{fresh_value:.3f}", f"{delta:+.3f}")
+                )
+
+    base_wall = baseline["total_wall_clock_seconds"]
+    fresh_wall = fresh["total_wall_clock_seconds"]
+    if fresh_wall > WALL_CLOCK_FACTOR * base_wall:
+        failures.append(
+            (
+                "<total>",
+                "wall_clock_seconds",
+                f"{base_wall:.2f}",
+                f"{fresh_wall:.2f}",
+                f"x{fresh_wall / base_wall:.2f}",
+            )
+        )
+
+    if failures:
+        table = [HEADER] + failures
+        widths = [max(len(str(row[k])) for row in table) for k in range(5)]
+        print("regression gate FAILED:")
+        for row in table:
+            print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        return 1
+
+    checked = sum(
+        len(dict(accuracy_cells(s["report"]))) for s in baseline["studies"]
+    )
+    print(
+        f"regression gate passed: {checked} accuracy cells within "
+        f"+/-{ACCURACY_TOLERANCE}, wall clock {fresh_wall:.2f}s vs "
+        f"baseline {base_wall:.2f}s (limit x{WALL_CLOCK_FACTOR})"
+    )
+    return 0
+
+
+HEADER = ("study", "field", "baseline", "fresh", "delta")
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1], sys.argv[2]))

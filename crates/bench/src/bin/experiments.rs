@@ -4,7 +4,7 @@
 //! experiments [--quick] [--json <path>]
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
-//!              drift|write-precision|disturb|noise|all]
+//!              drift|write-precision|disturb|noise|yield|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -112,6 +112,7 @@ fn main() -> ExitCode {
     section!("write-precision", render_write_precision(&scale));
     section!("disturb", render_disturb());
     section!("noise", render_noise(&scale));
+    section!("yield", render_yield(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -143,7 +144,9 @@ struct TimedStudy {
 ///
 /// Schema history: v1 had `studies[].{name, report}`; v2 adds
 /// `studies[].wall_clock_seconds` and the top-level
-/// `total_wall_clock_seconds`.
+/// `total_wall_clock_seconds`; v3 adds the `yield` study, whose report
+/// carries numeric `rows[]` (fault rates, unmitigated/mitigated accuracy
+/// and margin, fault counters) instead of rendered table cells.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -153,7 +156,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(2)),
+        ("schema_version", JsonValue::Uint(3)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -537,6 +540,72 @@ fn render_disturb() -> Rendered {
         ]);
     }
     Ok(Section::table(&t))
+}
+
+fn render_yield(scale: &Scale) -> Rendered {
+    let rows = experiments::yield_study(scale)?;
+    let mut t = Table::new(
+        "Yield: accuracy vs stuck-cell rate (unmitigated vs spares+masking)",
+        &[
+            "stuck rate",
+            "accuracy (raw)",
+            "accuracy (mitigated)",
+            "margin raw (LSB)",
+            "margin mit. (LSB)",
+            "remapped",
+            "masked",
+            "unrecoverable",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{:.0} %", r.fault_rate * 100.0),
+            format!("{:.3}", r.unmitigated_accuracy),
+            format!("{:.3}", r.mitigated_accuracy),
+            format!("{:.2}", r.unmitigated_margin),
+            format!("{:.2}", r.mitigated_margin),
+            format!("{}", r.remapped),
+            format!("{}", r.masked),
+            format!("{}", r.unrecoverable),
+        ]);
+    }
+    // The JSON twin keeps numbers numeric so the CI smoke test (and any
+    // downstream tooling) can assert on them without parsing table cells.
+    let json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str(
+                "Yield: accuracy vs stuck-cell rate (unmitigated vs spares+masking)".to_string(),
+            ),
+        ),
+        (
+            "rows",
+            JsonValue::Array(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("fault_rate", JsonValue::Num(r.fault_rate)),
+                            (
+                                "unmitigated_accuracy",
+                                JsonValue::Num(r.unmitigated_accuracy),
+                            ),
+                            ("mitigated_accuracy", JsonValue::Num(r.mitigated_accuracy)),
+                            ("unmitigated_margin", JsonValue::Num(r.unmitigated_margin)),
+                            ("mitigated_margin", JsonValue::Num(r.mitigated_margin)),
+                            ("spare_columns", JsonValue::Uint(r.spare_columns as u64)),
+                            ("remapped", JsonValue::Uint(r.remapped)),
+                            ("masked", JsonValue::Uint(r.masked)),
+                            ("unrecoverable", JsonValue::Uint(r.unrecoverable)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(Section {
+        text: t.render(),
+        json,
+    })
 }
 
 fn render_hierarchy(scale: &Scale) -> Rendered {

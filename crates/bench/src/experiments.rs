@@ -968,6 +968,105 @@ pub fn noise_robustness_study(
         .collect()
 }
 
+/// One point of the yield study: a stuck-cell rate with and without the
+/// graceful-degradation pass (spare-column remapping + masking).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldRow {
+    /// Total stuck-cell rate (split evenly between LRS and HRS pins).
+    pub fault_rate: f64,
+    /// Accuracy with no mitigation (no spares; faults land where they land).
+    pub unmitigated_accuracy: f64,
+    /// Accuracy with spares provisioned and the degradation pass applied.
+    pub mitigated_accuracy: f64,
+    /// Mean labelled detection margin (LSB), unmitigated.
+    pub unmitigated_margin: f64,
+    /// Mean labelled detection margin (LSB), mitigated.
+    pub mitigated_margin: f64,
+    /// Spare columns provisioned for the mitigated module.
+    pub spare_columns: usize,
+    /// Templates remapped to spares (mitigated module).
+    pub remapped: u64,
+    /// Columns masked out of the WTA (mitigated module).
+    pub masked: u64,
+    /// Cells that never verified within the retry budget (mitigated).
+    pub unrecoverable: u64,
+}
+
+/// Yield study: recognition accuracy and margin vs stuck-cell rate at the
+/// paper's 16×8 operating point, unmitigated vs mitigated (spare-column
+/// remapping + column masking, see [`spinamm_core::degrade`]). The rate-0
+/// unmitigated point is bit-identical to the [`fig3a`] 16×8 row — injecting
+/// a pristine map changes nothing — which the CI smoke test asserts.
+///
+/// # Errors
+///
+/// Propagates dataset/AMM/fault-model errors.
+pub fn yield_study(scale: &Scale) -> Result<Vec<YieldRow>, CoreError> {
+    use spinamm_core::degrade::{DegradationPolicy, FaultReport};
+    use spinamm_faults::{FaultMap, FaultModel};
+
+    let data = face_dataset(scale)?;
+    let target = Resolution::template();
+    let templates = data.templates(target, 5)?;
+    let tests = data.test_vectors(target, 5)?;
+    let rows = templates[0].len();
+    let cols = templates.len();
+    // A quarter extra columns: enough pool depth that the min-predicted-
+    // error pick beats the typical faulty column.
+    let spares = cols.div_ceil(4);
+    let policy = DegradationPolicy::default();
+    let queries: Vec<&Vec<u32>> = tests.iter().map(|(_, v)| v).collect();
+
+    let run = |spare_columns: usize, map: FaultMap| -> Result<(f64, f64, FaultReport), CoreError> {
+        let cfg = AmmConfig {
+            spare_columns,
+            ..AmmConfig::default()
+        };
+        let mut amm = AssociativeMemoryModule::build(&templates, &cfg)?;
+        let report = amm.inject_faults(map, &policy)?;
+        let lsb = amm.lsb_current();
+        let results = amm.recall_batch(&queries)?;
+        let mut correct = 0usize;
+        let mut margin = 0.0;
+        for (r, (label, _)) in results.iter().zip(&tests) {
+            if r.raw_winner == *label {
+                correct += 1;
+            }
+            // The labelled column may have moved to a spare.
+            margin += spinamm_core::margin::labelled_margin_lsb(
+                &r.column_currents,
+                amm.template_columns()[*label],
+                lsb,
+            );
+        }
+        let n = results.len() as f64;
+        Ok((correct as f64 / n, margin / n, report))
+    };
+
+    [0.0, 0.01, 0.05, 0.10]
+        .iter()
+        .enumerate()
+        .map(|(k, &rate)| {
+            let model = FaultModel::stuck(rate)?;
+            let seed = 0x51EED + k as u64;
+            let (una, unm, _) = run(0, FaultMap::sample(&model, rows, cols, seed)?)?;
+            let (mit, mim, rep) =
+                run(spares, FaultMap::sample(&model, rows, cols + spares, seed)?)?;
+            Ok(YieldRow {
+                fault_rate: rate,
+                unmitigated_accuracy: una,
+                mitigated_accuracy: mit,
+                unmitigated_margin: unm,
+                mitigated_margin: mim,
+                spare_columns: spares,
+                remapped: rep.remapped,
+                masked: rep.masked,
+                unrecoverable: rep.unrecoverable,
+            })
+        })
+        .collect()
+}
+
 /// Runs a representative instrumented recognition workload — parasitic
 /// fidelity so every layer fires (programming pulses, crossbar solves, SAR
 /// cycles, WTA transitions, hardware/ideal mismatch events) — and returns
@@ -1200,6 +1299,39 @@ mod tests {
         assert!(rows[0].accuracy > 0.5);
         assert!(rows[1].accuracy <= rows[0].accuracy);
         assert!(rows[1].refreshed_accuracy >= rows[1].accuracy);
+    }
+
+    #[test]
+    fn yield_study_degrades_gracefully() {
+        let rows = yield_study(&quick()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for pair in rows.windows(2) {
+            assert!(pair[0].fault_rate < pair[1].fault_rate, "rates monotone");
+        }
+        for r in &rows {
+            for acc in [r.unmitigated_accuracy, r.mitigated_accuracy] {
+                assert!((0.0..=1.0).contains(&acc), "accuracy {acc} out of range");
+            }
+        }
+        // Injecting a pristine map is a no-op: the unmitigated zero-fault
+        // point reproduces the fig3a 16×8 hardware accuracy exactly.
+        let fig = fig3a(&quick()).unwrap();
+        assert_eq!(rows[0].unmitigated_accuracy, fig[0].hardware);
+        // Graceful degradation: at the 5 % rate, remapping + masking keep
+        // at least half of the unmitigated accuracy drop.
+        let r5 = &rows[2];
+        assert!((r5.fault_rate - 0.05).abs() < 1e-12);
+        let unmit_drop = rows[0].unmitigated_accuracy - r5.unmitigated_accuracy;
+        let mit_drop = rows[0].mitigated_accuracy - r5.mitigated_accuracy;
+        assert!(
+            unmit_drop > 0.0,
+            "5 % stuck cells must hurt an unprotected module"
+        );
+        assert!(
+            mit_drop <= 0.5 * unmit_drop,
+            "mitigated drop {mit_drop} vs unmitigated {unmit_drop}"
+        );
+        assert!(r5.remapped > 0, "5 % rate should trigger remaps");
     }
 
     #[test]

@@ -12,16 +12,18 @@
 //! 3. Column currents are digitized by per-column spin SAR ADCs while the
 //!    digital tracker follows the conversion (see [`crate::wta`]).
 
+use crate::degrade::{DegradationPolicy, FaultReport};
 use crate::energy::{EnergyBreakdown, PowerReport};
 use crate::params::DesignParams;
 use crate::wta::{SpinWta, WtaOutcome};
 use crate::{adc::SpinSarAdc, CoreError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use spinamm_circuit::units::{Amps, Joules, Seconds, Watts};
+use spinamm_circuit::units::{Amps, Joules, Seconds, Volts, Watts};
 use spinamm_cmos::{DtcsDac, Tech45};
 use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, RowDrive};
-use spinamm_memristor::{LevelMap, WriteScheme};
+use spinamm_faults::{FaultMap, LineDefect, StuckKind};
+use spinamm_memristor::{LevelMap, RetryPolicy, WriteScheme};
 use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// How faithfully the crossbar is evaluated.
@@ -66,6 +68,11 @@ pub struct AmmConfig {
     /// stored data's maximum dot product). Disable only for ablation
     /// studies: without it real workloads use a fraction of the ADC range.
     pub gain_calibration: bool,
+    /// Extra unprogrammed crossbar columns provisioned as spares for
+    /// fault-time template remapping (see
+    /// [`AssociativeMemoryModule::inject_faults`]). Zero (the default)
+    /// leaves the module bit-identical to earlier releases.
+    pub spare_columns: usize,
     /// Master seed for all stochastic elements (programming, mismatch,
     /// thermal).
     pub seed: u64,
@@ -82,6 +89,7 @@ impl Default for AmmConfig {
             dom_threshold: 0,
             equalize_rows: true,
             gain_calibration: true,
+            spare_columns: 0,
             seed: 0xa1b2,
         }
     }
@@ -119,6 +127,16 @@ pub struct AssociativeMemoryModule {
     wta: SpinWta,
     parasitic: CachedParasiticCrossbar,
     rng: ChaCha8Rng,
+    /// The stored template levels, kept for fault-time re-programming and
+    /// remapping.
+    templates: Vec<Vec<u32>>,
+    /// Template index → physical column (identity until remapping).
+    template_column: Vec<usize>,
+    /// Physical column → owning template (`None` for spares and released
+    /// faulty columns).
+    column_owner: Vec<Option<usize>>,
+    /// Physical columns gated out of the WTA by the degradation pass.
+    masked: Vec<bool>,
 }
 
 impl AssociativeMemoryModule {
@@ -172,12 +190,15 @@ impl AssociativeMemoryModule {
             });
         }
         let cols = patterns.len();
+        // Spares are extra physical columns after the templates; they stay
+        // unprogrammed (off) until a fault-time remap claims them.
+        let total_cols = cols + config.spare_columns;
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
         // Program the crossbar.
         let map = LevelMap::new(p.memristor_limits, p.template_bits)?;
         let write = WriteScheme::new(p.write_tolerance)?;
-        let mut array = CrossbarArray::new(rows, cols, p.memristor_limits)?;
+        let mut array = CrossbarArray::new(rows, total_cols, p.memristor_limits)?;
         {
             let _program_span = recorder.span("build.program");
             for (j, pattern) in patterns.iter().enumerate() {
@@ -191,7 +212,7 @@ impl AssociativeMemoryModule {
         // Column converters + tracker.
         let tech = Tech45::DEFAULT;
         let clock = Seconds(1.0 / p.input_rate.0);
-        let adcs: Vec<SpinSarAdc> = (0..cols)
+        let adcs: Vec<SpinSarAdc> = (0..total_cols)
             .map(|_| {
                 let mut adc = SpinSarAdc::build(
                     p.comparator_bits,
@@ -224,7 +245,9 @@ impl AssociativeMemoryModule {
         // scale so that maximum lands at [`Self::FULL_SCALE_HEADROOM`] of
         // the ADC range.
         let i_fs_col = adcs[0].nominal_full_scale();
-        let dac_fs = Amps(i_fs_col.0 * cols as f64 / rows as f64);
+        // G_TS = total_cols·g_max includes any spare columns, so they enter
+        // the first-order sizing too (gain calibration corrects the rest).
+        let dac_fs = Amps(i_fs_col.0 * total_cols as f64 / rows as f64);
         // Fixed-point calibration: the DAC compression depends on its own
         // size, so after the first rescale, re-measure and correct once
         // more. The probe uses the same drive style as the configured
@@ -273,13 +296,17 @@ impl AssociativeMemoryModule {
             wta,
             parasitic: CachedParasiticCrossbar::new(p.crossbar_geometry()),
             rng,
+            templates: patterns.to_vec(),
+            template_column: (0..cols).collect(),
+            column_owner: (0..total_cols).map(|j| (j < cols).then_some(j)).collect(),
+            masked: vec![false; total_cols],
         })
     }
 
     /// Number of stored patterns.
     #[must_use]
     pub fn pattern_count(&self) -> usize {
-        self.array.cols()
+        self.templates.len()
     }
 
     /// Input vector length.
@@ -349,6 +376,17 @@ impl AssociativeMemoryModule {
             .iter()
             .enumerate()
             .map(|(i, &level)| {
+                // Row-line defects override the DAC entirely: an open bar
+                // delivers no current, a shorted bar clamps the input at
+                // the 0 V reference. Both are per-row constants, so cached
+                // parasitic sessions keep a stable drive-kind signature.
+                if let Some(map) = self.array.fault_map() {
+                    match map.row_defect(i) {
+                        Some(LineDefect::Open) => return Ok(RowDrive::Current(Amps(0.0))),
+                        Some(LineDefect::Short) => return Ok(RowDrive::Voltage(Volts(0.0))),
+                        None => {}
+                    }
+                }
                 let dac = &self.input_dacs[i];
                 match self.config.fidelity {
                     Fidelity::Ideal => {
@@ -508,23 +546,62 @@ impl AssociativeMemoryModule {
             let _drive_span = recorder.span("recall.drive");
             self.drives(levels)?
         };
-        let (currents, rcm_power) = {
+        let (mut currents, rcm_power) = {
             let _settle_span = recorder.span("recall.settle");
             self.correlate_with(&drives, recorder)?
         };
+        self.condition_currents(&mut currents);
         let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
+        Ok(self.assemble_result(outcome, currents, rcm_power))
+    }
+
+    /// Post-correlation fault conditioning: spare and masked columns are
+    /// gated out of the WTA (their latch never fires), healthy columns
+    /// pick up their input-referred latch offset. A no-op for a fault-free
+    /// module without spares.
+    fn condition_currents(&self, currents: &mut [Amps]) {
+        let map = self.array.fault_map();
+        for (j, current) in currents.iter_mut().enumerate() {
+            if self.column_owner[j].is_none() || self.masked[j] {
+                *current = Amps(0.0);
+            } else if let Some(map) = map {
+                let offset = map.latch_offset(j);
+                if offset != 0.0 {
+                    *current = Amps((current.0 + offset).max(0.0));
+                }
+            }
+        }
+    }
+
+    /// Maps a physical winning column back to its template index. A
+    /// disowned column only wins when every owned column read zero; fall
+    /// back to template 0 in that degenerate case.
+    fn template_of(&self, phys: usize) -> usize {
+        self.column_owner[phys].unwrap_or(0)
+    }
+
+    /// Finishes one recognition: folds the RCM static power into the energy
+    /// breakdown and translates physical winner columns into template
+    /// indices (identity until faults remap templates).
+    fn assemble_result(
+        &self,
+        outcome: WtaOutcome,
+        currents: Vec<Amps>,
+        rcm_power: Watts,
+    ) -> RecallResult {
         let mut energy = outcome.energy;
         energy.rcm_static = Joules(rcm_power.0 * self.latency().0);
+        let raw_winner = self.template_of(outcome.winner);
         let accepted = outcome.dom >= self.config.dom_threshold;
-        Ok(RecallResult {
-            winner: accepted.then_some(outcome.winner),
-            raw_winner: outcome.winner,
-            tracked_winner: outcome.tracked_winner,
+        RecallResult {
+            winner: accepted.then_some(raw_winner),
+            raw_winner,
+            tracked_winner: outcome.tracked_winner.and_then(|p| self.column_owner[p]),
             dom: outcome.dom,
             codes: outcome.codes,
             column_currents: currents,
             energy,
-        })
+        }
     }
 
     /// Worker threads for the parallel phase of a batch: the machine's
@@ -591,21 +668,11 @@ impl AssociativeMemoryModule {
         };
         // Phase 2: sequential WTA/ADC, consuming the RNG in query order.
         let mut results = Vec::with_capacity(evaluated.len());
-        for (currents, rcm_power) in evaluated {
+        for (mut currents, rcm_power) in evaluated {
             recorder.counter("recall.count", 1);
+            self.condition_currents(&mut currents);
             let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
-            let mut energy = outcome.energy;
-            energy.rcm_static = Joules(rcm_power.0 * self.latency().0);
-            let accepted = outcome.dom >= self.config.dom_threshold;
-            results.push(RecallResult {
-                winner: accepted.then_some(outcome.winner),
-                raw_winner: outcome.winner,
-                tracked_winner: outcome.tracked_winner,
-                dom: outcome.dom,
-                codes: outcome.codes,
-                column_currents: currents,
-                energy,
-            });
+            results.push(self.assemble_result(outcome, currents, rcm_power));
         }
         Ok(results)
     }
@@ -629,6 +696,238 @@ impl AssociativeMemoryModule {
     pub fn power_report(&mut self, levels: &[u32]) -> Result<PowerReport, CoreError> {
         let result = self.recall(levels)?;
         Ok(PowerReport::from_energy(result.energy, self.latency()))
+    }
+
+    /// [`AssociativeMemoryModule::inject_faults_with`] without telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::inject_faults_with`].
+    pub fn inject_faults(
+        &mut self,
+        map: FaultMap,
+        policy: &DegradationPolicy,
+    ) -> Result<FaultReport, CoreError> {
+        self.inject_faults_with(map, policy, &NoopRecorder)
+    }
+
+    /// Installs a fault map and runs the graceful-degradation pass:
+    ///
+    /// 1. stuck cells are pinned at the device level and every template is
+    ///    re-verified through the programming retry path (retries escalate
+    ///    the pulse amplitude; cells that never verify within the pulse
+    ///    budget are reported unrecoverable),
+    /// 2. the map's per-column DWN threshold factors are applied to the
+    ///    column converters (absolute, so re-injection does not compound),
+    /// 3. templates whose measured placement error exceeds
+    ///    [`DegradationPolicy::error_budget`] are re-programmed into the
+    ///    spare column with the lowest predicted error, when that is
+    ///    strictly better than staying put,
+    /// 4. owned columns that still over-read by more than
+    ///    [`DegradationPolicy::mask_excess`] are masked out of the WTA
+    ///    (their template is sacrificed so it cannot spuriously win other
+    ///    recalls), and
+    /// 5. the per-row dummies are re-equalized against the faulted loads
+    ///    (when the module equalizes at all).
+    ///
+    /// Telemetry counters: `faults.injected`, `faults.retried`,
+    /// `faults.unrecoverable`, `faults.remapped`, `faults.masked`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Crossbar`] when the map's dimensions do not
+    /// match the array (templates + spares), [`CoreError::InvalidParameter`]
+    /// for a bad policy, and propagates device and spin errors.
+    pub fn inject_faults_with<T: Recorder>(
+        &mut self,
+        map: FaultMap,
+        policy: &DegradationPolicy,
+        recorder: &T,
+    ) -> Result<FaultReport, CoreError> {
+        policy.validate()?;
+        let injected = map.injected_count();
+        self.array.set_fault_map(map)?;
+        recorder.counter("faults.injected", injected);
+        let map = self.array.fault_map().expect("map installed above").clone();
+        self.masked = vec![false; self.array.cols()];
+
+        // Per-column DWN threshold factors, applied to the bare depinning
+        // threshold the converters were designed for.
+        let nominal = self.config.params.dwn_threshold;
+        for (j, adc) in self.wta.adcs_mut().iter_mut().enumerate() {
+            adc.neuron = adc
+                .neuron
+                .with_threshold(Amps(nominal.0 * map.threshold_factor(j)))?;
+        }
+
+        // Re-run program-and-verify through the retry path. Healthy in-band
+        // cells verify immediately (no pulses, no RNG); pinned cells
+        // surface as retries and — when the pin is outside the write band —
+        // unrecoverable cells.
+        let p = &self.config.params;
+        let level_map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let write = WriteScheme::new(p.write_tolerance)?;
+        let retry = RetryPolicy::default();
+        let mut retried = 0u64;
+        let mut unrecoverable = 0u64;
+        for t in 0..self.templates.len() {
+            let rep = self.array.program_pattern_retry_with(
+                self.template_column[t],
+                &self.templates[t],
+                &level_map,
+                &write,
+                &retry,
+                &mut self.rng,
+                recorder,
+            )?;
+            retried += u64::from(rep.retried);
+            unrecoverable += u64::from(rep.unrecoverable);
+        }
+        recorder.counter("faults.retried", retried);
+        recorder.counter("faults.unrecoverable", unrecoverable);
+
+        // Spare-column remapping, in template order (deterministic).
+        let mut remapped = 0u64;
+        let mut spares: Vec<usize> = (0..self.array.cols())
+            .filter(|&j| self.column_owner[j].is_none())
+            .collect();
+        let mut errors = vec![0.0f64; self.templates.len()];
+        for (t, error) in errors.iter_mut().enumerate() {
+            let col = self.template_column[t];
+            let (err, _) = self.placement_error(t, col, &level_map)?;
+            let best = if err > policy.error_budget {
+                spares
+                    .iter()
+                    .map(|&s| Ok((self.predicted_error(t, s, &map, &level_map)?, s)))
+                    .collect::<Result<Vec<_>, CoreError>>()?
+                    .into_iter()
+                    .min_by(|(a, _), (b, _)| a.total_cmp(b))
+                    .filter(|&(pred, _)| pred < err)
+            } else {
+                None
+            };
+            *error = match best {
+                Some((_, s)) => {
+                    self.array.program_pattern_retry_with(
+                        s,
+                        &self.templates[t],
+                        &level_map,
+                        &write,
+                        &retry,
+                        &mut self.rng,
+                        recorder,
+                    )?;
+                    // The vacated column is faulty: release it but never
+                    // return it to the spare pool.
+                    self.column_owner[col] = None;
+                    self.column_owner[s] = Some(t);
+                    self.template_column[t] = s;
+                    spares.retain(|&x| x != s);
+                    remapped += 1;
+                    self.placement_error(t, s, &level_map)?.0
+                }
+                None => err,
+            };
+        }
+        recorder.counter("faults.remapped", remapped);
+
+        // Mask owned columns whose remaining positive excess would inflate
+        // their correlation current and corrupt every recall.
+        let mut masked = 0u64;
+        for t in 0..self.templates.len() {
+            let col = self.template_column[t];
+            let (_, pos) = self.placement_error(t, col, &level_map)?;
+            if pos > policy.mask_excess {
+                self.masked[col] = true;
+                masked += 1;
+            }
+        }
+        recorder.counter("faults.masked", masked);
+
+        // Gain spread and open columns change the row loads; refresh the
+        // dummies so every DAC still sees G_TS.
+        if self.config.equalize_rows {
+            let target = self.array.equalization_target()?;
+            self.array.equalize_rows(Some(target))?;
+        }
+
+        Ok(FaultReport {
+            injected,
+            retried,
+            unrecoverable,
+            remapped,
+            masked,
+            template_errors: errors,
+        })
+    }
+
+    /// Measured relative placement error of template `t` on column `col`:
+    /// `(Σ|g_eff − g_target|, Σ max(g_eff − g_target, 0))`, both divided by
+    /// `Σ g_target`. A disconnected column is `(INFINITY, 0)` — its
+    /// template is lost but it cannot spuriously win.
+    fn placement_error(
+        &self,
+        t: usize,
+        col: usize,
+        level_map: &LevelMap,
+    ) -> Result<(f64, f64), CoreError> {
+        if self.array.column_disconnected(col) {
+            return Ok((f64::INFINITY, 0.0));
+        }
+        let mut abs = 0.0;
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for (row, &level) in self.templates[t].iter().enumerate() {
+            let target = level_map.conductance(level)?.0;
+            let eff = self.array.conductance(row, col)?.0;
+            abs += (eff - target).abs();
+            pos += (eff - target).max(0.0);
+            total += target;
+        }
+        Ok((abs / total, pos / total))
+    }
+
+    /// Predicted relative placement error of template `t` if it were
+    /// programmed into (currently unprogrammed) column `col`: stuck cells
+    /// read their pinned extreme, healthy cells their target, both through
+    /// the column's gain spread.
+    fn predicted_error(
+        &self,
+        t: usize,
+        col: usize,
+        map: &FaultMap,
+        level_map: &LevelMap,
+    ) -> Result<f64, CoreError> {
+        if map.col_disconnected(col) {
+            return Ok(f64::INFINITY);
+        }
+        let limits = self.array.limits();
+        let mut abs = 0.0;
+        let mut total = 0.0;
+        for (row, &level) in self.templates[t].iter().enumerate() {
+            let target = level_map.conductance(level)?.0;
+            let device = match map.stuck_at(row, col) {
+                Some(StuckKind::Lrs) => limits.g_max().0,
+                Some(StuckKind::Hrs) => limits.g_min().0,
+                None => target,
+            };
+            abs += (device * map.cell_gain(row, col) - target).abs();
+            total += target;
+        }
+        Ok(abs / total)
+    }
+
+    /// Template → physical-column placement (identity until a fault-time
+    /// remap moves a template to a spare).
+    #[must_use]
+    pub fn template_columns(&self) -> &[usize] {
+        &self.template_column
+    }
+
+    /// Physical columns the degradation pass masked out of the WTA.
+    #[must_use]
+    pub fn masked_columns(&self) -> Vec<usize> {
+        (0..self.masked.len()).filter(|&j| self.masked[j]).collect()
     }
 }
 
@@ -922,5 +1221,210 @@ mod tests {
         let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
         let r = amm.recall(&patterns[2]).unwrap();
         assert_eq!(r.raw_winner, 2, "wide margins survive noise");
+    }
+
+    #[test]
+    fn pristine_fault_injection_is_identity() {
+        let patterns = orthogonal_patterns();
+        let cfg = AmmConfig::default();
+        let mut healthy = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut faulted = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let map = FaultMap::pristine(12, 3, 0).unwrap();
+        let report = faulted
+            .inject_faults(map, &DegradationPolicy::default())
+            .unwrap();
+        assert_eq!(report.injected, 0);
+        assert_eq!(report.retried, 0);
+        assert_eq!(report.unrecoverable, 0);
+        assert_eq!(report.remapped, 0);
+        assert_eq!(report.masked, 0);
+        assert_eq!(report.live_templates(), 3);
+        // Healthy cells verify immediately, so injection consumes no RNG
+        // and every later recall stays bit-identical.
+        for p in &patterns {
+            let a = healthy.recall(p).unwrap();
+            let b = faulted.recall(p).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn spare_columns_alone_keep_recalls_correct() {
+        let patterns = orthogonal_patterns();
+        let cfg = AmmConfig {
+            spare_columns: 2,
+            ..AmmConfig::default()
+        };
+        let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        assert_eq!(amm.array().cols(), 5);
+        assert_eq!(amm.pattern_count(), 3);
+        for (j, p) in patterns.iter().enumerate() {
+            let r = amm.recall(p).unwrap();
+            assert_eq!(r.raw_winner, j, "spares must never win");
+            assert_eq!(r.column_currents.len(), 5);
+            assert_eq!(r.column_currents[3], Amps(0.0));
+            assert_eq!(r.column_currents[4], Amps(0.0));
+        }
+    }
+
+    #[test]
+    fn remap_recovers_a_template_lost_to_stuck_cells() {
+        let patterns = orthogonal_patterns();
+        // Template 0's four active cells all stuck at HRS: the column
+        // under-reads and its self-match collapses.
+        let lost = |cols: usize| {
+            let mut map = FaultMap::pristine(12, cols, 0).unwrap();
+            for row in 0..4 {
+                map = map.with_stuck_cell(row, 0, StuckKind::Hrs).unwrap();
+            }
+            map
+        };
+        let policy = DegradationPolicy::default();
+
+        let mut unmitigated =
+            AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        let report = unmitigated.inject_faults(lost(3), &policy).unwrap();
+        assert_eq!(report.injected, 4);
+        assert_eq!(report.unrecoverable, 4);
+        assert_eq!(report.remapped, 0, "no spares to remap into");
+        assert!(report.template_errors[0] > policy.error_budget);
+        let dead = unmitigated.recall(&patterns[0]).unwrap();
+
+        let cfg = AmmConfig {
+            spare_columns: 1,
+            ..AmmConfig::default()
+        };
+        let mut mitigated = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let report = mitigated.inject_faults(lost(4), &policy).unwrap();
+        assert_eq!(report.remapped, 1);
+        assert_eq!(mitigated.template_columns(), &[3, 1, 2]);
+        assert!(report.template_errors[0] < policy.error_budget);
+        let alive = mitigated.recall(&patterns[0]).unwrap();
+        assert_eq!(alive.raw_winner, 0, "remapped template still answers");
+        assert!(
+            alive.dom > dead.dom,
+            "remap must restore margin: {} vs {}",
+            alive.dom,
+            dead.dom
+        );
+    }
+
+    #[test]
+    fn masking_stops_a_stuck_lrs_column_from_winning() {
+        let patterns = orthogonal_patterns();
+        // Template 0's *inactive* rows all pinned at LRS: the column
+        // over-reads every other template's input and would win recalls it
+        // has no business winning.
+        let hot = || {
+            let mut map = FaultMap::pristine(12, 3, 0).unwrap();
+            for row in 4..12 {
+                map = map.with_stuck_cell(row, 0, StuckKind::Lrs).unwrap();
+            }
+            map
+        };
+
+        // With masking disabled the pinned column hijacks pattern 1.
+        let lax = DegradationPolicy {
+            mask_excess: 1e12,
+            ..DegradationPolicy::default()
+        };
+        let mut unmasked =
+            AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        unmasked.inject_faults(hot(), &lax).unwrap();
+        let hijacked = unmasked.recall(&patterns[1]).unwrap();
+        assert_eq!(hijacked.raw_winner, 0, "over-reading column wins the tie");
+
+        // The default policy masks it, sacrificing template 0.
+        let mut masked = AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        let report = masked
+            .inject_faults(hot(), &DegradationPolicy::default())
+            .unwrap();
+        assert_eq!(report.masked, 1);
+        assert_eq!(masked.masked_columns(), vec![0]);
+        assert_eq!(report.live_templates(), 2);
+        let r = masked.recall(&patterns[1]).unwrap();
+        assert_eq!(r.raw_winner, 1, "masked column cannot win");
+        assert_eq!(r.column_currents[0], Amps(0.0));
+    }
+
+    #[test]
+    fn fault_injection_emits_telemetry_counters() {
+        use spinamm_faults::FaultModel;
+        use spinamm_telemetry::MemoryRecorder;
+        let patterns = orthogonal_patterns();
+        let cfg = AmmConfig {
+            spare_columns: 2,
+            ..AmmConfig::default()
+        };
+        let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let model = FaultModel::stuck(0.3).unwrap();
+        let map = FaultMap::sample(&model, 12, 5, 7).unwrap();
+        let rec = MemoryRecorder::default();
+        let report = amm
+            .inject_faults_with(map, &DegradationPolicy::default(), &rec)
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("faults.injected"), report.injected);
+        assert_eq!(snap.counter("faults.retried"), report.retried);
+        assert_eq!(snap.counter("faults.unrecoverable"), report.unrecoverable);
+        assert_eq!(snap.counter("faults.remapped"), report.remapped);
+        assert_eq!(snap.counter("faults.masked"), report.masked);
+        assert!(report.injected > 0, "30 % stuck rate must inject");
+    }
+
+    #[test]
+    fn line_defects_disable_rows_and_columns() {
+        let patterns = orthogonal_patterns();
+        let map = FaultMap::pristine(12, 3, 0)
+            .unwrap()
+            .with_row_defect(0, LineDefect::Open)
+            .unwrap()
+            .with_row_defect(1, LineDefect::Short)
+            .unwrap()
+            .with_col_defect(2, LineDefect::Open)
+            .unwrap();
+        let mut amm = AssociativeMemoryModule::build(&patterns, &AmmConfig::default()).unwrap();
+        let report = amm
+            .inject_faults(map, &DegradationPolicy::default())
+            .unwrap();
+        // Template 2 sits on the disconnected column: lost, not masked.
+        assert!(report.template_errors[2].is_infinite());
+        let r = amm.recall(&patterns[2]).unwrap();
+        assert_eq!(r.column_currents[2], Amps(0.0));
+        assert_ne!(r.raw_winner, 2, "disconnected column cannot answer");
+        // Templates 0 and 1 lose two of their rows but still self-match.
+        let r = amm.recall(&patterns[0]).unwrap();
+        assert_eq!(r.raw_winner, 0);
+        let r = amm.recall(&patterns[1]).unwrap();
+        assert_eq!(r.raw_winner, 1);
+    }
+
+    #[test]
+    fn batch_recall_matches_sequential_under_faults() {
+        use spinamm_faults::FaultModel;
+        let patterns = orthogonal_patterns();
+        let model = FaultModel {
+            spread_sigma: 0.05,
+            dwn_threshold_sigma: 0.05,
+            ..FaultModel::stuck(0.1).unwrap()
+        };
+        for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+            let cfg = AmmConfig {
+                fidelity,
+                spare_columns: 1,
+                ..AmmConfig::default()
+            };
+            let map = FaultMap::sample(&model, 12, 4, 99).unwrap();
+            let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            seq.inject_faults(map.clone(), &DegradationPolicy::default())
+                .unwrap();
+            let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            bat.inject_faults(map, &DegradationPolicy::default())
+                .unwrap();
+            let queries: Vec<Vec<u32>> = patterns.iter().cycle().take(6).cloned().collect();
+            let a: Vec<RecallResult> = queries.iter().map(|q| seq.recall(q).unwrap()).collect();
+            let b = bat.recall_batch(&queries).unwrap();
+            assert_eq!(a, b, "{fidelity:?}: batch must stay bit-identical");
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Graceful degradation under device and line faults.
+//!
+//! A fabricated RCM die never matches the ideal model: cells come out
+//! stuck at an extreme, bars open or short, conductances spread, DWN
+//! thresholds and latch offsets vary (see [`spinamm_faults`]). The paper's
+//! architecture tolerates much of this — the WTA only needs the *winning*
+//! column to stay separated — but a badly hit column either loses its
+//! template (under-reads) or, worse, corrupts every recall by over-reading
+//! and winning spuriously.
+//!
+//! This module provides the yield-recovery policy applied by
+//! [`AssociativeMemoryModule::inject_faults`](crate::amm::AssociativeMemoryModule::inject_faults):
+//!
+//! * **Spare-column remapping** — templates whose measured placement error
+//!   exceeds [`DegradationPolicy::error_budget`] are re-programmed into the
+//!   spare column with the lowest *predicted* error, when that is strictly
+//!   better than staying put (spares are provisioned through
+//!   [`AmmConfig::spare_columns`](crate::amm::AmmConfig::spare_columns)).
+//! * **Column masking** — columns whose remaining *positive* conductance
+//!   excess exceeds [`DegradationPolicy::mask_excess`] are gated out of the
+//!   WTA entirely: their template is sacrificed so it cannot spuriously win
+//!   other templates' recalls.
+//!
+//! Both error metrics are relative to the template's total target
+//! conductance, so they are independent of pattern length and device
+//! window.
+
+use crate::CoreError;
+
+/// Knobs of the degradation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Relative placement error (Σ|g_eff − g_target| / Σ g_target) above
+    /// which a template is considered for remapping to a spare column.
+    pub error_budget: f64,
+    /// Relative *positive* conductance excess (Σ max(g_eff − g_target, 0) /
+    /// Σ g_target) above which a column is masked out of the WTA.
+    pub mask_excess: f64,
+}
+
+impl DegradationPolicy {
+    /// Checks both thresholds are finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] otherwise.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for v in [self.error_budget, self.mask_excess] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    what: "degradation thresholds must be finite and non-negative",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DegradationPolicy {
+    /// Remap at 5 % placement error; mask at 5 % positive excess. Both sit
+    /// just above the 3 % write band, so healthy columns never trip them.
+    fn default() -> Self {
+        Self {
+            error_budget: 0.05,
+            mask_excess: 0.05,
+        }
+    }
+}
+
+/// Outcome of one fault-injection + degradation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Hard defects in the installed map (stuck cells + line defects).
+    pub injected: u64,
+    /// Cells that needed write retries during re-verification.
+    pub retried: u64,
+    /// Cells that never verified within the retry budget.
+    pub unrecoverable: u64,
+    /// Templates moved to a spare column.
+    pub remapped: u64,
+    /// Columns masked out of the WTA.
+    pub masked: u64,
+    /// Final relative placement error per template (`INFINITY` for a
+    /// template left on a disconnected column).
+    pub template_errors: Vec<f64>,
+}
+
+impl FaultReport {
+    /// Templates still usable: neither masked nor on a disconnected column.
+    #[must_use]
+    pub fn live_templates(&self) -> usize {
+        let finite = self
+            .template_errors
+            .iter()
+            .filter(|e| e.is_finite())
+            .count();
+        finite.saturating_sub(usize::try_from(self.masked).unwrap_or(usize::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation() {
+        DegradationPolicy::default().validate().unwrap();
+        let bad = DegradationPolicy {
+            error_budget: f64::NAN,
+            ..DegradationPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = DegradationPolicy {
+            mask_excess: -0.1,
+            ..DegradationPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        // Zero thresholds are legal (aggressive remap/mask).
+        let zero = DegradationPolicy {
+            error_budget: 0.0,
+            mask_excess: 0.0,
+        };
+        zero.validate().unwrap();
+    }
+
+    #[test]
+    fn live_template_accounting() {
+        let r = FaultReport {
+            injected: 3,
+            retried: 2,
+            unrecoverable: 1,
+            remapped: 1,
+            masked: 1,
+            template_errors: vec![0.01, 0.2, f64::INFINITY],
+        };
+        assert_eq!(r.live_templates(), 1);
+    }
+}

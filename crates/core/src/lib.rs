@@ -56,6 +56,7 @@
 pub mod adc;
 pub mod amm;
 pub mod convolution;
+pub mod degrade;
 pub mod energy;
 pub mod hierarchy;
 pub mod margin;
@@ -67,6 +68,7 @@ pub mod wta;
 
 pub use adc::{AdcConversion, SpinSarAdc};
 pub use amm::{AmmConfig, AssociativeMemoryModule, Fidelity, RecallResult};
+pub use degrade::{DegradationPolicy, FaultReport};
 pub use energy::{EnergyBreakdown, PowerReport};
 pub use params::DesignParams;
 pub use partition::{PartitionedAmm, PartitionedRecall};
@@ -77,6 +79,7 @@ use spinamm_circuit::CircuitError;
 use spinamm_cmos::CmosError;
 use spinamm_crossbar::CrossbarError;
 use spinamm_data::DataError;
+use spinamm_faults::FaultsError;
 use spinamm_memristor::MemristorError;
 use spinamm_spin::SpinError;
 use std::error::Error;
@@ -109,6 +112,8 @@ pub enum CoreError {
     Cmos(CmosError),
     /// Dataset failure.
     Data(DataError),
+    /// Fault-model failure.
+    Faults(FaultsError),
 }
 
 impl fmt::Display for CoreError {
@@ -124,6 +129,7 @@ impl fmt::Display for CoreError {
             CoreError::Spin(e) => write!(f, "spin error: {e}"),
             CoreError::Cmos(e) => write!(f, "cmos error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Faults(e) => write!(f, "fault-model error: {e}"),
         }
     }
 }
@@ -137,6 +143,7 @@ impl Error for CoreError {
             CoreError::Spin(e) => Some(e),
             CoreError::Cmos(e) => Some(e),
             CoreError::Data(e) => Some(e),
+            CoreError::Faults(e) => Some(e),
             _ => None,
         }
     }
@@ -170,6 +177,11 @@ impl From<CmosError> for CoreError {
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
         CoreError::Data(e)
+    }
+}
+impl From<FaultsError> for CoreError {
+    fn from(e: FaultsError) -> Self {
+        CoreError::Faults(e)
     }
 }
 

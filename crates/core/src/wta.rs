@@ -117,6 +117,13 @@ impl SpinWta {
         &self.adcs
     }
 
+    /// Mutable access to the per-column converters — used by fault
+    /// injection to apply per-column DWN threshold factors. Callers must
+    /// keep all columns at one resolution.
+    pub fn adcs_mut(&mut self) -> &mut [SpinSarAdc] {
+        &mut self.adcs
+    }
+
     /// Conversion latency (same for all columns).
     #[must_use]
     pub fn latency(&self) -> Seconds {

@@ -206,3 +206,55 @@ proptest! {
         prop_assert_eq!(run(&rotated, 2), expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any sampled fault map, `recall_batch` stays bit-identical to
+    /// sequential `recall` — faults perturb the physics, never the RNG
+    /// scheduling the batch path relies on.
+    #[test]
+    fn batch_recall_is_bit_identical_under_faults(
+        map_seed in any::<u64>(),
+        amm_seed in any::<u64>(),
+        stuck_rate in 0.0..0.2f64,
+        spread_sigma in 0.0..0.1f64,
+        parasitic in any::<bool>(),
+    ) {
+        use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+        use spinamm_core::degrade::DegradationPolicy;
+        use spinamm_faults::{FaultMap, FaultModel};
+
+        let patterns = vec![
+            vec![31u32, 31, 31, 31, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 31, 31, 31, 31],
+            vec![31, 0, 31, 0, 31, 0, 31, 0],
+        ];
+        let cfg = AmmConfig {
+            seed: amm_seed,
+            spare_columns: 1,
+            fidelity: if parasitic { Fidelity::Parasitic } else { Fidelity::Driven },
+            ..AmmConfig::default()
+        };
+        let model = FaultModel {
+            spread_sigma,
+            ..FaultModel::stuck(stuck_rate).unwrap()
+        };
+        let map = FaultMap::sample(&model, 8, 4, map_seed).unwrap();
+        let policy = DegradationPolicy::default();
+
+        let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        seq.inject_faults(map.clone(), &policy).unwrap();
+        let mut bat = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        bat.inject_faults(map, &policy).unwrap();
+
+        let queries: Vec<Vec<u32>> = patterns.iter().cycle().take(5).cloned().collect();
+        let sequential: Vec<_> = queries.iter().map(|q| seq.recall(q).unwrap()).collect();
+        let batched = bat.recall_batch(&queries).unwrap();
+        prop_assert_eq!(sequential, batched);
+    }
+}

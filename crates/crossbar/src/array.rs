@@ -3,8 +3,9 @@
 use crate::drive::RowDrive;
 use crate::CrossbarError;
 use rand::Rng;
-use spinamm_circuit::units::{Amps, Siemens, Volts, Watts};
-use spinamm_memristor::{DeviceLimits, LevelMap, Memristor, WriteReport, WriteScheme};
+use spinamm_circuit::units::{Amps, Joules, Siemens, Volts, Watts};
+use spinamm_faults::{FaultMap, LineDefect, StuckKind};
+use spinamm_memristor::{DeviceLimits, LevelMap, Memristor, RetryPolicy, WriteReport, WriteScheme};
 use spinamm_telemetry::{NoopRecorder, Recorder};
 
 /// A `rows × cols` crossbar of memristors, plus one optional *dummy*
@@ -16,6 +17,12 @@ use spinamm_telemetry::{NoopRecorder, Recorder};
 /// "dummy memristors are added for each horizontal input bar such that G_ST
 /// is equal for all horizontal bars", which makes every DTCS DAC see the same
 /// load regardless of the stored data.
+///
+/// An optional [`FaultMap`] injects device defects: stuck cells pin the
+/// underlying memristors, per-cell lognormal gains and line defects are
+/// applied by [`CrossbarArray::conductance`], so every evaluation path
+/// (ideal, driven, cold parasitic, cached parasitic) sees one consistent
+/// faulty array.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrossbarArray {
     rows: usize,
@@ -23,6 +30,21 @@ pub struct CrossbarArray {
     limits: DeviceLimits,
     cells: Vec<Memristor>,
     dummy: Vec<Siemens>,
+    faults: Option<FaultMap>,
+}
+
+/// Summary of a retry-based column programming pass
+/// ([`CrossbarArray::program_pattern_retry_with`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternRetryReport {
+    /// Total pulses applied across the column.
+    pub pulses: u32,
+    /// Total write energy across the column.
+    pub energy: Joules,
+    /// Cells that needed at least one escalated retry.
+    pub retried: u32,
+    /// Cells that never verified in band (stuck-at defects).
+    pub unrecoverable: u32,
 }
 
 impl CrossbarArray {
@@ -44,6 +66,7 @@ impl CrossbarArray {
             limits,
             cells: vec![Memristor::new(limits); rows * cols],
             dummy: vec![Siemens::ZERO; rows],
+            faults: None,
         })
     }
 
@@ -87,13 +110,90 @@ impl CrossbarArray {
         Ok(&self.cells[self.check(row, col)?])
     }
 
-    /// The programmed conductance at `(row, col)`.
+    /// The *effective* conductance at `(row, col)` — what every evaluation
+    /// path stamps into the network. With a fault map installed this folds
+    /// in the cell's stuck-at pin, its lognormal read gain, and open-column
+    /// disconnects (an open column's cells cannot load their rows). Without
+    /// one, it is simply the programmed conductance.
     ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index.
     pub fn conductance(&self, row: usize, col: usize) -> Result<Siemens, CrossbarError> {
-        Ok(self.cells[self.check(row, col)?].conductance())
+        let g = self.cells[self.check(row, col)?].conductance();
+        let Some(map) = &self.faults else {
+            return Ok(g);
+        };
+        if map.col_defect(col) == Some(LineDefect::Open) {
+            return Ok(Siemens::ZERO);
+        }
+        Ok(Siemens(g.0 * map.cell_gain(row, col)))
+    }
+
+    /// The conductance the write circuitry believes it stored at
+    /// `(row, col)` — no stuck-at pin, gain, or line defect applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index.
+    pub fn programmed_conductance(&self, row: usize, col: usize) -> Result<Siemens, CrossbarError> {
+        Ok(self.cells[self.check(row, col)?].programmed())
+    }
+
+    /// Installs a fault map: stuck cells are pinned at the device level
+    /// (LRS → `g_max`, HRS → `g_min`) and the map's gains/line defects are
+    /// applied by [`CrossbarArray::conductance`] from here on. Replaces any
+    /// previously installed map.
+    ///
+    /// Row-load changes (gain spread, open columns) can leave previously
+    /// equalized dummies stale — callers that equalize should re-run
+    /// [`CrossbarArray::equalize_rows`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidParameter`] when the map's dimensions
+    /// do not match the array.
+    pub fn set_fault_map(&mut self, map: FaultMap) -> Result<(), CrossbarError> {
+        if map.rows() != self.rows || map.cols() != self.cols {
+            return Err(CrossbarError::InvalidParameter {
+                what: "fault map dimensions must match the array",
+            });
+        }
+        for cell in &mut self.cells {
+            cell.unpin();
+        }
+        for stuck in map.stuck_cells() {
+            let g = match stuck.kind {
+                StuckKind::Lrs => self.limits.g_max(),
+                StuckKind::Hrs => self.limits.g_min(),
+            };
+            self.cells[stuck.row * self.cols + stuck.col].pin(g);
+        }
+        self.faults = Some(map);
+        Ok(())
+    }
+
+    /// Removes the fault map and unpins every cell.
+    pub fn clear_fault_map(&mut self) {
+        for cell in &mut self.cells {
+            cell.unpin();
+        }
+        self.faults = None;
+    }
+
+    /// The installed fault map, if any.
+    #[must_use]
+    pub fn fault_map(&self) -> Option<&FaultMap> {
+        self.faults.as_ref()
+    }
+
+    /// `true` when column `col` cannot reach the sense amplifier (open or
+    /// shorted column line in the fault map). Such columns read 0 A.
+    #[must_use]
+    pub fn column_disconnected(&self, col: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|map| map.col_disconnected(col))
     }
 
     /// Exactly sets one cell's conductance (idealized write; real writes go
@@ -209,7 +309,7 @@ impl CrossbarArray {
             });
         }
         let mut pulses = 0;
-        let mut energy = spinamm_circuit::units::Joules::ZERO;
+        let mut energy = Joules::ZERO;
         for (row, &level) in levels.iter().enumerate() {
             let target = map.conductance(level)?;
             let rep = self.program_conductance_with(row, col, target, scheme, rng, recorder)?;
@@ -223,6 +323,54 @@ impl CrossbarArray {
         })
     }
 
+    /// Programs a column with amplitude-escalating retries per cell
+    /// ([`spinamm_memristor::RetryPolicy`]): the write controller's response
+    /// to cells that refuse to verify, reporting how many needed retries
+    /// and how many are unrecoverable (stuck-at defects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] if `levels.len()`
+    /// differs from the row count, plus any per-cell error.
+    #[allow(clippy::too_many_arguments)] // mirrors program_pattern_with + policy
+    pub fn program_pattern_retry_with<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        col: usize,
+        levels: &[u32],
+        map: &LevelMap,
+        scheme: &WriteScheme,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<PatternRetryReport, CrossbarError> {
+        if levels.len() != self.rows {
+            return Err(CrossbarError::InputLengthMismatch {
+                expected: self.rows,
+                found: levels.len(),
+            });
+        }
+        let mut report = PatternRetryReport {
+            pulses: 0,
+            energy: Joules::ZERO,
+            retried: 0,
+            unrecoverable: 0,
+        };
+        for (row, &level) in levels.iter().enumerate() {
+            let target = map.conductance(level)?;
+            let idx = self.check(row, col)?;
+            let cell = self.cells[idx].program_with_retry(target, scheme, policy, rng, recorder)?;
+            report.pulses += cell.pulses;
+            report.energy += cell.energy;
+            if cell.attempts > 1 {
+                report.retried += 1;
+            }
+            if !cell.recovered {
+                report.unrecoverable += 1;
+            }
+        }
+        Ok(report)
+    }
+
     /// Total memristor conductance hanging on row `i` (stored cells only,
     /// excluding the dummy).
     ///
@@ -231,11 +379,11 @@ impl CrossbarArray {
     /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
     pub fn row_cell_conductance(&self, row: usize) -> Result<Siemens, CrossbarError> {
         self.check(row, 0)?;
-        Ok(Siemens(
-            (0..self.cols)
-                .map(|j| self.cells[row * self.cols + j].conductance().0)
-                .sum(),
-        ))
+        let mut total = 0.0;
+        for j in 0..self.cols {
+            total += self.conductance(row, j)?.0;
+        }
+        Ok(Siemens(total))
     }
 
     /// Total load on row `i` including its dummy conductance — the paper's
@@ -295,8 +443,9 @@ impl CrossbarArray {
     ///
     /// # Errors
     ///
-    /// Propagates equalization errors (cannot occur: drift only lowers row
-    /// conductance).
+    /// Returns a device error when `elapsed` is not finite (no cell is
+    /// modified in that case), and propagates equalization errors (which
+    /// cannot occur without a fault map: drift only lowers row conductance).
     pub fn age<R: Rng + ?Sized>(
         &mut self,
         elapsed: spinamm_circuit::units::Seconds,
@@ -304,24 +453,39 @@ impl CrossbarArray {
         rng: &mut R,
     ) -> Result<(), CrossbarError> {
         for cell in &mut self.cells {
-            cell.age(elapsed, model, rng);
+            cell.age(elapsed, model, rng)?;
         }
         // Preserve the previous equalization target if any dummy was set.
         let had_dummies = self.dummy.iter().any(|d| d.0 > 0.0);
         if had_dummies {
-            self.equalize_rows(None)?;
+            self.equalize_rows(Some(self.equalization_target()?))?;
         }
         Ok(())
     }
 
-    /// The stored conductance matrix as nested vectors (row-major), useful
-    /// for diagnostics and for building reference computations.
+    /// The default row-equalization target, widened when a fault map's gain
+    /// spread pushes some row's effective load past `cols × g_max`.
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for a well-formed array (kept fallible for call-site
+    /// uniformity with the row accessors it uses).
+    pub fn equalization_target(&self) -> Result<Siemens, CrossbarError> {
+        let mut target = self.limits.g_max().0 * self.cols as f64;
+        for row in 0..self.rows {
+            target = target.max(self.row_cell_conductance(row)?.0);
+        }
+        Ok(Siemens(target))
+    }
+
+    /// The effective conductance matrix as nested vectors (row-major),
+    /// useful for diagnostics and for building reference computations.
     #[must_use]
     pub fn conductance_matrix(&self) -> Vec<Vec<Siemens>> {
         (0..self.rows)
             .map(|i| {
                 (0..self.cols)
-                    .map(|j| self.cells[i * self.cols + j].conductance())
+                    .map(|j| self.conductance(i, j).expect("indices in range"))
                     .collect()
             })
             .collect()
@@ -347,7 +511,14 @@ impl CrossbarArray {
         let mut out = vec![0.0; self.cols];
         for (i, v) in row_voltages.iter().enumerate() {
             for (j, o) in out.iter_mut().enumerate() {
-                *o += v.0 * self.cells[i * self.cols + j].conductance().0;
+                *o += v.0 * self.conductance(i, j)?.0;
+            }
+        }
+        // A shorted column still loads its rows (the sum above) but its
+        // current is dumped to ground, never reaching the sense amplifier.
+        for (j, o) in out.iter_mut().enumerate() {
+            if self.column_disconnected(j) {
+                *o = 0.0;
             }
         }
         Ok(out.into_iter().map(Amps).collect())
@@ -597,5 +768,144 @@ mod tests {
         assert_eq!(m.len(), 3);
         assert_eq!(m[0].len(), 2);
         assert_eq!(m[1][0], Siemens(2e-4));
+    }
+
+    #[test]
+    fn fault_map_pins_stuck_cells_and_applies_gains() {
+        use spinamm_faults::{FaultMap, StuckKind};
+        let mut a = small_array();
+        a.set_conductance(0, 0, Siemens(4e-4)).unwrap();
+        a.set_conductance(1, 1, Siemens(4e-4)).unwrap();
+        let map = FaultMap::pristine(3, 2, 0)
+            .unwrap()
+            .with_stuck_cell(0, 0, StuckKind::Lrs)
+            .unwrap()
+            .with_stuck_cell(2, 0, StuckKind::Hrs)
+            .unwrap()
+            .with_cell_gain(1, 1, 1.5)
+            .unwrap();
+        a.set_fault_map(map).unwrap();
+        // Stuck-at-LRS reads g_max regardless of the programmed value …
+        assert_eq!(a.conductance(0, 0).unwrap(), DeviceLimits::PAPER.g_max());
+        assert_eq!(a.conductance(2, 0).unwrap(), DeviceLimits::PAPER.g_min());
+        // … while the write circuitry still sees its own state.
+        assert_eq!(a.programmed_conductance(0, 0).unwrap(), Siemens(4e-4));
+        // Gain spread scales the effective read.
+        assert!((a.conductance(1, 1).unwrap().0 - 6e-4).abs() < 1e-18);
+        // Clearing restores the programmed view.
+        a.clear_fault_map();
+        assert!(a.fault_map().is_none());
+        assert_eq!(a.conductance(0, 0).unwrap(), Siemens(4e-4));
+    }
+
+    #[test]
+    fn fault_map_dimensions_checked() {
+        use spinamm_faults::FaultMap;
+        let mut a = small_array();
+        let wrong = FaultMap::pristine(2, 2, 0).unwrap();
+        assert!(matches!(
+            a.set_fault_map(wrong),
+            Err(CrossbarError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn defective_columns_read_zero_current() {
+        use spinamm_faults::{FaultMap, LineDefect};
+        let mut a = small_array();
+        for i in 0..3 {
+            a.set_conductance(i, 0, Siemens(4e-4)).unwrap();
+            a.set_conductance(i, 1, Siemens(4e-4)).unwrap();
+        }
+        let healthy = a.ideal_column_currents(&[Volts(0.03); 3]).unwrap();
+        assert!(healthy[0].0 > 0.0 && healthy[1].0 > 0.0);
+
+        // Open column: cells disconnect entirely (cannot load rows either).
+        let open = FaultMap::pristine(3, 2, 0)
+            .unwrap()
+            .with_col_defect(0, LineDefect::Open)
+            .unwrap();
+        a.set_fault_map(open).unwrap();
+        assert!(a.column_disconnected(0));
+        assert_eq!(a.conductance(0, 0).unwrap(), Siemens::ZERO);
+        let i_open = a.ideal_column_currents(&[Volts(0.03); 3]).unwrap();
+        assert_eq!(i_open[0].0, 0.0);
+        assert_eq!(i_open[1].0, healthy[1].0);
+
+        // Shorted column: cells still load the rows, but the readout is
+        // dumped to ground.
+        let short = FaultMap::pristine(3, 2, 0)
+            .unwrap()
+            .with_col_defect(1, LineDefect::Short)
+            .unwrap();
+        a.set_fault_map(short).unwrap();
+        assert_eq!(a.conductance(0, 1).unwrap(), Siemens(4e-4));
+        let i_short = a.ideal_column_currents(&[Volts(0.03); 3]).unwrap();
+        assert_eq!(i_short[1].0, 0.0);
+        assert_eq!(i_short[0].0, healthy[0].0);
+    }
+
+    #[test]
+    fn equalization_target_tracks_gain_spread() {
+        use spinamm_faults::FaultMap;
+        let mut a = small_array();
+        for j in 0..2 {
+            a.set_conductance(0, j, DeviceLimits::PAPER.g_max())
+                .unwrap();
+        }
+        // Without faults the default target (cols × g_max) dominates.
+        let base = a.equalization_target().unwrap();
+        assert_eq!(base, Siemens(DeviceLimits::PAPER.g_max().0 * 2.0));
+        // A >1 gain pushes row 0 past the default target; the target widens
+        // so equalize_rows keeps succeeding.
+        let map = FaultMap::pristine(3, 2, 0)
+            .unwrap()
+            .with_cell_gain(0, 0, 1.5)
+            .unwrap();
+        a.set_fault_map(map).unwrap();
+        let widened = a.equalization_target().unwrap();
+        assert!(widened > base);
+        a.equalize_rows(Some(widened)).unwrap();
+    }
+
+    #[test]
+    fn pattern_retry_reports_recovered_and_unrecoverable_cells() {
+        use spinamm_faults::{FaultMap, StuckKind};
+        use spinamm_memristor::LevelMap;
+        use spinamm_telemetry::MemoryRecorder;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let map = LevelMap::new(DeviceLimits::PAPER, 5).unwrap();
+        let scheme = WriteScheme::paper();
+        let policy = RetryPolicy::default();
+        let rec = MemoryRecorder::default();
+
+        let mut a = CrossbarArray::new(4, 2, DeviceLimits::PAPER).unwrap();
+        // Healthy column: everything recovers.
+        let report = a
+            .program_pattern_retry_with(0, &[3, 17, 29, 8], &map, &scheme, &policy, &mut rng, &rec)
+            .unwrap();
+        assert_eq!(report.unrecoverable, 0);
+        assert!(report.pulses > 0 && report.energy.0 > 0.0);
+
+        // Pin one target cell to the wrong extreme: it can never verify.
+        let faults = FaultMap::pristine(4, 2, 0)
+            .unwrap()
+            .with_stuck_cell(1, 1, StuckKind::Hrs)
+            .unwrap();
+        a.set_fault_map(faults).unwrap();
+        let report = a
+            .program_pattern_retry_with(1, &[3, 31, 29, 8], &map, &scheme, &policy, &mut rng, &rec)
+            .unwrap();
+        assert_eq!(report.unrecoverable, 1);
+        assert!(report.retried >= 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("memristor.unrecoverable_cells"), 1);
+        assert!(snap.counter("memristor.write_retries") >= 1);
+
+        // Length mismatch rejected.
+        assert!(matches!(
+            a.program_pattern_retry_with(0, &[1, 2], &map, &scheme, &policy, &mut rng, &rec),
+            Err(CrossbarError::InputLengthMismatch { .. })
+        ));
     }
 }

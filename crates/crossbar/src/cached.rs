@@ -239,10 +239,20 @@ impl CachedParasiticCrossbar {
             );
         }
 
+        // A defective (open or shorted) column line never delivers its
+        // current to the sense node, so its readout is zero (mirrors the
+        // cold evaluator).
         let column_currents = session
             .clamp_ids
             .iter()
-            .map(|&id| Amps(-sol.current(id).0))
+            .enumerate()
+            .map(|(j, &id)| {
+                if array.column_disconnected(j) {
+                    Amps(0.0)
+                } else {
+                    Amps(-sol.current(id).0)
+                }
+            })
             .collect();
         let row_input_voltages = session.row_inputs.iter().map(|&n| sol.voltage(n)).collect();
         let dissipated_power = session.prepared.dissipated_power(&sol);
@@ -528,6 +538,37 @@ mod tests {
             cached.evaluate(&a, &[RowDrive::Voltage(Volts(0.03)); 3]),
             Err(CrossbarError::InputLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn cached_matches_cold_under_a_fault_map() {
+        use spinamm_faults::{FaultMap, FaultModel};
+        let mut a = programmed_array(8, 5, 10);
+        let mut model = FaultModel::stuck(0.15).unwrap();
+        model.spread_sigma = 0.05;
+        model.open_col_rate = 0.2;
+        model.short_col_rate = 0.2;
+        let map = FaultMap::sample(&model, 8, 5, 42).unwrap();
+        // Make sure this realization exercises both cells and columns.
+        assert!(map.injected_count() > 0);
+        let disconnected: Vec<usize> = (0..5).filter(|&j| map.col_disconnected(j)).collect();
+        a.set_fault_map(map).unwrap();
+        a.equalize_rows(Some(a.equalization_target().unwrap()))
+            .unwrap();
+
+        let geom = CrossbarGeometry::PAPER;
+        let cold = ParasiticCrossbar::new(geom);
+        let mut cached = CachedParasiticCrossbar::new(geom);
+        for q in 0..3 {
+            let drives = dtcs_drives(8, 1e-5 * (q + 1) as f64);
+            let want = cold.evaluate(&a, &drives).unwrap();
+            let got = cached.evaluate(&a, &drives).unwrap();
+            assert_agrees(&got, &want, 1e-9);
+            for &j in &disconnected {
+                assert_eq!(want.column_currents[j].0, 0.0);
+                assert_eq!(got.column_currents[j].0, 0.0);
+            }
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod parasitic;
 pub mod programming;
 pub mod settling;
 
-pub use array::CrossbarArray;
+pub use array::{CrossbarArray, PatternRetryReport};
 pub use cached::CachedParasiticCrossbar;
 pub use drive::RowDrive;
 pub use geometry::CrossbarGeometry;

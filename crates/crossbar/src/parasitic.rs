@@ -97,11 +97,21 @@ impl ParasiticCrossbar {
         recorder.observe("crossbar.unknowns", stats.unknowns as f64);
 
         // Column output current = current flowing *into* the clamp from the
-        // network = −(current delivered by the clamp).
+        // network = −(current delivered by the clamp). A defective (open or
+        // shorted) column line never delivers its current to the sense node:
+        // an open bar floats, a shorted bar dumps to ground — either way the
+        // readout sees zero, even though a short still loads the row bars.
         let column_currents = built
             .clamp_ids
             .iter()
-            .map(|&id| Amps(-sol.current(id).0))
+            .enumerate()
+            .map(|(j, &id)| {
+                if array.column_disconnected(j) {
+                    Amps(0.0)
+                } else {
+                    Amps(-sol.current(id).0)
+                }
+            })
             .collect();
         let row_input_voltages = built.row_inputs.iter().map(|&n| sol.voltage(n)).collect();
         let dissipated_power = sol.dissipated_power(&net);

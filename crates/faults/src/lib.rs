@@ -1,0 +1,1003 @@
+//! Fault taxonomy and seeded fault-map sampling for crossbar yield studies.
+//!
+//! The paper argues (§5) that the DTCS scheme tolerates resistance spread
+//! and device variation; this crate supplies the machinery to test that
+//! claim at scale. A [`FaultModel`] holds per-category defect rates and
+//! variation widths; [`FaultMap::sample`] draws one concrete, reproducible
+//! defect realization for a `rows × cols` array from a seed. The map is a
+//! passive description — `spinamm-crossbar` applies the cell/line faults
+//! when stamping conductances and `spinamm-core` applies the neuron-side
+//! terms (DWN threshold spread, latch offsets) and runs graceful
+//! degradation. Maps serialize to JSON (and back, bit-exactly for finite
+//! values) so a failing yield point can be replayed outside the sweep.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Normal};
+use spinamm_telemetry::json::{self, JsonValue};
+
+/// Which resistance extreme a stuck cell is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckKind {
+    /// Stuck at low-resistance state (maximum conductance, `g_max`).
+    Lrs,
+    /// Stuck at high-resistance state (minimum conductance, `g_min`).
+    Hrs,
+}
+
+/// How a row or column line is broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineDefect {
+    /// Line is severed: no current flows (reads as zero conductance /
+    /// an undriven row).
+    Open,
+    /// Line is shorted to its return rail: it loads the array but
+    /// contributes nothing to the readout.
+    Short,
+}
+
+/// Error type for fault model construction and map (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultsError {
+    /// A rate or width parameter is out of its valid range.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+    },
+    /// A serialized fault map failed to parse or had the wrong shape.
+    Parse(String),
+}
+
+impl std::fmt::Display for FaultsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultsError::InvalidParameter { what } => {
+                write!(f, "invalid fault parameter: {what}")
+            }
+            FaultsError::Parse(why) => write!(f, "fault map parse error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultsError {}
+
+/// Stochastic fault/variation model for one crossbar tile.
+///
+/// All `*_rate` fields are per-element probabilities in `[0, 1]`; all
+/// `*_sigma` fields are non-negative distribution widths. The model is a
+/// plain description — see [`FaultMap::sample`] for the sampling order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability a cell is stuck at the low-resistance state (`g_max`).
+    pub stuck_lrs_rate: f64,
+    /// Probability a cell is stuck at the high-resistance state (`g_min`).
+    pub stuck_hrs_rate: f64,
+    /// Probability a row line is open (undriven).
+    pub open_row_rate: f64,
+    /// Probability a row line is shorted to ground.
+    pub short_row_rate: f64,
+    /// Probability a column line is open (disconnected from the sense node).
+    pub open_col_rate: f64,
+    /// Probability a column line is shorted to ground (loads rows, reads 0).
+    pub short_col_rate: f64,
+    /// Lognormal σ of the per-cell conductance read gain (`exp(N(0, σ))`).
+    pub spread_sigma: f64,
+    /// Lognormal σ of the per-column DWN switching-threshold factor.
+    pub dwn_threshold_sigma: f64,
+    /// Gaussian σ of the per-column input-referred latch offset, in amperes.
+    pub latch_offset_sigma: f64,
+}
+
+impl FaultModel {
+    /// A fault-free model: every rate and width zero.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            stuck_lrs_rate: 0.0,
+            stuck_hrs_rate: 0.0,
+            open_row_rate: 0.0,
+            short_row_rate: 0.0,
+            open_col_rate: 0.0,
+            short_col_rate: 0.0,
+            spread_sigma: 0.0,
+            dwn_threshold_sigma: 0.0,
+            latch_offset_sigma: 0.0,
+        }
+    }
+
+    /// A pure stuck-cell model at total rate `rate`, split evenly between
+    /// LRS and HRS pins — the sweep axis of the yield study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when `rate` is outside
+    /// `[0, 1]` or non-finite.
+    pub fn stuck(rate: f64) -> Result<Self, FaultsError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(FaultsError::InvalidParameter {
+                what: "stuck rate must be in [0, 1]",
+            });
+        }
+        Ok(Self {
+            stuck_lrs_rate: rate / 2.0,
+            stuck_hrs_rate: rate / 2.0,
+            ..Self::none()
+        })
+    }
+
+    /// Checks every rate is a probability and every width is non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), FaultsError> {
+        let rates = [
+            (self.stuck_lrs_rate, "stuck_lrs_rate must be in [0, 1]"),
+            (self.stuck_hrs_rate, "stuck_hrs_rate must be in [0, 1]"),
+            (self.open_row_rate, "open_row_rate must be in [0, 1]"),
+            (self.short_row_rate, "short_row_rate must be in [0, 1]"),
+            (self.open_col_rate, "open_col_rate must be in [0, 1]"),
+            (self.short_col_rate, "short_col_rate must be in [0, 1]"),
+        ];
+        for (rate, what) in rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(FaultsError::InvalidParameter { what });
+            }
+        }
+        if self.stuck_lrs_rate + self.stuck_hrs_rate > 1.0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "stuck_lrs_rate + stuck_hrs_rate must be <= 1",
+            });
+        }
+        if self.open_row_rate + self.short_row_rate > 1.0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "open_row_rate + short_row_rate must be <= 1",
+            });
+        }
+        if self.open_col_rate + self.short_col_rate > 1.0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "open_col_rate + short_col_rate must be <= 1",
+            });
+        }
+        let widths = [
+            (self.spread_sigma, "spread_sigma must be finite and >= 0"),
+            (
+                self.dwn_threshold_sigma,
+                "dwn_threshold_sigma must be finite and >= 0",
+            ),
+            (
+                self.latch_offset_sigma,
+                "latch_offset_sigma must be finite and >= 0",
+            ),
+        ];
+        for (width, what) in widths {
+            if !width.is_finite() || width < 0.0 {
+                return Err(FaultsError::InvalidParameter { what });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One stuck cell in a [`FaultMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckCell {
+    /// Row index of the stuck cell.
+    pub row: usize,
+    /// Column index of the stuck cell.
+    pub col: usize,
+    /// Which extreme the cell is pinned to.
+    pub kind: StuckKind,
+}
+
+/// A concrete, seeded defect realization for one `rows × cols` array.
+///
+/// Maps are deterministic in `(model, rows, cols, seed)` and carry their
+/// provenance so a serialized map is self-describing. Soft variation
+/// vectors (`gains`, `threshold_factors`, `latch_offsets`) are empty when
+/// the corresponding model width was zero; accessors then return the
+/// identity value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    /// Stuck cells sorted by `row * cols + col` for binary-search lookup.
+    stuck: Vec<StuckCell>,
+    open_rows: Vec<usize>,
+    short_rows: Vec<usize>,
+    open_cols: Vec<usize>,
+    short_cols: Vec<usize>,
+    /// Per-cell conductance read gains, row-major (empty ⇒ all 1.0).
+    gains: Vec<f64>,
+    /// Per-column DWN threshold factors (empty ⇒ all 1.0).
+    threshold_factors: Vec<f64>,
+    /// Per-column input-referred latch offsets in amperes (empty ⇒ 0 A).
+    latch_offsets: Vec<f64>,
+}
+
+impl FaultMap {
+    /// Draws one defect realization from `model` for a `rows × cols` array.
+    ///
+    /// Sampling is deterministic per `(model, rows, cols, seed)`: categories
+    /// are drawn in a fixed order (stuck cells row-major, then row lines,
+    /// column lines, cell gains, column threshold factors, column latch
+    /// offsets) from a dedicated `ChaCha8` stream, so the map never touches
+    /// a recall session's RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] for empty dimensions or an
+    /// invalid model.
+    pub fn sample(
+        model: &FaultModel,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+    ) -> Result<Self, FaultsError> {
+        model.validate()?;
+        if rows == 0 || cols == 0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "fault map dimensions must be non-zero",
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut stuck = Vec::new();
+        if model.stuck_lrs_rate > 0.0 || model.stuck_hrs_rate > 0.0 {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let u: f64 = rng.gen();
+                    if u < model.stuck_lrs_rate {
+                        stuck.push(StuckCell {
+                            row,
+                            col,
+                            kind: StuckKind::Lrs,
+                        });
+                    } else if u < model.stuck_lrs_rate + model.stuck_hrs_rate {
+                        stuck.push(StuckCell {
+                            row,
+                            col,
+                            kind: StuckKind::Hrs,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut sample_lines = |count: usize, open_rate: f64, short_rate: f64| {
+            let mut open = Vec::new();
+            let mut short = Vec::new();
+            if open_rate > 0.0 || short_rate > 0.0 {
+                for index in 0..count {
+                    let u: f64 = rng.gen();
+                    if u < open_rate {
+                        open.push(index);
+                    } else if u < open_rate + short_rate {
+                        short.push(index);
+                    }
+                }
+            }
+            (open, short)
+        };
+        let (open_rows, short_rows) = sample_lines(rows, model.open_row_rate, model.short_row_rate);
+        let (open_cols, short_cols) = sample_lines(cols, model.open_col_rate, model.short_col_rate);
+
+        let lognormal = |sigma: f64, n: usize, rng: &mut ChaCha8Rng| -> Vec<f64> {
+            if sigma == 0.0 {
+                return Vec::new();
+            }
+            let dist = Normal::new(0.0, sigma).expect("validated sigma");
+            (0..n).map(|_| dist.sample(rng).exp()).collect()
+        };
+        let gains = lognormal(model.spread_sigma, rows * cols, &mut rng);
+        let threshold_factors = lognormal(model.dwn_threshold_sigma, cols, &mut rng);
+        let latch_offsets = if model.latch_offset_sigma == 0.0 {
+            Vec::new()
+        } else {
+            let dist = Normal::new(0.0, model.latch_offset_sigma).expect("validated sigma");
+            (0..cols).map(|_| dist.sample(&mut rng)).collect()
+        };
+
+        Ok(Self {
+            rows,
+            cols,
+            seed,
+            stuck,
+            open_rows,
+            short_rows,
+            open_cols,
+            short_cols,
+            gains,
+            threshold_factors,
+            latch_offsets,
+        })
+    }
+
+    /// A map with no defects at all (useful as a neutral baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] for empty dimensions.
+    pub fn pristine(rows: usize, cols: usize, seed: u64) -> Result<Self, FaultsError> {
+        Self::sample(&FaultModel::none(), rows, cols, seed)
+    }
+
+    /// Adds (or replaces) one stuck cell. Intended for hand-crafted defect
+    /// scenarios in tests and what-if studies; sampled maps come from
+    /// [`FaultMap::sample`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when the cell lies outside
+    /// the array.
+    pub fn with_stuck_cell(
+        mut self,
+        row: usize,
+        col: usize,
+        kind: StuckKind,
+    ) -> Result<Self, FaultsError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(FaultsError::InvalidParameter {
+                what: "stuck cell outside the array",
+            });
+        }
+        let key = row * self.cols + col;
+        match self
+            .stuck
+            .binary_search_by_key(&key, |c| c.row * self.cols + c.col)
+        {
+            Ok(i) => self.stuck[i].kind = kind,
+            Err(i) => self.stuck.insert(i, StuckCell { row, col, kind }),
+        }
+        Ok(self)
+    }
+
+    /// Adds (or replaces) one row-line defect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when `row` lies outside the
+    /// array.
+    pub fn with_row_defect(mut self, row: usize, defect: LineDefect) -> Result<Self, FaultsError> {
+        if row >= self.rows {
+            return Err(FaultsError::InvalidParameter {
+                what: "row defect outside the array",
+            });
+        }
+        Self::set_line_defect(&mut self.open_rows, &mut self.short_rows, row, defect);
+        Ok(self)
+    }
+
+    /// Adds (or replaces) one column-line defect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when `col` lies outside the
+    /// array.
+    pub fn with_col_defect(mut self, col: usize, defect: LineDefect) -> Result<Self, FaultsError> {
+        if col >= self.cols {
+            return Err(FaultsError::InvalidParameter {
+                what: "column defect outside the array",
+            });
+        }
+        Self::set_line_defect(&mut self.open_cols, &mut self.short_cols, col, defect);
+        Ok(self)
+    }
+
+    fn set_line_defect(
+        open: &mut Vec<usize>,
+        short: &mut Vec<usize>,
+        index: usize,
+        defect: LineDefect,
+    ) {
+        let (insert_into, remove_from) = match defect {
+            LineDefect::Open => (open, short),
+            LineDefect::Short => (short, open),
+        };
+        if let Ok(i) = remove_from.binary_search(&index) {
+            remove_from.remove(i);
+        }
+        if let Err(i) = insert_into.binary_search(&index) {
+            insert_into.insert(i, index);
+        }
+    }
+
+    /// Sets the conductance read gain of one cell (materializing the gain
+    /// vector at 1.0 if the map had none).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when the cell lies outside
+    /// the array or `gain` is not finite and positive.
+    pub fn with_cell_gain(
+        mut self,
+        row: usize,
+        col: usize,
+        gain: f64,
+    ) -> Result<Self, FaultsError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(FaultsError::InvalidParameter {
+                what: "gain cell outside the array",
+            });
+        }
+        if !gain.is_finite() || gain <= 0.0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "cell gain must be finite and positive",
+            });
+        }
+        if self.gains.is_empty() {
+            self.gains = vec![1.0; self.rows * self.cols];
+        }
+        self.gains[row * self.cols + col] = gain;
+        Ok(self)
+    }
+
+    /// Sets the DWN switching-threshold factor of one column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when `col` lies outside the
+    /// array or `factor` is not finite and positive.
+    pub fn with_threshold_factor(mut self, col: usize, factor: f64) -> Result<Self, FaultsError> {
+        if col >= self.cols {
+            return Err(FaultsError::InvalidParameter {
+                what: "threshold column outside the array",
+            });
+        }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(FaultsError::InvalidParameter {
+                what: "threshold factor must be finite and positive",
+            });
+        }
+        if self.threshold_factors.is_empty() {
+            self.threshold_factors = vec![1.0; self.cols];
+        }
+        self.threshold_factors[col] = factor;
+        Ok(self)
+    }
+
+    /// Sets the input-referred latch offset current of one column, in
+    /// amperes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::InvalidParameter`] when `col` lies outside the
+    /// array or `offset` is not finite.
+    pub fn with_latch_offset(mut self, col: usize, offset: f64) -> Result<Self, FaultsError> {
+        if col >= self.cols {
+            return Err(FaultsError::InvalidParameter {
+                what: "latch offset column outside the array",
+            });
+        }
+        if !offset.is_finite() {
+            return Err(FaultsError::InvalidParameter {
+                what: "latch offset must be finite",
+            });
+        }
+        if self.latch_offsets.is_empty() {
+            self.latch_offsets = vec![0.0; self.cols];
+        }
+        self.latch_offsets[col] = offset;
+        Ok(self)
+    }
+
+    /// Array row count the map was sampled for.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array column count the map was sampled for.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Seed the map was sampled from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stuck-cell list, sorted row-major.
+    #[must_use]
+    pub fn stuck_cells(&self) -> &[StuckCell] {
+        &self.stuck
+    }
+
+    /// Whether (and how) the cell at `(row, col)` is stuck.
+    #[must_use]
+    pub fn stuck_at(&self, row: usize, col: usize) -> Option<StuckKind> {
+        let key = row * self.cols + col;
+        self.stuck
+            .binary_search_by_key(&key, |c| c.row * self.cols + c.col)
+            .ok()
+            .map(|i| self.stuck[i].kind)
+    }
+
+    /// Defect on row line `row`, if any.
+    #[must_use]
+    pub fn row_defect(&self, row: usize) -> Option<LineDefect> {
+        if self.open_rows.binary_search(&row).is_ok() {
+            Some(LineDefect::Open)
+        } else if self.short_rows.binary_search(&row).is_ok() {
+            Some(LineDefect::Short)
+        } else {
+            None
+        }
+    }
+
+    /// Defect on column line `col`, if any.
+    #[must_use]
+    pub fn col_defect(&self, col: usize) -> Option<LineDefect> {
+        if self.open_cols.binary_search(&col).is_ok() {
+            Some(LineDefect::Open)
+        } else if self.short_cols.binary_search(&col).is_ok() {
+            Some(LineDefect::Short)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when column `col` contributes nothing to the readout (open or
+    /// shorted column line).
+    #[must_use]
+    pub fn col_disconnected(&self, col: usize) -> bool {
+        self.col_defect(col).is_some()
+    }
+
+    /// Multiplicative conductance read gain for cell `(row, col)` (1.0 when
+    /// the model had no spread).
+    #[must_use]
+    pub fn cell_gain(&self, row: usize, col: usize) -> f64 {
+        if self.gains.is_empty() {
+            1.0
+        } else {
+            self.gains[row * self.cols + col]
+        }
+    }
+
+    /// Multiplicative DWN switching-threshold factor for column `col`.
+    #[must_use]
+    pub fn threshold_factor(&self, col: usize) -> f64 {
+        if self.threshold_factors.is_empty() {
+            1.0
+        } else {
+            self.threshold_factors[col]
+        }
+    }
+
+    /// Input-referred latch offset current for column `col`, in amperes.
+    #[must_use]
+    pub fn latch_offset(&self, col: usize) -> f64 {
+        if self.latch_offsets.is_empty() {
+            0.0
+        } else {
+            self.latch_offsets[col]
+        }
+    }
+
+    /// Number of hard defects in the map (stuck cells plus line defects).
+    /// Soft variation (gains, thresholds, offsets) affects every element
+    /// and is not counted.
+    #[must_use]
+    pub fn injected_count(&self) -> u64 {
+        (self.stuck.len()
+            + self.open_rows.len()
+            + self.short_rows.len()
+            + self.open_cols.len()
+            + self.short_cols.len()) as u64
+    }
+
+    /// Serializes the map to a structured JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let indices = |items: &[usize]| {
+            JsonValue::Array(items.iter().map(|&i| JsonValue::Uint(i as u64)).collect())
+        };
+        let floats =
+            |items: &[f64]| JsonValue::Array(items.iter().map(|&v| JsonValue::Num(v)).collect());
+        let stuck = JsonValue::Array(
+            self.stuck
+                .iter()
+                .map(|c| {
+                    JsonValue::object([
+                        ("row", JsonValue::Uint(c.row as u64)),
+                        ("col", JsonValue::Uint(c.col as u64)),
+                        (
+                            "kind",
+                            JsonValue::from(match c.kind {
+                                StuckKind::Lrs => "lrs",
+                                StuckKind::Hrs => "hrs",
+                            }),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::object([
+            ("rows", JsonValue::Uint(self.rows as u64)),
+            ("cols", JsonValue::Uint(self.cols as u64)),
+            ("seed", JsonValue::Uint(self.seed)),
+            ("stuck", stuck),
+            ("open_rows", indices(&self.open_rows)),
+            ("short_rows", indices(&self.short_rows)),
+            ("open_cols", indices(&self.open_cols)),
+            ("short_cols", indices(&self.short_cols)),
+            ("gains", floats(&self.gains)),
+            ("threshold_factors", floats(&self.threshold_factors)),
+            ("latch_offsets", floats(&self.latch_offsets)),
+        ])
+    }
+
+    /// Serializes the map to a compact JSON string.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a map from [`FaultMap::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::Parse`] when a field is missing, mistyped, or
+    /// inconsistent with the declared dimensions.
+    pub fn from_json(value: &JsonValue) -> Result<Self, FaultsError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| FaultsError::Parse(format!("missing field '{key}'")))
+        };
+        let uint = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| FaultsError::Parse(format!("field '{key}' must be an integer")))
+        };
+        let index_list = |key: &str, max: usize| -> Result<Vec<usize>, FaultsError> {
+            field(key)?
+                .as_array()
+                .ok_or_else(|| FaultsError::Parse(format!("field '{key}' must be an array")))?
+                .iter()
+                .map(|v| {
+                    let i = v.as_u64().ok_or_else(|| {
+                        FaultsError::Parse(format!("'{key}' entries must be integers"))
+                    })? as usize;
+                    if i >= max {
+                        return Err(FaultsError::Parse(format!(
+                            "'{key}' index {i} out of range (< {max})"
+                        )));
+                    }
+                    Ok(i)
+                })
+                .collect()
+        };
+        let float_list = |key: &str| -> Result<Vec<f64>, FaultsError> {
+            field(key)?
+                .as_array()
+                .ok_or_else(|| FaultsError::Parse(format!("field '{key}' must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        FaultsError::Parse(format!("'{key}' entries must be numbers"))
+                    })
+                })
+                .collect()
+        };
+
+        let rows = uint("rows")? as usize;
+        let cols = uint("cols")? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(FaultsError::Parse("dimensions must be non-zero".into()));
+        }
+        let seed = uint("seed")?;
+        let stuck = field("stuck")?
+            .as_array()
+            .ok_or_else(|| FaultsError::Parse("field 'stuck' must be an array".into()))?
+            .iter()
+            .map(|entry| {
+                let cell = |key: &str| {
+                    entry
+                        .get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| FaultsError::Parse(format!("stuck entry missing '{key}'")))
+                };
+                let row = cell("row")? as usize;
+                let col = cell("col")? as usize;
+                if row >= rows || col >= cols {
+                    return Err(FaultsError::Parse(format!(
+                        "stuck cell ({row}, {col}) out of range"
+                    )));
+                }
+                let kind = match entry.get("kind").and_then(JsonValue::as_str) {
+                    Some("lrs") => StuckKind::Lrs,
+                    Some("hrs") => StuckKind::Hrs,
+                    other => {
+                        return Err(FaultsError::Parse(format!(
+                            "stuck kind must be 'lrs' or 'hrs', got {other:?}"
+                        )))
+                    }
+                };
+                Ok(StuckCell { row, col, kind })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        for pair in stuck.windows(2) {
+            if pair[0].row * cols + pair[0].col >= pair[1].row * cols + pair[1].col {
+                return Err(FaultsError::Parse(
+                    "stuck cells must be strictly row-major sorted".into(),
+                ));
+            }
+        }
+        let sorted = |list: &[usize], what: &str| -> Result<(), FaultsError> {
+            if list.windows(2).all(|w| w[0] < w[1]) {
+                Ok(())
+            } else {
+                Err(FaultsError::Parse(format!(
+                    "'{what}' must be strictly sorted"
+                )))
+            }
+        };
+        let open_rows = index_list("open_rows", rows)?;
+        let short_rows = index_list("short_rows", rows)?;
+        let open_cols = index_list("open_cols", cols)?;
+        let short_cols = index_list("short_cols", cols)?;
+        sorted(&open_rows, "open_rows")?;
+        sorted(&short_rows, "short_rows")?;
+        sorted(&open_cols, "open_cols")?;
+        sorted(&short_cols, "short_cols")?;
+        let sized = |list: Vec<f64>, expect: usize, what: &str| -> Result<Vec<f64>, FaultsError> {
+            if list.is_empty() || list.len() == expect {
+                Ok(list)
+            } else {
+                Err(FaultsError::Parse(format!(
+                    "'{what}' must be empty or have {expect} entries, got {}",
+                    list.len()
+                )))
+            }
+        };
+        let gains = sized(float_list("gains")?, rows * cols, "gains")?;
+        let threshold_factors = sized(float_list("threshold_factors")?, cols, "threshold_factors")?;
+        let latch_offsets = sized(float_list("latch_offsets")?, cols, "latch_offsets")?;
+
+        Ok(Self {
+            rows,
+            cols,
+            seed,
+            stuck,
+            open_rows,
+            short_rows,
+            open_cols,
+            short_cols,
+            gains,
+            threshold_factors,
+            latch_offsets,
+        })
+    }
+
+    /// Reconstructs a map from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::Parse`] on syntax or shape errors.
+    pub fn from_json_str(input: &str) -> Result<Self, FaultsError> {
+        let value = json::parse(input).map_err(FaultsError::Parse)?;
+        Self::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_craft_explicit_maps() {
+        let map = FaultMap::pristine(4, 3, 0)
+            .unwrap()
+            .with_stuck_cell(1, 2, StuckKind::Lrs)
+            .unwrap()
+            .with_stuck_cell(1, 2, StuckKind::Hrs) // replace
+            .unwrap()
+            .with_stuck_cell(0, 0, StuckKind::Lrs)
+            .unwrap()
+            .with_row_defect(3, LineDefect::Open)
+            .unwrap()
+            .with_col_defect(1, LineDefect::Short)
+            .unwrap()
+            .with_col_defect(1, LineDefect::Open) // replace short with open
+            .unwrap()
+            .with_cell_gain(2, 1, 1.25)
+            .unwrap()
+            .with_threshold_factor(0, 0.9)
+            .unwrap()
+            .with_latch_offset(2, -1e-7)
+            .unwrap();
+        assert_eq!(map.stuck_at(1, 2), Some(StuckKind::Hrs));
+        assert_eq!(map.stuck_at(0, 0), Some(StuckKind::Lrs));
+        assert_eq!(map.stuck_cells().len(), 2);
+        assert_eq!(map.row_defect(3), Some(LineDefect::Open));
+        assert_eq!(map.col_defect(1), Some(LineDefect::Open));
+        assert!(map.col_disconnected(1));
+        assert_eq!(map.cell_gain(2, 1), 1.25);
+        assert_eq!(map.cell_gain(0, 1), 1.0);
+        assert_eq!(map.threshold_factor(0), 0.9);
+        assert_eq!(map.latch_offset(2), -1e-7);
+        assert_eq!(map.injected_count(), 4);
+        // Round-trips like any sampled map.
+        let back = FaultMap::from_json_str(&map.to_json_string()).unwrap();
+        assert_eq!(back, map);
+
+        let base = FaultMap::pristine(2, 2, 0).unwrap();
+        assert!(base.clone().with_stuck_cell(2, 0, StuckKind::Lrs).is_err());
+        assert!(base.clone().with_row_defect(2, LineDefect::Open).is_err());
+        assert!(base.clone().with_col_defect(2, LineDefect::Short).is_err());
+        assert!(base.clone().with_cell_gain(0, 0, f64::NAN).is_err());
+        assert!(base.clone().with_cell_gain(0, 0, 0.0).is_err());
+        assert!(base.clone().with_threshold_factor(0, -1.0).is_err());
+        assert!(base.with_latch_offset(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn stuck_preset_splits_evenly() {
+        let m = FaultModel::stuck(0.1).unwrap();
+        assert_eq!(m.stuck_lrs_rate, 0.05);
+        assert_eq!(m.stuck_hrs_rate, 0.05);
+        assert_eq!(m.open_col_rate, 0.0);
+        m.validate().unwrap();
+        assert!(FaultModel::stuck(1.5).is_err());
+        assert!(FaultModel::stuck(-0.1).is_err());
+        assert!(FaultModel::stuck(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut m = FaultModel::none();
+        m.spread_sigma = -1.0;
+        assert!(m.validate().is_err());
+        m = FaultModel::none();
+        m.dwn_threshold_sigma = f64::INFINITY;
+        assert!(m.validate().is_err());
+        m = FaultModel::none();
+        m.stuck_lrs_rate = 0.7;
+        m.stuck_hrs_rate = 0.7;
+        assert!(m.validate().is_err());
+        m = FaultModel::none();
+        m.open_row_rate = 2.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut m = FaultModel::stuck(0.2).unwrap();
+        m.spread_sigma = 0.1;
+        m.dwn_threshold_sigma = 0.05;
+        m.latch_offset_sigma = 1e-7;
+        m.open_row_rate = 0.1;
+        m.short_col_rate = 0.1;
+        let a = FaultMap::sample(&m, 16, 8, 42).unwrap();
+        let b = FaultMap::sample(&m, 16, 8, 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultMap::sample(&m, 16, 8, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ at these rates");
+    }
+
+    #[test]
+    fn pristine_map_is_identity() {
+        let map = FaultMap::pristine(4, 3, 7).unwrap();
+        assert_eq!(map.injected_count(), 0);
+        for row in 0..4 {
+            assert!(map.row_defect(row).is_none());
+            for col in 0..3 {
+                assert!(map.stuck_at(row, col).is_none());
+                assert_eq!(map.cell_gain(row, col), 1.0);
+            }
+        }
+        for col in 0..3 {
+            assert!(map.col_defect(col).is_none());
+            assert!(!map.col_disconnected(col));
+            assert_eq!(map.threshold_factor(col), 1.0);
+            assert_eq!(map.latch_offset(col), 0.0);
+        }
+    }
+
+    #[test]
+    fn stuck_rate_statistics_are_plausible() {
+        let m = FaultModel::stuck(0.10).unwrap();
+        let map = FaultMap::sample(&m, 100, 100, 1).unwrap();
+        let frac = map.stuck_cells().len() as f64 / 10_000.0;
+        assert!((0.07..0.13).contains(&frac), "got {frac}");
+        // Lookup agrees with the list.
+        for cell in map.stuck_cells() {
+            assert_eq!(map.stuck_at(cell.row, cell.col), Some(cell.kind));
+        }
+        assert_eq!(map.injected_count(), map.stuck_cells().len() as u64);
+    }
+
+    #[test]
+    fn line_defects_are_exclusive_and_lookup_consistent() {
+        let mut m = FaultModel::none();
+        m.open_row_rate = 0.3;
+        m.short_row_rate = 0.3;
+        m.open_col_rate = 0.3;
+        m.short_col_rate = 0.3;
+        let map = FaultMap::sample(&m, 64, 64, 5).unwrap();
+        let mut opens = 0;
+        let mut shorts = 0;
+        for row in 0..64 {
+            match map.row_defect(row) {
+                Some(LineDefect::Open) => opens += 1,
+                Some(LineDefect::Short) => shorts += 1,
+                None => {}
+            }
+        }
+        assert!(opens > 0 && shorts > 0);
+        for col in 0..64 {
+            let disconnected = map.col_defect(col).is_some();
+            assert_eq!(map.col_disconnected(col), disconnected);
+        }
+    }
+
+    #[test]
+    fn soft_variation_has_expected_shape() {
+        let mut m = FaultModel::none();
+        m.spread_sigma = 0.2;
+        m.dwn_threshold_sigma = 0.1;
+        m.latch_offset_sigma = 1e-7;
+        let map = FaultMap::sample(&m, 10, 6, 9).unwrap();
+        for row in 0..10 {
+            for col in 0..6 {
+                let g = map.cell_gain(row, col);
+                assert!(g.is_finite() && g > 0.0);
+            }
+        }
+        for col in 0..6 {
+            assert!(map.threshold_factor(col) > 0.0);
+            assert!(map.latch_offset(col).is_finite());
+        }
+        // Soft variation alone injects no hard defects.
+        assert_eq!(map.injected_count(), 0);
+    }
+
+    #[test]
+    fn json_round_trip_exact() {
+        let mut m = FaultModel::stuck(0.15).unwrap();
+        m.spread_sigma = 0.25;
+        m.dwn_threshold_sigma = 0.08;
+        m.latch_offset_sigma = 2e-7;
+        m.open_row_rate = 0.05;
+        m.short_row_rate = 0.05;
+        m.open_col_rate = 0.05;
+        m.short_col_rate = 0.05;
+        let map = FaultMap::sample(&m, 12, 7, 0x51EED).unwrap();
+        let text = map.to_json_string();
+        spinamm_telemetry::json::validate(&text).expect("fault map JSON must be valid");
+        let back = FaultMap::from_json_str(&text).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        let map = FaultMap::pristine(3, 3, 0).unwrap();
+        let good = map.to_json_string();
+        assert!(FaultMap::from_json_str("{").is_err());
+        assert!(FaultMap::from_json_str("null").is_err());
+        assert!(FaultMap::from_json_str(&good.replace("\"rows\":3", "\"rows\":0")).is_err());
+        assert!(
+            FaultMap::from_json_str(&good.replace("\"open_rows\":[]", "\"open_rows\":[9]"))
+                .is_err()
+        );
+        assert!(FaultMap::from_json_str(&good.replace(
+            "\"stuck\":[]",
+            "\"stuck\":[{\"row\":0,\"col\":0,\"kind\":\"mid\"}]"
+        ))
+        .is_err());
+        assert!(
+            FaultMap::from_json_str(&good.replace("\"gains\":[]", "\"gains\":[1.0,2.0]")).is_err()
+        );
+    }
+
+    #[test]
+    fn zero_dimension_maps_are_rejected() {
+        assert!(FaultMap::pristine(0, 4, 0).is_err());
+        assert!(FaultMap::pristine(4, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: every seeded fault map must survive a JSON
+//! round trip bit-exactly, and lookups must agree with the sampled lists.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use spinamm_faults::{FaultMap, FaultModel};
+
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    stuck_lrs: f64,
+    stuck_hrs: f64,
+    open_row: f64,
+    short_row: f64,
+    open_col: f64,
+    short_col: f64,
+    spread: f64,
+    threshold: f64,
+    latch: f64,
+}
+
+fn model_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        (0.0..0.4f64, 0.0..0.4f64, 0.0..0.3f64),
+        (0.0..0.3f64, 0.0..0.3f64, 0.0..0.3f64),
+        (0.0..0.5f64, 0.0..0.3f64, 0.0..1e-6f64),
+    )
+        .prop_map(
+            |((stuck_lrs, stuck_hrs, open_row), (short_row, open_col, short_col), rest)| {
+                ModelSpec {
+                    stuck_lrs,
+                    stuck_hrs,
+                    open_row,
+                    short_row,
+                    open_col,
+                    short_col,
+                    spread: rest.0,
+                    threshold: rest.1,
+                    latch: rest.2,
+                }
+            },
+        )
+}
+
+fn build(spec: &ModelSpec) -> FaultModel {
+    let mut m = FaultModel::none();
+    m.stuck_lrs_rate = spec.stuck_lrs;
+    m.stuck_hrs_rate = spec.stuck_hrs;
+    m.open_row_rate = spec.open_row;
+    m.short_row_rate = spec.short_row;
+    m.open_col_rate = spec.open_col;
+    m.short_col_rate = spec.short_col;
+    m.spread_sigma = spec.spread;
+    m.dwn_threshold_sigma = spec.threshold;
+    m.latch_offset_sigma = spec.latch;
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any seeded map round-trips through JSON bit-exactly.
+    #[test]
+    fn json_round_trip(
+        spec in model_spec(),
+        rows in 1usize..14,
+        cols in 1usize..10,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let map = FaultMap::sample(&build(&spec), rows, cols, seed).unwrap();
+        let text = map.to_json_string();
+        spinamm_telemetry::json::validate(&text)
+            .map_err(|e| TestCaseError::fail(format!("invalid JSON: {e}")))?;
+        let back = FaultMap::from_json_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(back, map);
+    }
+
+    /// Sampling is a pure function of (model, dims, seed), and per-element
+    /// lookups agree with the serialized lists.
+    #[test]
+    fn deterministic_and_consistent(
+        spec in model_spec(),
+        rows in 1usize..14,
+        cols in 1usize..10,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let model = build(&spec);
+        let a = FaultMap::sample(&model, rows, cols, seed).unwrap();
+        let b = FaultMap::sample(&model, rows, cols, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        let mut hard = 0u64;
+        for cell in a.stuck_cells() {
+            prop_assert_eq!(a.stuck_at(cell.row, cell.col), Some(cell.kind));
+            hard += 1;
+        }
+        for row in 0..rows {
+            if a.row_defect(row).is_some() {
+                hard += 1;
+            }
+        }
+        for col in 0..cols {
+            if a.col_defect(col).is_some() {
+                hard += 1;
+            }
+            prop_assert!(a.cell_gain(0, col).is_finite());
+            prop_assert!(a.threshold_factor(col) > 0.0);
+            prop_assert!(a.latch_offset(col).is_finite());
+        }
+        prop_assert_eq!(a.injected_count(), hard);
+    }
+}

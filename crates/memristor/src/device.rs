@@ -165,11 +165,15 @@ impl ReadNoise {
 /// [`DeviceLimits`].
 ///
 /// Freshly constructed cells sit in the fully "off" (lowest conductance)
-/// state, which is how a crossbar powers up before programming.
+/// state, which is how a crossbar powers up before programming. A cell can
+/// additionally be *pinned* — a hard stuck-at defect: writes keep updating
+/// the programmed state (the tuner cannot tell a stuck cell apart except by
+/// its verify reads), but every read observes the pinned value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Memristor {
     limits: DeviceLimits,
     conductance: Siemens,
+    pinned: Option<Siemens>,
 }
 
 impl Memristor {
@@ -179,6 +183,7 @@ impl Memristor {
         Self {
             limits,
             conductance: limits.g_min(),
+            pinned: None,
         }
     }
 
@@ -193,6 +198,7 @@ impl Memristor {
         Ok(Self {
             limits,
             conductance: g,
+            pinned: None,
         })
     }
 
@@ -202,21 +208,46 @@ impl Memristor {
         self.limits
     }
 
-    /// The true (noise-free) conductance state.
+    /// The conductance every read observes: the pinned stuck-at value when
+    /// the cell is defective, otherwise the programmed state.
     #[must_use]
     pub fn conductance(&self) -> Siemens {
+        self.pinned.unwrap_or(self.conductance)
+    }
+
+    /// The programmed (intended) state, ignoring any stuck-at pin — what
+    /// the write circuitry believes it stored.
+    #[must_use]
+    pub fn programmed(&self) -> Siemens {
         self.conductance
     }
 
-    /// The true resistance state.
-    #[must_use]
-    pub fn resistance(&self) -> Ohms {
-        self.conductance.to_ohms()
+    /// Pins the cell to a stuck-at conductance (clamped into the window).
+    /// Subsequent reads observe `g` regardless of programming.
+    pub fn pin(&mut self, g: Siemens) {
+        self.pinned = Some(self.limits.clamp(g));
     }
 
-    /// One noisy read of the conductance.
+    /// Removes a stuck-at pin; reads observe the programmed state again.
+    pub fn unpin(&mut self) {
+        self.pinned = None;
+    }
+
+    /// `true` when the cell is pinned to a stuck-at value.
+    #[must_use]
+    pub fn is_pinned(&self) -> bool {
+        self.pinned.is_some()
+    }
+
+    /// The observed resistance state (respects a stuck-at pin).
+    #[must_use]
+    pub fn resistance(&self) -> Ohms {
+        self.conductance().to_ohms()
+    }
+
+    /// One noisy read of the conductance (respects a stuck-at pin).
     pub fn read<R: Rng + ?Sized>(&self, noise: ReadNoise, rng: &mut R) -> Siemens {
-        noise.perturb(self.conductance, rng)
+        noise.perturb(self.conductance(), rng)
     }
 
     /// Overwrites the state exactly (an idealized write, used by tests and
@@ -310,6 +341,32 @@ mod tests {
     fn with_conductance_validates() {
         assert!(Memristor::with_conductance(DeviceLimits::PAPER, Siemens(5e-4)).is_ok());
         assert!(Memristor::with_conductance(DeviceLimits::PAPER, Siemens(1.0)).is_err());
+    }
+
+    #[test]
+    fn pinned_cell_reads_stuck_value_but_tracks_programmed_state() {
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        assert!(!cell.is_pinned());
+        cell.pin(DeviceLimits::PAPER.g_max());
+        assert!(cell.is_pinned());
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_max());
+        // Writes still update the programmed (intended) state underneath.
+        cell.set_conductance(Siemens(5e-4)).unwrap();
+        assert_eq!(cell.programmed(), Siemens(5e-4));
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_max());
+        assert_eq!(cell.resistance(), Ohms(1_000.0));
+        cell.unpin();
+        assert!(!cell.is_pinned());
+        assert_eq!(cell.conductance(), Siemens(5e-4));
+    }
+
+    #[test]
+    fn pin_clamps_into_window() {
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        cell.pin(Siemens(1.0));
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_max());
+        cell.pin(Siemens(0.0));
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_min());
     }
 
     #[test]

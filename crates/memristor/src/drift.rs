@@ -105,9 +105,25 @@ impl DriftModel {
 
     /// Samples one device's retention fraction after `elapsed` (its ν drawn
     /// with the configured spread, truncated at zero).
-    pub fn sample_retention<R: Rng + ?Sized>(&self, elapsed: Seconds, rng: &mut R) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] when `elapsed` is not
+    /// finite — a NaN/∞ horizon would otherwise silently collapse the
+    /// retention to zero (NaN falls through `max`) and erase the template
+    /// when the aged conductance is stamped into the crossbar.
+    pub fn sample_retention<R: Rng + ?Sized>(
+        &self,
+        elapsed: Seconds,
+        rng: &mut R,
+    ) -> Result<f64, MemristorError> {
+        if !elapsed.0.is_finite() {
+            return Err(MemristorError::InvalidParameter {
+                what: "elapsed time must be finite",
+            });
+        }
         if elapsed.0 <= 0.0 || self.nu == 0.0 {
-            return 1.0;
+            return Ok(1.0);
         }
         let nu = if self.nu_sigma > 0.0 {
             let normal = Normal::new(0.0, self.nu_sigma).expect("sigma validated");
@@ -115,7 +131,7 @@ impl DriftModel {
         } else {
             self.nu
         };
-        (1.0 - nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0)
+        Ok((1.0 - nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0))
     }
 }
 
@@ -128,11 +144,22 @@ impl Default for DriftModel {
 impl Memristor {
     /// Ages the cell by `elapsed` under a drift model (conductance decays
     /// toward — and is floored at — the device's off state).
-    pub fn age<R: Rng + ?Sized>(&mut self, elapsed: Seconds, model: &DriftModel, rng: &mut R) {
-        let fraction = model.sample_retention(elapsed, rng);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] when `elapsed` is not
+    /// finite; the cell state is left untouched in that case.
+    pub fn age<R: Rng + ?Sized>(
+        &mut self,
+        elapsed: Seconds,
+        model: &DriftModel,
+        rng: &mut R,
+    ) -> Result<(), MemristorError> {
+        let fraction = model.sample_retention(elapsed, rng)?;
         let g = self.conductance().0 * fraction;
         let floored = g.max(self.limits().g_min().0);
         self.force_conductance(Siemens(floored));
+        Ok(())
     }
 }
 
@@ -180,7 +207,8 @@ mod tests {
     fn aging_a_cell_reduces_conductance() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
-        cell.age(Seconds(1e6), &DriftModel::AGGRESSIVE, &mut rng);
+        cell.age(Seconds(1e6), &DriftModel::AGGRESSIVE, &mut rng)
+            .unwrap();
         assert!(cell.conductance().0 < 8e-4);
         assert!(cell.conductance().0 >= DeviceLimits::PAPER.g_min().0);
     }
@@ -189,7 +217,8 @@ mod tests {
     fn aging_floors_at_off_state() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let mut cell = Memristor::new(DeviceLimits::PAPER); // already off
-        cell.age(Seconds(1e12), &DriftModel::AGGRESSIVE, &mut rng);
+        cell.age(Seconds(1e12), &DriftModel::AGGRESSIVE, &mut rng)
+            .unwrap();
         assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_min());
     }
 
@@ -198,7 +227,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let m = DriftModel::TYPICAL;
         let samples: Vec<f64> = (0..50)
-            .map(|_| m.sample_retention(Seconds(1e6), &mut rng))
+            .map(|_| m.sample_retention(Seconds(1e6), &mut rng).unwrap())
             .collect();
         let mut sorted = samples.clone();
         sorted.sort_by(f64::total_cmp);
@@ -212,6 +241,25 @@ mod tests {
         let median = m.median_retention(Seconds(1e6));
         for s in samples {
             assert!((s - median).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn non_finite_elapsed_is_rejected_and_state_preserved() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let m = DriftModel::TYPICAL;
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                m.sample_retention(Seconds(bad), &mut rng).is_err(),
+                "sample_retention must reject {bad}"
+            );
+            let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+            assert!(cell.age(Seconds(bad), &m, &mut rng).is_err());
+            assert_eq!(
+                cell.conductance(),
+                Siemens(8e-4),
+                "failed aging must not disturb the cell"
+            );
         }
     }
 

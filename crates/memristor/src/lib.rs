@@ -56,7 +56,7 @@ pub use device::{DeviceLimits, Memristor, ReadNoise};
 pub use drift::DriftModel;
 pub use pulse::PulseWriteModel;
 pub use quantize::LevelMap;
-pub use write::{WriteReport, WriteScheme};
+pub use write::{RetryPolicy, RetryReport, WriteReport, WriteScheme};
 
 use std::error::Error;
 use std::fmt;

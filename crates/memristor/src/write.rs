@@ -143,6 +143,86 @@ impl WriteScheme {
     }
 }
 
+/// Escalation policy for [`Memristor::program_with_retry`].
+///
+/// When a program-and-verify attempt ends out of band (a stuck or sluggish
+/// cell), the writer retries with a stronger pulse amplitude: attempt `k`
+/// (0-based) uses amplitude `1 + k · amplitude_step`. The total pulse count
+/// across all attempts never exceeds `pulse_budget`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum program-and-verify attempts (first try included).
+    pub max_attempts: u32,
+    /// Amplitude increment per retry (relative; 0.5 ⇒ 1.0×, 1.5×, 2.0×…).
+    pub amplitude_step: f64,
+    /// Hard cap on total pulses across every attempt.
+    pub pulse_budget: u32,
+}
+
+impl RetryPolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] unless
+    /// `max_attempts ≥ 1`, `amplitude_step` is finite and non-negative, and
+    /// `pulse_budget ≥ 1`.
+    pub fn new(
+        max_attempts: u32,
+        amplitude_step: f64,
+        pulse_budget: u32,
+    ) -> Result<Self, MemristorError> {
+        if max_attempts == 0 {
+            return Err(MemristorError::InvalidParameter {
+                what: "retry policy needs at least one attempt",
+            });
+        }
+        if !(amplitude_step.is_finite() && amplitude_step >= 0.0) {
+            return Err(MemristorError::InvalidParameter {
+                what: "amplitude step must be finite and non-negative",
+            });
+        }
+        if pulse_budget == 0 {
+            return Err(MemristorError::InvalidParameter {
+                what: "pulse budget must be positive",
+            });
+        }
+        Ok(Self {
+            max_attempts,
+            amplitude_step,
+            pulse_budget,
+        })
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts escalating 1.0× → 1.5× → 2.0×, with a pulse budget of
+    /// three nominal write caps.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            amplitude_step: 0.5,
+            pulse_budget: 3 * (4 * WriteScheme::paper().expected_pulses() + 16),
+        }
+    }
+}
+
+/// Outcome of a retry-with-backoff programming operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryReport {
+    /// Attempts actually executed (≥ 1).
+    pub attempts: u32,
+    /// Total pulses across every attempt (≤ the policy's budget).
+    pub pulses: u32,
+    /// Total write energy (escalated pulses cost `amplitude²` each).
+    pub energy: Joules,
+    /// Relative error of the final verify read with respect to the target.
+    pub relative_error: f64,
+    /// `true` when the final state verified inside the tolerance band;
+    /// `false` marks the cell unrecoverable (e.g. a stuck-at defect).
+    pub recovered: bool,
+}
+
 impl Memristor {
     /// Programs the cell to `target` using `scheme`'s program-and-verify
     /// loop.
@@ -181,20 +261,100 @@ impl Memristor {
         rng: &mut R,
         recorder: &T,
     ) -> Result<WriteReport, MemristorError> {
-        if !self.limits().contains(target) {
-            return Err(MemristorError::ConductanceOutOfRange {
+        self.check_target(target)?;
+        // Cap pulse count: tolerance ∈ (0,1) means ≤ ~60 ideal halvings; noise
+        // can add a few more. A hard cap keeps the loop total.
+        let cap = nominal_cap(scheme);
+        Ok(self.program_impl(target, scheme, 1.0, cap, rng, recorder))
+    }
+
+    /// Programs the cell with amplitude escalation on failure: each verify
+    /// miss retries the whole program-and-verify loop at a stronger pulse
+    /// amplitude per `policy`, within a hard total pulse budget.
+    ///
+    /// Telemetry: in addition to the per-attempt pulse/verify counters,
+    /// `memristor.write_retries` counts attempts beyond the first and
+    /// `memristor.unrecoverable_cells` increments once if the cell never
+    /// verifies in band — the signature of a stuck-at defect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::ConductanceOutOfRange`] if `target` is
+    /// outside the programmable window.
+    pub fn program_with_retry<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        target: Siemens,
+        scheme: &WriteScheme,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        recorder: &T,
+    ) -> Result<RetryReport, MemristorError> {
+        self.check_target(target)?;
+        let mut attempts = 0u32;
+        let mut pulses = 0u32;
+        let mut energy = Joules::ZERO;
+        let mut relative_error = (self.conductance().0 - target.0) / target.0;
+        let mut recovered = relative_error.abs() <= scheme.tolerance;
+        for k in 0..policy.max_attempts {
+            if recovered || pulses >= policy.pulse_budget {
+                break;
+            }
+            if k > 0 {
+                recorder.counter("memristor.write_retries", 1);
+            }
+            attempts += 1;
+            let amplitude = 1.0 + f64::from(k) * policy.amplitude_step;
+            // Each attempt gets at most the remaining budget, so the total
+            // can never exceed `policy.pulse_budget`.
+            let cap = nominal_cap(scheme).min(policy.pulse_budget - pulses);
+            let report = self.program_impl(target, scheme, amplitude, cap, rng, recorder);
+            pulses += report.pulses;
+            energy = Joules(energy.0 + report.energy.0);
+            relative_error = report.relative_error;
+            recovered = relative_error.abs() <= scheme.tolerance;
+        }
+        if !recovered {
+            recorder.counter("memristor.unrecoverable_cells", 1);
+        }
+        Ok(RetryReport {
+            attempts,
+            pulses,
+            energy,
+            relative_error,
+            recovered,
+        })
+    }
+
+    fn check_target(&self, target: Siemens) -> Result<(), MemristorError> {
+        if self.limits().contains(target) {
+            Ok(())
+        } else {
+            Err(MemristorError::ConductanceOutOfRange {
                 requested: target.0,
                 min: self.limits().g_min().0,
                 max: self.limits().g_max().0,
-            });
+            })
         }
+    }
+
+    /// One program-and-verify pass at a given pulse `amplitude` (1.0 =
+    /// nominal). Stronger pulses take proportionally larger steps and cost
+    /// `amplitude²` energy each (I²R scaling); verify reads always observe
+    /// the cell's effective conductance, so a pinned (stuck-at) cell never
+    /// verifies in band and exhausts `cap`.
+    fn program_impl<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        target: Siemens,
+        scheme: &WriteScheme,
+        amplitude: f64,
+        cap: u32,
+        rng: &mut R,
+        recorder: &T,
+    ) -> WriteReport {
         let noise = Normal::new(0.0, scheme.pulse_sigma.max(f64::MIN_POSITIVE))
             .expect("sigma validated at construction");
         let mut pulses = 0u32;
         let mut verifies = 0u64;
-        // Cap pulse count: tolerance ∈ (0,1) means ≤ ~60 ideal halvings; noise
-        // can add a few more. A hard cap keeps the loop total.
-        let cap = 4 * scheme.expected_pulses() + 16;
 
         // Coarse phase: halve the residual until within twice the band.
         while pulses < cap {
@@ -203,7 +363,7 @@ impl Memristor {
             if err.abs() <= 2.0 * scheme.tolerance {
                 break;
             }
-            let step = 0.5 * (target.0 - self.conductance().0);
+            let step = 0.5 * amplitude * (target.0 - self.conductance().0);
             let jitter = if scheme.pulse_sigma > 0.0 {
                 1.0 + noise.sample(rng)
             } else {
@@ -235,12 +395,17 @@ impl Memristor {
         recorder.counter("memristor.write_pulses", u64::from(pulses));
         recorder.counter("memristor.verify_checks", verifies);
         let relative_error = (self.conductance().0 - target.0) / target.0;
-        Ok(WriteReport {
+        WriteReport {
             pulses,
-            energy: scheme.pulse_energy * f64::from(pulses),
+            energy: scheme.pulse_energy * (f64::from(pulses) * amplitude * amplitude),
             relative_error,
-        })
+        }
     }
+}
+
+/// Per-attempt pulse cap for one program-and-verify pass.
+fn nominal_cap(scheme: &WriteScheme) -> u32 {
+    4 * scheme.expected_pulses() + 16
 }
 
 #[cfg(test)]
@@ -357,6 +522,123 @@ mod tests {
             cell.conductance()
         };
         assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert!(RetryPolicy::new(0, 0.5, 100).is_err());
+        assert!(RetryPolicy::new(3, -0.5, 100).is_err());
+        assert!(RetryPolicy::new(3, f64::NAN, 100).is_err());
+        assert!(RetryPolicy::new(3, 0.5, 0).is_err());
+        let p = RetryPolicy::default();
+        assert!(p.max_attempts >= 1 && p.pulse_budget >= 1);
+    }
+
+    #[test]
+    fn healthy_cell_recovers_on_first_attempt() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        let report = cell
+            .program_with_retry(
+                Siemens(5e-4),
+                &WriteScheme::paper(),
+                &RetryPolicy::default(),
+                &mut rng,
+                &NoopRecorder,
+            )
+            .unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.attempts, 1);
+        assert!(report.relative_error.abs() <= WriteScheme::paper().tolerance);
+        assert!(report.pulses <= RetryPolicy::default().pulse_budget);
+    }
+
+    #[test]
+    fn already_in_band_cell_needs_no_attempt() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let g = Siemens(5e-4);
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, g).unwrap();
+        let report = cell
+            .program_with_retry(
+                g,
+                &WriteScheme::paper(),
+                &RetryPolicy::default(),
+                &mut rng,
+                &NoopRecorder,
+            )
+            .unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.attempts, 0);
+        assert_eq!(report.pulses, 0);
+        assert_eq!(report.energy, Joules::ZERO);
+    }
+
+    #[test]
+    fn stuck_cell_is_unrecoverable_within_budget() {
+        let recorder = spinamm_telemetry::MemoryRecorder::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        cell.pin(DeviceLimits::PAPER.g_min());
+        let policy = RetryPolicy::new(4, 0.5, 90).unwrap();
+        let report = cell
+            .program_with_retry(
+                DeviceLimits::PAPER.g_max(),
+                &WriteScheme::paper(),
+                &policy,
+                &mut rng,
+                &recorder,
+            )
+            .unwrap();
+        assert!(!report.recovered);
+        assert!(report.pulses <= policy.pulse_budget, "{}", report.pulses);
+        assert!(report.attempts >= 2, "escalation should retry");
+        assert!(report.relative_error.abs() > WriteScheme::paper().tolerance);
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter("memristor.write_retries"),
+            u64::from(report.attempts - 1)
+        );
+        assert_eq!(snap.counter("memristor.unrecoverable_cells"), 1);
+        assert_eq!(
+            snap.counter("memristor.write_pulses"),
+            u64::from(report.pulses)
+        );
+    }
+
+    #[test]
+    fn escalated_pulses_cost_quadratic_energy() {
+        // A stuck cell burns the whole budget; with escalation the energy
+        // must exceed pulses × nominal pulse energy.
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        cell.pin(DeviceLimits::PAPER.g_min());
+        let scheme = WriteScheme::paper();
+        let policy = RetryPolicy::new(3, 1.0, 300).unwrap();
+        let report = cell
+            .program_with_retry(
+                DeviceLimits::PAPER.g_max(),
+                &scheme,
+                &policy,
+                &mut rng,
+                &NoopRecorder,
+            )
+            .unwrap();
+        assert!(report.energy.0 > scheme.pulse_energy.0 * f64::from(report.pulses));
+    }
+
+    #[test]
+    fn retry_rejects_out_of_window_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        assert!(cell
+            .program_with_retry(
+                Siemens(1.0),
+                &WriteScheme::paper(),
+                &RetryPolicy::default(),
+                &mut rng,
+                &NoopRecorder,
+            )
+            .is_err());
     }
 
     #[test]

@@ -36,6 +36,57 @@ impl JsonValue {
         out
     }
 
+    /// Looks up `key` in an [`JsonValue::Object`] (first match wins).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: any of `Num`/`Int`/`Uint` as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Uint(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view of `Uint` (or an exact integral `Int`/`Num`).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Uint(v) => Some(*v),
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            JsonValue::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -153,15 +204,30 @@ fn write_string(s: &str, out: &mut String) {
 ///
 /// Returns a description and byte offset of the first syntax error.
 pub fn validate(input: &str) -> Result<(), String> {
+    parse(input).map(|_| ())
+}
+
+/// Parses `input` into a [`JsonValue`] tree.
+///
+/// Integers without fraction/exponent parts become [`JsonValue::Uint`]
+/// (or [`JsonValue::Int`] when negative); everything else numeric becomes
+/// [`JsonValue::Num`]. Because [`number`] renders floats with shortest
+/// round-trip decimals, `parse(value.render())` reproduces finite numeric
+/// payloads exactly — the property the fault-map serialization relies on.
+///
+/// # Errors
+///
+/// Returns a description and byte offset of the first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -170,15 +236,15 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match bytes.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}")),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|()| JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
         Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
     }
@@ -193,37 +259,79 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, expect: &[u8]) -> Result<(), Str
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     debug_assert_eq!(bytes[*pos], b'"');
     *pos += 1;
+    let mut out = String::new();
     while let Some(&c) = bytes.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 let esc = bytes.get(*pos + 1).copied();
                 match esc {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes.get(*pos + 2..*pos + 6);
-                        match hex {
-                            Some(h) if h.iter().all(u8::is_ascii_hexdigit) => *pos += 6,
-                            _ => return Err(format!("bad \\u escape at byte {pos}")),
-                        }
+                        let unit = parse_hex4(bytes, *pos + 2)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 6;
+                        let scalar = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: must pair with \uDC00..\uDFFF.
+                            if bytes.get(*pos..*pos + 2) != Some(b"\\u") {
+                                return Err(format!("unpaired surrogate at byte {pos}"));
+                            }
+                            let low = parse_hex4(bytes, *pos + 2)
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("unpaired surrogate at byte {pos}"));
+                            }
+                            *pos += 6;
+                            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err(format!("unpaired surrogate at byte {pos}"));
+                        } else {
+                            unit
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?,
+                        );
+                        continue;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
+                *pos += 2;
             }
             c if c < 0x20 => return Err(format!("raw control byte in string at {pos}")),
-            _ => *pos += 1,
+            _ => {
+                // Validated UTF-8 input: decode the whole multi-byte char.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let ch = rest.chars().next().expect("non-empty by loop guard");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
         }
     }
     Err("unterminated string".to_owned())
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    let hex = bytes.get(at..at + 4)?;
+    let s = std::str::from_utf8(hex).ok()?;
+    u32::from_str_radix(s, 16).ok()
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -242,13 +350,16 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
     if bytes[int_start] == b'0' && *pos - int_start > 1 {
         return Err(format!("leading zero at byte {int_start}"));
     }
+    let mut integral = true;
     if bytes.get(*pos) == Some(&b'.') {
+        integral = false;
         *pos += 1;
         if !digits(bytes, pos) {
             return Err(format!("expected fraction digits at byte {pos}"));
         }
     }
     if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        integral = false;
         *pos += 1;
         if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
             *pos += 1;
@@ -257,18 +368,34 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("expected exponent digits at byte {pos}"));
         }
     }
-    Ok(())
+    let token =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| format!("bad number at {start}"))?;
+    if integral {
+        // Preserve full 64-bit integer precision when it fits; fall through
+        // to f64 only for magnitudes JSON readers already treat as floats.
+        if let Ok(u) = token.parse::<u64>() {
+            return Ok(JsonValue::Uint(u));
+        }
+        if let Ok(i) = token.parse::<i64>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    token
+        .parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("bad number at byte {start}"))
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '['
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => {
@@ -277,39 +404,40 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             }
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}")),
         }
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '{'
     skip_ws(bytes, pos);
+    let mut pairs = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(pairs));
     }
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
             return Err(format!("expected string key at byte {pos}"));
         }
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}"));
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        pairs.push((key, parse_value(bytes, pos)?));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(pairs));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
         }
@@ -357,6 +485,64 @@ mod tests {
             validate(&tok).unwrap_or_else(|e| panic!("{v}: {e} in {tok}"));
             assert_eq!(tok.parse::<f64>().unwrap(), v, "round trip {v} via {tok}");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::from("yield")),
+            ("rate", JsonValue::Num(0.05)),
+            ("tiny", JsonValue::Num(2.5e-19)),
+            ("count", JsonValue::Uint(u64::MAX)),
+            ("neg", JsonValue::Int(-42)),
+            ("flag", JsonValue::Bool(false)),
+            ("none", JsonValue::Null),
+            (
+                "cells",
+                JsonValue::Array(vec![
+                    JsonValue::Uint(3),
+                    JsonValue::Num(1.0e-3),
+                    JsonValue::Str("µ \"q\"\n\t".to_owned()),
+                ]),
+            ),
+        ]);
+        let parsed = parse(&doc.render()).expect("rendered doc must parse");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_builds_expected_values() {
+        assert_eq!(parse("0").unwrap(), JsonValue::Uint(0));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("1.5e3").unwrap(), JsonValue::Num(1500.0));
+        assert_eq!(
+            parse(r#""aé😀b""#).unwrap(),
+            JsonValue::Str("aé😀b".to_owned())
+        );
+        let obj = parse(r#"{"k":[1,2]}"#).unwrap();
+        assert_eq!(
+            obj.get("k").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            obj.get("k").unwrap().as_array().unwrap()[1].as_u64(),
+            Some(2)
+        );
+        assert!(parse(r#""\ud800x""#).is_err(), "unpaired surrogate");
+        assert!(parse(r#""\udc00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn accessor_views() {
+        assert_eq!(JsonValue::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(JsonValue::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(JsonValue::Uint(9).as_f64(), Some(9.0));
+        assert_eq!(JsonValue::Num(4.0).as_u64(), Some(4));
+        assert_eq!(JsonValue::Num(4.5).as_u64(), None);
+        assert_eq!(JsonValue::Int(-1).as_u64(), None);
+        assert_eq!(JsonValue::from("x").as_str(), Some("x"));
+        assert_eq!(JsonValue::Null.as_str(), None);
+        assert!(JsonValue::Null.get("k").is_none());
     }
 
     #[test]

@@ -169,6 +169,29 @@ fn e12_table2_canonical_parameters() {
 }
 
 #[test]
+fn e13_yield_mitigation_halves_the_drop() {
+    let rows = experiments::yield_study(&quick()).unwrap();
+    assert!(rows.len() >= 4);
+    for pair in rows.windows(2) {
+        assert!(pair[0].fault_rate < pair[1].fault_rate);
+    }
+    let zero = &rows[0];
+    assert_eq!(zero.fault_rate, 0.0);
+    assert_eq!(zero.remapped, 0, "a pristine map must not trigger remaps");
+    let five = rows
+        .iter()
+        .find(|r| (r.fault_rate - 0.05).abs() < 1e-12)
+        .expect("the 5 % point is the acceptance anchor");
+    let unmit_drop = zero.unmitigated_accuracy - five.unmitigated_accuracy;
+    let mit_drop = zero.mitigated_accuracy - five.mitigated_accuracy;
+    assert!(unmit_drop > 0.0, "5 % stuck cells must hurt");
+    assert!(
+        mit_drop <= 0.5 * unmit_drop,
+        "remapping must keep at least half the drop: {mit_drop} vs {unmit_drop}"
+    );
+}
+
+#[test]
 fn extension_hierarchy_study() {
     let rows = experiments::hierarchy_study(&quick(), &[1, 2]).unwrap();
     assert_eq!(rows.len(), 2);

@@ -260,7 +260,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`vec()`](crate::collection::vec): a fixed size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
