@@ -9,7 +9,11 @@ Checks, per study matched by name:
   ``*_accuracy`` fields) stays within +/-0.02 absolute of the baseline;
 * total wall clock stays within 3x of the baseline total (machines differ;
   a 3x blowup means an algorithmic regression, not noise);
-* no study present in the baseline disappears.
+* no study present in the baseline disappears;
+* the engine-scale study (E14) stays bit-identical to sequential recall in
+  every sweep cell, with positive throughput. Its timing columns depend on
+  the measuring host's core count and are never compared against the
+  baseline.
 
 Failures print as a table of study / field / baseline / fresh / delta and
 exit non-zero.
@@ -52,6 +56,37 @@ def accuracy_cells(report):
                     yield f"row {r} [{key}]", float(value)
 
 
+ENGINE_STUDY = "engine-scale"
+
+
+def check_engine_scale(fresh_by_name, failures):
+    """The engine study's gated invariant is bit-identity, not speed: a
+    False cell means concurrent recall diverged from the sequential RNG
+    order, which is a correctness bug regardless of the host."""
+    study = fresh_by_name.get(ENGINE_STUDY)
+    if study is None:
+        return
+    rows = study["report"].get("rows", [])
+    if not rows:
+        failures.append((ENGINE_STUDY, "rows", ">= 1", "0", ""))
+    for k, row in enumerate(rows):
+        if row.get("bit_identical") is not True:
+            failures.append(
+                (
+                    ENGINE_STUDY,
+                    f"row {k} [bit_identical]",
+                    "true",
+                    str(row.get("bit_identical")),
+                    "",
+                )
+            )
+        throughput = row.get("throughput_qps", 0)
+        if not throughput > 0:
+            failures.append(
+                (ENGINE_STUDY, f"row {k} [throughput_qps]", "> 0", str(throughput), "")
+            )
+
+
 def main(baseline_path, fresh_path):
     baseline = json.load(open(baseline_path))
     fresh = json.load(open(fresh_path))
@@ -76,6 +111,8 @@ def main(baseline_path, fresh_path):
                 failures.append(
                     (name, field, f"{base_value:.3f}", f"{fresh_value:.3f}", f"{delta:+.3f}")
                 )
+
+    check_engine_scale(fresh_by_name, failures)
 
     base_wall = baseline["total_wall_clock_seconds"]
     fresh_wall = fresh["total_wall_clock_seconds"]

@@ -4,7 +4,7 @@
 //! experiments [--quick] [--json <path>]
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
-//!              drift|write-precision|disturb|noise|yield|all]
+//!              drift|write-precision|disturb|noise|yield|engine-scale|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -113,6 +113,7 @@ fn main() -> ExitCode {
     section!("disturb", render_disturb());
     section!("noise", render_noise(&scale));
     section!("yield", render_yield(&scale));
+    section!("engine-scale", render_engine_scale(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -146,7 +147,10 @@ struct TimedStudy {
 /// `studies[].wall_clock_seconds` and the top-level
 /// `total_wall_clock_seconds`; v3 adds the `yield` study, whose report
 /// carries numeric `rows[]` (fault rates, unmitigated/mitigated accuracy
-/// and margin, fault counters) instead of rendered table cells.
+/// and margin, fault counters) instead of rendered table cells; v4 adds
+/// the `engine-scale` study (E14) with numeric `rows[]` over the
+/// shards × workers × batch sweep plus its `host_cpus` measurement
+/// context.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -156,7 +160,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(3)),
+        ("schema_version", JsonValue::Uint(4)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -606,6 +610,73 @@ fn render_yield(scale: &Scale) -> Rendered {
         text: t.render(),
         json,
     })
+}
+
+fn render_engine_scale(scale: &Scale) -> Rendered {
+    let study = experiments::engine_scale_study(scale)?;
+    let mut t = Table::new(
+        "E14: engine scaling (shards x workers x batch, parasitic fidelity)",
+        &[
+            "shards",
+            "workers",
+            "batch",
+            "queries",
+            "wall",
+            "throughput",
+            "speedup vs 1w",
+            "bit-identical",
+        ],
+    );
+    for r in &study.rows {
+        t.row(&[
+            format!("{}", r.shards),
+            format!("{}", r.workers),
+            format!("{}", r.batch),
+            format!("{}", r.queries),
+            eng(r.wall_seconds, "s"),
+            format!("{:.1} q/s", r.throughput_qps),
+            format!("{:.2}x", r.speedup_vs_1worker),
+            if r.bit_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut section = Section::table(&t);
+    section
+        .text
+        .push_str(&format!("host cpus: {}\n", study.host_cpus));
+    // The JSON twin keeps numbers numeric (and carries host_cpus) so the
+    // CI gate can assert bit-identity without parsing table cells, and so
+    // timing columns are interpretable on any measuring host.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str(
+                "E14: engine scaling (shards x workers x batch, parasitic fidelity)".to_string(),
+            ),
+        ),
+        ("host_cpus", JsonValue::Uint(study.host_cpus as u64)),
+        (
+            "rows",
+            JsonValue::Array(
+                study
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("shards", JsonValue::Uint(r.shards as u64)),
+                            ("workers", JsonValue::Uint(r.workers as u64)),
+                            ("batch", JsonValue::Uint(r.batch as u64)),
+                            ("queries", JsonValue::Uint(r.queries as u64)),
+                            ("wall_seconds", JsonValue::Num(r.wall_seconds)),
+                            ("throughput_qps", JsonValue::Num(r.throughput_qps)),
+                            ("speedup_vs_1worker", JsonValue::Num(r.speedup_vs_1worker)),
+                            ("bit_identical", JsonValue::Bool(r.bit_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(section)
 }
 
 fn render_hierarchy(scale: &Scale) -> Rendered {

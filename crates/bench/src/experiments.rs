@@ -1067,6 +1067,140 @@ pub fn yield_study(scale: &Scale) -> Result<Vec<YieldRow>, CoreError> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// E14 — engine scale study (shards × workers × batch)
+// ---------------------------------------------------------------------------
+
+/// One cell of the engine scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineScaleRow {
+    /// RCM banks the rows are partitioned across.
+    pub shards: usize,
+    /// Engine worker threads running the RNG-free evaluation phase.
+    pub workers: usize,
+    /// Submission window: queries in flight before waiting (also the
+    /// engine's queue capacity).
+    pub batch: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Wall time for the whole submission/wait loop.
+    pub wall_seconds: f64,
+    /// Served queries per second.
+    pub throughput_qps: f64,
+    /// Throughput relative to the 1-worker cell of the same
+    /// (shards, batch) group. On a single-CPU host this hovers near 1;
+    /// worker scaling manifests with real cores.
+    pub speedup_vs_1worker: f64,
+    /// Whether every engine response was bit-identical to a sequential
+    /// recall of the same deployment in submission order. This is the
+    /// invariant CI gates on; the timing columns are informational.
+    pub bit_identical: bool,
+}
+
+/// The engine scale study: rows plus the host parallelism they were
+/// measured on (timing columns are meaningless without it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineScaleStudy {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// One row per (shards, workers, batch) cell.
+    pub rows: Vec<EngineScaleRow>,
+}
+
+/// E14: serves a parasitic-fidelity workload through the sharded recall
+/// engine across a shards × workers × batch sweep, checking every cell's
+/// responses bit-for-bit against sequential recall.
+///
+/// # Errors
+///
+/// Propagates workload/AMM/engine errors.
+pub fn engine_scale_study(scale: &Scale) -> Result<EngineScaleStudy, CoreError> {
+    use spinamm_core::amm::Fidelity;
+    use spinamm_core::partition::PartitionedAmm;
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+    use spinamm_engine::{Deployment, EngineConfig, EngineError, EngineResponse, RecallEngine};
+
+    let w = PatternWorkload::generate(&WorkloadConfig {
+        pattern_count: 6,
+        vector_len: 16,
+        bits: 5,
+        query_count: scale.queries.clamp(8, 24),
+        query_noise: 0.25,
+        noise_magnitude: 1,
+        similarity: 0.3,
+        seed: 0x0e14,
+    })?;
+    let cfg = AmmConfig {
+        fidelity: Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+    let inputs: Vec<Vec<u32>> = w.queries.iter().map(|(_, q)| q.clone()).collect();
+
+    // The deep sweep only adds cells, never changes shared ones, so quick
+    // rows stay comparable against full-scale baselines.
+    let deep = scale.queries >= 100;
+    let shard_counts: &[usize] = if deep { &[1, 2, 4] } else { &[1, 2] };
+    let worker_counts: &[usize] = &[1, 2, 4];
+    let batches: &[usize] = if deep { &[1, 8] } else { &[8] };
+
+    let engine_err = |e: EngineError| match e {
+        EngineError::Core(c) => c,
+        EngineError::QueueFull | EngineError::ShutDown => CoreError::InvalidParameter {
+            what: "engine rejected a blocking submission",
+        },
+    };
+
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let base = PartitionedAmm::build(&w.patterns, shards, &cfg)?;
+        let mut reference = base.clone();
+        let expected: Vec<_> = inputs
+            .iter()
+            .map(|q| reference.recall(q))
+            .collect::<Result<_, _>>()?;
+        for &batch in batches {
+            let mut one_worker_qps = None;
+            for &workers in worker_counts {
+                let engine = RecallEngine::new(
+                    Deployment::Partitioned(base.clone()),
+                    &EngineConfig {
+                        workers,
+                        queue_capacity: batch,
+                    },
+                );
+                let started = std::time::Instant::now();
+                let mut responses = Vec::with_capacity(inputs.len());
+                for window in inputs.chunks(batch) {
+                    responses.extend(engine.recall_many(window).map_err(engine_err)?);
+                }
+                let wall_seconds = started.elapsed().as_secs_f64().max(f64::EPSILON);
+                engine.shutdown();
+                let bit_identical = responses.len() == expected.len()
+                    && responses
+                        .iter()
+                        .zip(&expected)
+                        .all(|(r, e)| matches!(r, EngineResponse::Partitioned(p) if p == e));
+                let throughput_qps = inputs.len() as f64 / wall_seconds;
+                let baseline = *one_worker_qps.get_or_insert(throughput_qps);
+                rows.push(EngineScaleRow {
+                    shards,
+                    workers,
+                    batch,
+                    queries: inputs.len(),
+                    wall_seconds,
+                    throughput_qps,
+                    speedup_vs_1worker: throughput_qps / baseline,
+                    bit_identical,
+                });
+            }
+        }
+    }
+    Ok(EngineScaleStudy {
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        rows,
+    })
+}
+
 /// Runs a representative instrumented recognition workload — parasitic
 /// fidelity so every layer fires (programming pulses, crossbar solves, SAR
 /// cycles, WTA transitions, hardware/ideal mismatch events) — and returns
@@ -1096,7 +1230,8 @@ pub fn telemetry_capture(scale: &Scale) -> Result<spinamm_telemetry::TelemetrySn
         ..AmmConfig::default()
     };
     let recorder = spinamm_telemetry::MemoryRecorder::default();
-    let mut amm = AssociativeMemoryModule::build_with(&w.patterns, &cfg, &recorder)?;
+    let req = spinamm_core::RecallRequest::recorded(&recorder);
+    let mut amm = AssociativeMemoryModule::build_request(&w.patterns, &cfg, &req)?;
     recall::evaluate_accuracy_with(&mut amm, &w.queries, Some(&w.patterns), &recorder)?;
     Ok(recorder.snapshot())
 }
@@ -1332,6 +1467,29 @@ mod tests {
             "mitigated drop {mit_drop} vs unmitigated {unmit_drop}"
         );
         assert!(r5.remapped > 0, "5 % rate should trigger remaps");
+    }
+
+    #[test]
+    fn engine_scale_study_is_bit_identical_everywhere() {
+        let study = engine_scale_study(&quick()).unwrap();
+        // quick sweep: shards {1,2} × workers {1,2,4} × batch {8}.
+        assert_eq!(study.rows.len(), 6);
+        assert!(study.host_cpus >= 1);
+        for r in &study.rows {
+            assert!(
+                r.bit_identical,
+                "{}s/{}w/{}b diverged",
+                r.shards, r.workers, r.batch
+            );
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.wall_seconds > 0.0);
+            assert!(r.speedup_vs_1worker > 0.0);
+        }
+        // Every (shards, batch) group leads with its own 1-worker baseline.
+        for group in study.rows.chunks(3) {
+            assert_eq!(group[0].workers, 1);
+            assert!((group[0].speedup_vs_1worker - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

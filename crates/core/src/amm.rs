@@ -15,6 +15,7 @@
 use crate::degrade::{DegradationPolicy, FaultReport};
 use crate::energy::{EnergyBreakdown, PowerReport};
 use crate::params::DesignParams;
+use crate::request::RecallRequest;
 use crate::wta::{SpinWta, WtaOutcome};
 use crate::{adc::SpinSarAdc, CoreError};
 use rand::SeedableRng;
@@ -24,7 +25,7 @@ use spinamm_cmos::{DtcsDac, Tech45};
 use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, RowDrive};
 use spinamm_faults::{FaultMap, LineDefect, StuckKind};
 use spinamm_memristor::{LevelMap, RetryPolicy, WriteScheme};
-use spinamm_telemetry::{NoopRecorder, Recorder};
+use spinamm_telemetry::Recorder;
 
 /// How faithfully the crossbar is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +99,31 @@ impl Default for AmmConfig {
 /// One query's crossbar readout: column currents plus RCM static power.
 type Correlation = (Vec<Amps>, Watts);
 
+/// The RNG-free first phase of one recognition: the analog column currents
+/// out of the crossbar plus the RCM static power, before fault
+/// conditioning, digitization and winner selection.
+///
+/// Produced by [`AssociativeMemoryModule::evaluate_query_request`] — on the
+/// module itself or on any clone of it (the phase mutates only cached
+/// solver state, never the RNG) — and consumed, in submission order, by
+/// [`AssociativeMemoryModule::select_winner_request`]. This split is what
+/// lets a serving engine fan the solver work across worker threads while
+/// keeping the stochastic ADC/WTA phase bit-identical to sequential
+/// [`AssociativeMemoryModule::recall`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEvaluation {
+    currents: Vec<Amps>,
+    rcm_power: Watts,
+}
+
+impl QueryEvaluation {
+    /// The analog column currents entering the converters.
+    #[must_use]
+    pub fn column_currents(&self) -> &[Amps] {
+        &self.currents
+    }
+}
+
 /// Result of one recognition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecallResult {
@@ -153,21 +179,42 @@ impl AssociativeMemoryModule {
     /// Returns [`CoreError::InvalidParameter`] for an empty or ragged
     /// pattern set or out-of-range levels, and propagates device errors.
     pub fn build(patterns: &[Vec<u32>], config: &AmmConfig) -> Result<Self, CoreError> {
-        Self::build_with(patterns, config, &NoopRecorder)
+        Self::build_request(patterns, config, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::build`] with telemetry: programming pulse
-    /// and verify counts from the write scheme are reported to `recorder`
-    /// under a `"build.program"` span.
+    /// [`AssociativeMemoryModule::build_request`] with a bare recorder.
     ///
     /// # Errors
     ///
     /// See [`AssociativeMemoryModule::build`].
+    #[deprecated(since = "0.1.0", note = "use `build_request` with a `RecallRequest`")]
     pub fn build_with<T: Recorder>(
         patterns: &[Vec<u32>],
         config: &AmmConfig,
         recorder: &T,
     ) -> Result<Self, CoreError> {
+        Self::build_request(patterns, config, &RecallRequest::recorded(recorder))
+    }
+
+    /// [`AssociativeMemoryModule::build`] with options: programming pulse
+    /// and verify counts from the write scheme are reported to the
+    /// request's recorder under a `"build.program"` span.
+    ///
+    /// Parasitic-fidelity modules leave `build_request` with their cached
+    /// netlist session already warmed by one canonical mid-scale solve, so
+    /// the CG warm-start reference every later solve (and every clone)
+    /// inherits is fixed at build time — recall results are independent of
+    /// query scheduling across sequential, batched and engine execution.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::build`].
+    pub fn build_request<R: Recorder>(
+        patterns: &[Vec<u32>],
+        config: &AmmConfig,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Self, CoreError> {
+        let recorder = req.recorder();
         let first = patterns.first().ok_or(CoreError::InvalidParameter {
             what: "at least one pattern must be stored",
         })?;
@@ -289,7 +336,7 @@ impl AssociativeMemoryModule {
             .collect();
         let wta = SpinWta::new(adcs, tech)?;
 
-        Ok(Self {
+        let mut module = Self {
             config: *config,
             array,
             input_dacs,
@@ -300,7 +347,29 @@ impl AssociativeMemoryModule {
             template_column: (0..cols).collect(),
             column_owner: (0..total_cols).map(|j| (j < cols).then_some(j)).collect(),
             masked: vec![false; total_cols],
-        })
+        };
+        module.warm_session(recorder)?;
+        Ok(module)
+    }
+
+    /// Pins the cached parasitic session's state with one canonical
+    /// mid-scale solve. The session's CG warm-start reference is
+    /// deliberately the *first* solution it produces (see
+    /// `spinamm_circuit::prepared`); solving a fixed canonical input here
+    /// makes that reference a property of the module, not of whichever
+    /// query happens to arrive first — so sequential recalls, batch
+    /// workers and engine-worker clones all share one reference and stay
+    /// bit-identical under any scheduling. No-op for analytic fidelities.
+    fn warm_session<T: Recorder>(&mut self, recorder: &T) -> Result<(), CoreError> {
+        if self.config.fidelity != Fidelity::Parasitic {
+            return Ok(());
+        }
+        let mid = (1u32 << self.config.params.template_bits) / 2;
+        let levels = vec![mid; self.vector_len()];
+        let drives = self.drives(&levels)?;
+        self.parasitic
+            .evaluate_with(&self.array, &drives, recorder)?;
+        Ok(())
     }
 
     /// Number of stored patterns.
@@ -444,16 +513,18 @@ impl AssociativeMemoryModule {
     ///
     /// Analytic fidelities map the queries sequentially (they are already
     /// allocation-light). Parasitic fidelity runs two steps: the master
-    /// session solves query 0 (warming the cached netlist and pinning the
-    /// warm-start reference and factorization all clones inherit), then
-    /// [`std::thread::scope`] workers — each holding a clone of the warmed
-    /// session — solve disjoint chunks of the remaining queries. Because the
-    /// cached evaluator is order-independent (deterministic full restamp,
-    /// fixed warm-start reference, stable preconditioner), every query's
-    /// readout is bit-identical to what a sequential loop would produce.
+    /// session — canonically warmed at build time, so its warm-start
+    /// reference is already pinned — solves query 0 (refreshing the
+    /// factorization all clones inherit), then [`std::thread::scope`]
+    /// workers — each holding a clone of the warmed session — solve
+    /// disjoint chunks of the remaining queries. Because the cached
+    /// evaluator is order-independent (deterministic full restamp, fixed
+    /// warm-start reference, stable preconditioner), every query's readout
+    /// is bit-identical to what a sequential loop would produce.
     fn correlate_batch<T: Recorder + Sync>(
         &mut self,
         drives: &[Vec<RowDrive>],
+        worker_override: Option<usize>,
         recorder: &T,
     ) -> Result<Vec<Correlation>, CoreError> {
         if drives.is_empty() {
@@ -473,7 +544,9 @@ impl AssociativeMemoryModule {
                     .evaluate_with(&self.array, &drives[0], recorder)?;
                 out[0] = Some(Ok((first.column_currents, first.dissipated_power)));
                 let rest = &mut out[1..];
-                let workers = Self::batch_workers().min(rest.len());
+                let workers = worker_override
+                    .map_or_else(Self::batch_workers, |w| w.max(1))
+                    .min(rest.len());
                 if workers <= 1 {
                     for (k, slot) in rest.iter_mut().enumerate() {
                         let r = self
@@ -518,38 +591,116 @@ impl AssociativeMemoryModule {
     /// [`CoreError::InvalidParameter`] for bad inputs; propagates solver
     /// errors in parasitic mode.
     pub fn recall(&mut self, levels: &[u32]) -> Result<RecallResult, CoreError> {
-        self.recall_with(levels, &NoopRecorder)
+        self.recall_request(levels, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::recall`] with telemetry: the recognition
-    /// is timed end to end (`"recall.total"`) and per stage
-    /// (`"recall.drive"` for DAC drive construction, `"recall.settle"` for
-    /// crossbar evaluation, and — inside the WTA — `"recall.convert"` /
-    /// `"recall.select"`), and device-event counters from every layer
-    /// (`"adc.sar_cycles"`, `"spin.dwn_switch_events"`,
-    /// `"crossbar.settle_iterations"`, …) flow into `recorder`.
-    ///
-    /// Telemetry is observational only: for any recorder the returned
-    /// [`RecallResult`] is bit-identical to [`AssociativeMemoryModule::recall`].
+    /// [`AssociativeMemoryModule::recall_request`] with a bare recorder.
     ///
     /// # Errors
     ///
     /// See [`AssociativeMemoryModule::recall`].
+    #[deprecated(since = "0.1.0", note = "use `recall_request` with a `RecallRequest`")]
     pub fn recall_with<T: Recorder>(
         &mut self,
         levels: &[u32],
         recorder: &T,
     ) -> Result<RecallResult, CoreError> {
+        self.recall_request(levels, &RecallRequest::recorded(recorder))
+    }
+
+    /// [`AssociativeMemoryModule::recall`] with options: the recognition
+    /// is timed end to end (`"recall.total"`) and per stage
+    /// (`"recall.drive"` for DAC drive construction, `"recall.settle"` for
+    /// crossbar evaluation, and — inside the WTA — `"recall.convert"` /
+    /// `"recall.select"`), and device-event counters from every layer
+    /// (`"adc.sar_cycles"`, `"spin.dwn_switch_events"`,
+    /// `"crossbar.settle_iterations"`, …) flow into the request's recorder.
+    ///
+    /// Request options are observational only: for any recorder the
+    /// returned [`RecallResult`] is bit-identical to
+    /// [`AssociativeMemoryModule::recall`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall`].
+    pub fn recall_request<R: Recorder>(
+        &mut self,
+        levels: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<RecallResult, CoreError> {
+        let recorder = req.recorder();
         let _total_span = recorder.span("recall.total");
-        recorder.counter("recall.count", 1);
+        let eval = self.evaluate_query_inner(levels, recorder)?;
+        self.select_winner_inner(eval, recorder)
+    }
+
+    /// Runs the RNG-free first phase of one recognition: drive
+    /// construction and crossbar evaluation, producing the analog column
+    /// currents. Consumes no randomness and touches only cached solver
+    /// state, so it may run on a clone of the module (e.g. an engine
+    /// worker) and still yield exactly what the original would have
+    /// produced. Pair with
+    /// [`AssociativeMemoryModule::select_winner_request`] in submission
+    /// order to reproduce [`AssociativeMemoryModule::recall`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall`]; all input validation
+    /// happens in this phase.
+    pub fn evaluate_query_request<R: Recorder>(
+        &mut self,
+        levels: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<QueryEvaluation, CoreError> {
+        self.evaluate_query_inner(levels, req.recorder())
+    }
+
+    fn evaluate_query_inner<T: Recorder>(
+        &mut self,
+        levels: &[u32],
+        recorder: &T,
+    ) -> Result<QueryEvaluation, CoreError> {
         let drives = {
             let _drive_span = recorder.span("recall.drive");
             self.drives(levels)?
         };
-        let (mut currents, rcm_power) = {
+        let (currents, rcm_power) = {
             let _settle_span = recorder.span("recall.settle");
             self.correlate_with(&drives, recorder)?
         };
+        Ok(QueryEvaluation {
+            currents,
+            rcm_power,
+        })
+    }
+
+    /// Runs the RNG-consuming second phase of one recognition: fault
+    /// conditioning, spin ADC conversion and winner tracking. Advances the
+    /// module RNG exactly as [`AssociativeMemoryModule::recall`] would, so
+    /// feeding evaluations back in submission order reproduces the
+    /// sequential results bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spin/WTA errors.
+    pub fn select_winner_request<R: Recorder>(
+        &mut self,
+        eval: QueryEvaluation,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<RecallResult, CoreError> {
+        self.select_winner_inner(eval, req.recorder())
+    }
+
+    fn select_winner_inner<T: Recorder>(
+        &mut self,
+        eval: QueryEvaluation,
+        recorder: &T,
+    ) -> Result<RecallResult, CoreError> {
+        recorder.counter("recall.count", 1);
+        let QueryEvaluation {
+            mut currents,
+            rcm_power,
+        } = eval;
         self.condition_currents(&mut currents);
         let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
         Ok(self.assemble_result(outcome, currents, rcm_power))
@@ -636,22 +787,42 @@ impl AssociativeMemoryModule {
         &mut self,
         inputs: &[S],
     ) -> Result<Vec<RecallResult>, CoreError> {
-        self.recall_batch_with(inputs, &NoopRecorder)
+        self.recall_batch_request(inputs, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::recall_batch`] with telemetry. The batch
-    /// is timed under a `"recall.batch"` span; per-query solver counters
-    /// are recorded from the worker threads (counter totals match the
-    /// sequential path; interleaving order does not).
+    /// [`AssociativeMemoryModule::recall_batch_request`] with a bare
+    /// recorder.
     ///
     /// # Errors
     ///
     /// See [`AssociativeMemoryModule::recall_batch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recall_batch_request` with a `RecallRequest`"
+    )]
     pub fn recall_batch_with<S: AsRef<[u32]>, T: Recorder + Sync>(
         &mut self,
         inputs: &[S],
         recorder: &T,
     ) -> Result<Vec<RecallResult>, CoreError> {
+        self.recall_batch_request(inputs, &RecallRequest::recorded(recorder))
+    }
+
+    /// [`AssociativeMemoryModule::recall_batch`] with options. The batch
+    /// is timed under a `"recall.batch"` span; per-query solver counters
+    /// are recorded from the worker threads (counter totals match the
+    /// sequential path; interleaving order does not). The request's worker
+    /// override bounds the parallel phase's thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::recall_batch`].
+    pub fn recall_batch_request<S: AsRef<[u32]>, R: Recorder + Sync>(
+        &mut self,
+        inputs: &[S],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Vec<RecallResult>, CoreError> {
+        let recorder = req.recorder();
         let _batch_span = recorder.span("recall.batch");
         // Phase 0 (RNG-free): validate every input and build its drives.
         let drives: Vec<Vec<RowDrive>> = {
@@ -664,15 +835,16 @@ impl AssociativeMemoryModule {
         // Phase 1 (RNG-free, parallel in parasitic mode): column currents.
         let evaluated = {
             let _settle_span = recorder.span("recall.settle");
-            self.correlate_batch(&drives, recorder)?
+            self.correlate_batch(&drives, req.workers(), recorder)?
         };
         // Phase 2: sequential WTA/ADC, consuming the RNG in query order.
         let mut results = Vec::with_capacity(evaluated.len());
-        for (mut currents, rcm_power) in evaluated {
-            recorder.counter("recall.count", 1);
-            self.condition_currents(&mut currents);
-            let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
-            results.push(self.assemble_result(outcome, currents, rcm_power));
+        for (currents, rcm_power) in evaluated {
+            let eval = QueryEvaluation {
+                currents,
+                rcm_power,
+            };
+            results.push(self.select_winner_inner(eval, recorder)?);
         }
         Ok(results)
     }
@@ -698,17 +870,37 @@ impl AssociativeMemoryModule {
         Ok(PowerReport::from_energy(result.energy, self.latency()))
     }
 
-    /// [`AssociativeMemoryModule::inject_faults_with`] without telemetry.
+    /// [`AssociativeMemoryModule::inject_faults_request`] without
+    /// telemetry.
     ///
     /// # Errors
     ///
-    /// See [`AssociativeMemoryModule::inject_faults_with`].
+    /// See [`AssociativeMemoryModule::inject_faults_request`].
     pub fn inject_faults(
         &mut self,
         map: FaultMap,
         policy: &DegradationPolicy,
     ) -> Result<FaultReport, CoreError> {
-        self.inject_faults_with(map, policy, &NoopRecorder)
+        self.inject_faults_request(map, policy, &RecallRequest::DEFAULT)
+    }
+
+    /// [`AssociativeMemoryModule::inject_faults_request`] with a bare
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::inject_faults_request`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `inject_faults_request` with a `RecallRequest`"
+    )]
+    pub fn inject_faults_with<T: Recorder>(
+        &mut self,
+        map: FaultMap,
+        policy: &DegradationPolicy,
+        recorder: &T,
+    ) -> Result<FaultReport, CoreError> {
+        self.inject_faults_request(map, policy, &RecallRequest::recorded(recorder))
     }
 
     /// Installs a fault map and runs the graceful-degradation pass:
@@ -726,9 +918,16 @@ impl AssociativeMemoryModule {
     /// 4. owned columns that still over-read by more than
     ///    [`DegradationPolicy::mask_excess`] are masked out of the WTA
     ///    (their template is sacrificed so it cannot spuriously win other
-    ///    recalls), and
+    ///    recalls),
     /// 5. the per-row dummies are re-equalized against the faulted loads
-    ///    (when the module equalizes at all).
+    ///    (when the module equalizes at all), and
+    /// 6. the cached parasitic session is rebuilt and canonically
+    ///    re-warmed: line defects change per-row drive kinds and the gain
+    ///    spread changes stamped values, so the pre-fault netlist and
+    ///    warm-start reference no longer describe the module. Re-pinning
+    ///    the reference from the canonical probe keeps post-fault recalls
+    ///    scheduling-order independent (see
+    ///    [`AssociativeMemoryModule::build_request`]).
     ///
     /// Telemetry counters: `faults.injected`, `faults.retried`,
     /// `faults.unrecoverable`, `faults.remapped`, `faults.masked`.
@@ -738,12 +937,13 @@ impl AssociativeMemoryModule {
     /// Returns [`CoreError::Crossbar`] when the map's dimensions do not
     /// match the array (templates + spares), [`CoreError::InvalidParameter`]
     /// for a bad policy, and propagates device and spin errors.
-    pub fn inject_faults_with<T: Recorder>(
+    pub fn inject_faults_request<R: Recorder>(
         &mut self,
         map: FaultMap,
         policy: &DegradationPolicy,
-        recorder: &T,
+        req: &RecallRequest<'_, R>,
     ) -> Result<FaultReport, CoreError> {
+        let recorder = req.recorder();
         policy.validate()?;
         let injected = map.injected_count();
         self.array.set_fault_map(map)?;
@@ -850,6 +1050,12 @@ impl AssociativeMemoryModule {
             let target = self.array.equalization_target()?;
             self.array.equalize_rows(Some(target))?;
         }
+
+        // The installed map changes drive kinds (line defects) and stamped
+        // conductances; rebuild the cached session and re-pin the canonical
+        // warm-start reference against the faulted module.
+        self.parasitic.invalidate();
+        self.warm_session(recorder)?;
 
         Ok(FaultReport {
             injected,
@@ -1361,7 +1567,11 @@ mod tests {
         let map = FaultMap::sample(&model, 12, 5, 7).unwrap();
         let rec = MemoryRecorder::default();
         let report = amm
-            .inject_faults_with(map, &DegradationPolicy::default(), &rec)
+            .inject_faults_request(
+                map,
+                &DegradationPolicy::default(),
+                &RecallRequest::recorded(&rec),
+            )
             .unwrap();
         let snap = rec.snapshot();
         assert_eq!(snap.counter("faults.injected"), report.injected);
@@ -1397,6 +1607,120 @@ mod tests {
         assert_eq!(r.raw_winner, 0);
         let r = amm.recall(&patterns[1]).unwrap();
         assert_eq!(r.raw_winner, 1);
+    }
+
+    #[test]
+    fn two_phase_split_matches_recall() {
+        // evaluate_query_request on a *clone* + select_winner_request on
+        // the master — the engine's execution shape — must equal plain
+        // sequential recall bit for bit.
+        let patterns = orthogonal_patterns();
+        let inputs: Vec<Vec<u32>> = patterns.iter().cycle().take(5).cloned().collect();
+        for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+            let cfg = config(fidelity);
+            let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let mut master = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let mut worker = master.clone();
+            let req = RecallRequest::DEFAULT;
+            for input in &inputs {
+                let expected = seq.recall(input).unwrap();
+                let eval = worker.evaluate_query_request(input, &req).unwrap();
+                let got = master.select_winner_request(eval, &req).unwrap();
+                assert_eq!(expected, got, "{fidelity:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parasitic_results_are_query_order_independent() {
+        // The canonical build-time warm-up pins the CG warm-start
+        // reference before any real query, so the *order* queries arrive
+        // in cannot change any individual result. 16×16 exercises the CG
+        // backend where the reference actually participates.
+        let patterns: Vec<Vec<u32>> = (0..16)
+            .map(|j| (0..16).map(|i| (i * 7 + j * 5) % 32).collect())
+            .collect();
+        let cfg = config(Fidelity::Parasitic);
+        let mut fwd = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut rev = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let queries: Vec<&Vec<u32>> = patterns.iter().take(4).collect();
+        let forward: Vec<RecallResult> = queries.iter().map(|q| fwd.recall(q).unwrap()).collect();
+        let backward: Vec<RecallResult> = queries
+            .iter()
+            .rev()
+            .map(|q| rev.recall(q).unwrap())
+            .collect();
+        for (k, q_result) in forward.iter().enumerate() {
+            assert_eq!(
+                q_result,
+                &backward[queries.len() - 1 - k],
+                "query {k} depends on arrival order"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_evaluations_match_master_after_history() {
+        // A worker clone taken at build time must keep producing exactly
+        // the master's currents even after the master has served other
+        // queries — the property the engine's per-worker clones rely on.
+        let patterns: Vec<Vec<u32>> = (0..16)
+            .map(|j| (0..16).map(|i| (i * 3 + j * 11) % 32).collect())
+            .collect();
+        let cfg = config(Fidelity::Parasitic);
+        let mut master = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut clone = master.clone();
+        let req = RecallRequest::DEFAULT;
+        master.recall(&patterns[0]).unwrap();
+        master.recall(&patterns[1]).unwrap();
+        let a = master.evaluate_query_request(&patterns[2], &req).unwrap();
+        let b = clone.evaluate_query_request(&patterns[2], &req).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_request_api() {
+        use spinamm_telemetry::NoopRecorder;
+        let patterns = orthogonal_patterns();
+        let cfg = config(Fidelity::Driven);
+        let mut a = AssociativeMemoryModule::build_with(&patterns, &cfg, &NoopRecorder).unwrap();
+        let mut b =
+            AssociativeMemoryModule::build_request(&patterns, &cfg, &RecallRequest::DEFAULT)
+                .unwrap();
+        assert_eq!(
+            a.recall_with(&patterns[0], &NoopRecorder).unwrap(),
+            b.recall_request(&patterns[0], &RecallRequest::DEFAULT)
+                .unwrap()
+        );
+        assert_eq!(
+            a.recall_batch_with(&patterns, &NoopRecorder).unwrap(),
+            b.recall_batch_request(&patterns, &RecallRequest::DEFAULT)
+                .unwrap()
+        );
+        let map = FaultMap::pristine(12, 3, 0).unwrap();
+        assert_eq!(
+            a.inject_faults_with(map.clone(), &DegradationPolicy::default(), &NoopRecorder)
+                .unwrap(),
+            b.inject_faults_request(map, &DegradationPolicy::default(), &RecallRequest::DEFAULT)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn request_worker_override_is_result_invariant() {
+        let patterns = orthogonal_patterns();
+        let cfg = config(Fidelity::Parasitic);
+        let mut seq = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let inputs: Vec<Vec<u32>> = patterns.iter().cycle().take(6).cloned().collect();
+        let reference = seq.recall_batch(&inputs).unwrap();
+        for workers in [0usize, 1, 2, 5] {
+            let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let got = amm
+                .recall_batch_request(&inputs, &RecallRequest::DEFAULT.with_workers(workers))
+                .unwrap();
+            assert_eq!(reference, got, "workers={workers}");
+        }
     }
 
     #[test]

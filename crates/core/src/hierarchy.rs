@@ -8,9 +8,11 @@
 //! that cluster — turning one `N`-column evaluation into one
 //! `k`-column plus one `N/k`-column evaluation.
 
-use crate::amm::{AmmConfig, AssociativeMemoryModule};
+use crate::amm::{AmmConfig, AssociativeMemoryModule, QueryEvaluation, RecallResult};
 use crate::energy::EnergyBreakdown;
+use crate::request::RecallRequest;
 use crate::CoreError;
+use spinamm_telemetry::Recorder;
 
 /// A two-level clustered associative memory.
 ///
@@ -190,22 +192,205 @@ impl HierarchicalAmm {
         self.clusters.iter().map(|c| c.members.len()).sum()
     }
 
-    /// Hierarchical recall: centroid match, then member match.
+    /// Input vector length (shared by the top module and every cluster).
+    #[must_use]
+    pub fn vector_len(&self) -> usize {
+        self.top.vector_len()
+    }
+
+    /// Hierarchical recall: centroid match, then member match. Routed
+    /// through the batched path, so both levels reuse their cached
+    /// parasitic sessions instead of paying the cold-netlist cost per
+    /// bank.
     ///
     /// # Errors
     ///
     /// Propagates recall errors from either level.
     pub fn recall(&mut self, input: &[u32]) -> Result<HierarchicalRecall, CoreError> {
-        let top_result = self.top.recall(input)?;
-        let cluster = top_result.raw_winner;
-        let c = &mut self.clusters[cluster];
-        let member_result = c.module.recall(input)?;
-        let winner = c.members[member_result.raw_winner];
+        self.recall_request(input, &RecallRequest::DEFAULT)
+    }
+
+    /// [`HierarchicalAmm::recall`] with options.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalAmm::recall`].
+    pub fn recall_request<R: Recorder + Sync>(
+        &mut self,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<HierarchicalRecall, CoreError> {
+        let mut out = self.recall_batch_request(&[input], req)?;
+        Ok(out.pop().expect("one query in, one result out"))
+    }
+
+    /// Runs a batch of hierarchical recalls, one per input vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalAmm::recall_batch_request`].
+    pub fn recall_batch<S: AsRef<[u32]>>(
+        &mut self,
+        inputs: &[S],
+    ) -> Result<Vec<HierarchicalRecall>, CoreError> {
+        self.recall_batch_request(inputs, &RecallRequest::DEFAULT)
+    }
+
+    /// [`HierarchicalAmm::recall_batch`] with options.
+    ///
+    /// Stage A matches all centroids through the top module's two-phase
+    /// batch; queries are then grouped by selected cluster (preserving
+    /// submission order within each group) and every non-empty cluster
+    /// evaluates its group on its own scoped thread. Each module owns its
+    /// RNG and sees its queries in submission order, so the results are
+    /// **bit-identical** to calling [`HierarchicalAmm::recall`] once per
+    /// input in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recall errors from either level. Top-level input
+    /// validation happens before any randomness is consumed.
+    pub fn recall_batch_request<S: AsRef<[u32]>, R: Recorder + Sync>(
+        &mut self,
+        inputs: &[S],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Vec<HierarchicalRecall>, CoreError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = req.recorder().span("hierarchy.batch");
+        // Stage A: centroid match for every query, in order.
+        let top_results = self.top.recall_batch_request(inputs, req)?;
+        // Group queries by selected cluster, preserving submission order.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.clusters.len()];
+        for (q, r) in top_results.iter().enumerate() {
+            groups[r.raw_winner].push(q);
+        }
+        // Stage B: every non-empty cluster runs its group as one batch on
+        // its own scoped thread (independent modules, independent RNGs).
+        let mut per_cluster: Vec<Option<Result<Vec<RecallResult>, CoreError>>> =
+            (0..self.clusters.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for ((cluster, slot), group) in self
+                .clusters
+                .iter_mut()
+                .zip(per_cluster.iter_mut())
+                .zip(&groups)
+            {
+                if group.is_empty() {
+                    continue;
+                }
+                let sub: Vec<&[u32]> = group.iter().map(|&q| inputs[q].as_ref()).collect();
+                s.spawn(move || {
+                    *slot = Some(cluster.module.recall_batch_request(&sub, req));
+                });
+            }
+        });
+        // Reassemble in submission order.
+        let mut member_results: Vec<Option<RecallResult>> =
+            (0..inputs.len()).map(|_| None).collect();
+        for (c, slot) in per_cluster.into_iter().enumerate() {
+            let Some(result) = slot else { continue };
+            for (&q, r) in groups[c].iter().zip(result?) {
+                member_results[q] = Some(r);
+            }
+        }
+        Ok(top_results
+            .into_iter()
+            .zip(member_results)
+            .map(|(top, member)| {
+                let member = member.expect("every query was routed to a cluster");
+                let c = &self.clusters[top.raw_winner];
+                HierarchicalRecall {
+                    cluster: top.raw_winner,
+                    winner: c.members[member.raw_winner],
+                    dom: member.dom,
+                    energy: top.energy + member.energy,
+                }
+            })
+            .collect())
+    }
+
+    /// Engine-facing RNG-free phase of stage A: evaluates the top
+    /// (centroid) module for one input. Safe to run on a clone.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::evaluate_query_request`].
+    pub fn evaluate_top_request<R: Recorder>(
+        &mut self,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<QueryEvaluation, CoreError> {
+        self.top.evaluate_query_request(input, req)
+    }
+
+    /// Engine-facing RNG-consuming phase of stage A: selects the cluster.
+    /// The returned result's `raw_winner` is the cluster index to evaluate
+    /// in stage B.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::select_winner_request`].
+    pub fn select_top_request<R: Recorder>(
+        &mut self,
+        eval: QueryEvaluation,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<RecallResult, CoreError> {
+        self.top.select_winner_request(eval, req)
+    }
+
+    /// Engine-facing RNG-free phase of stage B: evaluates one cluster's
+    /// member module for the input. Safe to run on a clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range cluster
+    /// index; see [`AssociativeMemoryModule::evaluate_query_request`].
+    pub fn evaluate_member_request<R: Recorder>(
+        &mut self,
+        cluster: usize,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<QueryEvaluation, CoreError> {
+        let c = self
+            .clusters
+            .get_mut(cluster)
+            .ok_or(CoreError::InvalidParameter {
+                what: "cluster index out of range",
+            })?;
+        c.module.evaluate_query_request(input, req)
+    }
+
+    /// Engine-facing RNG-consuming phase of stage B: selects the member
+    /// winner inside `cluster` and assembles the full hierarchical result
+    /// from the stage-A outcome. Feeding per-cluster evaluations back in
+    /// submission order reproduces [`HierarchicalAmm::recall`] bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range cluster
+    /// index; see [`AssociativeMemoryModule::select_winner_request`].
+    pub fn select_member_request<R: Recorder>(
+        &mut self,
+        cluster: usize,
+        eval: QueryEvaluation,
+        top: &RecallResult,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<HierarchicalRecall, CoreError> {
+        let c = self
+            .clusters
+            .get_mut(cluster)
+            .ok_or(CoreError::InvalidParameter {
+                what: "cluster index out of range",
+            })?;
+        let member = c.module.select_winner_request(eval, req)?;
         Ok(HierarchicalRecall {
             cluster,
-            winner,
-            dom: member_result.dom,
-            energy: top_result.energy + member_result.energy,
+            winner: c.members[member.raw_winner],
+            dom: member.dom,
+            energy: top.energy + member.energy,
         })
     }
 }

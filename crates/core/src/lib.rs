@@ -23,6 +23,8 @@
 //!   convert → select.
 //! * [`recall`] — dataset-level accuracy evaluation (Fig. 3) and DOM-based
 //!   rejection of unknown inputs.
+//! * [`request`] — the unified [`RecallRequest`] options struct taken by
+//!   every `*_request` entry point (telemetry sink + execution knobs).
 //! * [`margin`] — detection-margin analysis across conductance ranges and
 //!   ΔV (Fig. 9).
 //! * [`hierarchy`] — the paper's §5 extension: clustered, hierarchical
@@ -63,15 +65,18 @@ pub mod margin;
 pub mod params;
 pub mod partition;
 pub mod recall;
+pub mod request;
 pub mod sar;
 pub mod wta;
 
 pub use adc::{AdcConversion, SpinSarAdc};
-pub use amm::{AmmConfig, AssociativeMemoryModule, Fidelity, RecallResult};
+pub use amm::{AmmConfig, AssociativeMemoryModule, Fidelity, QueryEvaluation, RecallResult};
 pub use degrade::{DegradationPolicy, FaultReport};
 pub use energy::{EnergyBreakdown, PowerReport};
+pub use hierarchy::{HierarchicalAmm, HierarchicalRecall};
 pub use params::DesignParams;
 pub use partition::{PartitionedAmm, PartitionedRecall};
+pub use request::RecallRequest;
 pub use sar::SarRegister;
 pub use wta::{SpinWta, WtaOutcome};
 

@@ -11,10 +11,12 @@
 //! single crossbar's bars — keeping wire parasitics and `G_TS` loading at
 //! the small-module operating point the paper characterizes.
 
-use crate::amm::{AmmConfig, AssociativeMemoryModule};
+use crate::amm::{AmmConfig, AssociativeMemoryModule, QueryEvaluation, RecallResult};
 use crate::energy::EnergyBreakdown;
+use crate::request::RecallRequest;
 use crate::CoreError;
 use spinamm_circuit::units::Seconds;
+use spinamm_telemetry::Recorder;
 
 /// An associative memory whose rows are partitioned across several modules.
 ///
@@ -132,23 +134,173 @@ impl PartitionedAmm {
         self.segments[0].module.latency()
     }
 
-    /// Runs one partitioned recall.
+    /// Runs one partitioned recall. Routed through the batched path, so
+    /// every segment's cached parasitic session is reused instead of
+    /// paying the cold-netlist cost per bank.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InputLengthMismatch`] for a mis-sized input;
     /// propagates per-segment recall errors.
     pub fn recall(&mut self, input: &[u32]) -> Result<PartitionedRecall, CoreError> {
+        self.recall_request(input, &RecallRequest::DEFAULT)
+    }
+
+    /// [`PartitionedAmm::recall`] with options.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionedAmm::recall`].
+    pub fn recall_request<R: Recorder + Sync>(
+        &mut self,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<PartitionedRecall, CoreError> {
+        let mut out = self.recall_batch_request(&[input], req)?;
+        Ok(out.pop().expect("one query in, one result out"))
+    }
+
+    /// Runs a batch of partitioned recalls, one per input vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionedAmm::recall_batch_request`].
+    pub fn recall_batch<S: AsRef<[u32]>>(
+        &mut self,
+        inputs: &[S],
+    ) -> Result<Vec<PartitionedRecall>, CoreError> {
+        self.recall_batch_request(inputs, &RecallRequest::DEFAULT)
+    }
+
+    /// [`PartitionedAmm::recall_batch`] with options.
+    ///
+    /// Segments hold independent modules — disjoint crossbars, converters
+    /// and RNG streams — so each segment evaluates its sub-batch on its own
+    /// scoped thread ("in hardware they run concurrently"). Within a
+    /// segment the module's two-phase batch preserves query order, so the
+    /// combined results are **bit-identical** to calling
+    /// [`PartitionedAmm::recall`] once per input in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputLengthMismatch`] for any mis-sized input
+    /// (validated up front, before any segment consumes randomness);
+    /// propagates per-segment recall errors.
+    pub fn recall_batch_request<S: AsRef<[u32]>, R: Recorder + Sync>(
+        &mut self,
+        inputs: &[S],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Vec<PartitionedRecall>, CoreError> {
+        let _span = req.recorder().span("partition.batch");
+        for input in inputs {
+            if input.as_ref().len() != self.vector_len {
+                return Err(CoreError::InputLengthMismatch {
+                    expected: self.vector_len,
+                    found: input.as_ref().len(),
+                });
+            }
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut per_seg: Vec<Option<Result<Vec<RecallResult>, CoreError>>> =
+            (0..self.segments.len()).map(|_| None).collect();
+        if self.segments.len() == 1 {
+            let seg = &mut self.segments[0];
+            let sub: Vec<&[u32]> = inputs
+                .iter()
+                .map(|i| &i.as_ref()[seg.start..seg.end])
+                .collect();
+            per_seg[0] = Some(seg.module.recall_batch_request(&sub, req));
+        } else {
+            std::thread::scope(|s| {
+                for (seg, slot) in self.segments.iter_mut().zip(per_seg.iter_mut()) {
+                    let sub: Vec<&[u32]> = inputs
+                        .iter()
+                        .map(|i| &i.as_ref()[seg.start..seg.end])
+                        .collect();
+                    s.spawn(move || {
+                        *slot = Some(seg.module.recall_batch_request(&sub, req));
+                    });
+                }
+            });
+        }
+        let seg_results: Vec<Vec<RecallResult>> = per_seg
+            .into_iter()
+            .map(|slot| slot.expect("every segment slot is filled"))
+            .collect::<Result<_, _>>()?;
+        Ok((0..inputs.len())
+            .map(|q| self.combine(seg_results.iter().map(|r| &r[q])))
+            .collect())
+    }
+
+    /// Engine-facing RNG-free phase: evaluates every segment's crossbar
+    /// for one input, returning one [`QueryEvaluation`] per segment. Safe
+    /// to run on a clone of the partition (see
+    /// [`AssociativeMemoryModule::evaluate_query_request`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputLengthMismatch`] for a mis-sized input;
+    /// propagates solver errors.
+    pub fn evaluate_query_request<R: Recorder>(
+        &mut self,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Vec<QueryEvaluation>, CoreError> {
         if input.len() != self.vector_len {
             return Err(CoreError::InputLengthMismatch {
                 expected: self.vector_len,
                 found: input.len(),
             });
         }
+        self.segments
+            .iter_mut()
+            .map(|seg| {
+                seg.module
+                    .evaluate_query_request(&input[seg.start..seg.end], req)
+            })
+            .collect()
+    }
+
+    /// Engine-facing RNG-consuming phase: selects per-segment winners from
+    /// the evaluations of [`PartitionedAmm::evaluate_query_request`] and
+    /// sums the segment codes into the global score. Feeding evaluations
+    /// back in submission order reproduces [`PartitionedAmm::recall`] bit
+    /// for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless exactly one
+    /// evaluation per segment is supplied; propagates spin/WTA errors.
+    pub fn select_winner_request<R: Recorder>(
+        &mut self,
+        evals: Vec<QueryEvaluation>,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<PartitionedRecall, CoreError> {
+        if evals.len() != self.segments.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "one evaluation per segment is required",
+            });
+        }
+        let results: Vec<RecallResult> = self
+            .segments
+            .iter_mut()
+            .zip(evals)
+            .map(|(seg, eval)| seg.module.select_winner_request(eval, req))
+            .collect::<Result<_, _>>()?;
+        Ok(self.combine(results.iter()))
+    }
+
+    /// Digital adder tree: sums per-segment DOM codes into global scores
+    /// and picks the argmax (lowest index on ties).
+    fn combine<'a>(
+        &self,
+        segment_results: impl Iterator<Item = &'a RecallResult>,
+    ) -> PartitionedRecall {
         let mut scores = vec![0u32; self.pattern_count];
         let mut energy = EnergyBreakdown::default();
-        for seg in &mut self.segments {
-            let r = seg.module.recall(&input[seg.start..seg.end])?;
+        for r in segment_results {
             for (score, code) in scores.iter_mut().zip(&r.codes) {
                 *score += code;
             }
@@ -160,12 +312,12 @@ impl PartitionedAmm {
             .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
             .map(|(i, _)| i)
             .expect("non-empty by construction");
-        Ok(PartitionedRecall {
+        PartitionedRecall {
             winner,
             dom: scores[winner],
-            scores: scores.clone(),
+            scores,
             energy,
-        })
+        }
     }
 }
 

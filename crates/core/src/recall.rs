@@ -1,6 +1,7 @@
 //! Dataset-level recognition accuracy and rejection studies (Fig. 3).
 
 use crate::amm::AssociativeMemoryModule;
+use crate::request::RecallRequest;
 use crate::CoreError;
 use rand::Rng;
 use spinamm_telemetry::{NoopRecorder, Recorder};
@@ -47,8 +48,8 @@ pub fn evaluate_accuracy(
 /// margin over the ideal column.
 ///
 /// The whole test set goes through
-/// [`AssociativeMemoryModule::recall_batch_with`], so in parasitic mode the
-/// crossbar solves run on worker threads while results (and all
+/// [`AssociativeMemoryModule::recall_batch_request`], so in parasitic mode
+/// the crossbar solves run on worker threads while results (and all
 /// diagnostics) keep the sequential query order bit for bit.
 ///
 /// Diagnostics are computed only for an enabled recorder; the returned
@@ -65,7 +66,7 @@ pub fn evaluate_accuracy_with<T: Recorder + Sync>(
     recorder: &T,
 ) -> Result<AccuracyReport, CoreError> {
     let inputs: Vec<&[u32]> = tests.iter().map(|(_, input)| input.as_slice()).collect();
-    let results = amm.recall_batch_with(&inputs, recorder)?;
+    let results = amm.recall_batch_request(&inputs, &RecallRequest::recorded(recorder))?;
     let mut correct = 0;
     for (query, ((label, input), result)) in tests.iter().zip(&results).enumerate() {
         let hit = result.raw_winner == *label;

@@ -1,0 +1,128 @@
+//! The unified recall-request options struct.
+//!
+//! Every module entry point used to come in pairs — `recall`/`recall_with`,
+//! `recall_batch`/`recall_batch_with`, `build`/`build_with`,
+//! `inject_faults`/`inject_faults_with` — one silent, one recorded. The
+//! pairs collapse into single `*_request` methods taking a
+//! [`RecallRequest`], which bundles the telemetry sink with execution
+//! options (today: the worker-count override for batched phases). The old
+//! `*_with` names remain as thin deprecated shims; the plain names stay as
+//! conveniences forwarding [`RecallRequest::DEFAULT`].
+//!
+//! ```
+//! use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};
+//! use spinamm_core::request::RecallRequest;
+//! use spinamm_telemetry::MemoryRecorder;
+//!
+//! # fn main() -> Result<(), spinamm_core::CoreError> {
+//! let patterns = vec![vec![31, 0, 31, 0], vec![0, 31, 0, 31]];
+//! let recorder = MemoryRecorder::default();
+//! let req = RecallRequest::recorded(&recorder).with_workers(2);
+//! let mut amm = AssociativeMemoryModule::build_request(&patterns, &AmmConfig::default(), &req)?;
+//! let results = amm.recall_batch_request(&patterns, &req)?;
+//! assert_eq!(results[1].winner, Some(1));
+//! assert!(recorder.snapshot().counter("recall.count") == 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use spinamm_telemetry::{NoopRecorder, Recorder};
+
+/// Options for one recall-pipeline operation: the telemetry sink plus
+/// execution knobs. Construct with [`RecallRequest::DEFAULT`] (silent) or
+/// [`RecallRequest::recorded`], then chain builder methods.
+///
+/// Options are observational or scheduling-only: for any recorder and any
+/// worker count the numerical results are bit-identical.
+pub struct RecallRequest<'r, R: Recorder = NoopRecorder> {
+    recorder: &'r R,
+    workers: Option<usize>,
+}
+
+impl RecallRequest<'static, NoopRecorder> {
+    /// The silent request: no telemetry, automatic worker count.
+    pub const DEFAULT: Self = Self {
+        recorder: &NoopRecorder,
+        workers: None,
+    };
+}
+
+impl Default for RecallRequest<'static, NoopRecorder> {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl<'r, R: Recorder> RecallRequest<'r, R> {
+    /// A request reporting into `recorder`.
+    pub const fn recorded(recorder: &'r R) -> Self {
+        Self {
+            recorder,
+            workers: None,
+        }
+    }
+
+    /// Overrides the worker-thread count used by the parallel (RNG-free)
+    /// phase of batched operations. Zero is treated as one. When unset, the
+    /// `SPINAMM_BATCH_WORKERS` environment variable and then the machine's
+    /// available parallelism decide. Results are worker-count independent.
+    #[must_use]
+    pub const fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The telemetry sink.
+    #[must_use]
+    pub const fn recorder(&self) -> &'r R {
+        self.recorder
+    }
+
+    /// The worker-count override, if any.
+    #[must_use]
+    pub const fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+}
+
+impl<R: Recorder> Clone for RecallRequest<'_, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R: Recorder> Copy for RecallRequest<'_, R> {}
+
+impl<R: Recorder> std::fmt::Debug for RecallRequest<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecallRequest")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinamm_telemetry::MemoryRecorder;
+
+    #[test]
+    fn default_request_is_silent_and_automatic() {
+        let req = RecallRequest::DEFAULT;
+        assert!(!req.recorder().is_enabled());
+        assert_eq!(req.workers(), None);
+        let req = RecallRequest::default();
+        assert_eq!(req.workers(), None);
+    }
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let rec = MemoryRecorder::default();
+        let req = RecallRequest::recorded(&rec).with_workers(3);
+        assert!(req.recorder().is_enabled());
+        assert_eq!(req.workers(), Some(3));
+        let copy = req;
+        assert_eq!(copy.workers(), Some(3));
+        assert!(format!("{req:?}").contains("workers"));
+    }
+}

@@ -1,0 +1,841 @@
+//! Sharded concurrent recall engine — the serving layer over
+//! [`spinamm_core`]'s associative memory deployments.
+//!
+//! The paper's §5 scaling story stores patterns across many small RCM
+//! modules (row partitions or cluster hierarchies) that evaluate
+//! concurrently in hardware. [`RecallEngine`] reproduces that organization
+//! in the simulator as a long-lived, thread-pooled service:
+//!
+//! * queries enter through a **bounded submission queue** ([`RecallEngine::submit`]
+//!   blocks for space, [`RecallEngine::try_submit`] reports
+//!   [`EngineError::QueueFull`] — backpressure instead of unbounded memory);
+//! * **worker threads** — each owning a clone of the deployment with its
+//!   canonically warmed solver sessions — run the RNG-free
+//!   drive/settle/solve phase of whichever query is next;
+//! * a **sequencer thread** owning the master deployment applies the
+//!   RNG-consuming ADC/WTA selection phase strictly in submission order.
+//!
+//! Because the evaluation phase is deterministic and order-independent
+//! (fixed warm-start reference pinned at build time) and the stochastic
+//! phase consumes each module's RNG in exactly the sequential order, every
+//! response is **bit-identical** to calling the deployment's `recall` once
+//! per query in submission order — at any worker count, queue capacity, or
+//! thread interleaving. Hierarchical deployments pipeline in two stages:
+//! the top (centroid) selection gates which cluster evaluates, so the
+//! sequencer re-dispatches a stage-B job on an internal queue that workers
+//! drain with priority.
+//!
+//! ```
+//! use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};
+//! use spinamm_engine::{Deployment, EngineConfig, RecallEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let patterns = vec![vec![31, 0, 31, 0], vec![0, 31, 0, 31]];
+//! let module = AssociativeMemoryModule::build(&patterns, &AmmConfig::default())?;
+//! let mut sequential = Deployment::Flat(module.clone());
+//!
+//! let engine = RecallEngine::new(
+//!     Deployment::Flat(module),
+//!     &EngineConfig { workers: 2, queue_capacity: 8 },
+//! );
+//! let responses = engine.recall_many(&patterns)?;
+//! for (input, response) in patterns.iter().zip(&responses) {
+//!     assert_eq!(response, &sequential.recall(input)?);
+//! }
+//! engine.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use spinamm_core::amm::{AssociativeMemoryModule, QueryEvaluation, RecallResult};
+use spinamm_core::hierarchy::{HierarchicalAmm, HierarchicalRecall};
+use spinamm_core::partition::{PartitionedAmm, PartitionedRecall};
+use spinamm_core::request::RecallRequest;
+use spinamm_core::CoreError;
+use spinamm_telemetry::{NoopRecorder, Recorder};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The recorder type an engine shares across its threads.
+pub type SharedRecorder = Arc<dyn Recorder + Send + Sync>;
+
+type Req<'r> = RecallRequest<'r, SharedRecorder>;
+
+/// What the engine serves: one of the core memory organizations.
+#[derive(Debug, Clone)]
+pub enum Deployment {
+    /// A single associative memory module.
+    Flat(AssociativeMemoryModule),
+    /// Rows split across modular RCM banks (paper §5 partitioning).
+    Partitioned(PartitionedAmm),
+    /// Two-level clustered matching (paper §5 hierarchy).
+    Hierarchical(HierarchicalAmm),
+}
+
+impl Deployment {
+    /// Input vector length this deployment expects.
+    #[must_use]
+    pub fn vector_len(&self) -> usize {
+        match self {
+            Deployment::Flat(m) => m.vector_len(),
+            Deployment::Partitioned(p) => p.vector_len(),
+            Deployment::Hierarchical(h) => h.vector_len(),
+        }
+    }
+
+    /// Sequential reference recall — the single-threaded path every engine
+    /// response is bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying recall errors.
+    pub fn recall(&mut self, input: &[u32]) -> Result<EngineResponse, CoreError> {
+        match self {
+            Deployment::Flat(m) => m.recall(input).map(EngineResponse::Flat),
+            Deployment::Partitioned(p) => p.recall(input).map(EngineResponse::Partitioned),
+            Deployment::Hierarchical(h) => h.recall(input).map(EngineResponse::Hierarchical),
+        }
+    }
+}
+
+/// One served recognition, mirroring the deployment kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineResponse {
+    /// Response from a flat module.
+    Flat(RecallResult),
+    /// Response from a partitioned memory.
+    Partitioned(PartitionedRecall),
+    /// Response from a hierarchical memory.
+    Hierarchical(HierarchicalRecall),
+}
+
+impl EngineResponse {
+    /// The winning pattern index (raw winner for flat modules).
+    #[must_use]
+    pub fn winner(&self) -> usize {
+        match self {
+            EngineResponse::Flat(r) => r.raw_winner,
+            EngineResponse::Partitioned(r) => r.winner,
+            EngineResponse::Hierarchical(r) => r.winner,
+        }
+    }
+
+    /// The winner's degree of match.
+    #[must_use]
+    pub fn dom(&self) -> u32 {
+        match self {
+            EngineResponse::Flat(r) => r.dom,
+            EngineResponse::Partitioned(r) => r.dom,
+            EngineResponse::Hierarchical(r) => r.dom,
+        }
+    }
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `try_submit` found the bounded queue at capacity.
+    QueueFull,
+    /// The engine shut down before this query could be answered.
+    ShutDown,
+    /// The underlying recall failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::QueueFull => write!(f, "submission queue is full"),
+            EngineError::ShutDown => write!(f, "engine shut down before answering"),
+            EngineError::Core(e) => write!(f, "recall error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for the RNG-free evaluation phase (minimum one).
+    /// Results are worker-count independent.
+    pub workers: usize,
+    /// Bound of the external submission queue (minimum one). [`RecallEngine::submit`]
+    /// blocks and [`RecallEngine::try_submit`] rejects once this many
+    /// queries are waiting.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A pending response handle returned by [`RecallEngine::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    rx: mpsc::Receiver<Result<EngineResponse, EngineError>>,
+}
+
+impl Ticket {
+    /// The query's submission sequence number (responses are selected in
+    /// this order).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the engine answers this query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ShutDown`] when the engine stopped before
+    /// answering, or the query's own recall error.
+    pub fn wait(self) -> Result<EngineResponse, EngineError> {
+        match self.rx.recv() {
+            Ok(response) => response,
+            Err(_) => Err(EngineError::ShutDown),
+        }
+    }
+}
+
+/// A query travelling through the engine. Stage-B (member) jobs exist only
+/// for hierarchical deployments, carry their original submission instant,
+/// and ride the internal queue so they can never deadlock behind new
+/// external submissions.
+enum Stage {
+    Primary(Arc<Vec<u32>>),
+    Member {
+        cluster: usize,
+        input: Arc<Vec<u32>>,
+    },
+}
+
+struct Job {
+    seq: u64,
+    stage: Stage,
+    submitted: Instant,
+}
+
+struct QueueState {
+    external: VecDeque<Job>,
+    internal: VecDeque<Job>,
+    closed: bool,
+    next_seq: u64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    job_ready: Condvar,
+    space_ready: Condvar,
+    capacity: usize,
+    tickets: Mutex<HashMap<u64, mpsc::Sender<Result<EngineResponse, EngineError>>>>,
+    recorder: SharedRecorder,
+}
+
+/// A worker's phase-1 output: everything the sequencer needs to finish the
+/// query without touching the crossbar again.
+enum Phase1 {
+    Flat(QueryEvaluation),
+    Partitioned(Vec<QueryEvaluation>),
+    Top {
+        eval: QueryEvaluation,
+        input: Arc<Vec<u32>>,
+    },
+    Member {
+        eval: QueryEvaluation,
+    },
+}
+
+struct WorkerOut {
+    seq: u64,
+    submitted: Instant,
+    phase1: Result<Phase1, CoreError>,
+}
+
+/// The long-lived recall service. See the crate docs for the execution
+/// model and the bit-identity guarantee.
+pub struct RecallEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    sequencer: Option<JoinHandle<()>>,
+}
+
+impl RecallEngine {
+    /// Starts an engine over `deployment` without telemetry.
+    #[must_use]
+    pub fn new(deployment: Deployment, config: &EngineConfig) -> Self {
+        Self::with_recorder(deployment, config, Arc::new(NoopRecorder))
+    }
+
+    /// Starts an engine reporting `engine.*` telemetry into `recorder`:
+    /// `engine.submitted` / `engine.rejected` / `engine.completed` /
+    /// `engine.errors` counters, the `engine.queue_depth` gauge, the
+    /// `engine.settle` (per-worker phase 1) and `engine.select`
+    /// (sequencer phase 2) span timers, the `engine.latency_seconds`
+    /// submit-to-response histogram (p50/p95 in the snapshot), and
+    /// per-worker `engine.worker.<i>.jobs` / `.utilization` series.
+    #[must_use]
+    pub fn with_recorder(
+        deployment: Deployment,
+        config: &EngineConfig,
+        recorder: SharedRecorder,
+    ) -> Self {
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                external: VecDeque::new(),
+                internal: VecDeque::new(),
+                closed: false,
+                next_seq: 0,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            tickets: Mutex::new(HashMap::new()),
+            recorder,
+        });
+        let (tx, rx) = mpsc::channel::<WorkerOut>();
+        let workers = (0..worker_count)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                // Each worker owns a full clone of the deployment; clones
+                // share the canonically warmed solver sessions, so their
+                // evaluations are bit-identical to the master's.
+                let clone = deployment.clone();
+                std::thread::spawn(move || worker_loop(idx, &shared, clone, &tx))
+            })
+            .collect();
+        drop(tx);
+        let sequencer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sequencer_loop(&shared, deployment, &rx))
+        };
+        Self {
+            shared,
+            workers,
+            sequencer: Some(sequencer),
+        }
+    }
+
+    /// Submits one query, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ShutDown`] when the engine is stopping.
+    pub fn submit(&self, input: &[u32]) -> Result<Ticket, EngineError> {
+        self.submit_inner(input, true)
+    }
+
+    /// Submits one query without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::QueueFull`] when the queue is at capacity
+    /// (counted as `engine.rejected`), or [`EngineError::ShutDown`] when
+    /// the engine is stopping.
+    pub fn try_submit(&self, input: &[u32]) -> Result<Ticket, EngineError> {
+        self.submit_inner(input, false)
+    }
+
+    fn submit_inner(&self, input: &[u32], block: bool) -> Result<Ticket, EngineError> {
+        let recorder = &self.shared.recorder;
+        let mut state = self.shared.state.lock().expect("queue lock");
+        while state.external.len() >= self.shared.capacity && !state.closed {
+            if !block {
+                recorder.counter("engine.rejected", 1);
+                return Err(EngineError::QueueFull);
+            }
+            state = self.shared.space_ready.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(EngineError::ShutDown);
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .tickets
+            .lock()
+            .expect("ticket lock")
+            .insert(seq, tx);
+        state.external.push_back(Job {
+            seq,
+            stage: Stage::Primary(Arc::new(input.to_vec())),
+            submitted: Instant::now(),
+        });
+        recorder.counter("engine.submitted", 1);
+        recorder.gauge(
+            "engine.queue_depth",
+            (state.external.len() + state.internal.len()) as f64,
+        );
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(Ticket { seq, rx })
+    }
+
+    /// Submits a whole batch (blocking for queue space) and waits for all
+    /// responses, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing query's error.
+    pub fn recall_many<S: AsRef<[u32]>>(
+        &self,
+        inputs: &[S],
+    ) -> Result<Vec<EngineResponse>, EngineError> {
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|input| self.submit(input.as_ref()))
+            .collect::<Result<_, _>>()?;
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Stops the engine: queued queries finish, then the workers and the
+    /// sequencer join. Hierarchical queries still waiting for their
+    /// stage-B dispatch at close time may be abandoned with
+    /// [`EngineError::ShutDown`]. Dropping the engine does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.closed = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(sequencer) = self.sequencer.take() {
+            let _ = sequencer.join();
+        }
+        // Any ticket still registered can no longer be answered; dropping
+        // its sender turns the owner's `wait` into `ShutDown`.
+        self.shared.tickets.lock().expect("ticket lock").clear();
+    }
+}
+
+impl Drop for RecallEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Phase 1 on a worker's deployment clone: RNG-free, order-independent.
+fn run_phase1(
+    deployment: &mut Deployment,
+    stage: &Stage,
+    req: &Req<'_>,
+) -> Result<Phase1, CoreError> {
+    match (deployment, stage) {
+        (Deployment::Flat(m), Stage::Primary(input)) => {
+            m.evaluate_query_request(input, req).map(Phase1::Flat)
+        }
+        (Deployment::Partitioned(p), Stage::Primary(input)) => p
+            .evaluate_query_request(input, req)
+            .map(Phase1::Partitioned),
+        (Deployment::Hierarchical(h), Stage::Primary(input)) => {
+            h.evaluate_top_request(input, req).map(|eval| Phase1::Top {
+                eval,
+                input: Arc::clone(input),
+            })
+        }
+        (Deployment::Hierarchical(h), Stage::Member { cluster, input }) => h
+            .evaluate_member_request(*cluster, input, req)
+            .map(|eval| Phase1::Member { eval }),
+        (_, Stage::Member { .. }) => Err(CoreError::InvalidParameter {
+            what: "member-stage job on a non-hierarchical deployment",
+        }),
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    shared: &Shared,
+    mut deployment: Deployment,
+    out: &mpsc::Sender<WorkerOut>,
+) {
+    let recorder = &shared.recorder;
+    let req = RecallRequest::recorded(recorder);
+    let started = Instant::now();
+    let mut busy = 0.0f64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue lock");
+            loop {
+                // Internal (stage-B) jobs first: they unblock responses
+                // that external submissions may be waiting behind.
+                if let Some(job) = state.internal.pop_front() {
+                    break Some(job);
+                }
+                if let Some(job) = state.external.pop_front() {
+                    shared.space_ready.notify_one();
+                    break Some(job);
+                }
+                if state.closed {
+                    break None;
+                }
+                state = shared.job_ready.wait(state).expect("queue lock");
+            }
+        };
+        let Some(job) = job else { return };
+        let t0 = Instant::now();
+        let phase1 = run_phase1(&mut deployment, &job.stage, &req);
+        if recorder.is_enabled() {
+            let dt = t0.elapsed().as_secs_f64();
+            busy += dt;
+            recorder.record_span("engine.settle", dt);
+            recorder.counter(&format!("engine.worker.{idx}.jobs"), 1);
+            let total = started.elapsed().as_secs_f64();
+            if total > 0.0 {
+                recorder.gauge(&format!("engine.worker.{idx}.utilization"), busy / total);
+            }
+            let state = shared.state.lock().expect("queue lock");
+            recorder.gauge(
+                "engine.queue_depth",
+                (state.external.len() + state.internal.len()) as f64,
+            );
+        }
+        let sent = out.send(WorkerOut {
+            seq: job.seq,
+            submitted: job.submitted,
+            phase1,
+        });
+        if sent.is_err() {
+            // Sequencer gone: the engine is tearing down.
+            return;
+        }
+    }
+}
+
+/// What the sequencer does with an in-order primary phase-1 result.
+enum SelectOutcome {
+    Done(Result<EngineResponse, EngineError>),
+    MemberDispatch {
+        cluster: usize,
+        input: Arc<Vec<u32>>,
+        top: RecallResult,
+    },
+}
+
+/// Phase 2 on the master deployment: consumes the RNG exactly as a
+/// sequential recall of this query would.
+fn select_primary(master: &mut Deployment, phase1: Phase1, req: &Req<'_>) -> SelectOutcome {
+    match (master, phase1) {
+        (Deployment::Flat(m), Phase1::Flat(eval)) => SelectOutcome::Done(
+            m.select_winner_request(eval, req)
+                .map(EngineResponse::Flat)
+                .map_err(EngineError::from),
+        ),
+        (Deployment::Partitioned(p), Phase1::Partitioned(evals)) => SelectOutcome::Done(
+            p.select_winner_request(evals, req)
+                .map(EngineResponse::Partitioned)
+                .map_err(EngineError::from),
+        ),
+        (Deployment::Hierarchical(h), Phase1::Top { eval, input }) => {
+            match h.select_top_request(eval, req) {
+                Ok(top) => SelectOutcome::MemberDispatch {
+                    cluster: top.raw_winner,
+                    input,
+                    top,
+                },
+                Err(e) => SelectOutcome::Done(Err(e.into())),
+            }
+        }
+        _ => SelectOutcome::Done(Err(EngineError::Core(CoreError::InvalidParameter {
+            what: "phase-1 result does not match the deployment",
+        }))),
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    seq: u64,
+    submitted: Instant,
+    response: Result<EngineResponse, EngineError>,
+) {
+    let recorder = &shared.recorder;
+    if recorder.is_enabled() {
+        recorder.observe("engine.latency_seconds", submitted.elapsed().as_secs_f64());
+    }
+    recorder.counter(
+        if response.is_ok() {
+            "engine.completed"
+        } else {
+            "engine.errors"
+        },
+        1,
+    );
+    let tx = shared.tickets.lock().expect("ticket lock").remove(&seq);
+    if let Some(tx) = tx {
+        let _ = tx.send(response);
+    }
+}
+
+fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<WorkerOut>) {
+    let recorder = &shared.recorder;
+    let req = RecallRequest::recorded(recorder);
+    let cluster_count = match &master {
+        Deployment::Hierarchical(h) => h.cluster_count(),
+        _ => 0,
+    };
+    // Primary phase-1 results waiting for their submission-order turn.
+    let mut primary: BTreeMap<u64, (Instant, Result<Phase1, CoreError>)> = BTreeMap::new();
+    let mut next_primary: u64 = 0;
+    // Hierarchical stage-B bookkeeping: which cluster each dispatched seq
+    // went to, its stage-A result, the per-cluster expected select order,
+    // and member phase-1 results waiting for that order.
+    let mut member_cluster: HashMap<u64, usize> = HashMap::new();
+    let mut tops: HashMap<u64, RecallResult> = HashMap::new();
+    let mut expected: Vec<VecDeque<u64>> = vec![VecDeque::new(); cluster_count];
+    let mut members: HashMap<u64, (Instant, Result<QueryEvaluation, CoreError>)> = HashMap::new();
+
+    while let Ok(msg) = rx.recv() {
+        match msg.phase1 {
+            Ok(Phase1::Member { eval }) => {
+                members.insert(msg.seq, (msg.submitted, Ok(eval)));
+            }
+            Err(e) if member_cluster.contains_key(&msg.seq) => {
+                members.insert(msg.seq, (msg.submitted, Err(e)));
+            }
+            other => {
+                primary.insert(msg.seq, (msg.submitted, other));
+            }
+        }
+
+        // Primary selections run strictly in submission order: stall until
+        // the next expected sequence number has evaluated.
+        while let Some((submitted, result)) = primary.remove(&next_primary) {
+            let seq = next_primary;
+            next_primary += 1;
+            match result {
+                Err(e) => respond(shared, seq, submitted, Err(EngineError::Core(e))),
+                Ok(phase1) => {
+                    let t0 = recorder.is_enabled().then(Instant::now);
+                    let outcome = select_primary(&mut master, phase1, &req);
+                    if let Some(t0) = t0 {
+                        recorder.record_span("engine.select", t0.elapsed().as_secs_f64());
+                    }
+                    match outcome {
+                        SelectOutcome::Done(response) => respond(shared, seq, submitted, response),
+                        SelectOutcome::MemberDispatch {
+                            cluster,
+                            input,
+                            top,
+                        } => {
+                            member_cluster.insert(seq, cluster);
+                            tops.insert(seq, top);
+                            expected[cluster].push_back(seq);
+                            {
+                                let mut state = shared.state.lock().expect("queue lock");
+                                state.internal.push_back(Job {
+                                    seq,
+                                    stage: Stage::Member { cluster, input },
+                                    submitted,
+                                });
+                            }
+                            shared.job_ready.notify_one();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Member selections run in per-cluster submission order (each
+        // cluster module owns its RNG, so clusters are independent).
+        for (cluster, queue) in expected.iter_mut().enumerate() {
+            while let Some(&seq) = queue.front() {
+                let Some((submitted, result)) = members.remove(&seq) else {
+                    break;
+                };
+                queue.pop_front();
+                member_cluster.remove(&seq);
+                let top = tops
+                    .remove(&seq)
+                    .expect("stage-A result stored at dispatch");
+                let response = match (&mut master, result) {
+                    (Deployment::Hierarchical(h), Ok(eval)) => {
+                        let t0 = recorder.is_enabled().then(Instant::now);
+                        let r = h
+                            .select_member_request(cluster, eval, &top, &req)
+                            .map(EngineResponse::Hierarchical)
+                            .map_err(EngineError::from);
+                        if let Some(t0) = t0 {
+                            recorder.record_span("engine.select", t0.elapsed().as_secs_f64());
+                        }
+                        r
+                    }
+                    (_, Err(e)) => Err(EngineError::Core(e)),
+                    (_, Ok(_)) => Err(EngineError::Core(CoreError::InvalidParameter {
+                        what: "member-stage result on a non-hierarchical deployment",
+                    })),
+                };
+                respond(shared, seq, submitted, response);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinamm_core::amm::AmmConfig;
+    use spinamm_telemetry::MemoryRecorder;
+
+    fn patterns() -> Vec<Vec<u32>> {
+        vec![
+            vec![31, 31, 31, 31, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 31, 31, 31, 31, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 31, 31, 31, 31],
+        ]
+    }
+
+    fn flat_deployment() -> Deployment {
+        Deployment::Flat(
+            AssociativeMemoryModule::build(&patterns(), &AmmConfig::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn engine_answers_match_sequential_reference() {
+        let mut sequential = flat_deployment();
+        let engine = RecallEngine::new(
+            flat_deployment(),
+            &EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+            },
+        );
+        let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(9).collect();
+        let got = engine.recall_many(&queries).unwrap();
+        for (q, response) in queries.iter().zip(&got) {
+            assert_eq!(response, &sequential.recall(q).unwrap());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        // Zero workers is clamped to one; a capacity-1 queue with slow
+        // submission pressure must eventually reject.
+        let engine = RecallEngine::new(
+            flat_deployment(),
+            &EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+            },
+        );
+        let input = patterns()[0].clone();
+        let mut rejected = false;
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            match engine.try_submit(&input) {
+                Ok(t) => tickets.push(t),
+                Err(EngineError::QueueFull) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(rejected, "capacity-1 queue never filled");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_inputs_surface_as_core_errors() {
+        let engine = RecallEngine::new(flat_deployment(), &EngineConfig::default());
+        let err = engine.submit(&[0u32; 3]).unwrap().wait().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Core(CoreError::InputLengthMismatch { .. })
+        ));
+        // A bad query consumes no RNG: the next good one still matches the
+        // sequential reference.
+        let mut sequential = flat_deployment();
+        let good = engine.submit(&patterns()[1]).unwrap().wait().unwrap();
+        assert_eq!(good, sequential.recall(&patterns()[1]).unwrap());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let engine = RecallEngine::new(flat_deployment(), &EngineConfig::default());
+        let input = patterns()[0].clone();
+        engine.submit(&input).unwrap().wait().unwrap();
+        // Close via an aliased handle is impossible (shutdown consumes),
+        // so exercise Drop + a fresh engine's closed flag directly.
+        let shared = Arc::clone(&engine.shared);
+        engine.shutdown();
+        assert!(shared.state.lock().unwrap().closed);
+    }
+
+    #[test]
+    fn telemetry_counters_and_latency_flow() {
+        let recorder = Arc::new(MemoryRecorder::default());
+        let engine = RecallEngine::with_recorder(
+            flat_deployment(),
+            &EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+            },
+            recorder.clone(),
+        );
+        let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(6).collect();
+        engine.recall_many(&queries).unwrap();
+        engine.shutdown();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("engine.submitted"), 6);
+        assert_eq!(snap.counter("engine.completed"), 6);
+        assert_eq!(
+            snap.histogram_stats("engine.latency_seconds")
+                .unwrap()
+                .count,
+            6
+        );
+        assert_eq!(snap.span_stats("engine.settle").unwrap().count, 6);
+        assert_eq!(snap.span_stats("engine.select").unwrap().count, 6);
+        let worker_jobs: u64 = (0..2)
+            .map(|i| snap.counter(&format!("engine.worker.{i}.jobs")))
+            .sum();
+        assert_eq!(worker_jobs, 6);
+    }
+
+    #[test]
+    fn engine_error_display_and_source() {
+        assert!(EngineError::QueueFull.to_string().contains("full"));
+        assert!(EngineError::ShutDown.to_string().contains("shut"));
+        let core = EngineError::Core(CoreError::InvalidParameter { what: "x" });
+        assert!(core.to_string().contains("x"));
+        assert!(Error::source(&core).is_some());
+        assert!(Error::source(&EngineError::QueueFull).is_none());
+    }
+}

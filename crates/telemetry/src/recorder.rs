@@ -107,6 +107,41 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     }
 }
 
+/// Forwarding impl so long-lived services (e.g. a recall engine) can share
+/// one recorder across worker threads behind
+/// `Arc<dyn Recorder + Send + Sync>` while instrumented code stays generic.
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    #[inline]
+    fn counter(&self, name: &str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+
+    #[inline]
+    fn gauge(&self, name: &str, value: f64) {
+        (**self).gauge(name, value);
+    }
+
+    #[inline]
+    fn observe(&self, name: &str, value: f64) {
+        (**self).observe(name, value);
+    }
+
+    #[inline]
+    fn record_span(&self, name: &str, seconds: f64) {
+        (**self).record_span(name, seconds);
+    }
+
+    #[inline]
+    fn event(&self, name: &str, fields: &[(&str, f64)]) {
+        (**self).event(name, fields);
+    }
+}
+
 /// RAII span timer: measures wall time from creation to drop and reports it
 /// via [`Recorder::record_span`]. When the recorder is disabled no clock is
 /// read at all.
@@ -154,6 +189,25 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter("n"), 2);
         assert_eq!(snap.span_stats("s").unwrap().count, 1);
+    }
+
+    #[test]
+    fn arc_forwarding_reaches_the_sink() {
+        use std::sync::Arc;
+        let r = Arc::new(MemoryRecorder::default());
+        let shared: Arc<dyn Recorder + Send + Sync> = r.clone();
+        assert!(shared.is_enabled());
+        shared.counter("n", 3);
+        shared.gauge("g", 1.5);
+        shared.observe("h", 0.25);
+        shared.event("e", &[("x", 1.0)]);
+        {
+            let _span = shared.span("s");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), 3);
+        assert_eq!(snap.span_stats("s").unwrap().count, 1);
+        assert_eq!(snap.histogram_stats("h").unwrap().count, 1);
     }
 
     #[test]

@@ -213,9 +213,10 @@ fn recall_telemetry_reaches_every_layer() {
         ..AmmConfig::default()
     };
     let recorder = MemoryRecorder::default();
-    let mut amm = AssociativeMemoryModule::build_with(&w.patterns, &cfg, &recorder).unwrap();
+    let req = spinamm_core::RecallRequest::recorded(&recorder);
+    let mut amm = AssociativeMemoryModule::build_request(&w.patterns, &cfg, &req).unwrap();
     for (_, q) in &w.queries {
-        amm.recall_with(q, &recorder).unwrap();
+        amm.recall_request(q, &req).unwrap();
     }
     let snap = recorder.snapshot();
     assert!(snap.counter("adc.sar_cycles") > 0, "SAR cycles must fire");
@@ -267,12 +268,13 @@ fn telemetry_observation_changes_no_result() {
             ..AmmConfig::default()
         };
         let recorder = MemoryRecorder::default();
+        let req = spinamm_core::RecallRequest::recorded(&recorder);
         let mut plain = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
         let mut instrumented =
-            AssociativeMemoryModule::build_with(&patterns, &cfg, &recorder).unwrap();
+            AssociativeMemoryModule::build_request(&patterns, &cfg, &req).unwrap();
         for p in &patterns {
             let a = plain.recall(p).unwrap();
-            let b = instrumented.recall_with(p, &recorder).unwrap();
+            let b = instrumented.recall_request(p, &req).unwrap();
             assert_eq!(a, b, "{fidelity:?}: instrumented recall diverged");
         }
     }
