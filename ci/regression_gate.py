@@ -13,7 +13,10 @@ Checks, per study matched by name:
 * the engine-scale study (E14) stays bit-identical to sequential recall in
   every sweep cell, with positive throughput. Its timing columns depend on
   the measuring host's core count and are never compared against the
-  baseline.
+  baseline;
+* the conformance study (E15) reports zero unwaived tolerance-ledger
+  violations and still catches the committed intentionally-perturbed
+  repro (``injected_caught``).
 
 Failures print as a table of study / field / baseline / fresh / delta and
 exit non-zero.
@@ -87,6 +90,39 @@ def check_engine_scale(fresh_by_name, failures):
             )
 
 
+CONFORMANCE_STUDY = "conformance"
+
+
+def check_conformance(fresh_by_name, failures):
+    """The conformance study (E15) gates on zero unwaived ledger
+    violations across the cross-fidelity differential sweep, and on the
+    committed intentionally-perturbed repro still being caught: a clean
+    replay of that repro means the detector itself regressed."""
+    study = fresh_by_name.get(CONFORMANCE_STUDY)
+    if study is None:
+        return
+    report = study["report"]
+    if not report.get("cases", 0) > 0:
+        failures.append(
+            (CONFORMANCE_STUDY, "cases", "> 0", str(report.get("cases")), "")
+        )
+    unwaived = report.get("unwaived_divergences")
+    if unwaived != 0:
+        failures.append(
+            (CONFORMANCE_STUDY, "unwaived_divergences", "0", str(unwaived), "")
+        )
+    if report.get("injected_caught") is not True:
+        failures.append(
+            (
+                CONFORMANCE_STUDY,
+                "injected_caught",
+                "true",
+                str(report.get("injected_caught")),
+                "",
+            )
+        )
+
+
 def main(baseline_path, fresh_path):
     baseline = json.load(open(baseline_path))
     fresh = json.load(open(fresh_path))
@@ -113,6 +149,7 @@ def main(baseline_path, fresh_path):
                 )
 
     check_engine_scale(fresh_by_name, failures)
+    check_conformance(fresh_by_name, failures)
 
     base_wall = baseline["total_wall_clock_seconds"]
     fresh_wall = fresh["total_wall_clock_seconds"]

@@ -4,7 +4,8 @@
 //! experiments [--quick] [--json <path>]
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
-//!              drift|write-precision|disturb|noise|yield|engine-scale|all]
+//!              drift|write-precision|disturb|noise|yield|engine-scale|
+//!              conformance|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
     section!("noise", render_noise(&scale));
     section!("yield", render_yield(&scale));
     section!("engine-scale", render_engine_scale(&scale));
+    section!("conformance", render_conformance(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -150,7 +152,10 @@ struct TimedStudy {
 /// and margin, fault counters) instead of rendered table cells; v4 adds
 /// the `engine-scale` study (E14) with numeric `rows[]` over the
 /// shards × workers × batch sweep plus its `host_cpus` measurement
-/// context.
+/// context; v5 adds the `conformance` study (E15), a flat numeric object
+/// (cases, checks, `unwaived_divergences`, `injected_caught`, observed
+/// divergence maxima, cross-decomposition agreement rates) from the
+/// cross-fidelity differential sweep plus committed-corpus replay.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -160,7 +165,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(4)),
+        ("schema_version", JsonValue::Uint(5)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -674,6 +679,111 @@ fn render_engine_scale(scale: &Scale) -> Rendered {
                     })
                     .collect(),
             ),
+        ),
+    ]);
+    Ok(section)
+}
+
+/// Directory fresh divergence repros are persisted to (uploaded by CI as
+/// a failure artifact).
+const FRESH_REPRO_DIR: &str = "conformance-repros";
+
+fn render_conformance(scale: &Scale) -> Rendered {
+    let study = experiments::conformance_study(scale)?;
+
+    // Persist any fresh shrunk repros so a failing CI run leaves behind
+    // committable, replayable evidence.
+    if !study.fresh_repros.is_empty() {
+        if std::fs::create_dir_all(FRESH_REPRO_DIR).is_ok() {
+            for (k, (check, json_text)) in study.fresh_repros.iter().enumerate() {
+                let _ = std::fs::write(format!("{FRESH_REPRO_DIR}/{k:02}-{check}.json"), json_text);
+            }
+        }
+        eprintln!(
+            "conformance: {} fresh divergence repro(s) written to {FRESH_REPRO_DIR}/",
+            study.fresh_repros.len()
+        );
+    }
+
+    let mut t = Table::new(
+        "E15: cross-fidelity conformance (differential oracle + corpus replay)",
+        &["metric", "value"],
+    );
+    t.row(&["fresh cases".to_string(), format!("{}", study.cases)]);
+    t.row(&["ledger checks".to_string(), format!("{}", study.checks)]);
+    t.row(&[
+        "unwaived divergences".to_string(),
+        format!("{}", study.unwaived_divergences),
+    ]);
+    t.row(&[
+        "injected divergence caught".to_string(),
+        if study.injected_caught { "yes" } else { "NO" }.to_string(),
+    ]);
+    t.row(&[
+        "corpus repros replayed".to_string(),
+        format!("{}", study.corpus_repros_replayed),
+    ]);
+    t.row(&[
+        "observed ideal<->driven |dDOM| (LSB)".to_string(),
+        format!("{}", study.observed_ideal_driven_dom_lsb),
+    ]);
+    t.row(&[
+        "observed driven<->parasitic |dDOM| (LSB)".to_string(),
+        format!("{}", study.observed_driven_parasitic_dom_lsb),
+    ]);
+    t.row(&[
+        "observed permutation |dDOM| (LSB)".to_string(),
+        format!("{}", study.observed_permutation_dom_lsb),
+    ]);
+    t.row(&[
+        "flat<->partitioned agreement".to_string(),
+        format!("{:.3}", study.flat_partitioned_agreement),
+    ]);
+    t.row(&[
+        "flat<->hierarchical agreement".to_string(),
+        format!("{:.3}", study.flat_hierarchical_agreement),
+    ]);
+    let mut section = Section::table(&t);
+    // The JSON twin is a flat numeric object (no `rows`): the CI gate
+    // asserts on these fields directly, and the agreement rates stay out
+    // of the accuracy-cell comparison by construction.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str(
+                "E15: cross-fidelity conformance (differential oracle + corpus replay)".to_string(),
+            ),
+        ),
+        ("cases", JsonValue::Uint(study.cases)),
+        ("checks", JsonValue::Uint(study.checks)),
+        (
+            "unwaived_divergences",
+            JsonValue::Uint(study.unwaived_divergences),
+        ),
+        ("injected_caught", JsonValue::Bool(study.injected_caught)),
+        (
+            "corpus_repros_replayed",
+            JsonValue::Uint(study.corpus_repros_replayed),
+        ),
+        (
+            "observed_ideal_driven_dom_lsb",
+            JsonValue::Uint(u64::from(study.observed_ideal_driven_dom_lsb)),
+        ),
+        (
+            "observed_driven_parasitic_dom_lsb",
+            JsonValue::Uint(u64::from(study.observed_driven_parasitic_dom_lsb)),
+        ),
+        (
+            "observed_permutation_dom_lsb",
+            JsonValue::Uint(u64::from(study.observed_permutation_dom_lsb)),
+        ),
+        (
+            "flat_partitioned_agreement",
+            JsonValue::Num(study.flat_partitioned_agreement),
+        ),
+        (
+            "flat_hierarchical_agreement",
+            JsonValue::Num(study.flat_hierarchical_agreement),
         ),
     ]);
     Ok(section)

@@ -1236,6 +1236,168 @@ pub fn telemetry_capture(scale: &Scale) -> Result<spinamm_telemetry::TelemetrySn
     Ok(recorder.snapshot())
 }
 
+// ---------------------------------------------------------------------------
+// E15 — cross-fidelity conformance sweep
+// ---------------------------------------------------------------------------
+
+/// The conformance study: a fresh seeded corpus sweep through every
+/// fidelity and recall path, plus a replay of the committed divergence
+/// corpus (see `conformance/corpus/` at the repository root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceStudy {
+    /// Fresh seeded cases run through the differential oracle.
+    pub cases: u64,
+    /// Individual ledger checks evaluated across the sweep.
+    pub checks: u64,
+    /// Ledger violations with no waiver: fresh per-case divergences,
+    /// aggregate agreement-floor violations, clean baselines that
+    /// replayed dirty, and committed perturbed repros the oracle failed
+    /// to re-catch (a detector regression). CI gates on this being zero.
+    pub unwaived_divergences: u64,
+    /// Whether every committed intentionally-perturbed repro still
+    /// triggered the oracle on replay.
+    pub injected_caught: bool,
+    /// Committed corpus files replayed.
+    pub corpus_repros_replayed: u64,
+    /// Max |ΔDOM| observed between ideal and driven fidelity (budget:
+    /// [`spinamm_conformance::ToleranceLedger::DEFAULT`]).
+    pub observed_ideal_driven_dom_lsb: u32,
+    /// Max |ΔDOM| observed between driven and parasitic fidelity.
+    pub observed_driven_parasitic_dom_lsb: u32,
+    /// Max |ΔDOM| observed across the metamorphic permutation check.
+    pub observed_permutation_dom_lsb: u32,
+    /// Flat↔partitioned winner agreement across the unfaulted sweep.
+    pub flat_partitioned_agreement: f64,
+    /// Flat↔hierarchical winner agreement across the unfaulted sweep.
+    pub flat_hierarchical_agreement: f64,
+    /// Shrunk JSON repros for any fresh divergence, named by originating
+    /// check; the experiments binary persists these under
+    /// `conformance-repros/` so CI can upload them as a failure artifact.
+    pub fresh_repros: Vec<(String, String)>,
+}
+
+/// Maps a harness failure onto the bench error type (divergences are
+/// findings in the study, never errors).
+fn conformance_err(e: spinamm_conformance::ConformanceError) -> CoreError {
+    use spinamm_conformance::ConformanceError as E;
+    use spinamm_engine::EngineError;
+    match e {
+        E::Core(c) => c,
+        E::Engine(EngineError::Core(c)) => c,
+        E::Engine(_) => CoreError::InvalidParameter {
+            what: "conformance engine path rejected a submission",
+        },
+        E::InvalidParameter { what } => CoreError::InvalidParameter { what },
+        E::Repro(_) => CoreError::InvalidParameter {
+            what: "committed conformance repro failed to parse",
+        },
+    }
+}
+
+/// E15: runs the cross-fidelity conformance sweep. Quick scale samples 40
+/// fresh cases; full scale samples 240 (the acceptance floor is 200). Both
+/// replay the committed corpus: clean baselines must stay clean and
+/// perturbed repros must still be caught.
+///
+/// # Errors
+///
+/// Propagates harness failures (an unrunnable case, a missing corpus
+/// directory); ledger violations are reported, not raised.
+pub fn conformance_study(scale: &Scale) -> Result<ConformanceStudy, CoreError> {
+    use spinamm_conformance::{
+        repro_from_json, repro_to_json, run_case, run_corpus, shrink_case, CorpusConfig,
+        ToleranceLedger,
+    };
+
+    let ledger = ToleranceLedger::DEFAULT;
+    let recorder = spinamm_telemetry::NoopRecorder;
+    let cases = if scale.queries >= 100 { 240 } else { 40 };
+    let corpus = run_corpus(
+        &CorpusConfig {
+            cases,
+            base_seed: 0x0e15,
+        },
+        &ledger,
+        &recorder,
+    )
+    .map_err(conformance_err)?;
+
+    let mut unwaived = corpus.unwaived_divergences();
+    let mut checks = corpus.checks;
+
+    // Shrink fresh divergences to minimal repros (bounded: each shrink
+    // re-runs the oracle dozens of times).
+    let mut fresh_repros = Vec::new();
+    for divergent in corpus.divergent.iter().take(4) {
+        let (spec, divergences) = match shrink_case(&divergent.spec, &ledger) {
+            Ok(s) => (s.spec, s.outcome.divergences),
+            Err(_) => (divergent.spec.clone(), divergent.divergences.clone()),
+        };
+        let check = divergences
+            .first()
+            .map_or("unknown", |d| d.check.as_str())
+            .replace('.', "-");
+        fresh_repros.push((check, repro_to_json(&spec, &divergences)));
+    }
+
+    // Replay the committed corpus.
+    let corpus_dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../conformance/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus_dir)
+        .map_err(|_| CoreError::InvalidParameter {
+            what: "conformance/corpus directory not found (run from the repository)",
+        })?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    let mut replayed = 0u64;
+    let mut perturbed_seen = 0u64;
+    let mut injected_caught = true;
+    for path in entries {
+        let text = std::fs::read_to_string(&path).map_err(|_| CoreError::InvalidParameter {
+            what: "unreadable conformance repro",
+        })?;
+        let (spec, recorded) = repro_from_json(&text).map_err(conformance_err)?;
+        let outcome = run_case(&spec, &ledger, &recorder).map_err(conformance_err)?;
+        replayed += 1;
+        checks += outcome.checks;
+        if recorded.is_empty() {
+            // Clean baseline: any violation on replay is unwaived.
+            unwaived += outcome.divergences.len() as u64;
+        } else {
+            perturbed_seen += 1;
+            let recaught = recorded
+                .iter()
+                .all(|want| outcome.divergences.iter().any(|d| d.check == want.check));
+            if !recaught {
+                // Detector regression: the oracle lost a committed catch.
+                injected_caught = false;
+                unwaived += 1;
+            }
+        }
+    }
+    if perturbed_seen == 0 {
+        injected_caught = false;
+        unwaived += 1;
+    }
+
+    Ok(ConformanceStudy {
+        cases: corpus.cases,
+        checks,
+        unwaived_divergences: unwaived,
+        injected_caught,
+        corpus_repros_replayed: replayed,
+        observed_ideal_driven_dom_lsb: corpus.observed.ideal_driven_dom_lsb,
+        observed_driven_parasitic_dom_lsb: corpus.observed.driven_parasitic_dom_lsb,
+        observed_permutation_dom_lsb: corpus.observed.permutation_dom_lsb,
+        flat_partitioned_agreement: corpus.flat_partitioned.rate(),
+        flat_hierarchical_agreement: corpus.flat_hierarchical.rate(),
+        fresh_repros,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1490,6 +1652,26 @@ mod tests {
             assert_eq!(group[0].workers, 1);
             assert!((group[0].speedup_vs_1worker - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn conformance_study_is_clean_at_quick_scale() {
+        let study = conformance_study(&quick()).unwrap();
+        assert_eq!(study.cases, 40);
+        assert_eq!(
+            study.unwaived_divergences, 0,
+            "fresh repros: {:?}",
+            study.fresh_repros
+        );
+        assert!(
+            study.injected_caught,
+            "committed perturbed repro not re-caught"
+        );
+        assert!(study.corpus_repros_replayed >= 2);
+        assert!(study.checks > study.cases);
+        assert!(study.fresh_repros.is_empty());
+        assert!(study.flat_partitioned_agreement >= 0.90);
+        assert!(study.flat_hierarchical_agreement >= 0.85);
     }
 
     #[test]

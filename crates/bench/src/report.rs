@@ -103,6 +103,11 @@ impl Table {
 /// Formats a value in engineering notation with a unit.
 #[must_use]
 pub fn eng(value: f64, unit: &str) -> String {
+    if !value.is_finite() {
+        // Mirror the JSON writer, which nulls non-finite numbers: a bare
+        // `inf`/`NaN` cell would corrupt any table a reader tries to parse.
+        return format!("n/a {unit}");
+    }
     let (scaled, prefix) = if value == 0.0 {
         (0.0, "")
     } else {
@@ -161,6 +166,14 @@ mod tests {
             assert_eq!(t.rows[0], vec!["x".to_string(), String::new()]);
             assert_eq!(t.rows[1].len(), 2);
         }
+    }
+
+    #[test]
+    fn eng_nulls_non_finite() {
+        assert_eq!(eng(f64::NAN, "W"), "n/a W");
+        assert_eq!(eng(f64::INFINITY, "J"), "n/a J");
+        assert_eq!(eng(f64::NEG_INFINITY, "J"), "n/a J");
+        assert_eq!(eng(0.0, "W"), "0.000 W");
     }
 
     #[test]

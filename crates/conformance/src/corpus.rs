@@ -1,0 +1,563 @@
+//! The corpus driver: seeded case sampling, corpus-wide aggregation
+//! against the ledger floors, the shrinking reducer, and the JSON repro
+//! format that replays committed divergences as regression tests.
+
+use crate::case::{
+    run_case, Agreement, CaseOutcome, CaseSpec, Divergence, ObservedBounds, Perturbation,
+};
+use crate::ledger::ToleranceLedger;
+use crate::ConformanceError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spinamm_telemetry::json::{self, JsonValue};
+use spinamm_telemetry::Recorder;
+
+/// How many seeded cases to sample and where to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Number of sampled cases.
+    pub cases: usize,
+    /// Seed for the sampler; every case derives its own seed from it.
+    pub base_seed: u64,
+}
+
+/// A case that violated the ledger, kept with its findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergentCase {
+    /// The sampled spec that diverged.
+    pub spec: CaseSpec,
+    /// The violations it produced.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Aggregate result of a corpus sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusOutcome {
+    /// Cases run.
+    pub cases: u64,
+    /// Ledger checks evaluated across all cases.
+    pub checks: u64,
+    /// Cases whose per-case checks violated the ledger.
+    pub divergent: Vec<DivergentCase>,
+    /// Maxima observed against the bounded budgets, corpus-wide.
+    pub observed: ObservedBounds,
+    /// Flat↔partitioned winner agreement across unfaulted cases.
+    pub flat_partitioned: Agreement,
+    /// Flat↔hierarchical winner agreement across unfaulted cases.
+    pub flat_hierarchical: Agreement,
+    /// Corpus-level violations (agreement floors under the ledger minimum).
+    pub aggregate_violations: Vec<Divergence>,
+}
+
+impl CorpusOutcome {
+    /// Total unwaived ledger violations: every per-case divergence plus
+    /// every aggregate floor violation.
+    #[must_use]
+    pub fn unwaived_divergences(&self) -> u64 {
+        let per_case: usize = self.divergent.iter().map(|d| d.divergences.len()).sum();
+        (per_case + self.aggregate_violations.len()) as u64
+    }
+}
+
+/// Samples the `index`-th case spec. Every fourth case runs the
+/// fault-injected differential path; perturbations are never sampled —
+/// they exist only for intentional-divergence demos and committed repros.
+fn sample_spec<R: Rng + ?Sized>(rng: &mut R, index: usize) -> CaseSpec {
+    CaseSpec {
+        seed: rng.gen::<u64>(),
+        pattern_count: rng.gen_range(3..=6),
+        vector_len: rng.gen_range(8..=20),
+        query_count: rng.gen_range(3..=6),
+        noise_magnitude: rng.gen_range(1..=3),
+        faulted: index % 4 == 3,
+        perturbation: None,
+    }
+}
+
+/// Runs `cfg.cases` sampled cases through the differential oracle and
+/// checks the corpus-wide agreement floors.
+///
+/// # Errors
+///
+/// Propagates harness failures from [`run_case`]; divergences are findings
+/// in the outcome, never errors.
+pub fn run_corpus<T: Recorder>(
+    cfg: &CorpusConfig,
+    ledger: &ToleranceLedger,
+    recorder: &T,
+) -> Result<CorpusOutcome, ConformanceError> {
+    if cfg.cases == 0 {
+        return Err(ConformanceError::InvalidParameter {
+            what: "corpus needs at least one case",
+        });
+    }
+    ledger.validate()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.base_seed);
+    let mut out = CorpusOutcome::default();
+    for index in 0..cfg.cases {
+        let spec = sample_spec(&mut rng, index);
+        let case = run_case(&spec, ledger, recorder)?;
+        out.cases += 1;
+        out.checks += case.checks;
+        out.observed.merge(&case.observed);
+        out.flat_partitioned.merge(case.flat_partitioned);
+        out.flat_hierarchical.merge(case.flat_hierarchical);
+        if !case.divergences.is_empty() {
+            out.divergent.push(DivergentCase {
+                spec,
+                divergences: case.divergences,
+            });
+        }
+    }
+    for (name, tally, floor) in [
+        (
+            "aggregate.flat_partitioned_agreement",
+            out.flat_partitioned,
+            ledger.min_flat_partitioned_agreement,
+        ),
+        (
+            "aggregate.flat_hierarchical_agreement",
+            out.flat_hierarchical,
+            ledger.min_flat_hierarchical_agreement,
+        ),
+    ] {
+        out.checks += 1;
+        if tally.rate() < floor {
+            out.aggregate_violations.push(Divergence {
+                check: name.to_string(),
+                query: None,
+                detail: format!(
+                    "agreement {:.3} ({}/{}) below ledger floor {floor:.3}",
+                    tally.rate(),
+                    tally.agree,
+                    tally.total
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// A shrunk divergence: the minimal still-diverging spec, its outcome, and
+/// how many reduction probes it took to get there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkResult {
+    /// The minimized spec.
+    pub spec: CaseSpec,
+    /// The outcome of the minimized spec (still divergent).
+    pub outcome: CaseOutcome,
+    /// Candidate cases evaluated during reduction.
+    pub probes: u64,
+}
+
+/// Reduction probe budget: shrinking re-runs the full oracle per
+/// candidate, so the loop is capped rather than run to a fixed point.
+const MAX_SHRINK_PROBES: u64 = 64;
+
+/// Greedily minimizes a divergent case: each round proposes structurally
+/// smaller candidates (fewer queries, no faults, less noise, fewer
+/// patterns, shorter vectors) and keeps any that still diverges, until no
+/// proposal survives or the probe budget runs out.
+///
+/// # Errors
+///
+/// Returns [`ConformanceError::InvalidParameter`] when `spec` does not
+/// diverge in the first place (nothing to shrink), and propagates harness
+/// failures.
+pub fn shrink_case(
+    spec: &CaseSpec,
+    ledger: &ToleranceLedger,
+) -> Result<ShrinkResult, ConformanceError> {
+    let recorder = spinamm_telemetry::NoopRecorder;
+    let outcome = run_case(spec, ledger, &recorder)?;
+    if outcome.divergences.is_empty() {
+        return Err(ConformanceError::InvalidParameter {
+            what: "shrink target does not diverge",
+        });
+    }
+    let mut best = spec.clone();
+    let mut best_outcome = outcome;
+    let mut probes = 0u64;
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&best) {
+            if probes >= MAX_SHRINK_PROBES {
+                return Ok(ShrinkResult {
+                    spec: best,
+                    outcome: best_outcome,
+                    probes,
+                });
+            }
+            if candidate.validate().is_err() {
+                continue;
+            }
+            probes += 1;
+            let case = run_case(&candidate, ledger, &recorder)?;
+            if !case.divergences.is_empty() {
+                best = candidate;
+                best_outcome = case;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return Ok(ShrinkResult {
+                spec: best,
+                outcome: best_outcome,
+                probes,
+            });
+        }
+    }
+}
+
+/// Structurally smaller variants of `spec`, most aggressive first.
+fn shrink_candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
+    let mut candidates = Vec::new();
+    if spec.query_count > 1 {
+        let mut c = spec.clone();
+        c.query_count = (spec.query_count / 2).max(1);
+        candidates.push(c);
+    }
+    if spec.faulted {
+        let mut c = spec.clone();
+        c.faulted = false;
+        candidates.push(c);
+    }
+    if spec.noise_magnitude > 1 {
+        let mut c = spec.clone();
+        c.noise_magnitude = 1;
+        candidates.push(c);
+    }
+    if spec.pattern_count > 2 {
+        let mut c = spec.clone();
+        c.pattern_count = spec.pattern_count - 1;
+        if let Some(p) = &mut c.perturbation {
+            p.column = p.column.min(c.pattern_count - 1);
+        }
+        candidates.push(c);
+    }
+    if spec.vector_len > 4 {
+        let mut c = spec.clone();
+        c.vector_len = (spec.vector_len / 2).max(4);
+        candidates.push(c);
+    }
+    candidates
+}
+
+/// Repro file schema version (`"schema"` field).
+const REPRO_SCHEMA: u64 = 1;
+
+/// Serializes a spec plus its observed divergences as a standalone JSON
+/// repro suitable for committing under `conformance/corpus/`.
+#[must_use]
+pub fn repro_to_json(spec: &CaseSpec, divergences: &[Divergence]) -> String {
+    let perturbation = match spec.perturbation {
+        Some(p) => JsonValue::object([
+            ("column", JsonValue::Uint(p.column as u64)),
+            ("gain", JsonValue::Num(p.gain)),
+        ]),
+        None => JsonValue::Null,
+    };
+    let divs = divergences
+        .iter()
+        .map(|d| {
+            JsonValue::object([
+                ("check", JsonValue::Str(d.check.clone())),
+                (
+                    "query",
+                    match d.query {
+                        Some(q) => JsonValue::Uint(q as u64),
+                        None => JsonValue::Null,
+                    },
+                ),
+                ("detail", JsonValue::Str(d.detail.clone())),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("schema", JsonValue::Uint(REPRO_SCHEMA)),
+        (
+            "spec",
+            JsonValue::object([
+                ("seed", JsonValue::Uint(spec.seed)),
+                ("pattern_count", JsonValue::Uint(spec.pattern_count as u64)),
+                ("vector_len", JsonValue::Uint(spec.vector_len as u64)),
+                ("query_count", JsonValue::Uint(spec.query_count as u64)),
+                (
+                    "noise_magnitude",
+                    JsonValue::Uint(u64::from(spec.noise_magnitude)),
+                ),
+                ("faulted", JsonValue::Bool(spec.faulted)),
+                ("perturbation", perturbation),
+            ]),
+        ),
+        ("divergences", JsonValue::Array(divs)),
+    ])
+    .render()
+}
+
+fn field_u64(obj: &JsonValue, key: &str) -> Result<u64, ConformanceError> {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ConformanceError::Repro(format!("missing or non-integer field `{key}`")))
+}
+
+/// Parses a committed repro back into its spec and recorded divergences.
+///
+/// # Errors
+///
+/// Returns [`ConformanceError::Repro`] on malformed JSON, a wrong schema
+/// version, or missing fields, and [`ConformanceError::InvalidParameter`]
+/// when the decoded spec is out of domain.
+pub fn repro_from_json(text: &str) -> Result<(CaseSpec, Vec<Divergence>), ConformanceError> {
+    let doc = json::parse(text).map_err(ConformanceError::Repro)?;
+    if field_u64(&doc, "schema")? != REPRO_SCHEMA {
+        return Err(ConformanceError::Repro(format!(
+            "unsupported repro schema (expected {REPRO_SCHEMA})"
+        )));
+    }
+    let spec_obj = doc
+        .get("spec")
+        .ok_or_else(|| ConformanceError::Repro("missing `spec` object".to_string()))?;
+    let perturbation = match spec_obj.get("perturbation") {
+        None | Some(JsonValue::Null) => None,
+        Some(p) => Some(Perturbation {
+            column: field_u64(p, "column")? as usize,
+            gain: p
+                .get("gain")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ConformanceError::Repro("missing perturbation gain".to_string()))?,
+        }),
+    };
+    let faulted = match spec_obj.get("faulted") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => {
+            return Err(ConformanceError::Repro(
+                "missing `faulted` flag".to_string(),
+            ))
+        }
+    };
+    let spec = CaseSpec {
+        seed: field_u64(spec_obj, "seed")?,
+        pattern_count: field_u64(spec_obj, "pattern_count")? as usize,
+        vector_len: field_u64(spec_obj, "vector_len")? as usize,
+        query_count: field_u64(spec_obj, "query_count")? as usize,
+        noise_magnitude: field_u64(spec_obj, "noise_magnitude")? as u32,
+        faulted,
+        perturbation,
+    };
+    spec.validate()?;
+    let divergences = doc
+        .get("divergences")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|d| {
+            Ok(Divergence {
+                check: d
+                    .get("check")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| {
+                        ConformanceError::Repro("divergence missing `check`".to_string())
+                    })?
+                    .to_string(),
+                query: d
+                    .get("query")
+                    .and_then(JsonValue::as_u64)
+                    .map(|q| q as usize),
+                detail: d
+                    .get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, ConformanceError>>()?;
+    Ok((spec, divergences))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinamm_telemetry::{MemoryRecorder, NoopRecorder};
+
+    #[test]
+    fn small_corpus_is_clean() {
+        let recorder = MemoryRecorder::default();
+        let out = run_corpus(
+            &CorpusConfig {
+                cases: 6,
+                base_seed: 0xc0_7b05,
+            },
+            &ToleranceLedger::DEFAULT,
+            &recorder,
+        )
+        .unwrap();
+        assert_eq!(out.cases, 6);
+        assert_eq!(out.unwaived_divergences(), 0, "{:?}", out.divergent);
+        assert!(out.flat_partitioned.total > 0);
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("conformance.cases"), Some(&6));
+    }
+
+    /// Calibration sweep for re-tuning [`ToleranceLedger::DEFAULT`]: run
+    /// with `--ignored --nocapture` and set each budget to ~2× the printed
+    /// maximum.
+    #[test]
+    #[ignore = "calibration helper, run on demand"]
+    fn calibration_sweep() {
+        let out = run_corpus(
+            &CorpusConfig {
+                cases: 240,
+                base_seed: 0xca11b8,
+            },
+            &ToleranceLedger::DEFAULT,
+            &NoopRecorder,
+        )
+        .unwrap();
+        println!("observed: {:?}", out.observed);
+        println!(
+            "flat_partitioned: {:.3} ({}/{})",
+            out.flat_partitioned.rate(),
+            out.flat_partitioned.agree,
+            out.flat_partitioned.total
+        );
+        println!(
+            "flat_hierarchical: {:.3} ({}/{})",
+            out.flat_hierarchical.rate(),
+            out.flat_hierarchical.agree,
+            out.flat_hierarchical.total
+        );
+        println!("divergent cases: {}", out.divergent.len());
+        for d in out.divergent.iter().take(5) {
+            println!("  {:?}", d);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        assert!(run_corpus(
+            &CorpusConfig {
+                cases: 0,
+                base_seed: 0,
+            },
+            &ToleranceLedger::DEFAULT,
+            &NoopRecorder,
+        )
+        .is_err());
+    }
+
+    fn perturbed_spec() -> CaseSpec {
+        CaseSpec {
+            seed: 0xd1_4e57,
+            pattern_count: 5,
+            vector_len: 16,
+            query_count: 6,
+            noise_magnitude: 2,
+            faulted: true,
+            perturbation: Some(Perturbation {
+                column: 1,
+                gain: 0.5,
+            }),
+        }
+    }
+
+    #[test]
+    fn shrink_minimizes_a_perturbed_case() {
+        let spec = perturbed_spec();
+        let shrunk = shrink_case(&spec, &ToleranceLedger::DEFAULT).unwrap();
+        assert!(!shrunk.outcome.divergences.is_empty());
+        assert!(shrunk.probes > 0);
+        // The reducer must strictly simplify at least one axis of this
+        // deliberately oversized target.
+        assert!(
+            shrunk.spec.query_count < spec.query_count
+                || !shrunk.spec.faulted
+                || shrunk.spec.vector_len < spec.vector_len
+                || shrunk.spec.pattern_count < spec.pattern_count,
+            "no axis shrank: {:?}",
+            shrunk.spec
+        );
+    }
+
+    #[test]
+    fn shrinking_a_clean_case_is_an_error() {
+        let mut spec = perturbed_spec();
+        spec.perturbation = None;
+        spec.faulted = false;
+        assert!(shrink_case(&spec, &ToleranceLedger::DEFAULT).is_err());
+    }
+
+    #[test]
+    fn repro_round_trips() {
+        let spec = perturbed_spec();
+        let divergences = vec![Divergence {
+            check: "bit_identity.batch.driven".to_string(),
+            query: Some(2),
+            detail: "winner 1 dom 9 vs winner 0 dom 17".to_string(),
+        }];
+        let text = repro_to_json(&spec, &divergences);
+        let (back_spec, back_divs) = repro_from_json(&text).unwrap();
+        assert_eq!(back_spec, spec);
+        assert_eq!(back_divs, divergences);
+
+        let mut plain = spec;
+        plain.perturbation = None;
+        let (back_plain, _) = repro_from_json(&repro_to_json(&plain, &[])).unwrap();
+        assert_eq!(back_plain, plain);
+    }
+
+    #[test]
+    fn malformed_repros_are_rejected() {
+        assert!(repro_from_json("not json").is_err());
+        assert!(repro_from_json("{\"schema\": 99}").is_err());
+        assert!(repro_from_json("{\"schema\": 1}").is_err());
+    }
+}
+
+#[cfg(test)]
+mod corpus_generation {
+    use super::*;
+
+    /// One-off generator for the committed corpus files; prints repro JSON.
+    #[test]
+    #[ignore = "corpus generation helper"]
+    fn generate_committed_repros() {
+        let spec = CaseSpec {
+            seed: 0xd1_4e57,
+            pattern_count: 5,
+            vector_len: 16,
+            query_count: 6,
+            noise_magnitude: 2,
+            faulted: true,
+            perturbation: Some(Perturbation {
+                column: 1,
+                gain: 0.5,
+            }),
+        };
+        let shrunk = shrink_case(&spec, &ToleranceLedger::DEFAULT).unwrap();
+        println!("PERTURBED ({} probes):", shrunk.probes);
+        println!(
+            "{}",
+            repro_to_json(&shrunk.spec, &shrunk.outcome.divergences)
+        );
+        let clean = CaseSpec {
+            seed: 0xc1ea4,
+            pattern_count: 4,
+            vector_len: 10,
+            query_count: 3,
+            noise_magnitude: 1,
+            faulted: true,
+            perturbation: None,
+        };
+        let out = run_case(
+            &clean,
+            &ToleranceLedger::DEFAULT,
+            &spinamm_telemetry::NoopRecorder,
+        )
+        .unwrap();
+        assert!(out.divergences.is_empty(), "{:?}", out.divergences);
+        println!("CLEAN:");
+        println!("{}", repro_to_json(&clean, &[]));
+    }
+}

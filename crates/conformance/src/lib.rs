@@ -1,0 +1,104 @@
+//! Cross-fidelity conformance harness for the spinamm recall stack.
+//!
+//! The paper's headline results (Fig. 3, Fig. 9, Table 1) assume the
+//! abstraction levels agree: the ideal dot product, the behavioural
+//! crossbar, and the parasitic solve must rank the same winner or every
+//! reported accuracy and margin number is an artifact of whichever
+//! fidelity a study happened to use. After four PRs of solver caching,
+//! fault injection and a concurrent engine on the recall path, this crate
+//! is the standing oracle that continuously proves all those paths still
+//! compute the same thing:
+//!
+//! * [`case::run_case`] — the **differential oracle**. One seeded workload
+//!   is pushed through every fidelity (ideal / driven / parasitic) and
+//!   every execution path (sequential [`recall`], `recall_batch`, the
+//!   [`RecallEngine`] at several worker counts, partitioned and
+//!   hierarchical deployments, fault-injected modules) and each comparison
+//!   is judged against the [`ledger::ToleranceLedger`]: bit-identity where
+//!   PRs 2–4 promise it, bounded DOM/margin divergence between fidelities,
+//!   plus metamorphic invariants (input-permutation consistency,
+//!   template-duplication ties, DOM monotonicity under column-wise
+//!   conductance scaling, ADC over-range saturation).
+//! * [`corpus::run_corpus`] — the **corpus driver**: samples seeded cases,
+//!   aggregates cross-path agreement against the ledger floors, and
+//!   reports every divergence.
+//! * [`corpus::shrink_case`] + [`corpus::repro_to_json`] — the **shrinking
+//!   reducer**: minimizes a divergent case and persists it as a JSON repro
+//!   that replays as a regression test (see `conformance/corpus/` at the
+//!   repository root).
+//!
+//! Telemetry: the harness emits `conformance.cases`,
+//! `conformance.checks` and `conformance.divergences` counters on the
+//! recorder it is handed.
+//!
+//! [`recall`]: spinamm_core::amm::AssociativeMemoryModule::recall
+//! [`RecallEngine`]: spinamm_engine::RecallEngine
+
+pub mod case;
+pub mod corpus;
+pub mod ledger;
+
+pub use case::{
+    run_case, Agreement, CaseOutcome, CaseSpec, Divergence, ObservedBounds, Perturbation,
+};
+pub use corpus::{
+    repro_from_json, repro_to_json, run_corpus, shrink_case, CorpusConfig, CorpusOutcome,
+    DivergentCase, ShrinkResult,
+};
+pub use ledger::ToleranceLedger;
+
+use std::fmt;
+
+/// Everything that can go wrong while running the harness (as opposed to a
+/// *divergence*, which is a finding, not an error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConformanceError {
+    /// A spec, ledger or repro parameter is outside its domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// A recall-stack operation failed.
+    Core(spinamm_core::CoreError),
+    /// The concurrent engine failed.
+    Engine(spinamm_engine::EngineError),
+    /// A committed repro did not parse.
+    Repro(String),
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            Self::Core(e) => write!(f, "core error: {e}"),
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+            Self::Repro(e) => write!(f, "bad repro: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+impl From<spinamm_core::CoreError> for ConformanceError {
+    fn from(e: spinamm_core::CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<spinamm_engine::EngineError> for ConformanceError {
+    fn from(e: spinamm_engine::EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<spinamm_data::DataError> for ConformanceError {
+    fn from(e: spinamm_data::DataError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<spinamm_faults::FaultsError> for ConformanceError {
+    fn from(e: spinamm_faults::FaultsError) -> Self {
+        Self::Core(e.into())
+    }
+}

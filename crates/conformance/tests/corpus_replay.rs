@@ -1,0 +1,82 @@
+//! Replays the committed divergence corpus (`conformance/corpus/` at the
+//! repository root) as a regression suite.
+//!
+//! Perturbed repros must **still diverge** (detector sensitivity: if the
+//! oracle stops catching a committed divergence, that is a regression in
+//! the harness itself). Clean baselines must replay with zero violations.
+
+use spinamm_conformance::{repro_from_json, run_case, ToleranceLedger};
+use spinamm_telemetry::NoopRecorder;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../conformance/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("committed corpus directory must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let files = corpus_files();
+    assert!(
+        !files.is_empty(),
+        "conformance/corpus must contain at least one repro"
+    );
+    let mut perturbed = 0usize;
+    for path in &files {
+        let text = fs::read_to_string(path).expect("readable repro");
+        let (spec, _) = repro_from_json(&text)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        if spec.perturbation.is_some() {
+            perturbed += 1;
+        }
+    }
+    assert!(
+        perturbed >= 1,
+        "corpus must pin at least one intentionally perturbed repro"
+    );
+}
+
+#[test]
+fn committed_repros_replay_as_recorded() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).expect("readable repro");
+        let (spec, recorded) = repro_from_json(&text).expect("valid repro");
+        let outcome = run_case(&spec, &ToleranceLedger::DEFAULT, &NoopRecorder)
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", path.display()));
+        if recorded.is_empty() {
+            assert!(
+                outcome.divergences.is_empty(),
+                "{} is a clean baseline but replayed with violations: {:?}",
+                path.display(),
+                outcome.divergences
+            );
+        } else {
+            assert!(
+                !outcome.divergences.is_empty(),
+                "{} no longer diverges — the oracle lost sensitivity to a \
+                 committed repro",
+                path.display()
+            );
+            // The same checks must fire, not merely *some* divergence.
+            for want in &recorded {
+                assert!(
+                    outcome.divergences.iter().any(|d| d.check == want.check),
+                    "{}: recorded check `{}` did not re-fire (got {:?})",
+                    path.display(),
+                    want.check,
+                    outcome.divergences
+                );
+            }
+        }
+    }
+}

@@ -127,10 +127,17 @@ impl SpinSarAdc {
     /// the DWN (reset to `Down` beforehand), and the latch reads the MTJ;
     /// the decision updates the SAR.
     ///
+    /// The input is saturated to `[0, saturation_ceiling]` before the SAR
+    /// loop: the DWN input node is clamped at the supply, so a column
+    /// current beyond DAC full scale converts to the top code with a
+    /// *bounded* net current instead of overshooting the write-energy
+    /// integral (see [`SpinSarAdc::saturation_ceiling`]).
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Cmos`] if a DAC code lookup fails (cannot happen
-    /// for codes produced by the SAR).
+    /// Returns [`CoreError::InvalidParameter`] for a non-finite input
+    /// current, or [`CoreError::Cmos`] if a DAC code lookup fails (cannot
+    /// happen for codes produced by the SAR).
     pub fn convert<R: Rng + ?Sized>(
         &self,
         input: Amps,
@@ -153,6 +160,15 @@ impl SpinSarAdc {
         rng: &mut R,
         recorder: &T,
     ) -> Result<AdcConversion, CoreError> {
+        if !input.0.is_finite() {
+            // A NaN column current would silently convert to code 0 (every
+            // comparison reads as "low") and an infinite one would integrate
+            // unbounded write energy; neither is a meaningful conversion.
+            return Err(CoreError::InvalidParameter {
+                what: "ADC input current must be finite",
+            });
+        }
+        let input = Amps(input.0.clamp(0.0, self.saturation_ceiling()?.0));
         let bits = self.bits();
         let mut sar = SarRegister::new(bits);
         let mut trajectory = Vec::with_capacity(bits as usize);
@@ -231,6 +247,26 @@ impl SpinSarAdc {
         let lsb = Self::effective_threshold(&self.neuron, pulse);
         Amps(lsb.0 * f64::from(1u32 << self.bits()))
     }
+
+    /// The input current at which the converter saturates: the larger of
+    /// the nominal full scale and this instance's sampled top-code DAC
+    /// current plus two effective dead zones. Any input at or above this
+    /// value converts to the all-ones code — the margin above the sampled
+    /// top code keeps the final comparison's net current strictly inside
+    /// the switching region (one dead zone would sit exactly on the
+    /// transit-equals-pulse boundary, where rounding could drop the LSB)
+    /// even when DAC mismatch pushes the top code past the nominal full
+    /// scale.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates a DAC code error.
+    pub fn saturation_ceiling(&self) -> Result<Amps, CoreError> {
+        let pulse = Seconds(self.clock_period.0 * Self::PULSE_FRACTION);
+        let top = self.dac.clamped_current((1u32 << self.bits()) - 1)?;
+        let eff = Self::effective_threshold(&self.neuron, pulse);
+        Ok(Amps(self.nominal_full_scale().0.max(top.0 + 2.0 * eff.0)))
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +331,44 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         assert_eq!(a.convert(Amps(0.0), &mut rng).unwrap().code, 0);
         assert_eq!(a.convert(Amps(200e-6), &mut rng).unwrap().code, 31);
+    }
+
+    #[test]
+    fn overrange_saturates_without_overshoot() {
+        let a = adc(5, 1);
+        let ceiling = a.saturation_ceiling().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let at_ceiling = a.convert(ceiling, &mut rng).unwrap();
+        assert_eq!(at_ceiling.code, 31, "ceiling input converts to top code");
+        // Any over-range input — even an absurd one — converts to the same
+        // top code with the same bounded write energy as the ceiling
+        // itself: the input node clamps, it does not overshoot.
+        for factor in [1.5, 100.0, 1e9] {
+            let out = a.convert(Amps(ceiling.0 * factor), &mut rng).unwrap();
+            assert_eq!(out.code, 31, "x{factor} over-range must saturate");
+            assert!(
+                (out.dwn_energy.0 - at_ceiling.dwn_energy.0).abs() < 1e-30,
+                "x{factor}: write energy {} vs {} at the ceiling",
+                out.dwn_energy.0,
+                at_ceiling.dwn_energy.0
+            );
+            assert!(out.dwn_energy.0.is_finite() && out.dwn_energy.0 < 1e-12);
+        }
+        // Negative currents clamp at zero drive rather than converting the
+        // magnitude.
+        assert_eq!(a.convert(Amps(-5e-6), &mut rng).unwrap().code, 0);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        let a = adc(5, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                a.convert(Amps(bad), &mut rng).is_err(),
+                "input {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -864,10 +864,12 @@ impl AssociativeMemoryModule {
     ///
     /// # Errors
     ///
-    /// See [`AssociativeMemoryModule::recall`].
+    /// See [`AssociativeMemoryModule::recall`], plus
+    /// [`CoreError::InvalidParameter`] if the recall produced a degenerate
+    /// latency or non-finite energy (see [`PowerReport::from_energy`]).
     pub fn power_report(&mut self, levels: &[u32]) -> Result<PowerReport, CoreError> {
         let result = self.recall(levels)?;
-        Ok(PowerReport::from_energy(result.energy, self.latency()))
+        PowerReport::from_energy(result.energy, self.latency())
     }
 
     /// [`AssociativeMemoryModule::inject_faults_request`] without
@@ -1344,6 +1346,48 @@ mod tests {
         let sequential: Vec<RecallResult> = inputs.iter().map(|i| seq.recall(i).unwrap()).collect();
         let batched = bat.recall_batch(&inputs).unwrap();
         assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn duplicated_template_ties_break_to_lowest_index() {
+        // Metamorphic template-duplication property: storing an exact copy
+        // of template 0 in a later column must never steal the win. When
+        // the duplicate's code ties exactly, the lowest index wins on the
+        // scalar and batch paths alike; when device mismatch splits the
+        // codes, the winner is still the shared argmax scan's answer.
+        let mut patterns = orthogonal_patterns();
+        patterns.push(patterns[0].clone());
+        let dup = patterns.len() - 1;
+        let mut tie_seen = false;
+        for seed in 0..12u64 {
+            let cfg = AmmConfig {
+                seed,
+                ..config(Fidelity::Driven)
+            };
+            let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let mut batch = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+            let r = amm.recall(&patterns[0]).unwrap();
+            assert_eq!(
+                r.raw_winner,
+                crate::wta::argmax_lowest_index(&r.codes).unwrap(),
+                "seed {seed}: winner must be the lowest-index argmax"
+            );
+            assert!(
+                r.raw_winner == 0 || r.codes[r.raw_winner] > r.codes[0],
+                "seed {seed}: duplicate won without strictly beating index 0"
+            );
+            if r.codes[0] == r.codes[dup] {
+                tie_seen = true;
+                assert_eq!(r.raw_winner, 0, "seed {seed}: exact tie must go to 0");
+            }
+            // The batch select path applies the identical rule.
+            let b = batch.recall_batch(&[patterns[0].clone()]).unwrap();
+            assert_eq!(b[0], r, "seed {seed}");
+        }
+        assert!(
+            tie_seen,
+            "no seed produced an exact duplicate tie; the property was never exercised"
+        );
     }
 
     #[test]

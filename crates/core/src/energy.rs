@@ -5,6 +5,7 @@
 //! DACs across the ΔV rails) and a *dynamic* component (DWN writes, latch
 //! firings and the digital winner-tracking logic, all switched per cycle).
 
+use crate::CoreError;
 use spinamm_circuit::units::{Hertz, Joules, Seconds, Watts};
 use std::iter::Sum;
 use std::ops::Add;
@@ -86,14 +87,39 @@ pub struct PowerReport {
 
 impl PowerReport {
     /// Builds a report from a per-recognition breakdown and latency.
-    #[must_use]
-    pub fn from_energy(energy: EnergyBreakdown, latency: Seconds) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `latency` is zero,
+    /// negative or non-finite, or when any energy component is non-finite.
+    /// Dividing by such a latency would bake `inf`/`NaN` into the power
+    /// figures, which the hand-rolled report writers must then null out;
+    /// rejecting the report at construction keeps every downstream number
+    /// finite.
+    pub fn from_energy(energy: EnergyBreakdown, latency: Seconds) -> Result<Self, CoreError> {
+        if !latency.0.is_finite() || latency.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                what: "power-report latency must be finite and positive",
+            });
+        }
+        let components = [
+            energy.rcm_static,
+            energy.dac_static,
+            energy.dwn_write,
+            energy.latch_sense,
+            energy.digital,
+        ];
+        if components.iter().any(|j| !j.0.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                what: "power-report energy components must be finite",
+            });
+        }
+        Ok(Self {
             energy,
             latency,
             static_power: energy.static_energy() / latency,
             dynamic_power: energy.dynamic_energy() / latency,
-        }
+        })
     }
 
     /// Total power.
@@ -102,7 +128,8 @@ impl PowerReport {
         Watts(self.static_power.0 + self.dynamic_power.0)
     }
 
-    /// Recognition throughput.
+    /// Recognition throughput. Finite by construction: [`Self::from_energy`]
+    /// rejects zero, negative and non-finite latencies.
     #[must_use]
     pub fn recognition_rate(&self) -> Hertz {
         Hertz(1.0 / self.latency.0)
@@ -164,7 +191,7 @@ mod tests {
 
     #[test]
     fn pipelined_accounting() {
-        let report = PowerReport::from_energy(sample(), Seconds(50e-9));
+        let report = PowerReport::from_energy(sample(), Seconds(50e-9)).unwrap();
         // At a 100 MHz pipeline: static 60 µW burns 0.6 pJ per 10 ns slot,
         // plus the full 1 pJ of dynamic energy per recognition.
         let e = report.pipelined_energy(Hertz(100e6));
@@ -177,8 +204,26 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_latency_is_rejected() {
+        // A zero-latency report used to divide through to `inf` static and
+        // dynamic power, which the hand-rolled JSON writer would emit as an
+        // invalid bare `inf` token.
+        for latency in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            assert!(
+                PowerReport::from_energy(sample(), Seconds(latency)).is_err(),
+                "latency {latency} must be rejected"
+            );
+        }
+        let mut energy = sample();
+        energy.dwn_write = Joules(f64::INFINITY);
+        assert!(PowerReport::from_energy(energy, Seconds(50e-9)).is_err());
+        energy.dwn_write = Joules(f64::NAN);
+        assert!(PowerReport::from_energy(energy, Seconds(50e-9)).is_err());
+    }
+
+    #[test]
     fn power_report_consistency() {
-        let report = PowerReport::from_energy(sample(), Seconds(50e-9));
+        let report = PowerReport::from_energy(sample(), Seconds(50e-9)).unwrap();
         // 3 pJ static over 50 ns = 60 µW; 1 pJ dynamic = 20 µW.
         assert!((report.static_power.0 - 60e-6).abs() < 1e-12);
         assert!((report.dynamic_power.0 - 20e-6).abs() < 1e-12);

@@ -306,12 +306,9 @@ impl PartitionedAmm {
             }
             energy = energy + r.energy;
         }
-        let winner = scores
-            .iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
-            .map(|(i, _)| i)
-            .expect("non-empty by construction");
+        // The combine step re-ranks summed codes, so it must apply the same
+        // lowest-index tie-break as the scalar WTA scan.
+        let winner = crate::wta::argmax_lowest_index(&scores).expect("non-empty by construction");
         PartitionedRecall {
             winner,
             dom: scores[winner],
@@ -395,6 +392,37 @@ mod tests {
             "only {agree}/{} agreements",
             w.queries.len()
         );
+    }
+
+    #[test]
+    fn duplicated_template_ties_break_to_lowest_index_in_combine() {
+        // The combine step sums per-segment codes, so a duplicated
+        // template can tie exactly at the summed level too; the partitioned
+        // winner must then be the lowest-index copy, matching the scalar
+        // WTA rule.
+        let w = workload();
+        let mut patterns = w.patterns.clone();
+        patterns.push(patterns[0].clone());
+        let dup = patterns.len() - 1;
+        let mut tie_seen = false;
+        for seed in 0..12u64 {
+            let cfg = AmmConfig {
+                seed,
+                ..AmmConfig::default()
+            };
+            let mut p = PartitionedAmm::build(&patterns, 3, &cfg).unwrap();
+            let r = p.recall(&patterns[0]).unwrap();
+            assert_eq!(
+                r.winner,
+                crate::wta::argmax_lowest_index(&r.scores).unwrap(),
+                "seed {seed}"
+            );
+            if r.scores[0] == r.scores[dup] {
+                tie_seen = true;
+                assert_eq!(r.winner, 0, "seed {seed}: summed-code tie must go to 0");
+            }
+        }
+        assert!(tie_seen, "no seed produced a summed-code tie");
     }
 
     #[test]

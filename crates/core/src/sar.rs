@@ -82,6 +82,11 @@ impl SarRegister {
     /// Runs a whole conversion against a comparator closure that receives
     /// each trial code and returns "input ≥ DAC(code)". Returns the final
     /// code.
+    ///
+    /// Saturation is structural: the register only ever clears or keeps the
+    /// bit under trial, so a monotone comparator that answers "high" at
+    /// every trial (an over-range input) lands exactly on the all-ones code
+    /// — it can neither wrap past it nor overshoot the register width.
     pub fn convert(bits: u32, mut comparator: impl FnMut(u32) -> bool) -> u32 {
         let mut sar = Self::new(bits);
         while sar.trial_bit.is_some() {
@@ -142,6 +147,18 @@ mod tests {
         assert_eq!(ideal_convert(5, 100.0), 31);
         // Negative input gives zero.
         assert_eq!(ideal_convert(5, -3.0), 0);
+    }
+
+    #[test]
+    fn overrange_saturates_at_every_width() {
+        // The structural saturation guarantee: a comparator that always
+        // answers "high" (arbitrarily over-range input) produces the
+        // all-ones code at every register width, never a wrapped code.
+        for bits in 1..=16 {
+            let max = (1u32 << bits) - 1;
+            assert_eq!(SarRegister::convert(bits, |_| true), max, "bits={bits}");
+            assert_eq!(SarRegister::convert(bits, |_| false), 0, "bits={bits}");
+        }
     }
 
     #[test]

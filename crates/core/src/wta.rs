@@ -58,6 +58,27 @@ pub struct SpinWta {
     tech: Tech45,
 }
 
+/// The one argmax rule every select path must share: the winner of a score
+/// scan is the **lowest-index** maximal element. Equal-DOM columns are a
+/// real occurrence (duplicated templates, saturated codes), and the scalar
+/// [`SpinWta::evaluate_with`] scan, the partitioned combine and — through
+/// them — the batch and engine select phases all resolve such ties here, so
+/// the tie cannot drift between paths.
+///
+/// Returns `None` only for an empty slice.
+///
+/// Ties never reach `max_by`'s own last-wins rule: for equal scores the
+/// comparator orders strictly by descending index, so the lowest index is
+/// the unique maximum.
+#[must_use]
+pub fn argmax_lowest_index<T: Ord>(scores: &[T]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
 /// Result of one WTA evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WtaOutcome {
@@ -207,12 +228,7 @@ impl SpinWta {
 
         // --- Digital fallback: scan for argmax (ties → lowest index). ----
         let codes: Vec<u32> = conversions.iter().map(|c| c.code).collect();
-        let winner = codes
-            .iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
-            .map(|(i, _)| i)
-            .expect("non-empty by construction");
+        let winner = argmax_lowest_index(&codes).expect("non-empty by construction");
         let dom = codes[winner];
 
         // --- Energy. ------------------------------------------------------
@@ -355,6 +371,19 @@ mod tests {
             // DAC mismatch split the tie — then tracking resolved it.
             assert!(out.tracked_winner.is_some());
         }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_to_lowest_index() {
+        assert_eq!(argmax_lowest_index::<u32>(&[]), None);
+        assert_eq!(argmax_lowest_index(&[7u32]), Some(0));
+        assert_eq!(argmax_lowest_index(&[1u32, 3, 2]), Some(1));
+        // Ties at the max — every arrangement resolves to the first one.
+        assert_eq!(argmax_lowest_index(&[5u32, 5, 5]), Some(0));
+        assert_eq!(argmax_lowest_index(&[1u32, 9, 9, 4]), Some(1));
+        assert_eq!(argmax_lowest_index(&[0u32, 4, 1, 4, 4]), Some(1));
+        // Saturated codes (the over-range case) tie at full scale.
+        assert_eq!(argmax_lowest_index(&[31u32, 31]), Some(0));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! The deprecated `*_with` shims are kept only until their callers migrate
+//! to the `*_request` API. Until removal they must delegate bit-identically
+//! — same results, same RNG consumption, same telemetry counters — so they
+//! cannot drift from their replacements.
+#![allow(deprecated)]
+
+use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+use spinamm_core::degrade::DegradationPolicy;
+use spinamm_core::request::RecallRequest;
+use spinamm_faults::{FaultMap, StuckKind};
+use spinamm_telemetry::MemoryRecorder;
+
+fn patterns() -> Vec<Vec<u32>> {
+    vec![
+        vec![31, 31, 31, 31, 0, 0, 0, 0, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 31, 31, 31, 31, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 0, 0, 0, 0, 31, 31, 31, 31],
+    ]
+}
+
+fn config(fidelity: Fidelity) -> AmmConfig {
+    AmmConfig {
+        fidelity,
+        ..AmmConfig::default()
+    }
+}
+
+/// Queries that keep the session RNG busy enough to expose any divergence
+/// in consumption order between the two paths.
+fn queries() -> Vec<Vec<u32>> {
+    let mut q = Vec::new();
+    for shift in 0..3u32 {
+        for p in &patterns() {
+            q.push(p.iter().map(|&l| (l + shift) % 32).collect());
+        }
+    }
+    q
+}
+
+#[test]
+fn build_with_matches_build_request() {
+    for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+        let cfg = config(fidelity);
+        let shim_rec = MemoryRecorder::default();
+        let req_rec = MemoryRecorder::default();
+        let mut shim = AssociativeMemoryModule::build_with(&patterns(), &cfg, &shim_rec).unwrap();
+        let mut req = AssociativeMemoryModule::build_request(
+            &patterns(),
+            &cfg,
+            &RecallRequest::recorded(&req_rec),
+        )
+        .unwrap();
+        assert_eq!(
+            shim_rec.snapshot().counters,
+            req_rec.snapshot().counters,
+            "{fidelity:?}: build telemetry"
+        );
+        // The built modules are behaviourally identical: every subsequent
+        // recall (which consumes the session RNG) agrees bit for bit.
+        for q in queries() {
+            assert_eq!(
+                shim.recall(&q).unwrap(),
+                req.recall(&q).unwrap(),
+                "{fidelity:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recall_with_matches_recall_request() {
+    for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+        let cfg = config(fidelity);
+        let mut shim = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+        let mut req = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+        for q in queries() {
+            let shim_rec = MemoryRecorder::default();
+            let req_rec = MemoryRecorder::default();
+            let a = shim.recall_with(&q, &shim_rec).unwrap();
+            let b = req
+                .recall_request(&q, &RecallRequest::recorded(&req_rec))
+                .unwrap();
+            assert_eq!(a, b, "{fidelity:?}");
+            assert_eq!(
+                shim_rec.snapshot().counters,
+                req_rec.snapshot().counters,
+                "{fidelity:?}: recall telemetry"
+            );
+        }
+    }
+}
+
+#[test]
+fn recall_batch_with_matches_recall_batch_request() {
+    for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+        let cfg = config(fidelity);
+        let mut shim = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+        let mut req = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+        let inputs = queries();
+        let shim_rec = MemoryRecorder::default();
+        let req_rec = MemoryRecorder::default();
+        let a = shim.recall_batch_with(&inputs, &shim_rec).unwrap();
+        let b = req
+            .recall_batch_request(&inputs, &RecallRequest::recorded(&req_rec))
+            .unwrap();
+        assert_eq!(a, b, "{fidelity:?}");
+        assert_eq!(
+            shim_rec.snapshot().counters,
+            req_rec.snapshot().counters,
+            "{fidelity:?}: batch telemetry"
+        );
+        // Both leave the RNG in the same state.
+        for q in queries() {
+            assert_eq!(
+                shim.recall(&q).unwrap(),
+                req.recall(&q).unwrap(),
+                "{fidelity:?}: post-batch state"
+            );
+        }
+    }
+}
+
+#[test]
+fn inject_faults_with_matches_inject_faults_request() {
+    let cfg = AmmConfig {
+        spare_columns: 1,
+        ..config(Fidelity::Driven)
+    };
+    let mut shim = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+    let mut req = AssociativeMemoryModule::build(&patterns(), &cfg).unwrap();
+    let map = FaultMap::pristine(12, 4, 7)
+        .unwrap()
+        .with_stuck_cell(2, 1, StuckKind::Hrs)
+        .unwrap()
+        .with_cell_gain(5, 0, 1.2)
+        .unwrap();
+    let policy = DegradationPolicy::default();
+    let shim_rec = MemoryRecorder::default();
+    let req_rec = MemoryRecorder::default();
+    let a = shim
+        .inject_faults_with(map.clone(), &policy, &shim_rec)
+        .unwrap();
+    let b = req
+        .inject_faults_request(map, &policy, &RecallRequest::recorded(&req_rec))
+        .unwrap();
+    assert_eq!(a, b, "fault reports");
+    assert_eq!(
+        shim_rec.snapshot().counters,
+        req_rec.snapshot().counters,
+        "fault telemetry"
+    );
+    for q in queries() {
+        assert_eq!(
+            shim.recall(&q).unwrap(),
+            req.recall(&q).unwrap(),
+            "post-injection recalls"
+        );
+    }
+}

@@ -76,6 +76,47 @@ fn flat_driven_engine_is_bit_identical() {
 }
 
 #[test]
+fn duplicated_template_ties_break_to_lowest_index_through_engine() {
+    // The engine's select phase must apply the same lowest-index tie-break
+    // as a sequential recall: with an exact duplicate of template 0 stored
+    // in the last column, concurrent recalls of template 0 never report
+    // the duplicate unless it strictly out-scores the original.
+    let mut p = patterns(3, 12);
+    p.push(p[0].clone());
+    let dup = p.len() - 1;
+    let inputs: Vec<Vec<u32>> = (0..8).map(|_| p[0].clone()).collect();
+    let mut tie_seen = false;
+    for seed in 0..12u64 {
+        let cfg = AmmConfig {
+            seed,
+            ..config(Fidelity::Driven)
+        };
+        let module = AssociativeMemoryModule::build(&p, &cfg).unwrap();
+        let mut sequential = Deployment::Flat(module.clone());
+        let engine = RecallEngine::new(
+            Deployment::Flat(module),
+            &EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+            },
+        );
+        let got = engine.recall_many(&inputs).unwrap();
+        engine.shutdown();
+        for (q, response) in inputs.iter().zip(&got) {
+            let want = sequential.recall(q).unwrap();
+            assert_eq!(*response, want, "seed {seed}");
+            if let EngineResponse::Flat(r) = response {
+                if r.codes[0] == r.codes[dup] {
+                    tie_seen = true;
+                    assert_eq!(r.raw_winner, 0, "seed {seed}: tie must go to index 0");
+                }
+            }
+        }
+    }
+    assert!(tie_seen, "no seed produced an exact duplicate tie");
+}
+
+#[test]
 fn partitioned_driven_engine_is_bit_identical() {
     let p = patterns(4, 12);
     let part = PartitionedAmm::build(&p, 3, &config(Fidelity::Driven)).unwrap();
