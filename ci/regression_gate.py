@@ -16,7 +16,13 @@ Checks, per study matched by name:
   baseline;
 * the conformance study (E15) reports zero unwaived tolerance-ledger
   violations and still catches the committed intentionally-perturbed
-  repro (``injected_caught``).
+  repro (``injected_caught``);
+* the profile study (E16) stays bit-identical with every request sampled,
+  keeps its latency percentiles monotone, keeps p99 latency within
+  ``P99_FACTOR`` x the baseline row at the same worker count (with an
+  absolute floor -- hosts differ), and keeps the disabled-tracer overhead
+  ratio at or under ``NOOP_OVERHEAD_LIMIT`` (with a noise escape against
+  the baseline's own measured ratio).
 
 Failures print as a table of study / field / baseline / fresh / delta and
 exit non-zero.
@@ -30,6 +36,17 @@ import sys
 ACCURACY_TOLERANCE = 0.02
 WALL_CLOCK_FACTOR = 3.0
 ACCURACY_HEADERS = ("accuracy", "ideal", "hardware")
+
+# E16 tracing gates. The disabled tracer is the production default and must
+# be free: <= 2 % on an interleaved min-of-N comparison. Sub-microsecond
+# jitter can still trip a ratio on a noisy shared runner, so a fresh ratio
+# also passes when it is within NOOP_NOISE_ESCAPE of what the committed
+# baseline itself measured. p99 latency is host-dependent: gate at a loose
+# multiple of the baseline with an absolute floor.
+NOOP_OVERHEAD_LIMIT = 1.02
+NOOP_NOISE_ESCAPE = 0.05
+P99_FACTOR = 5.0
+P99_FLOOR_US = 1000.0
 
 
 def accuracy_cells(report):
@@ -123,6 +140,94 @@ def check_conformance(fresh_by_name, failures):
         )
 
 
+PROFILE_STUDY = "profile"
+
+
+def check_profile(baseline_by_name, fresh_by_name, failures):
+    """The profile study (E16) gates on three things: tracing never
+    perturbs results (bit-identity at sample rate 1.0), the latency
+    histogram is sane (monotone percentiles), and observability stays
+    cheap (p99 within a loose multiple of the baseline, disabled-tracer
+    overhead at or under NOOP_OVERHEAD_LIMIT)."""
+    study = fresh_by_name.get(PROFILE_STUDY)
+    if study is None:
+        return
+    report = study["report"]
+    base_study = baseline_by_name.get(PROFILE_STUDY)
+    base_report = base_study["report"] if base_study else {}
+    base_p99 = {
+        row.get("workers"): row.get("p99_us", 0.0)
+        for row in base_report.get("rows", [])
+    }
+
+    rows = report.get("rows", [])
+    if not rows:
+        failures.append((PROFILE_STUDY, "rows", ">= 1", "0", ""))
+    for k, row in enumerate(rows):
+        if row.get("bit_identical") is not True:
+            failures.append(
+                (
+                    PROFILE_STUDY,
+                    f"row {k} [bit_identical]",
+                    "true",
+                    str(row.get("bit_identical")),
+                    "",
+                )
+            )
+        if row.get("sampled") != row.get("queries"):
+            failures.append(
+                (
+                    PROFILE_STUDY,
+                    f"row {k} [sampled]",
+                    str(row.get("queries")),
+                    str(row.get("sampled")),
+                    "",
+                )
+            )
+        quantiles = [row.get(f, 0.0) for f in ("p50_us", "p90_us", "p99_us", "p999_us")]
+        if not all(a <= b for a, b in zip(quantiles, quantiles[1:])):
+            failures.append(
+                (
+                    PROFILE_STUDY,
+                    f"row {k} [percentiles]",
+                    "monotone",
+                    str(quantiles),
+                    "",
+                )
+            )
+        base = base_p99.get(row.get("workers"))
+        if base:
+            limit = max(P99_FACTOR * base, P99_FLOOR_US)
+            p99 = row.get("p99_us", 0.0)
+            if p99 > limit:
+                failures.append(
+                    (
+                        PROFILE_STUDY,
+                        f"row {k} [p99_us]",
+                        f"<= {limit:.0f}",
+                        f"{p99:.0f}",
+                        f"x{p99 / base:.2f}",
+                    )
+                )
+
+    noop = report.get("noop_overhead_ratio")
+    if noop is None:
+        failures.append((PROFILE_STUDY, "noop_overhead_ratio", "present", "MISSING", ""))
+    else:
+        base_noop = base_report.get("noop_overhead_ratio", 1.0)
+        limit = max(NOOP_OVERHEAD_LIMIT, base_noop + NOOP_NOISE_ESCAPE)
+        if noop > limit:
+            failures.append(
+                (
+                    PROFILE_STUDY,
+                    "noop_overhead_ratio",
+                    f"<= {limit:.3f}",
+                    f"{noop:.3f}",
+                    f"{noop - 1.0:+.3f}",
+                )
+            )
+
+
 def main(baseline_path, fresh_path):
     baseline = json.load(open(baseline_path))
     fresh = json.load(open(fresh_path))
@@ -148,8 +253,10 @@ def main(baseline_path, fresh_path):
                     (name, field, f"{base_value:.3f}", f"{fresh_value:.3f}", f"{delta:+.3f}")
                 )
 
+    baseline_by_name = {s["name"]: s for s in baseline["studies"]}
     check_engine_scale(fresh_by_name, failures)
     check_conformance(fresh_by_name, failures)
+    check_profile(baseline_by_name, fresh_by_name, failures)
 
     base_wall = baseline["total_wall_clock_seconds"]
     fresh_wall = fresh["total_wall_clock_seconds"]

@@ -12,11 +12,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spinamm_circuit::units::{Siemens, Volts};
-use spinamm_core::{AmmConfig, AssociativeMemoryModule, Fidelity};
+use spinamm_core::{AmmConfig, AssociativeMemoryModule, Fidelity, RecallRequest};
 use spinamm_crossbar::{
     CachedParasiticCrossbar, CrossbarArray, CrossbarGeometry, ParasiticCrossbar, RowDrive,
 };
 use spinamm_memristor::{DeviceLimits, LevelMap, WriteScheme};
+use spinamm_trace::{TraceConfig, Tracer};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -121,6 +122,30 @@ fn bench_recall_throughput(c: &mut Criterion) {
     let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
     group.bench_function("amm_batch_128x40_8q", |b| {
         b.iter(|| black_box(amm.recall_batch(&inputs).unwrap()));
+    });
+
+    // Tracing overhead: the same sequential recalls with a disabled tracer
+    // (the production default — must be free) and with a sample-everything
+    // tracer (the profiling configuration — small bounded cost).
+    let noop = Tracer::disabled();
+    let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+    group.bench_function("amm_sequential_noop_traced_128x40_8q", |b| {
+        let req = RecallRequest::DEFAULT.with_tracer(&noop);
+        b.iter(|| {
+            for input in &inputs {
+                black_box(amm.recall_request(input, &req).unwrap());
+            }
+        });
+    });
+    let sampled = Tracer::new(&TraceConfig::default());
+    let mut amm = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+    group.bench_function("amm_sequential_traced_128x40_8q", |b| {
+        let req = RecallRequest::DEFAULT.with_tracer(&sampled);
+        b.iter(|| {
+            for input in &inputs {
+                black_box(amm.recall_request(input, &req).unwrap());
+            }
+        });
     });
 
     group.finish();

@@ -1,18 +1,21 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [--quick] [--json <path>]
+//! experiments [--quick] [--json <path>] [--trace-out <path>]
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|yield|engine-scale|
-//!              conformance|all]
+//!              conformance|profile|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
 //! miniature configuration used by the test suite. `--json <path>` also
 //! writes every selected study's rows — plus a telemetry snapshot from an
 //! instrumented parasitic-fidelity recognition run — as one machine-readable
-//! JSON report (see README.md, "Observability").
+//! JSON report (see README.md, "Observability"). `--trace-out <path>`
+//! additionally persists the `profile` study's Chrome trace-event document
+//! (loadable in Perfetto / `chrome://tracing`) to `<path>` and its
+//! slow-request exemplars to `<path>.exemplars.json`.
 
 use spinamm_bench::report::{eng, Table};
 use spinamm_bench::{experiments, Scale};
@@ -47,6 +50,15 @@ fn main() -> ExitCode {
         eprintln!("--json requires a path argument");
         return ExitCode::FAILURE;
     }
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|k| args.get(k + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--trace-out") && trace_out.is_none() {
+        eprintln!("--trace-out requires a path argument");
+        return ExitCode::FAILURE;
+    }
     let mut skip_next = false;
     let mut wanted: Vec<&str> = Vec::new();
     for a in &args {
@@ -54,7 +66,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--json" {
+        if a == "--json" || a == "--trace-out" {
             skip_next = true;
         } else if !a.starts_with("--") {
             wanted.push(a.as_str());
@@ -116,6 +128,7 @@ fn main() -> ExitCode {
     section!("yield", render_yield(&scale));
     section!("engine-scale", render_engine_scale(&scale));
     section!("conformance", render_conformance(&scale));
+    section!("profile", render_profile(&scale, trace_out.as_deref()));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -155,7 +168,11 @@ struct TimedStudy {
 /// context; v5 adds the `conformance` study (E15), a flat numeric object
 /// (cases, checks, `unwaived_divergences`, `injected_caught`, observed
 /// divergence maxima, cross-decomposition agreement rates) from the
-/// cross-fidelity differential sweep plus committed-corpus replay.
+/// cross-fidelity differential sweep plus committed-corpus replay; v6 adds
+/// the `profile` study (E16) with per-worker latency percentile `rows[]`,
+/// a span-aggregate `phases[]` table (self/total wall time per pipeline
+/// phase) and the `noop_overhead_ratio` / `traced_overhead_ratio` pair
+/// that CI gates tracing cost on.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -165,7 +182,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(5)),
+        ("schema_version", JsonValue::Uint(6)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -784,6 +801,133 @@ fn render_conformance(scale: &Scale) -> Rendered {
         (
             "flat_hierarchical_agreement",
             JsonValue::Num(study.flat_hierarchical_agreement),
+        ),
+    ]);
+    Ok(section)
+}
+
+fn render_profile(scale: &Scale, trace_out: Option<&str>) -> Rendered {
+    let study = experiments::profile_study(scale)?;
+
+    if let Some(path) = trace_out {
+        let persist = std::fs::write(path, &study.chrome_trace_json)
+            .and_then(|()| std::fs::write(format!("{path}.exemplars.json"), &study.exemplars_json));
+        match persist {
+            Ok(()) => println!("wrote Chrome trace to {path} (+ {path}.exemplars.json)"),
+            Err(e) => eprintln!("--trace-out {path}: {e}"),
+        }
+    }
+
+    let mut t = Table::new(
+        "E16: recall-pipeline profile (engine, parasitic fidelity, sample rate 1.0)",
+        &[
+            "workers",
+            "queries",
+            "throughput",
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "max",
+            "queue-wait p99",
+            "bit-identical",
+        ],
+    );
+    for r in &study.rows {
+        t.row(&[
+            format!("{}", r.workers),
+            format!("{}", r.queries),
+            format!("{:.1} q/s", r.throughput_qps),
+            eng(r.p50_us * 1e-6, "s"),
+            eng(r.p90_us * 1e-6, "s"),
+            eng(r.p99_us * 1e-6, "s"),
+            eng(r.p999_us * 1e-6, "s"),
+            eng(r.max_us * 1e-6, "s"),
+            eng(r.queue_wait_p99_us * 1e-6, "s"),
+            if r.bit_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut section = Section::table(&t);
+
+    let mut phases = Table::new(
+        "E16 phases: wall time per pipeline phase (widest run, self vs total)",
+        &["phase", "count", "total", "self"],
+    );
+    for p in &study.phases {
+        phases.row(&[
+            p.name.clone(),
+            format!("{}", p.count),
+            eng(p.total_us * 1e-6, "s"),
+            eng(p.self_us * 1e-6, "s"),
+        ]);
+    }
+    section.text.push('\n');
+    section.text.push_str(&phases.render());
+    section.text.push_str(&format!(
+        "tracing overhead (sequential, min-of-N): disabled {:.3}x | sampling {:.3}x | host cpus {}\n",
+        study.noop_overhead_ratio, study.traced_overhead_ratio, study.host_cpus,
+    ));
+
+    // The JSON twin keeps numbers numeric so the CI gate can assert on
+    // p99 latency and the overhead ratios without parsing table cells.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str(
+                "E16: recall-pipeline profile (engine, parasitic fidelity, sample rate 1.0)"
+                    .to_string(),
+            ),
+        ),
+        ("host_cpus", JsonValue::Uint(study.host_cpus as u64)),
+        (
+            "noop_overhead_ratio",
+            JsonValue::Num(study.noop_overhead_ratio),
+        ),
+        (
+            "traced_overhead_ratio",
+            JsonValue::Num(study.traced_overhead_ratio),
+        ),
+        (
+            "rows",
+            JsonValue::Array(
+                study
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("workers", JsonValue::Uint(r.workers as u64)),
+                            ("queries", JsonValue::Uint(r.queries as u64)),
+                            ("wall_seconds", JsonValue::Num(r.wall_seconds)),
+                            ("throughput_qps", JsonValue::Num(r.throughput_qps)),
+                            ("p50_us", JsonValue::Num(r.p50_us)),
+                            ("p90_us", JsonValue::Num(r.p90_us)),
+                            ("p99_us", JsonValue::Num(r.p99_us)),
+                            ("p999_us", JsonValue::Num(r.p999_us)),
+                            ("max_us", JsonValue::Num(r.max_us)),
+                            ("queue_wait_p99_us", JsonValue::Num(r.queue_wait_p99_us)),
+                            ("sampled", JsonValue::Uint(r.sampled)),
+                            ("bit_identical", JsonValue::Bool(r.bit_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "phases",
+            JsonValue::Array(
+                study
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        JsonValue::object([
+                            ("name", JsonValue::Str(p.name.clone())),
+                            ("count", JsonValue::Uint(p.count)),
+                            ("total_us", JsonValue::Num(p.total_us)),
+                            ("self_us", JsonValue::Num(p.self_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ]);
     Ok(section)

@@ -1398,6 +1398,257 @@ pub fn conformance_study(scale: &Scale) -> Result<ConformanceStudy, CoreError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// E16 — recall-pipeline profiling study (tracing + latency percentiles)
+// ---------------------------------------------------------------------------
+
+/// One row of the span-aggregate flamegraph table: wall time attributed to
+/// a pipeline phase across every sampled request of the profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilePhaseRow {
+    /// Phase (span or request-kind) name, e.g. `evaluate` or `queue_wait`.
+    pub name: String,
+    /// Completed spans aggregated into the row.
+    pub count: u64,
+    /// Total wall time including children, in microseconds.
+    pub total_us: f64,
+    /// Wall time with direct children subtracted, in microseconds.
+    pub self_us: f64,
+}
+
+/// One cell of the profiling sweep: the engine serving the open-loop
+/// workload at a fixed worker count, every request sampled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Requests served (the seeded query list cycled `passes` times).
+    pub queries: usize,
+    /// Wall time for the whole submission/wait loop.
+    pub wall_seconds: f64,
+    /// Served requests per second.
+    pub throughput_qps: f64,
+    /// End-to-end latency percentiles from the tracer's log-bucketed
+    /// histogram (≤ 3.2 % bucket error), in microseconds.
+    pub p50_us: f64,
+    /// 90th percentile latency, µs.
+    pub p90_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: f64,
+    /// Worst observed latency, µs.
+    pub max_us: f64,
+    /// 99th-percentile queue wait from the recorder histogram, µs.
+    pub queue_wait_p99_us: f64,
+    /// Sampled traces completed (sample rate 1.0 → equals `queries`).
+    pub sampled: u64,
+    /// Whether every traced response was bit-identical to a sequential
+    /// recall in submission order — the invariant CI gates on.
+    pub bit_identical: bool,
+}
+
+/// The E16 profiling study: the worker sweep, the phase table from the
+/// widest run, the tracing-overhead ratios, and exportable trace JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileStudy {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// One row per engine worker count.
+    pub rows: Vec<ProfileRow>,
+    /// Span-aggregate flamegraph table from the widest-worker run,
+    /// slowest total first.
+    pub phases: Vec<ProfilePhaseRow>,
+    /// min-of-N sequential wall time with a *disabled* tracer attached,
+    /// relative to no tracer at all. The production default must be free:
+    /// CI gates this at ≤ 1.02 (with a small absolute-delta escape for
+    /// sub-microsecond jitter).
+    pub noop_overhead_ratio: f64,
+    /// The same ratio with a sample-everything tracer — the profiling
+    /// configuration. Informational: bounded but not gated as tightly.
+    pub traced_overhead_ratio: f64,
+    /// Chrome trace-event JSON (Perfetto-loadable) from the widest run.
+    pub chrome_trace_json: String,
+    /// Slow-request exemplar ring (top-N by latency) as JSON.
+    pub exemplars_json: String,
+}
+
+/// E16: profiles the recall pipeline end to end. A seeded open-loop
+/// workload is served through the sharded engine at worker counts
+/// {1, 2, 4} with a sample-everything tracer attached; every run is
+/// checked bit-for-bit against sequential recall. A separate interleaved
+/// min-of-N comparison measures what attaching a tracer costs a
+/// sequential caller (disabled and sampling configurations).
+///
+/// # Errors
+///
+/// Propagates workload/AMM/engine errors.
+pub fn profile_study(scale: &Scale) -> Result<ProfileStudy, CoreError> {
+    use spinamm_core::amm::Fidelity;
+    use spinamm_core::partition::PartitionedAmm;
+    use spinamm_core::RecallRequest;
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+    use spinamm_engine::{Deployment, EngineConfig, EngineError, EngineResponse, RecallEngine};
+    use spinamm_trace::{TraceConfig, Tracer};
+
+    let w = PatternWorkload::generate(&WorkloadConfig {
+        pattern_count: 6,
+        vector_len: 16,
+        bits: 5,
+        query_count: scale.queries.clamp(8, 24),
+        query_noise: 0.25,
+        noise_magnitude: 1,
+        similarity: 0.3,
+        seed: 0x0e16,
+    })?;
+    let cfg = AmmConfig {
+        fidelity: Fidelity::Parasitic,
+        ..AmmConfig::default()
+    };
+    // Open-loop arrival list: the seeded queries cycled so the latency
+    // histogram has enough mass for a meaningful p99.
+    let passes = if scale.queries >= 100 { 6 } else { 2 };
+    let inputs: Vec<Vec<u32>> = w
+        .queries
+        .iter()
+        .map(|(_, q)| q.clone())
+        .cycle()
+        .take(w.queries.len() * passes)
+        .collect();
+
+    let engine_err = |e: EngineError| match e {
+        EngineError::Core(c) => c,
+        EngineError::QueueFull | EngineError::ShutDown => CoreError::InvalidParameter {
+            what: "engine rejected a blocking submission",
+        },
+    };
+
+    let base = PartitionedAmm::build(&w.patterns, 2, &cfg)?;
+    let mut reference = base.clone();
+    let expected: Vec<_> = inputs
+        .iter()
+        .map(|q| reference.recall(q))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = Vec::new();
+    let mut widest: Option<std::sync::Arc<Tracer>> = None;
+    for &workers in &[1usize, 2, 4] {
+        let tracer = std::sync::Arc::new(Tracer::new(&TraceConfig {
+            sample_rate: 1.0,
+            seed: 0x0e16,
+            trace_capacity: inputs.len().max(64),
+            ..TraceConfig::default()
+        }));
+        let recorder = std::sync::Arc::new(spinamm_telemetry::MemoryRecorder::default());
+        let engine = RecallEngine::with_observability(
+            Deployment::Partitioned(base.clone()),
+            &EngineConfig {
+                workers,
+                queue_capacity: 8,
+            },
+            recorder.clone(),
+            Some(std::sync::Arc::clone(&tracer)),
+        );
+        let started = std::time::Instant::now();
+        let mut responses = Vec::with_capacity(inputs.len());
+        for window in inputs.chunks(8) {
+            responses.extend(engine.recall_many(window).map_err(engine_err)?);
+        }
+        let wall_seconds = started.elapsed().as_secs_f64().max(f64::EPSILON);
+        engine.shutdown();
+        let bit_identical = responses.len() == expected.len()
+            && responses
+                .iter()
+                .zip(&expected)
+                .all(|(r, e)| matches!(r, EngineResponse::Partitioned(p) if p == e));
+        let latency = tracer.latency();
+        let snap = recorder.snapshot();
+        let queue_wait_p99_us = snap.percentile("engine.queue_wait_ns", 0.99) / 1e3;
+        rows.push(ProfileRow {
+            workers,
+            queries: inputs.len(),
+            wall_seconds,
+            throughput_qps: inputs.len() as f64 / wall_seconds,
+            p50_us: latency.p50() / 1e3,
+            p90_us: latency.p90() / 1e3,
+            p99_us: latency.p99() / 1e3,
+            p999_us: latency.p999() / 1e3,
+            max_us: latency.max_ns() / 1e3,
+            queue_wait_p99_us,
+            sampled: tracer.sampled_count(),
+            bit_identical,
+        });
+        widest = Some(tracer);
+    }
+    let widest = widest.expect("at least one worker count profiled");
+    let phases = widest
+        .phase_rows()
+        .into_iter()
+        .map(|r| ProfilePhaseRow {
+            name: r.name.to_string(),
+            count: r.count,
+            total_us: r.total_ns as f64 / 1e3,
+            self_us: r.self_ns as f64 / 1e3,
+        })
+        .collect();
+
+    // Tracing overhead, sequentially: interleaved min-of-N passes over the
+    // same queries with (a) no tracer, (b) a disabled tracer (production
+    // default), (c) a sample-everything tracer. Separate module instances
+    // keep each variant's solver cache warm for itself; min-of-N rejects
+    // scheduler noise. Interleaving keeps slow ambient drift (thermal,
+    // frequency scaling) from biasing one variant.
+    let trials = if scale.queries >= 100 { 5 } else { 3 };
+    let mut plain = AssociativeMemoryModule::build(&w.patterns, &cfg)?;
+    let mut with_noop = AssociativeMemoryModule::build(&w.patterns, &cfg)?;
+    let mut with_sampling = AssociativeMemoryModule::build(&w.patterns, &cfg)?;
+    let noop = Tracer::disabled();
+    let sampling = Tracer::new(&TraceConfig {
+        trace_capacity: 64,
+        ..TraceConfig::default()
+    });
+    let queries: Vec<&Vec<u32>> = w.queries.iter().map(|(_, q)| q).collect();
+    // Warm every variant once (factorization + warm-start state).
+    for q in &queries {
+        plain.recall(q)?;
+        with_noop.recall(q)?;
+        with_sampling.recall(q)?;
+    }
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..trials {
+        let t0 = std::time::Instant::now();
+        for q in &queries {
+            plain.recall(q)?;
+        }
+        best[0] = best[0].min(t0.elapsed().as_secs_f64());
+
+        let req = RecallRequest::DEFAULT.with_tracer(&noop);
+        let t0 = std::time::Instant::now();
+        for q in &queries {
+            with_noop.recall_request(q, &req)?;
+        }
+        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+
+        let req = RecallRequest::DEFAULT.with_tracer(&sampling);
+        let t0 = std::time::Instant::now();
+        for q in &queries {
+            with_sampling.recall_request(q, &req)?;
+        }
+        best[2] = best[2].min(t0.elapsed().as_secs_f64());
+    }
+    let floor = best[0].max(f64::EPSILON);
+
+    Ok(ProfileStudy {
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        rows,
+        phases,
+        noop_overhead_ratio: best[1] / floor,
+        traced_overhead_ratio: best[2] / floor,
+        chrome_trace_json: widest.chrome_trace_json().render(),
+        exemplars_json: widest.exemplars_json().render(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1652,6 +1903,40 @@ mod tests {
             assert_eq!(group[0].workers, 1);
             assert!((group[0].speedup_vs_1worker - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn profile_study_quick_shape() {
+        let study = profile_study(&quick()).unwrap();
+        assert_eq!(study.rows.len(), 3);
+        assert!(study.host_cpus >= 1);
+        for r in &study.rows {
+            assert!(r.bit_identical, "{} workers diverged", r.workers);
+            assert_eq!(r.sampled, r.queries as u64, "rate-1.0 must sample all");
+            assert!(r.throughput_qps > 0.0);
+            // Percentiles of a log-bucketed histogram are monotone.
+            assert!(r.p50_us > 0.0);
+            assert!(r.p50_us <= r.p90_us);
+            assert!(r.p90_us <= r.p99_us);
+            assert!(r.p99_us <= r.p999_us);
+            assert!(r.p999_us <= r.max_us * 1.04, "bucket error bound");
+            assert!(r.queue_wait_p99_us >= 0.0);
+        }
+        // The flamegraph table covers the engine pipeline phases.
+        let names: Vec<&str> = study.phases.iter().map(|p| p.name.as_str()).collect();
+        for phase in ["engine.recall", "queue_wait", "evaluate", "select"] {
+            assert!(names.contains(&phase), "missing {phase}: {names:?}");
+        }
+        for p in &study.phases {
+            assert!(p.self_us <= p.total_us + 1e-9);
+            assert!(p.count > 0);
+        }
+        // Overhead ratios are sane (gating happens in CI against the
+        // baseline, with noise guards; here we only require positivity).
+        assert!(study.noop_overhead_ratio > 0.0);
+        assert!(study.traced_overhead_ratio > 0.0);
+        assert!(study.chrome_trace_json.contains("traceEvents"));
+        assert!(study.exemplars_json.starts_with('['));
     }
 
     #[test]

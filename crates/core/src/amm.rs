@@ -26,6 +26,7 @@ use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, RowDrive};
 use spinamm_faults::{FaultMap, LineDefect, StuckKind};
 use spinamm_memristor::{LevelMap, RetryPolicy, WriteScheme};
 use spinamm_telemetry::Recorder;
+use spinamm_trace::TraceCtx;
 
 /// How faithfully the crossbar is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -497,13 +498,14 @@ impl AssociativeMemoryModule {
         &mut self,
         drives: &[RowDrive],
         recorder: &T,
+        trace: TraceCtx<'_>,
     ) -> Result<(Vec<Amps>, Watts), CoreError> {
         match self.config.fidelity {
             Fidelity::Ideal | Fidelity::Driven => self.correlate_analytic(drives),
             Fidelity::Parasitic => {
-                let readout = self
-                    .parasitic
-                    .evaluate_with(&self.array, drives, recorder)?;
+                let readout =
+                    self.parasitic
+                        .evaluate_traced(&self.array, drives, recorder, trace)?;
                 Ok((readout.column_currents, readout.dissipated_power))
             }
         }
@@ -526,6 +528,7 @@ impl AssociativeMemoryModule {
         drives: &[Vec<RowDrive>],
         worker_override: Option<usize>,
         recorder: &T,
+        trace: TraceCtx<'_>,
     ) -> Result<Vec<Correlation>, CoreError> {
         if drives.is_empty() {
             return Ok(Vec::new());
@@ -539,14 +542,18 @@ impl AssociativeMemoryModule {
                 let mut out: Vec<Option<Result<Correlation, CoreError>>> = Vec::new();
                 out.resize_with(n, || None);
                 // Master solve: query 0 on the session evaluator itself.
-                let first = self
-                    .parasitic
-                    .evaluate_with(&self.array, &drives[0], recorder)?;
+                // Only the master query carries restamp/solve sub-spans —
+                // worker-thread queries stay untraced so a batch trace has
+                // a bounded span count regardless of batch size.
+                let first =
+                    self.parasitic
+                        .evaluate_traced(&self.array, &drives[0], recorder, trace)?;
                 out[0] = Some(Ok((first.column_currents, first.dissipated_power)));
                 let rest = &mut out[1..];
                 let workers = worker_override
                     .map_or_else(Self::batch_workers, |w| w.max(1))
                     .min(rest.len());
+                trace.attr("workers", workers as f64);
                 if workers <= 1 {
                     for (k, slot) in rest.iter_mut().enumerate() {
                         let r = self
@@ -630,8 +637,9 @@ impl AssociativeMemoryModule {
     ) -> Result<RecallResult, CoreError> {
         let recorder = req.recorder();
         let _total_span = recorder.span("recall.total");
-        let eval = self.evaluate_query_inner(levels, recorder)?;
-        self.select_winner_inner(eval, recorder)
+        let scope = req.trace_binding().begin("recall");
+        let eval = self.evaluate_query_inner(levels, recorder, scope.ctx())?;
+        self.select_winner_inner(eval, recorder, scope.ctx())
     }
 
     /// Runs the RNG-free first phase of one recognition: drive
@@ -652,21 +660,24 @@ impl AssociativeMemoryModule {
         levels: &[u32],
         req: &RecallRequest<'_, R>,
     ) -> Result<QueryEvaluation, CoreError> {
-        self.evaluate_query_inner(levels, req.recorder())
+        self.evaluate_query_inner(levels, req.recorder(), req.trace_binding().join_ctx())
     }
 
     fn evaluate_query_inner<T: Recorder>(
         &mut self,
         levels: &[u32],
         recorder: &T,
+        trace: TraceCtx<'_>,
     ) -> Result<QueryEvaluation, CoreError> {
         let drives = {
             let _drive_span = recorder.span("recall.drive");
+            let _drive_phase = trace.phase("drive");
             self.drives(levels)?
         };
         let (currents, rcm_power) = {
             let _settle_span = recorder.span("recall.settle");
-            self.correlate_with(&drives, recorder)?
+            let _settle_phase = trace.phase("settle");
+            self.correlate_with(&drives, recorder, trace)?
         };
         Ok(QueryEvaluation {
             currents,
@@ -688,13 +699,14 @@ impl AssociativeMemoryModule {
         eval: QueryEvaluation,
         req: &RecallRequest<'_, R>,
     ) -> Result<RecallResult, CoreError> {
-        self.select_winner_inner(eval, req.recorder())
+        self.select_winner_inner(eval, req.recorder(), req.trace_binding().join_ctx())
     }
 
     fn select_winner_inner<T: Recorder>(
         &mut self,
         eval: QueryEvaluation,
         recorder: &T,
+        trace: TraceCtx<'_>,
     ) -> Result<RecallResult, CoreError> {
         recorder.counter("recall.count", 1);
         let QueryEvaluation {
@@ -702,7 +714,27 @@ impl AssociativeMemoryModule {
             rcm_power,
         } = eval;
         self.condition_currents(&mut currents);
-        let outcome: WtaOutcome = self.wta.evaluate_with(&currents, &mut self.rng, recorder)?;
+        if trace.active() {
+            // Fault-management annotations: how many physical columns were
+            // gated out of the WTA and how many templates live on a
+            // non-identity (spare-remapped) column for this request.
+            let masked = self.masked.iter().filter(|&&m| m).count();
+            let remapped = self
+                .column_owner
+                .iter()
+                .enumerate()
+                .filter(|&(j, owner)| owner.is_some_and(|t| t != j))
+                .count();
+            if masked > 0 {
+                trace.attr("masked_columns", masked as f64);
+            }
+            if remapped > 0 {
+                trace.attr("remapped_columns", remapped as f64);
+            }
+        }
+        let outcome: WtaOutcome =
+            self.wta
+                .evaluate_traced(&currents, &mut self.rng, recorder, trace)?;
         Ok(self.assemble_result(outcome, currents, rcm_power))
     }
 
@@ -824,9 +856,15 @@ impl AssociativeMemoryModule {
     ) -> Result<Vec<RecallResult>, CoreError> {
         let recorder = req.recorder();
         let _batch_span = recorder.span("recall.batch");
+        // One trace covers the whole batch: phase-level spans plus
+        // restamp/solve detail for the master query, so the span count is
+        // bounded no matter how many queries ride along.
+        let scope = req.trace_binding().begin("recall.batch");
+        scope.attr("queries", inputs.len() as f64);
         // Phase 0 (RNG-free): validate every input and build its drives.
         let drives: Vec<Vec<RowDrive>> = {
             let _drive_span = recorder.span("recall.drive");
+            let _drive_phase = scope.phase("drive");
             inputs
                 .iter()
                 .map(|levels| self.drives(levels.as_ref()))
@@ -835,17 +873,22 @@ impl AssociativeMemoryModule {
         // Phase 1 (RNG-free, parallel in parasitic mode): column currents.
         let evaluated = {
             let _settle_span = recorder.span("recall.settle");
-            self.correlate_batch(&drives, req.workers(), recorder)?
+            let _settle_phase = scope.phase("settle");
+            self.correlate_batch(&drives, req.workers(), recorder, scope.ctx())?
         };
         // Phase 2: sequential WTA/ADC, consuming the RNG in query order.
+        // Per-query convert/select spans are suppressed for the same
+        // bounded-size reason; the "select" phase covers the whole loop.
+        let select_phase = scope.phase("select");
         let mut results = Vec::with_capacity(evaluated.len());
         for (currents, rcm_power) in evaluated {
             let eval = QueryEvaluation {
                 currents,
                 rcm_power,
             };
-            results.push(self.select_winner_inner(eval, recorder)?);
+            results.push(self.select_winner_inner(eval, recorder, TraceCtx::NONE)?);
         }
+        drop(select_phase);
         Ok(results)
     }
 

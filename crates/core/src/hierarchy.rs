@@ -259,8 +259,18 @@ impl HierarchicalAmm {
             return Ok(Vec::new());
         }
         let _span = req.recorder().span("hierarchy.batch");
+        // The hierarchical batch is one traced request; both levels run
+        // with tracing stripped and contribute externally timed spans
+        // (stage A as a whole, then one span per active cluster).
+        let scope = req.trace_binding().begin("hierarchy.batch");
+        scope.attr("queries", inputs.len() as f64);
+        let inner = req.untraced();
         // Stage A: centroid match for every query, in order.
-        let top_results = self.top.recall_batch_request(inputs, req)?;
+        let top_t0 = scope.active().then(std::time::Instant::now);
+        let top_results = self.top.recall_batch_request(inputs, &inner)?;
+        if let Some(t0) = top_t0 {
+            scope.span_at("hierarchy.top", t0, t0.elapsed(), &[]);
+        }
         // Group queries by selected cluster, preserving submission order.
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.clusters.len()];
         for (q, r) in top_results.iter().enumerate() {
@@ -270,19 +280,31 @@ impl HierarchicalAmm {
         // its own scoped thread (independent modules, independent RNGs).
         let mut per_cluster: Vec<Option<Result<Vec<RecallResult>, CoreError>>> =
             (0..self.clusters.len()).map(|_| None).collect();
+        let ctx = scope.ctx();
         std::thread::scope(|s| {
-            for ((cluster, slot), group) in self
+            for (c, ((cluster, slot), group)) in self
                 .clusters
                 .iter_mut()
                 .zip(per_cluster.iter_mut())
                 .zip(&groups)
+                .enumerate()
             {
                 if group.is_empty() {
                     continue;
                 }
                 let sub: Vec<&[u32]> = group.iter().map(|&q| inputs[q].as_ref()).collect();
+                let inner = &inner;
                 s.spawn(move || {
-                    *slot = Some(cluster.module.recall_batch_request(&sub, req));
+                    let t0 = ctx.active().then(std::time::Instant::now);
+                    *slot = Some(cluster.module.recall_batch_request(&sub, inner));
+                    if let Some(t0) = t0 {
+                        ctx.span_at(
+                            "hierarchy.cluster",
+                            t0,
+                            t0.elapsed(),
+                            &[("cluster", c as f64), ("queries", sub.len() as f64)],
+                        );
+                    }
                 });
             }
         });

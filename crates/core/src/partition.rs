@@ -17,6 +17,7 @@ use crate::request::RecallRequest;
 use crate::CoreError;
 use spinamm_circuit::units::Seconds;
 use spinamm_telemetry::Recorder;
+use std::time::Instant;
 
 /// An associative memory whose rows are partitioned across several modules.
 ///
@@ -203,6 +204,13 @@ impl PartitionedAmm {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        // The partitioned batch is one traced request; segment modules run
+        // with tracing stripped (each would otherwise begin its own
+        // trace) and contribute one externally timed span apiece instead.
+        let scope = req.trace_binding().begin("partition.batch");
+        scope.attr("queries", inputs.len() as f64);
+        scope.attr("segments", self.segments.len() as f64);
+        let inner = req.untraced();
         let mut per_seg: Vec<Option<Result<Vec<RecallResult>, CoreError>>> =
             (0..self.segments.len()).map(|_| None).collect();
         if self.segments.len() == 1 {
@@ -211,16 +219,32 @@ impl PartitionedAmm {
                 .iter()
                 .map(|i| &i.as_ref()[seg.start..seg.end])
                 .collect();
-            per_seg[0] = Some(seg.module.recall_batch_request(&sub, req));
+            let t0 = scope.active().then(Instant::now);
+            per_seg[0] = Some(seg.module.recall_batch_request(&sub, &inner));
+            if let Some(t0) = t0 {
+                scope.span_at("partition.segment", t0, t0.elapsed(), &[("segment", 0.0)]);
+            }
         } else {
+            let ctx = scope.ctx();
             std::thread::scope(|s| {
-                for (seg, slot) in self.segments.iter_mut().zip(per_seg.iter_mut()) {
+                for (k, (seg, slot)) in self.segments.iter_mut().zip(per_seg.iter_mut()).enumerate()
+                {
                     let sub: Vec<&[u32]> = inputs
                         .iter()
                         .map(|i| &i.as_ref()[seg.start..seg.end])
                         .collect();
+                    let inner = &inner;
                     s.spawn(move || {
-                        *slot = Some(seg.module.recall_batch_request(&sub, req));
+                        let t0 = ctx.active().then(Instant::now);
+                        *slot = Some(seg.module.recall_batch_request(&sub, inner));
+                        if let Some(t0) = t0 {
+                            ctx.span_at(
+                                "partition.segment",
+                                t0,
+                                t0.elapsed(),
+                                &[("segment", k as f64)],
+                            );
+                        }
                     });
                 }
             });
@@ -254,11 +278,28 @@ impl PartitionedAmm {
                 found: input.len(),
             });
         }
+        // Per-shard attribution for an enclosing (engine) trace: segment
+        // modules run untraced and each contributes one "shard.settle"
+        // span instead of generic drive/settle spans per shard.
+        let ctx = req.trace_binding().join_ctx();
+        let inner = req.untraced();
         self.segments
             .iter_mut()
-            .map(|seg| {
-                seg.module
-                    .evaluate_query_request(&input[seg.start..seg.end], req)
+            .enumerate()
+            .map(|(k, seg)| {
+                let t0 = ctx.active().then(Instant::now);
+                let eval = seg
+                    .module
+                    .evaluate_query_request(&input[seg.start..seg.end], &inner);
+                if let Some(t0) = t0 {
+                    ctx.span_at(
+                        "shard.settle",
+                        t0,
+                        t0.elapsed(),
+                        &[("shard", k as f64), ("rows", (seg.end - seg.start) as f64)],
+                    );
+                }
+                eval
             })
             .collect()
     }
@@ -283,11 +324,21 @@ impl PartitionedAmm {
                 what: "one evaluation per segment is required",
             });
         }
+        let ctx = req.trace_binding().join_ctx();
+        let inner = req.untraced();
         let results: Vec<RecallResult> = self
             .segments
             .iter_mut()
             .zip(evals)
-            .map(|(seg, eval)| seg.module.select_winner_request(eval, req))
+            .enumerate()
+            .map(|(k, (seg, eval))| {
+                let t0 = ctx.active().then(Instant::now);
+                let result = seg.module.select_winner_request(eval, &inner);
+                if let Some(t0) = t0 {
+                    ctx.span_at("shard.select", t0, t0.elapsed(), &[("shard", k as f64)]);
+                }
+                result
+            })
             .collect::<Result<_, _>>()?;
         Ok(self.combine(results.iter()))
     }

@@ -27,23 +27,26 @@
 //! ```
 
 use spinamm_telemetry::{NoopRecorder, Recorder};
+use spinamm_trace::{ReqHandle, TraceBinding, Tracer};
 
 /// Options for one recall-pipeline operation: the telemetry sink plus
 /// execution knobs. Construct with [`RecallRequest::DEFAULT`] (silent) or
 /// [`RecallRequest::recorded`], then chain builder methods.
 ///
-/// Options are observational or scheduling-only: for any recorder and any
-/// worker count the numerical results are bit-identical.
+/// Options are observational or scheduling-only: for any recorder, any
+/// tracer and any worker count the numerical results are bit-identical.
 pub struct RecallRequest<'r, R: Recorder = NoopRecorder> {
     recorder: &'r R,
     workers: Option<usize>,
+    trace: TraceBinding<'r>,
 }
 
 impl RecallRequest<'static, NoopRecorder> {
-    /// The silent request: no telemetry, automatic worker count.
+    /// The silent request: no telemetry, no tracing, automatic workers.
     pub const DEFAULT: Self = Self {
         recorder: &NoopRecorder,
         workers: None,
+        trace: TraceBinding::Off,
     };
 }
 
@@ -59,6 +62,7 @@ impl<'r, R: Recorder> RecallRequest<'r, R> {
         Self {
             recorder,
             workers: None,
+            trace: TraceBinding::Off,
         }
     }
 
@@ -82,6 +86,41 @@ impl<'r, R: Recorder> RecallRequest<'r, R> {
     #[must_use]
     pub const fn workers(&self) -> Option<usize> {
         self.workers
+    }
+
+    /// Attaches a [`Tracer`] that samples each top-level recall (or batch)
+    /// through this request as its own traced request. Tracing is purely
+    /// observational: the sampling decision hashes a tracer-internal
+    /// request index and never touches the pipeline RNG, so results are
+    /// bit-identical with tracing on or off.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &'r Tracer) -> Self {
+        self.trace = TraceBinding::Sampled(tracer);
+        self
+    }
+
+    /// Runs this request *inside* an already-open traced request (an
+    /// engine job): spans attach to `handle`, and the caller — not this
+    /// request — finishes it.
+    #[must_use]
+    pub fn with_trace_handle(mut self, tracer: &'r Tracer, handle: ReqHandle) -> Self {
+        self.trace = TraceBinding::Joined(tracer, handle);
+        self
+    }
+
+    /// Strips any tracer binding, keeping recorder and workers. Wrapper
+    /// layers (partitioned/hierarchical batch) use this to trace the outer
+    /// operation once instead of re-sampling every inner module call.
+    #[must_use]
+    pub fn untraced(mut self) -> Self {
+        self.trace = TraceBinding::Off;
+        self
+    }
+
+    /// The tracing binding.
+    #[must_use]
+    pub fn trace_binding(&self) -> TraceBinding<'r> {
+        self.trace
     }
 }
 
@@ -124,5 +163,19 @@ mod tests {
         let copy = req;
         assert_eq!(copy.workers(), Some(3));
         assert!(format!("{req:?}").contains("workers"));
+    }
+
+    #[test]
+    fn trace_binding_modes_round_trip() {
+        use spinamm_trace::{TraceConfig, Tracer};
+        assert!(RecallRequest::DEFAULT.trace_binding().is_off());
+        let tracer = Tracer::new(&TraceConfig::default());
+        let req = RecallRequest::DEFAULT.with_tracer(&tracer);
+        assert!(!req.trace_binding().is_off());
+        assert!(req.untraced().trace_binding().is_off());
+        let handle = tracer.begin("engine.recall");
+        let joined = RecallRequest::DEFAULT.with_trace_handle(&tracer, handle);
+        assert!(joined.trace_binding().join_ctx().active());
+        tracer.finish(handle);
     }
 }

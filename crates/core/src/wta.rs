@@ -24,6 +24,7 @@ use rand::Rng;
 use spinamm_circuit::units::{switched_capacitor_energy, Amps, Farads, Joules, Seconds};
 use spinamm_cmos::Tech45;
 use spinamm_telemetry::{NoopRecorder, Recorder};
+use spinamm_trace::TraceCtx;
 
 /// The multi-column converter + tracker.
 ///
@@ -179,6 +180,24 @@ impl SpinWta {
         rng: &mut R,
         recorder: &T,
     ) -> Result<WtaOutcome, CoreError> {
+        self.evaluate_traced(currents, rng, recorder, TraceCtx::NONE)
+    }
+
+    /// Like [`SpinWta::evaluate_with`], additionally attaching `"convert"`
+    /// and `"select"` spans to a live per-request trace. Tracing is
+    /// observation-only; RNG consumption and the outcome are bit-identical
+    /// to [`SpinWta::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWta::evaluate`].
+    pub fn evaluate_traced<R: Rng + ?Sized, T: Recorder>(
+        &self,
+        currents: &[Amps],
+        rng: &mut R,
+        recorder: &T,
+        trace: TraceCtx<'_>,
+    ) -> Result<WtaOutcome, CoreError> {
         if currents.len() != self.adcs.len() {
             return Err(CoreError::InputLengthMismatch {
                 expected: self.adcs.len(),
@@ -186,14 +205,18 @@ impl SpinWta {
             });
         }
         let convert_span = recorder.span("recall.convert");
+        let convert_phase = trace.phase("convert");
         let conversions: Vec<AdcConversion> = self
             .adcs
             .iter()
             .zip(currents)
             .map(|(adc, &i)| adc.convert_with(i, rng, recorder))
             .collect::<Result<_, _>>()?;
+        convert_phase.attr("columns", self.adcs.len() as f64);
+        drop(convert_phase);
         drop(convert_span);
         let _select_span = recorder.span("recall.select");
+        let _select_phase = trace.phase("select");
 
         let bits = self.bits();
         let n = self.adcs.len();

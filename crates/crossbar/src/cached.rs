@@ -36,6 +36,7 @@ use spinamm_circuit::prelude::*;
 use spinamm_circuit::units::Amps;
 use spinamm_circuit::{ElementId, PreparedSystem};
 use spinamm_telemetry::{NoopRecorder, Recorder};
+use spinamm_trace::TraceCtx;
 
 /// Discriminant of a [`RowDrive`] — a cached netlist is only valid for
 /// queries whose per-row drive kinds match the ones it was built for.
@@ -171,6 +172,27 @@ impl CachedParasiticCrossbar {
         drives: &[RowDrive],
         recorder: &T,
     ) -> Result<ColumnReadout, CrossbarError> {
+        self.evaluate_traced(array, drives, recorder, TraceCtx::NONE)
+    }
+
+    /// Like [`CachedParasiticCrossbar::evaluate_with`], additionally
+    /// attaching per-request trace spans when `trace` is live: a
+    /// `"restamp"` span over the value-only restamp and a `"solve"` span
+    /// over the linear solve, the latter carrying `cg_iterations`,
+    /// `residual` and `factorization_reused` attributes. Tracing is
+    /// observation-only; the readout is bit-identical to
+    /// [`CachedParasiticCrossbar::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CachedParasiticCrossbar::evaluate`].
+    pub fn evaluate_traced<T: Recorder>(
+        &mut self,
+        array: &CrossbarArray,
+        drives: &[RowDrive],
+        recorder: &T,
+        trace: TraceCtx<'_>,
+    ) -> Result<ColumnReadout, CrossbarError> {
         if drives.len() != array.rows() {
             return Err(CrossbarError::InputLengthMismatch {
                 expected: array.rows(),
@@ -194,6 +216,7 @@ impl CachedParasiticCrossbar {
         let session = self.session.as_mut().expect("session built above");
 
         // Value-only restamp: every setter no-ops on unchanged values.
+        let restamp_phase = trace.phase("restamp");
         for i in 0..session.rows {
             for j in 0..session.cols {
                 let g = array.conductance(i, j).expect("bounded by construction");
@@ -223,8 +246,21 @@ impl CachedParasiticCrossbar {
                 }
             }
         }
+        drop(restamp_phase);
 
+        let solve_phase = trace.phase("solve");
         let (sol, report) = session.prepared.solve_report()?;
+        solve_phase.attr("cg_iterations", report.stats.iterations as f64);
+        solve_phase.attr("residual", report.stats.residual);
+        solve_phase.attr(
+            "factorization_reused",
+            if report.factorization_reused {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        drop(solve_phase);
         recorder.counter("crossbar.solves", 1);
         recorder.counter("crossbar.settle_iterations", report.stats.iterations as u64);
         recorder.gauge("crossbar.solver_residual", report.stats.residual);

@@ -53,6 +53,7 @@ use spinamm_core::partition::{PartitionedAmm, PartitionedRecall};
 use spinamm_core::request::RecallRequest;
 use spinamm_core::CoreError;
 use spinamm_telemetry::{NoopRecorder, Recorder};
+use spinamm_trace::{ReqHandle, TraceCtx, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -236,7 +237,12 @@ enum Stage {
 struct Job {
     seq: u64,
     stage: Stage,
+    /// When the original query entered the engine (latency reference).
     submitted: Instant,
+    /// When this job (re-)entered a queue — stage-B jobs get a fresh
+    /// timestamp at dispatch, so queue-wait accounting stays per-hop.
+    enqueued: Instant,
+    trace: Option<ReqHandle>,
 }
 
 struct QueueState {
@@ -253,6 +259,18 @@ struct Shared {
     capacity: usize,
     tickets: Mutex<HashMap<u64, mpsc::Sender<Result<EngineResponse, EngineError>>>>,
     recorder: SharedRecorder,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl Shared {
+    /// The tracing context of one in-flight request, inert without a
+    /// tracer.
+    fn trace_ctx(&self, handle: Option<ReqHandle>) -> TraceCtx<'_> {
+        match (&self.tracer, handle) {
+            (Some(tracer), Some(h)) => TraceCtx::joined(tracer, h),
+            _ => TraceCtx::NONE,
+        }
+    }
 }
 
 /// A worker's phase-1 output: everything the sequencer needs to finish the
@@ -272,6 +290,7 @@ enum Phase1 {
 struct WorkerOut {
     seq: u64,
     submitted: Instant,
+    trace: Option<ReqHandle>,
     phase1: Result<Phase1, CoreError>,
 }
 
@@ -303,6 +322,25 @@ impl RecallEngine {
         config: &EngineConfig,
         recorder: SharedRecorder,
     ) -> Self {
+        Self::with_observability(deployment, config, recorder, None)
+    }
+
+    /// Starts an engine with full observability: the recorder telemetry of
+    /// [`RecallEngine::with_recorder`] plus, when `tracer` is given,
+    /// per-request span trees. Each submission becomes one
+    /// `"engine.recall"` request; its trace carries a `"queue_wait"` span
+    /// per queue hop, an `"evaluate"` span per worker phase (with
+    /// `worker`, and `cluster` for stage-B hops, as attributes) wrapping
+    /// the core drive/settle/solve spans, and a `"select"` span for the
+    /// sequencer's RNG phase. Tracing is observation-only: responses are
+    /// bit-identical with or without it.
+    #[must_use]
+    pub fn with_observability(
+        deployment: Deployment,
+        config: &EngineConfig,
+        recorder: SharedRecorder,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -316,6 +354,7 @@ impl RecallEngine {
             capacity: config.queue_capacity.max(1),
             tickets: Mutex::new(HashMap::new()),
             recorder,
+            tracer,
         });
         let (tx, rx) = mpsc::channel::<WorkerOut>();
         let workers = (0..worker_count)
@@ -382,10 +421,17 @@ impl RecallEngine {
             .lock()
             .expect("ticket lock")
             .insert(seq, tx);
+        let now = Instant::now();
         state.external.push_back(Job {
             seq,
             stage: Stage::Primary(Arc::new(input.to_vec())),
-            submitted: Instant::now(),
+            submitted: now,
+            enqueued: now,
+            trace: self
+                .shared
+                .tracer
+                .as_deref()
+                .map(|t| t.begin("engine.recall")),
         });
         recorder.counter("engine.submitted", 1);
         recorder.gauge(
@@ -505,8 +551,31 @@ fn worker_loop(
             }
         };
         let Some(job) = job else { return };
+        let wait = job.enqueued.elapsed();
+        if recorder.is_enabled() {
+            recorder.observe("engine.queue_wait_ns", wait.as_secs_f64() * 1e9);
+        }
+        let ctx = shared.trace_ctx(job.trace);
+        let traced_req;
+        let req = if let (Some(tracer), Some(h)) = (&shared.tracer, job.trace) {
+            ctx.span_at("queue_wait", job.enqueued, wait, &[("worker", idx as f64)]);
+            traced_req = req.with_trace_handle(tracer, h);
+            &traced_req
+        } else {
+            &req
+        };
         let t0 = Instant::now();
-        let phase1 = run_phase1(&mut deployment, &job.stage, &req);
+        let phase1 = {
+            let phase = ctx.phase(match &job.stage {
+                Stage::Primary(_) => "evaluate",
+                Stage::Member { .. } => "evaluate.member",
+            });
+            phase.attr("worker", idx as f64);
+            if let Stage::Member { cluster, .. } = &job.stage {
+                phase.attr("cluster", *cluster as f64);
+            }
+            run_phase1(&mut deployment, &job.stage, req)
+        };
         if recorder.is_enabled() {
             let dt = t0.elapsed().as_secs_f64();
             busy += dt;
@@ -525,6 +594,7 @@ fn worker_loop(
         let sent = out.send(WorkerOut {
             seq: job.seq,
             submitted: job.submitted,
+            trace: job.trace,
             phase1,
         });
         if sent.is_err() {
@@ -578,11 +648,20 @@ fn respond(
     shared: &Shared,
     seq: u64,
     submitted: Instant,
+    trace: Option<ReqHandle>,
     response: Result<EngineResponse, EngineError>,
 ) {
     let recorder = &shared.recorder;
     if recorder.is_enabled() {
         recorder.observe("engine.latency_seconds", submitted.elapsed().as_secs_f64());
+        // Re-sample the depth gauge at completion: submissions and
+        // dequeues alone leave it stuck at its high-water mark once the
+        // queues drain.
+        let state = shared.state.lock().expect("queue lock");
+        recorder.gauge(
+            "engine.queue_depth",
+            (state.external.len() + state.internal.len()) as f64,
+        );
     }
     recorder.counter(
         if response.is_ok() {
@@ -592,6 +671,9 @@ fn respond(
         },
         1,
     );
+    if let (Some(tracer), Some(h)) = (&shared.tracer, trace) {
+        tracer.finish(h);
+    }
     let tx = shared.tickets.lock().expect("ticket lock").remove(&seq);
     if let Some(tx) = tx {
         let _ = tx.send(response);
@@ -606,7 +688,8 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
         _ => 0,
     };
     // Primary phase-1 results waiting for their submission-order turn.
-    let mut primary: BTreeMap<u64, (Instant, Result<Phase1, CoreError>)> = BTreeMap::new();
+    type Pending<T> = (Instant, Option<ReqHandle>, Result<T, CoreError>);
+    let mut primary: BTreeMap<u64, Pending<Phase1>> = BTreeMap::new();
     let mut next_primary: u64 = 0;
     // Hierarchical stage-B bookkeeping: which cluster each dispatched seq
     // went to, its stage-A result, the per-cluster expected select order,
@@ -614,36 +697,49 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
     let mut member_cluster: HashMap<u64, usize> = HashMap::new();
     let mut tops: HashMap<u64, RecallResult> = HashMap::new();
     let mut expected: Vec<VecDeque<u64>> = vec![VecDeque::new(); cluster_count];
-    let mut members: HashMap<u64, (Instant, Result<QueryEvaluation, CoreError>)> = HashMap::new();
+    let mut members: HashMap<u64, Pending<QueryEvaluation>> = HashMap::new();
 
     while let Ok(msg) = rx.recv() {
         match msg.phase1 {
             Ok(Phase1::Member { eval }) => {
-                members.insert(msg.seq, (msg.submitted, Ok(eval)));
+                members.insert(msg.seq, (msg.submitted, msg.trace, Ok(eval)));
             }
             Err(e) if member_cluster.contains_key(&msg.seq) => {
-                members.insert(msg.seq, (msg.submitted, Err(e)));
+                members.insert(msg.seq, (msg.submitted, msg.trace, Err(e)));
             }
             other => {
-                primary.insert(msg.seq, (msg.submitted, other));
+                primary.insert(msg.seq, (msg.submitted, msg.trace, other));
             }
         }
 
         // Primary selections run strictly in submission order: stall until
         // the next expected sequence number has evaluated.
-        while let Some((submitted, result)) = primary.remove(&next_primary) {
+        while let Some((submitted, trace, result)) = primary.remove(&next_primary) {
             let seq = next_primary;
             next_primary += 1;
             match result {
-                Err(e) => respond(shared, seq, submitted, Err(EngineError::Core(e))),
+                Err(e) => respond(shared, seq, submitted, trace, Err(EngineError::Core(e))),
                 Ok(phase1) => {
+                    let ctx = shared.trace_ctx(trace);
+                    let traced_req;
+                    let job_req = if let (Some(tracer), Some(h)) = (&shared.tracer, trace) {
+                        traced_req = req.with_trace_handle(tracer, h);
+                        &traced_req
+                    } else {
+                        &req
+                    };
                     let t0 = recorder.is_enabled().then(Instant::now);
-                    let outcome = select_primary(&mut master, phase1, &req);
+                    let outcome = {
+                        let _select_phase = ctx.phase("select");
+                        select_primary(&mut master, phase1, job_req)
+                    };
                     if let Some(t0) = t0 {
                         recorder.record_span("engine.select", t0.elapsed().as_secs_f64());
                     }
                     match outcome {
-                        SelectOutcome::Done(response) => respond(shared, seq, submitted, response),
+                        SelectOutcome::Done(response) => {
+                            respond(shared, seq, submitted, trace, response);
+                        }
                         SelectOutcome::MemberDispatch {
                             cluster,
                             input,
@@ -658,6 +754,8 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
                                     seq,
                                     stage: Stage::Member { cluster, input },
                                     submitted,
+                                    enqueued: Instant::now(),
+                                    trace,
                                 });
                             }
                             shared.job_ready.notify_one();
@@ -671,7 +769,7 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
         // cluster module owns its RNG, so clusters are independent).
         for (cluster, queue) in expected.iter_mut().enumerate() {
             while let Some(&seq) = queue.front() {
-                let Some((submitted, result)) = members.remove(&seq) else {
+                let Some((submitted, trace, result)) = members.remove(&seq) else {
                     break;
                 };
                 queue.pop_front();
@@ -681,11 +779,22 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
                     .expect("stage-A result stored at dispatch");
                 let response = match (&mut master, result) {
                     (Deployment::Hierarchical(h), Ok(eval)) => {
+                        let ctx = shared.trace_ctx(trace);
+                        let traced_req;
+                        let job_req = if let (Some(tracer), Some(h)) = (&shared.tracer, trace) {
+                            traced_req = req.with_trace_handle(tracer, h);
+                            &traced_req
+                        } else {
+                            &req
+                        };
                         let t0 = recorder.is_enabled().then(Instant::now);
-                        let r = h
-                            .select_member_request(cluster, eval, &top, &req)
-                            .map(EngineResponse::Hierarchical)
-                            .map_err(EngineError::from);
+                        let r = {
+                            let select_phase = ctx.phase("select.member");
+                            select_phase.attr("cluster", cluster as f64);
+                            h.select_member_request(cluster, eval, &top, job_req)
+                                .map(EngineResponse::Hierarchical)
+                                .map_err(EngineError::from)
+                        };
                         if let Some(t0) = t0 {
                             recorder.record_span("engine.select", t0.elapsed().as_secs_f64());
                         }
@@ -696,7 +805,7 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
                         what: "member-stage result on a non-hierarchical deployment",
                     })),
                 };
-                respond(shared, seq, submitted, response);
+                respond(shared, seq, submitted, trace, response);
             }
         }
     }

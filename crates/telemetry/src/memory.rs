@@ -37,16 +37,24 @@ impl Series {
         }
     }
 
-    fn stats(&self) -> HistStats {
+    fn sorted(&self) -> Vec<f64> {
         let mut sorted = self.samples.clone();
         sorted.sort_by(f64::total_cmp);
+        sorted
+    }
+
+    fn stats(&self) -> HistStats {
+        let sorted = self.sorted();
         HistStats {
             count: self.count,
             sum: self.sum,
             min: self.min,
             max: self.max,
             p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
             p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            p999: percentile(&sorted, 0.999),
         }
     }
 }
@@ -102,6 +110,16 @@ impl MemoryRecorder {
                 .collect(),
             events: inner.events.clone(),
             dropped_events: inner.dropped_events,
+            histogram_samples: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.sorted()))
+                .collect(),
+            span_samples: inner
+                .spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.sorted()))
+                .collect(),
         }
     }
 

@@ -17,8 +17,14 @@ pub struct HistStats {
     pub max: f64,
     /// Median (nearest rank over retained samples).
     pub p50: f64,
+    /// 90th percentile (nearest rank over retained samples).
+    pub p90: f64,
     /// 95th percentile (nearest rank over retained samples).
     pub p95: f64,
+    /// 99th percentile (nearest rank over retained samples).
+    pub p99: f64,
+    /// 99.9th percentile (nearest rank over retained samples).
+    pub p999: f64,
 }
 
 impl HistStats {
@@ -40,7 +46,10 @@ impl HistStats {
             ("min", JsonValue::Num(self.min)),
             ("max", JsonValue::Num(self.max)),
             ("p50", JsonValue::Num(self.p50)),
+            ("p90", JsonValue::Num(self.p90)),
             ("p95", JsonValue::Num(self.p95)),
+            ("p99", JsonValue::Num(self.p99)),
+            ("p999", JsonValue::Num(self.p999)),
         ])
     }
 }
@@ -69,6 +78,11 @@ pub struct TelemetrySnapshot {
     pub events: Vec<TelemetryEvent>,
     /// Events dropped once the retention cap was hit.
     pub dropped_events: u64,
+    /// Retained histogram samples, ascending-sorted per name — the basis
+    /// of [`TelemetrySnapshot::percentile`] at arbitrary quantiles.
+    pub histogram_samples: BTreeMap<String, Vec<f64>>,
+    /// Retained span samples (seconds), ascending-sorted per name.
+    pub span_samples: BTreeMap<String, Vec<f64>>,
 }
 
 impl TelemetrySnapshot {
@@ -88,6 +102,27 @@ impl TelemetrySnapshot {
     #[must_use]
     pub fn histogram_stats(&self, name: &str) -> Option<&HistStats> {
         self.histograms.get(name)
+    }
+
+    /// Nearest-rank percentile of a histogram (or, when no histogram has
+    /// the name, a span series) at an arbitrary quantile `q ∈ [0, 1]`,
+    /// computed over the retained samples. Returns `NaN` for an unknown
+    /// name or an empty series; a single-sample series answers that sample
+    /// for every `q`.
+    #[must_use]
+    pub fn percentile(&self, name: &str, q: f64) -> f64 {
+        let sorted = self
+            .histogram_samples
+            .get(name)
+            .or_else(|| self.span_samples.get(name));
+        let Some(sorted) = sorted else {
+            return f64::NAN;
+        };
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
     /// Structured JSON value of the whole snapshot (stable, sorted keys).
@@ -262,6 +297,51 @@ mod tests {
     }
 
     #[test]
+    fn percentile_pins_exact_values_on_known_contents() {
+        let r = MemoryRecorder::default();
+        for v in 1..=100 {
+            r.observe("h", f64::from(v));
+        }
+        let s = r.snapshot();
+        // Nearest rank over 100 ascending samples: p(q) = ceil(100q)-th.
+        assert_eq!(s.percentile("h", 0.50), 50.0);
+        assert_eq!(s.percentile("h", 0.90), 90.0);
+        assert_eq!(s.percentile("h", 0.99), 99.0);
+        assert_eq!(s.percentile("h", 0.999), 100.0);
+        assert_eq!(s.percentile("h", 0.0), 1.0);
+        assert_eq!(s.percentile("h", 1.0), 100.0);
+        // Quantiles between ranks resolve to the next rank up.
+        assert_eq!(s.percentile("h", 0.505), 51.0);
+        let h = s.histogram_stats("h").unwrap();
+        assert_eq!(
+            (h.p50, h.p90, h.p95, h.p99, h.p999),
+            (50.0, 90.0, 95.0, 99.0, 100.0)
+        );
+    }
+
+    #[test]
+    fn percentile_single_sample_and_span_fallback() {
+        let r = MemoryRecorder::default();
+        r.observe("one", 7.5);
+        r.record_span("recall.total", 0.25);
+        let s = r.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile("one", q), 7.5, "single sample at q={q}");
+        }
+        // Span series answer when no histogram has the name.
+        assert_eq!(s.percentile("recall.total", 0.5), 0.25);
+    }
+
+    #[test]
+    fn percentile_of_empty_or_unknown_is_nan() {
+        let s = TelemetrySnapshot::default();
+        assert!(s.percentile("absent", 0.5).is_nan());
+        let mut s = TelemetrySnapshot::default();
+        s.histogram_samples.insert("empty".to_owned(), Vec::new());
+        assert!(s.percentile("empty", 0.5).is_nan());
+    }
+
+    #[test]
     fn mean_of_empty_is_nan_and_json_null() {
         let h = HistStats {
             count: 0,
@@ -269,7 +349,10 @@ mod tests {
             min: f64::NAN,
             max: f64::NAN,
             p50: f64::NAN,
+            p90: f64::NAN,
             p95: f64::NAN,
+            p99: f64::NAN,
+            p999: f64::NAN,
         };
         assert!(h.mean().is_nan());
         assert!(h.to_json().render().contains("null"));

@@ -1,0 +1,257 @@
+//! [`LatencyHistogram`]: an HDR-style log-bucketed latency distribution
+//! with exact-per-bucket percentile accessors.
+
+/// Linear sub-buckets per power-of-two octave: 2^5 = 32, giving a worst
+/// case quantization error of 1/32 ≈ 3.1 % of the value.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// One linear range `[0, 32)` plus 59 octaves of 32 sub-buckets covers
+/// every nanosecond count up to `u64::MAX` (≈ 585 years).
+const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+/// Maps a nanosecond value to its bucket index. Values below 32 map to
+/// themselves (exact); larger values keep their top five significant bits
+/// (bounded relative error). The mapping is monotone and contiguous.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let group = msb - SUB_BITS;
+        let sub = ((v >> group) & (SUB - 1)) as usize;
+        (((group as usize) + 1) << SUB_BITS) + sub
+    }
+}
+
+/// The smallest value mapping to bucket `i` — the deterministic
+/// representative reported by the percentile accessors. Exact for values
+/// below 64 ns, a lower bound within 3.1 % above.
+fn value_of(i: usize) -> u64 {
+    if i < SUB as usize {
+        i as u64
+    } else {
+        let group = (i >> SUB_BITS as usize) as u32 - 1;
+        let sub = (i as u64) & (SUB - 1);
+        (SUB + sub) << group
+    }
+}
+
+/// A log-bucketed (HDR-style) histogram of request latencies in
+/// nanoseconds.
+///
+/// Recording is O(1) with no allocation after construction; `count`,
+/// `sum`, `min` and `max` stay exact at any volume, and percentiles
+/// resolve to a deterministic bucket representative with ≤ 3.1 % relative
+/// error (exact below 64 ns).
+///
+/// ```
+/// use spinamm_trace::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.percentile(0.5), 50.0); // exact below 64 ns
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum += u128::from(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample, `NaN` when empty.
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min as f64
+        }
+    }
+
+    /// Exact largest sample, `NaN` when empty.
+    #[must_use]
+    pub fn max_ns(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max as f64
+        }
+    }
+
+    /// Exact arithmetic mean, `NaN` when empty.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile in nanoseconds: the representative (lower
+    /// bound) of the bucket holding the ⌈q·n⌉-th smallest sample. `NaN`
+    /// when empty; `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return value_of(i) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median latency in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile latency in nanoseconds.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile latency in nanoseconds.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_contiguous() {
+        // Exhaustive over the exact range, spot checks above.
+        for v in 0..64u64 {
+            assert_eq!(bucket_of(v), v as usize, "exact range must map 1:1");
+            assert_eq!(value_of(bucket_of(v)), v);
+        }
+        let mut prev = bucket_of(63);
+        for v in [64u64, 65, 100, 127, 128, 1000, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket order broke at {v}");
+            assert!(value_of(b) <= v, "representative exceeds value at {v}");
+            // Representative stays within 1/32 of the value.
+            assert!((v - value_of(b)) as f64 <= v as f64 / 32.0 + 1.0);
+            prev = b;
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn empty_percentiles_are_nan() {
+        let h = LatencyHistogram::new();
+        assert!(h.p50().is_nan());
+        assert!(h.p999().is_nan());
+        assert!(h.mean_ns().is_nan());
+        assert!(h.min_ns().is_nan());
+        assert!(h.max_ns().is_nan());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 42.0);
+        }
+        assert_eq!(h.mean_ns(), 42.0);
+    }
+
+    #[test]
+    fn uniform_1_to_100_pins_exact_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p90(), 90.0);
+        // 99 and 100 both exceed 64 ns: bucket lower bounds.
+        assert_eq!(h.p99(), value_of(bucket_of(99)) as f64);
+        assert_eq!(h.percentile(1.0), value_of(bucket_of(100)) as f64);
+        assert_eq!(h.mean_ns(), 50.5);
+        assert_eq!(h.max_ns(), 100.0);
+    }
+
+    #[test]
+    fn coarse_bucket_representative_is_deterministic() {
+        // 1000 ns: msb = 9, group = 4, sub = (1000 >> 4) & 31 = 30,
+        // representative = (32 + 30) << 4 = 992.
+        assert_eq!(bucket_of(1000), bucket_of(992));
+        assert_eq!(value_of(bucket_of(1000)), 992);
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.p50(), 992.0);
+        assert_eq!(h.max_ns(), 1000.0, "min/max stay exact");
+    }
+
+    #[test]
+    fn tail_percentiles_separate_from_body() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.p50(), 10.0);
+        assert_eq!(h.p99(), 10.0);
+        assert_eq!(h.p999(), 10.0);
+        assert_eq!(h.percentile(1.0), (1u64 << 20) as f64);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests of the sampling contract: rate 0.0 yields no traces,
+//! rate 1.0 yields exactly one per request, and the captured span trees
+//! are identical across reruns at a fixed seed.
+
+use proptest::prelude::*;
+use spinamm_trace::{TraceBinding, TraceConfig, Tracer};
+
+/// Replays a small deterministic workload whose span shape depends on the
+/// request index, returning the captured structures.
+fn run_workload(tracer: &Tracer, requests: usize) -> Vec<Vec<(u16, &'static str)>> {
+    let binding = TraceBinding::Sampled(tracer);
+    for i in 0..requests {
+        let scope = binding.begin(if i % 2 == 0 {
+            "recall"
+        } else {
+            "engine.recall"
+        });
+        {
+            let _drive = scope.phase("drive");
+        }
+        {
+            let settle = scope.phase("settle");
+            settle.attr("cg_iterations", i as f64);
+            if i % 3 == 0 {
+                let _solve = scope.phase("solve");
+            }
+        }
+        let _select = scope.phase("select");
+    }
+    tracer.traces().iter().map(|t| t.structure()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rate_zero_yields_zero_traces(requests in 0usize..64, seed in any::<u64>()) {
+        let tracer = Tracer::new(&TraceConfig {
+            sample_rate: 0.0,
+            seed,
+            ..TraceConfig::default()
+        });
+        let structures = run_workload(&tracer, requests);
+        prop_assert!(structures.is_empty());
+        prop_assert_eq!(tracer.sampled_count(), 0);
+        // The latency histogram still sees every request.
+        prop_assert_eq!(tracer.request_count(), requests as u64);
+    }
+
+    #[test]
+    fn rate_one_yields_one_identical_trace_per_request(
+        requests in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let config = TraceConfig {
+            sample_rate: 1.0,
+            seed,
+            ..TraceConfig::default()
+        };
+        let first = Tracer::new(&config);
+        let second = Tracer::new(&config);
+        let a = run_workload(&first, requests);
+        let b = run_workload(&second, requests);
+        prop_assert_eq!(first.sampled_count(), requests as u64);
+        prop_assert_eq!(a.len(), requests);
+        prop_assert_eq!(a, b, "rerun at a fixed seed must capture identical span trees");
+    }
+
+    #[test]
+    fn partial_rate_is_deterministic_and_bounded(
+        requests in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let config = TraceConfig {
+            sample_rate: 0.5,
+            seed,
+            ..TraceConfig::default()
+        };
+        let first = Tracer::new(&config);
+        let second = Tracer::new(&config);
+        let a = run_workload(&first, requests);
+        let b = run_workload(&second, requests);
+        prop_assert_eq!(a, b);
+        prop_assert!(first.sampled_count() <= requests as u64);
+        prop_assert_eq!(first.request_count(), requests as u64);
+    }
+}
