@@ -22,7 +22,13 @@ Checks, per study matched by name:
   ``P99_FACTOR`` x the baseline row at the same worker count (with an
   absolute floor -- hosts differ), and keeps the disabled-tracer overhead
   ratio at or under ``NOOP_OVERHEAD_LIMIT`` (with a noise escape against
-  the baseline's own measured ratio).
+  the baseline's own measured ratio);
+* the plan study (E17) keeps every f64 compiled-plan row bit-identical to
+  interpreted recall, keeps the driven-fidelity plan speedup at or above
+  ``PLAN_MIN_SPEEDUP`` (an interleaved min-of-N ratio on the same host,
+  so it is host-independent enough to gate), and reports zero f32-tier
+  results outside the tolerance-ledger budgets
+  (``f32_unwaived_divergences == 0``).
 
 Failures print as a table of study / field / baseline / fresh / delta and
 exit non-zero.
@@ -47,6 +53,13 @@ NOOP_OVERHEAD_LIMIT = 1.02
 NOOP_NOISE_ESCAPE = 0.05
 P99_FACTOR = 5.0
 P99_FLOOR_US = 1000.0
+
+# E17 compiled-plan gate. The speedup is a ratio of two interleaved
+# min-of-N passes on the same host, so it cancels machine speed; the
+# driven (analytic) fidelity is the gated row because there the flat
+# kernel is the entire query. The parasitic row is informational -- both
+# sides share the cached nodal solve, which dominates that fidelity.
+PLAN_MIN_SPEEDUP = 5.0
 
 
 def accuracy_cells(report):
@@ -228,6 +241,55 @@ def check_profile(baseline_by_name, fresh_by_name, failures):
             )
 
 
+PLAN_STUDY = "plan"
+
+
+def check_plan(fresh_by_name, failures):
+    """The plan study (E17) gates on the compiled-path contract: f64 plans
+    are bit-identical to interpreted recall (a False cell is a correctness
+    bug, not noise), the driven-fidelity plan keeps its headline speedup,
+    and the opt-in f32 tier stays inside its tolerance-ledger budgets."""
+    study = fresh_by_name.get(PLAN_STUDY)
+    if study is None:
+        return
+    report = study["report"]
+    rows = report.get("rows", [])
+    if not rows:
+        failures.append((PLAN_STUDY, "rows", ">= 1", "0", ""))
+    driven_speedup = None
+    for row in rows:
+        fidelity = row.get("fidelity", "?")
+        if row.get("bit_identical") is not True:
+            failures.append(
+                (
+                    PLAN_STUDY,
+                    f"{fidelity} [bit_identical]",
+                    "true",
+                    str(row.get("bit_identical")),
+                    "",
+                )
+            )
+        if fidelity == "driven":
+            driven_speedup = row.get("speedup", 0.0)
+    if driven_speedup is None:
+        failures.append((PLAN_STUDY, "driven row", "present", "MISSING", ""))
+    elif driven_speedup < PLAN_MIN_SPEEDUP:
+        failures.append(
+            (
+                PLAN_STUDY,
+                "driven [speedup]",
+                f">= {PLAN_MIN_SPEEDUP:.1f}",
+                f"{driven_speedup:.2f}",
+                "",
+            )
+        )
+    unwaived = report.get("f32_unwaived_divergences")
+    if unwaived != 0:
+        failures.append(
+            (PLAN_STUDY, "f32_unwaived_divergences", "0", str(unwaived), "")
+        )
+
+
 def main(baseline_path, fresh_path):
     baseline = json.load(open(baseline_path))
     fresh = json.load(open(fresh_path))
@@ -257,6 +319,7 @@ def main(baseline_path, fresh_path):
     check_engine_scale(fresh_by_name, failures)
     check_conformance(fresh_by_name, failures)
     check_profile(baseline_by_name, fresh_by_name, failures)
+    check_plan(fresh_by_name, failures)
 
     base_wall = baseline["total_wall_clock_seconds"]
     fresh_wall = fresh["total_wall_clock_seconds"]

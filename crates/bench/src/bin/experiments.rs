@@ -5,7 +5,7 @@
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|yield|engine-scale|
-//!              conformance|profile|all]
+//!              conformance|profile|plan|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -129,6 +129,7 @@ fn main() -> ExitCode {
     section!("engine-scale", render_engine_scale(&scale));
     section!("conformance", render_conformance(&scale));
     section!("profile", render_profile(&scale, trace_out.as_deref()));
+    section!("plan", render_plan(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -172,7 +173,11 @@ struct TimedStudy {
 /// the `profile` study (E16) with per-worker latency percentile `rows[]`,
 /// a span-aggregate `phases[]` table (self/total wall time per pipeline
 /// phase) and the `noop_overhead_ratio` / `traced_overhead_ratio` pair
-/// that CI gates tracing cost on.
+/// that CI gates tracing cost on; v7 adds the `plan` study (E17) with
+/// per-fidelity interpreted-vs-compiled-plan speedup `rows[]` (each
+/// carrying the f64 `bit_identical` verdict) plus the flat f32-tier audit
+/// fields (`f32_unwaived_divergences`, observed maxima, `f32_speedup`)
+/// that CI pins alongside the ≥5× driven-plan speedup floor.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -182,7 +187,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(6)),
+        ("schema_version", JsonValue::Uint(7)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -924,6 +929,93 @@ fn render_profile(scale: &Scale, trace_out: Option<&str>) -> Rendered {
                             ("count", JsonValue::Uint(p.count)),
                             ("total_us", JsonValue::Num(p.total_us)),
                             ("self_us", JsonValue::Num(p.self_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(section)
+}
+
+fn render_plan(scale: &Scale) -> Rendered {
+    let study = experiments::plan_study(scale)?;
+    let mut t = Table::new(
+        "E17: compiled recall plans (128x40, interpreted vs plan, interleaved min-of-N)",
+        &[
+            "fidelity",
+            "queries",
+            "interpreted",
+            "plan",
+            "speedup",
+            "bit-identical",
+        ],
+    );
+    for r in &study.rows {
+        t.row(&[
+            r.fidelity.to_string(),
+            format!("{}", r.queries),
+            eng(r.interpreted_seconds, "s"),
+            eng(r.plan_seconds, "s"),
+            format!("{:.1}x", r.speedup),
+            if r.bit_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut section = Section::table(&t);
+    section.text.push_str(&format!(
+        "f32 tier (driven): {} queries, {} unwaived divergences, max |dDOM| {} LSB, \
+         max current drift {:.2e}, {:.2}x over f64 plan | host cpus {}\n",
+        study.f32_queries,
+        study.f32_unwaived_divergences,
+        study.f32_max_dom_lsb,
+        study.f32_max_current_rel,
+        study.f32_speedup,
+        study.host_cpus,
+    ));
+
+    // The JSON twin keeps numbers numeric so the CI gate can pin the
+    // driven-plan speedup floor, the f64 bit-identity verdicts, and the
+    // f32 divergence count without parsing table cells.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str(
+                "E17: compiled recall plans (128x40, interpreted vs plan, interleaved min-of-N)"
+                    .to_string(),
+            ),
+        ),
+        ("host_cpus", JsonValue::Uint(study.host_cpus as u64)),
+        ("f32_queries", JsonValue::Uint(study.f32_queries)),
+        (
+            "f32_unwaived_divergences",
+            JsonValue::Uint(study.f32_unwaived_divergences),
+        ),
+        (
+            "f32_max_dom_lsb",
+            JsonValue::Uint(u64::from(study.f32_max_dom_lsb)),
+        ),
+        (
+            "f32_max_current_rel",
+            JsonValue::Num(study.f32_max_current_rel),
+        ),
+        ("f32_speedup", JsonValue::Num(study.f32_speedup)),
+        (
+            "rows",
+            JsonValue::Array(
+                study
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("fidelity", JsonValue::Str(r.fidelity.to_string())),
+                            ("queries", JsonValue::Uint(r.queries as u64)),
+                            (
+                                "interpreted_seconds",
+                                JsonValue::Num(r.interpreted_seconds),
+                            ),
+                            ("plan_seconds", JsonValue::Num(r.plan_seconds)),
+                            ("speedup", JsonValue::Num(r.speedup)),
+                            ("bit_identical", JsonValue::Bool(r.bit_identical)),
                         ])
                     })
                     .collect(),

@@ -1166,6 +1166,7 @@ pub fn engine_scale_study(scale: &Scale) -> Result<EngineScaleStudy, CoreError> 
                     &EngineConfig {
                         workers,
                         queue_capacity: batch,
+                        use_plans: false,
                     },
                 );
                 let started = std::time::Instant::now();
@@ -1545,6 +1546,7 @@ pub fn profile_study(scale: &Scale) -> Result<ProfileStudy, CoreError> {
             &EngineConfig {
                 workers,
                 queue_capacity: 8,
+                use_plans: false,
             },
             recorder.clone(),
             Some(std::sync::Arc::clone(&tracer)),
@@ -1646,6 +1648,195 @@ pub fn profile_study(scale: &Scale) -> Result<ProfileStudy, CoreError> {
         traced_overhead_ratio: best[2] / floor,
         chrome_trace_json: widest.chrome_trace_json().render(),
         exemplars_json: widest.exemplars_json().render(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// E17 — compiled recall plans (speedup vs interpreted + f32 tier audit)
+// ---------------------------------------------------------------------------
+
+/// One fidelity's interpreted-vs-plan timing comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Fidelity the deployment was lowered from.
+    pub fidelity: &'static str,
+    /// Queries per timed pass.
+    pub queries: usize,
+    /// Best interpreted pass (interleaved min-of-N seconds).
+    pub interpreted_seconds: f64,
+    /// Best compiled-plan pass (interleaved min-of-N seconds).
+    pub plan_seconds: f64,
+    /// `interpreted_seconds / plan_seconds`.
+    pub speedup: f64,
+    /// Whether every plan execution reproduced interpreted recall bit for
+    /// bit (the f64 contract; CI gates on this, not the timings).
+    pub bit_identical: bool,
+}
+
+/// The compiled-plan study: per-fidelity speedups at the paper-headline
+/// 128×40 geometry plus the f32 fast-tier divergence audit against the
+/// tolerance ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStudy {
+    /// Host parallelism the timings were measured on.
+    pub host_cpus: usize,
+    /// One row per fidelity, f64 plans.
+    pub rows: Vec<PlanRow>,
+    /// Queries audited through the f32 tier.
+    pub f32_queries: u64,
+    /// f32-tier results outside the `plan_f32_*` ledger budgets (dom,
+    /// non-near-tie winner flips, or column-current drift). CI pins 0.
+    pub f32_unwaived_divergences: u64,
+    /// Max |ΔDOM| observed between the f64 and f32 tiers.
+    pub f32_max_dom_lsb: u32,
+    /// Max relative column-current error observed between the tiers.
+    pub f32_max_current_rel: f64,
+    /// f64-plan-vs-f32-plan wall ratio on the driven deployment.
+    pub f32_speedup: f64,
+}
+
+/// The winner's code margin over the best other column.
+fn code_margin(codes: &[u32], winner: usize) -> u32 {
+    codes
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != winner)
+        .map(|(_, &c)| c)
+        .max()
+        .map_or_else(|| codes[winner], |r| codes[winner].saturating_sub(r))
+}
+
+/// E17: compiles each fidelity's 128×40 deployment into a [`spinamm_core::plan::RecallPlan`]
+/// and measures interpreted vs plan execution interleaved (each round times
+/// both sides back to back; each keeps its best round), verifying f64
+/// bit-identity on the way. The f32 fast tier is then audited query by
+/// query against the [`spinamm_conformance::ToleranceLedger`] budgets.
+///
+/// # Errors
+///
+/// Propagates AMM build / compile / recall errors.
+pub fn plan_study(scale: &Scale) -> Result<PlanStudy, CoreError> {
+    use spinamm_conformance::ToleranceLedger;
+    use spinamm_core::amm::Fidelity;
+    use spinamm_core::plan::{PlanOptions, PlanPrecision};
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    const ROWS: usize = 128;
+    const COLS: usize = 40;
+    let patterns: Vec<Vec<u32>> = (0..COLS)
+        .map(|j| (0..ROWS).map(|i| ((i * 5 + j * 3) % 32) as u32).collect())
+        .collect();
+    let query_count = scale.queries.clamp(4, 16);
+    let inputs: Vec<Vec<u32>> = (0..query_count)
+        .map(|q| (0..ROWS).map(|i| ((i * 7 + q * 11) % 32) as u32).collect())
+        .collect();
+    let rounds = if scale.queries >= 100 { 5 } else { 3 };
+
+    let mut rows = Vec::new();
+    for (fidelity, name) in [
+        (Fidelity::Ideal, "ideal"),
+        (Fidelity::Driven, "driven"),
+        (Fidelity::Parasitic, "parasitic"),
+    ] {
+        let cfg = AmmConfig {
+            fidelity,
+            ..AmmConfig::default()
+        };
+        let mut interp = AssociativeMemoryModule::build(&patterns, &cfg)?;
+        let source = AssociativeMemoryModule::build(&patterns, &cfg)?;
+        let mut plan = source.compile_plan(PlanOptions::default())?;
+        // Bit-identity pass (doubles as session/plan warm-up).
+        let mut bit_identical = true;
+        for q in &inputs {
+            if interp.recall(q)? != plan.execute(q)? {
+                bit_identical = false;
+            }
+        }
+        let mut best_interp = f64::MAX;
+        let mut best_plan = f64::MAX;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for q in &inputs {
+                black_box(interp.recall(q)?);
+            }
+            best_interp = best_interp.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            for q in &inputs {
+                black_box(plan.execute(q)?);
+            }
+            best_plan = best_plan.min(t0.elapsed().as_secs_f64());
+        }
+        let plan_floor = best_plan.max(f64::EPSILON);
+        rows.push(PlanRow {
+            fidelity: name,
+            queries: inputs.len(),
+            interpreted_seconds: best_interp,
+            plan_seconds: best_plan,
+            speedup: best_interp / plan_floor,
+            bit_identical,
+        });
+    }
+
+    // f32 fast-tier audit on the driven deployment, against the ledger.
+    let ledger = ToleranceLedger::DEFAULT;
+    let cfg = AmmConfig {
+        fidelity: Fidelity::Driven,
+        ..AmmConfig::default()
+    };
+    let source = AssociativeMemoryModule::build(&patterns, &cfg)?;
+    let mut f64_plan = source.compile_plan(PlanOptions::default())?;
+    let mut f32_plan = source.compile_plan(PlanOptions {
+        precision: PlanPrecision::F32,
+    })?;
+    let mut unwaived = 0u64;
+    let mut max_dom = 0u32;
+    let mut max_rel = 0.0f64;
+    for q in &inputs {
+        let want = f64_plan.execute(q)?;
+        let got = f32_plan.execute(q)?;
+        let delta = got.dom.abs_diff(want.dom);
+        max_dom = max_dom.max(delta);
+        if delta > ledger.plan_f32_dom_lsb {
+            unwaived += 1;
+        }
+        if got.raw_winner != want.raw_winner
+            && (code_margin(&got.codes, got.raw_winner) > ledger.tie_margin_lsb
+                || code_margin(&want.codes, want.raw_winner) > ledger.tie_margin_lsb)
+        {
+            unwaived += 1;
+        }
+        for (fast_i, ref_i) in got.column_currents.iter().zip(&want.column_currents) {
+            let rel = (fast_i.0 - ref_i.0).abs() / ref_i.0.abs().max(1e-12);
+            max_rel = max_rel.max(rel);
+            if rel > ledger.plan_f32_current_rel {
+                unwaived += 1;
+            }
+        }
+    }
+    let mut best_f64 = f64::MAX;
+    let mut best_f32 = f64::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for q in &inputs {
+            black_box(f64_plan.execute(q)?);
+        }
+        best_f64 = best_f64.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for q in &inputs {
+            black_box(f32_plan.execute(q)?);
+        }
+        best_f32 = best_f32.min(t0.elapsed().as_secs_f64());
+    }
+
+    Ok(PlanStudy {
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        rows,
+        f32_queries: inputs.len() as u64,
+        f32_unwaived_divergences: unwaived,
+        f32_max_dom_lsb: max_dom,
+        f32_max_current_rel: max_rel,
+        f32_speedup: best_f64 / best_f32.max(f64::EPSILON),
     })
 }
 
@@ -1957,6 +2148,24 @@ mod tests {
         assert!(study.fresh_repros.is_empty());
         assert!(study.flat_partitioned_agreement >= 0.90);
         assert!(study.flat_hierarchical_agreement >= 0.85);
+    }
+
+    #[test]
+    fn plan_study_is_bit_identical_and_in_budget() {
+        let study = plan_study(&quick()).unwrap();
+        assert_eq!(study.rows.len(), 3);
+        for r in &study.rows {
+            assert!(r.bit_identical, "{} plan diverged from interpreted", r.fidelity);
+            assert!(r.plan_seconds > 0.0 && r.interpreted_seconds > 0.0);
+        }
+        assert_eq!(study.f32_unwaived_divergences, 0);
+        assert!(study.f32_queries > 0);
+        assert!(study.f32_max_current_rel >= 0.0);
+        // Timing thresholds live in ci/regression_gate.py, not here — a
+        // loaded test host must not flake the suite. Only sanity-order:
+        // the driven plan must not be slower than interpreted.
+        let driven = study.rows.iter().find(|r| r.fidelity == "driven").unwrap();
+        assert!(driven.speedup > 1.0, "driven speedup {}", driven.speedup);
     }
 
     #[test]

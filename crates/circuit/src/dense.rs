@@ -379,6 +379,27 @@ impl CholeskyFactor {
             });
         }
         let mut x = b.to_vec();
+        self.solve_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` in place: `x` holds `b` on entry and the solution on
+    /// exit. No allocation; the arithmetic is identical to
+    /// [`CholeskyFactor::solve`], so results are bit-for-bit the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DimensionMismatch`] if `x.len()` differs from
+    /// the factored dimension.
+    #[allow(clippy::needless_range_loop)] // indexed triangular solves read clearer
+    pub fn solve_into(&self, x: &mut [f64]) -> Result<(), CircuitError> {
+        let n = self.n;
+        if x.len() != n {
+            return Err(CircuitError::DimensionMismatch {
+                expected: n,
+                found: x.len(),
+            });
+        }
         // Forward: L·y = b.
         for i in 0..n {
             let mut s = x[i];
@@ -395,7 +416,35 @@ impl CholeskyFactor {
             }
             x[i] = s / self.l[i * n + i];
         }
-        Ok(x)
+        Ok(())
+    }
+
+    /// Solves `A·X = B` for a column block of right-hand sides stored
+    /// contiguously (`block` is `k` concatenated length-`n` columns, solved
+    /// in place). One factorization amortized over the whole block; each
+    /// column goes through the same substitutions as
+    /// [`CholeskyFactor::solve`], so per-column results are bit-identical
+    /// to `k` independent solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DimensionMismatch`] if `block.len()` is not a
+    /// multiple of the factored dimension.
+    pub fn solve_block(&self, block: &mut [f64]) -> Result<(), CircuitError> {
+        let n = self.n;
+        if n == 0 {
+            return Ok(());
+        }
+        if block.len() % n != 0 {
+            return Err(CircuitError::DimensionMismatch {
+                expected: n,
+                found: block.len(),
+            });
+        }
+        for col in block.chunks_exact_mut(n) {
+            self.solve_into(col)?;
+        }
+        Ok(())
     }
 }
 
@@ -487,6 +536,40 @@ mod tests {
         for (u, v) in x_lu.iter().zip(&x_ch) {
             assert!((u - v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cholesky_solve_into_and_block_bit_match_solve() {
+        let a =
+            DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0]).unwrap();
+        let ch = a.cholesky().unwrap();
+        let rhs = [[1.0, 2.0, 3.0], [-0.5, 0.25, 7.0], [1e-9, 2e3, -4.0]];
+
+        // solve_into is bit-identical to solve.
+        for b in &rhs {
+            let reference = ch.solve(b).unwrap();
+            let mut x = b.to_vec();
+            ch.solve_into(&mut x).unwrap();
+            assert_eq!(x, reference);
+        }
+
+        // solve_block is bit-identical per column.
+        let mut block: Vec<f64> = rhs.iter().flatten().copied().collect();
+        ch.solve_block(&mut block).unwrap();
+        for (k, b) in rhs.iter().enumerate() {
+            let reference = ch.solve(b).unwrap();
+            assert_eq!(&block[k * 3..(k + 1) * 3], reference.as_slice());
+        }
+
+        // Dimension errors.
+        assert!(matches!(
+            ch.solve_into(&mut [0.0; 2]),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            ch.solve_block(&mut [0.0; 4]),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod dense;
+pub mod multi_rhs;
 pub mod netlist;
 pub mod prepared;
 pub mod solve;
@@ -55,6 +56,7 @@ pub mod transient;
 pub mod units;
 
 pub use dense::DenseMatrix;
+pub use multi_rhs::{MultiRhsReport, RhsQuery, RhsUpdate};
 pub use netlist::{ElementId, Netlist, NodeId};
 pub use prepared::{PreparedSolveReport, PreparedSystem};
 pub use solve::{DcSolution, SolveMethod, SolveStats};

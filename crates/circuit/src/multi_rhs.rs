@@ -1,0 +1,293 @@
+//! Multi-RHS batched solves: one Cholesky factorization applied to a
+//! column block of right-hand sides.
+//!
+//! `recall_batch` and engine workloads push many queries through one
+//! prepared topology where only *sources* change between queries — current
+//! injections and clamp levels. Those are RHS-only updates: the reduced
+//! conductance matrix (and therefore its factor) is identical for every
+//! query, so the batch collapses to a single factorization followed by one
+//! pair of triangular substitutions per column ([`CholeskyFactor::solve_block`]).
+//!
+//! Two honest limits, both enforced here rather than papered over:
+//!
+//! * **Conductance drives break the block.** The AMM's driven/parasitic
+//!   fidelities model DAC rows as *source conductances*, which change
+//!   matrix entries per query; a batch containing such updates cannot share
+//!   a factor and must fall back to sequential prepared solves. This
+//!   module only accepts [`RhsUpdate`]s (currents and clamps), making the
+//!   RHS-only contract a type-level guarantee.
+//! * **Dense backend only.** The CG backend has no factor to amortize; the
+//!   batch falls back to sequential warm-started prepared solves and says
+//!   so in the report.
+//!
+//! Per-column results are bit-identical to the same queries solved
+//! sequentially through [`PreparedSystem::solve_report`]: the RHS assembly,
+//! triangular substitutions, scatter and branch-current reconstruction are
+//! the same code in the same order (`prepared_tests::solve_multi_rhs_bit_matches_sequential`
+//! pins this).
+//!
+//! [`CholeskyFactor::solve_block`]: crate::dense::CholeskyFactor::solve_block
+
+use crate::netlist::ElementId;
+use crate::prepared::PreparedSystem;
+use crate::solve::DcSolution;
+use crate::units::{Amps, Volts};
+use crate::CircuitError;
+
+/// One RHS-only element update: the only kinds of change a query may make
+/// if it wants to share a factorization with its batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RhsUpdate {
+    /// Set a current source's value.
+    Current(Amps),
+    /// Set a clamp's voltage.
+    Clamp(Volts),
+}
+
+/// One query of a multi-RHS batch: the updates to apply before solving.
+///
+/// Every query must set **every element that varies anywhere in the
+/// batch** — updates are applied cumulatively, so an element a query omits
+/// keeps the previous query's value.
+pub type RhsQuery = Vec<(ElementId, RhsUpdate)>;
+
+/// What a [`PreparedSystem::solve_multi_rhs`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiRhsReport {
+    /// Number of queries solved.
+    pub queries: usize,
+    /// Reduced unknowns per column.
+    pub unknowns: usize,
+    /// `true` when the single-factorization block path ran; `false` means
+    /// the sequential fallback (CG backend) handled the batch.
+    pub blocked: bool,
+    /// Fresh factorizations performed (0 when a cached factor covered the
+    /// whole block, 1 when the block built one; fallback reports 0).
+    pub factorizations: usize,
+}
+
+impl PreparedSystem {
+    /// Solves a batch of RHS-only queries against this prepared topology,
+    /// amortizing one Cholesky factorization over the whole block.
+    ///
+    /// Dense backend: stages one RHS column per query, factors at most
+    /// once, then runs [`CholeskyFactor::solve_block`] and reconstructs a
+    /// full [`DcSolution`] per query (branch currents computed under that
+    /// query's element values). CG backend: sequential warm-started
+    /// prepared solves. Both paths return solutions bit-identical to
+    /// calling [`PreparedSystem::solve_report`] once per query.
+    ///
+    /// Factor-reuse accounting matches the sequential path: every column
+    /// solved against an already-cached factor counts as one reuse in
+    /// [`PreparedSystem::factorization_reuses`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSystem::solve_report`] plus the setter
+    /// validation of [`PreparedSystem::set_current`] /
+    /// [`PreparedSystem::set_clamp`].
+    ///
+    /// [`CholeskyFactor::solve_block`]: crate::dense::CholeskyFactor::solve_block
+    pub fn solve_multi_rhs(
+        &mut self,
+        queries: &[RhsQuery],
+    ) -> Result<(Vec<DcSolution>, MultiRhsReport), CircuitError> {
+        let k = queries.len();
+        let mut report = MultiRhsReport {
+            queries: k,
+            unknowns: self.unknowns(),
+            blocked: false,
+            factorizations: 0,
+        };
+        if k == 0 {
+            return Ok((Vec::new(), report));
+        }
+        if !self.uses_dense_backend() {
+            let mut out = Vec::with_capacity(k);
+            for q in queries {
+                apply_updates(self, q)?;
+                let (sol, _) = self.solve_report()?;
+                out.push(sol);
+            }
+            return Ok((out, report));
+        }
+
+        // Stage every RHS column and its clamp-seeded voltage vector.
+        let m = self.unknowns();
+        let mut block = Vec::with_capacity(k * m);
+        let mut seeds: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut col = Vec::with_capacity(m);
+        for q in queries {
+            apply_updates(self, q)?;
+            let mut seed = Vec::new();
+            self.stage_rhs(&mut col, &mut seed)?;
+            block.extend_from_slice(&col);
+            seeds.push(seed);
+        }
+
+        // One factorization for the whole block; reuse accounting matches
+        // k sequential solves (each column after the factor-building one
+        // counts as a reuse).
+        let reused = self.ensure_dense_factor()?;
+        if !reused {
+            report.factorizations = 1;
+        }
+        self.note_factor_reuses(if reused { k as u64 } else { k as u64 - 1 });
+        self.dense_factor()
+            .expect("dense factor ensured above")
+            .solve_block(&mut block)?;
+        report.blocked = true;
+
+        // Reconstruct full solutions: per-query clamp seed + scattered
+        // interior voltages + branch currents under that query's updates.
+        let mut out = Vec::with_capacity(k);
+        for (qi, q) in queries.iter().enumerate() {
+            apply_updates(self, q)?;
+            self.refresh_clamps()?;
+            let mut voltages = std::mem::take(&mut seeds[qi]);
+            self.scatter_free(&block[qi * m..(qi + 1) * m], &mut voltages);
+            out.push(self.solution_from_voltages(voltages));
+        }
+        Ok((out, report))
+    }
+}
+
+fn apply_updates(sys: &mut PreparedSystem, updates: &[(ElementId, RhsUpdate)]) -> Result<(), CircuitError> {
+    for &(id, u) in updates {
+        match u {
+            RhsUpdate::Current(a) => sys.set_current(id, a)?,
+            RhsUpdate::Clamp(v) => sys.set_clamp(id, v)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod prepared_tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::solve::SolveMethod;
+    use crate::sparse::ConjugateGradient;
+    use crate::units::{Ohms, Siemens};
+
+    /// Ladder with one clamp and one current source: both RHS-only knobs.
+    fn ladder() -> (Netlist, ElementId, ElementId) {
+        let mut net = Netlist::new();
+        let nodes = net.nodes(5);
+        let clamp = net.voltage_source(nodes[0], Volts(0.5));
+        for w in nodes.windows(2) {
+            net.resistor(w[0], w[1], Ohms(100.0));
+        }
+        net.resistor(nodes[4], Netlist::GROUND, Ohms(220.0));
+        let src = net.current_source(Netlist::GROUND, nodes[2], Amps(1e-3));
+        net.conductance(nodes[3], Netlist::GROUND, Siemens(2e-3));
+        (net, clamp, src)
+    }
+
+    fn queries(clamp: ElementId, src: ElementId) -> Vec<RhsQuery> {
+        (0..6)
+            .map(|q| {
+                vec![
+                    (clamp, RhsUpdate::Clamp(Volts(0.25 + 0.05 * q as f64))),
+                    (src, RhsUpdate::Current(Amps(1e-3 + 2e-4 * q as f64))),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_multi_rhs_bit_matches_sequential() {
+        let (net, clamp, src) = ladder();
+        let qs = queries(clamp, src);
+
+        // Sequential reference: prepared solves one query at a time.
+        let mut seq = PreparedSystem::with_method(&net, SolveMethod::DenseCholesky).unwrap();
+        let mut reference = Vec::new();
+        for q in &qs {
+            for &(id, u) in q {
+                match u {
+                    RhsUpdate::Current(a) => seq.set_current(id, a).unwrap(),
+                    RhsUpdate::Clamp(v) => seq.set_clamp(id, v).unwrap(),
+                }
+            }
+            let (sol, _) = seq.solve_report().unwrap();
+            reference.push(sol);
+        }
+
+        let mut batch = PreparedSystem::with_method(&net, SolveMethod::DenseCholesky).unwrap();
+        let (sols, report) = batch.solve_multi_rhs(&qs).unwrap();
+        assert!(report.blocked);
+        assert_eq!(report.queries, qs.len());
+        assert_eq!(report.factorizations, 1);
+        assert_eq!(sols.len(), reference.len());
+        for (got, want) in sols.iter().zip(&reference) {
+            assert_eq!(got.voltages(), want.voltages());
+            for i in 0..net.element_count() {
+                let id = net.element_id(i).unwrap();
+                assert_eq!(got.current(id).0, want.current(id).0);
+            }
+        }
+        // Reuse accounting matches k sequential solves: first builds, the
+        // remaining k−1 reuse.
+        assert_eq!(batch.factorization_reuses(), seq.factorization_reuses());
+    }
+
+    #[test]
+    fn warm_system_reuses_factor_for_whole_block() {
+        let (net, clamp, src) = ladder();
+        let mut prep = PreparedSystem::with_method(&net, SolveMethod::DenseCholesky).unwrap();
+        prep.solve_report().unwrap(); // builds the factor
+        let qs = queries(clamp, src);
+        let before = prep.factorization_reuses();
+        let (_, report) = prep.solve_multi_rhs(&qs).unwrap();
+        assert!(report.blocked);
+        assert_eq!(report.factorizations, 0, "warm factor must be reused");
+        assert_eq!(prep.factorization_reuses(), before + qs.len() as u64);
+    }
+
+    #[test]
+    fn cg_backend_falls_back_sequentially() {
+        let (net, clamp, src) = ladder();
+        let cg = ConjugateGradient::new(1e-13);
+        let mut prep = PreparedSystem::with_method(&net, SolveMethod::SparseCg(cg)).unwrap();
+        let qs = queries(clamp, src);
+        let (sols, report) = prep.solve_multi_rhs(&qs).unwrap();
+        assert!(!report.blocked);
+        assert_eq!(sols.len(), qs.len());
+
+        // Same answers as sequential prepared CG solves.
+        let mut seq = PreparedSystem::with_method(&net, SolveMethod::SparseCg(cg)).unwrap();
+        for (q, got) in qs.iter().zip(&sols) {
+            for &(id, u) in q {
+                match u {
+                    RhsUpdate::Current(a) => seq.set_current(id, a).unwrap(),
+                    RhsUpdate::Clamp(v) => seq.set_clamp(id, v).unwrap(),
+                }
+            }
+            let (want, _) = seq.solve_report().unwrap();
+            assert_eq!(got.voltages(), want.voltages());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (net, _, _) = ladder();
+        let mut prep = PreparedSystem::new(&net).unwrap();
+        let (sols, report) = prep.solve_multi_rhs(&[]).unwrap();
+        assert!(sols.is_empty());
+        assert_eq!(report.queries, 0);
+        assert!(!report.blocked);
+    }
+
+    #[test]
+    fn rejects_non_rhs_elements() {
+        let (net, _, _) = ladder();
+        let mut prep = PreparedSystem::new(&net).unwrap();
+        // Element 1 is a resistor: neither a current source nor a clamp.
+        let bad = vec![vec![(net.element_id(1).unwrap(), RhsUpdate::Current(Amps(1.0)))]];
+        assert!(matches!(
+            prep.solve_multi_rhs(&bad),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -12,6 +12,7 @@ use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity, RecallResu
 use spinamm_core::degrade::DegradationPolicy;
 use spinamm_core::hierarchy::HierarchicalAmm;
 use spinamm_core::partition::PartitionedAmm;
+use spinamm_core::plan::{PlanOptions, PlanPrecision};
 use spinamm_core::wta::argmax_lowest_index;
 use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
 use spinamm_engine::{Deployment, EngineConfig, EngineResponse, RecallEngine};
@@ -153,6 +154,8 @@ pub struct ObservedBounds {
     pub driven_parasitic_dom_lsb: u32,
     /// Max |ΔDOM| seen across the metamorphic permutation check.
     pub permutation_dom_lsb: u32,
+    /// Max |ΔDOM| seen between the f64 and f32 compiled-plan tiers.
+    pub plan_f32_dom_lsb: u32,
 }
 
 impl ObservedBounds {
@@ -163,6 +166,7 @@ impl ObservedBounds {
             .driven_parasitic_dom_lsb
             .max(other.driven_parasitic_dom_lsb);
         self.permutation_dom_lsb = self.permutation_dom_lsb.max(other.permutation_dom_lsb);
+        self.plan_f32_dom_lsb = self.plan_f32_dom_lsb.max(other.plan_f32_dom_lsb);
     }
 }
 
@@ -364,6 +368,7 @@ pub fn run_case<T: Recorder>(
                 &EngineConfig {
                     workers,
                     queue_capacity: 2,
+                    use_plans: false,
                 },
             );
             let responses = engine.recall_many(&inputs)?;
@@ -377,6 +382,86 @@ pub fn run_case<T: Recorder>(
                         query: Some(k),
                         detail: format!("engine response diverged: {got:?}"),
                     });
+                }
+            }
+        }
+
+        // Sequential vs a compiled recall plan. An f64 plan lowered from an
+        // identically built (and identically faulted) module must reproduce
+        // the sequential reference bit for bit — winner, codes, currents,
+        // energy floats, all of it.
+        let mut plan_module = AssociativeMemoryModule::build(&w.patterns, &cfg)?;
+        install_faults(&mut plan_module, spec, None)?;
+        let mut plan = plan_module.compile_plan(PlanOptions::default())?;
+        out.checks += inputs.len() as u64;
+        for (k, (want, q)) in sequential.iter().zip(&inputs).enumerate() {
+            let got = plan.execute(q)?;
+            if &got != want {
+                out.divergences.push(Divergence {
+                    check: format!("bit_identity.plan.{name}"),
+                    query: Some(k),
+                    detail: flat_detail(&got, want),
+                });
+            }
+        }
+
+        // The opt-in f32 fast tier is a bounded-divergence path: DOM within
+        // `plan_f32_dom_lsb`, winner flips excused only on near-ties, and
+        // the pre-quantization column currents within relative budget.
+        // Parasitic plans refuse the tier, so only analytic fidelities run.
+        if fidelity != Fidelity::Parasitic {
+            let mut fast_module = AssociativeMemoryModule::build(&w.patterns, &cfg)?;
+            install_faults(&mut fast_module, spec, None)?;
+            let mut fast = fast_module.compile_plan(PlanOptions {
+                precision: PlanPrecision::F32,
+            })?;
+            for (k, (want, q)) in sequential.iter().zip(&inputs).enumerate() {
+                let got = fast.execute(q)?;
+                out.checks += 1;
+                let delta = got.dom.abs_diff(want.dom);
+                out.observed.plan_f32_dom_lsb = out.observed.plan_f32_dom_lsb.max(delta);
+                if delta > ledger.plan_f32_dom_lsb {
+                    out.divergences.push(Divergence {
+                        check: format!("plan.f32.{name}.dom"),
+                        query: Some(k),
+                        detail: format!(
+                            "|ΔDOM| {delta} exceeds budget {} LSB",
+                            ledger.plan_f32_dom_lsb
+                        ),
+                    });
+                }
+                if got.raw_winner != want.raw_winner {
+                    let ma = margin(&got.codes, got.raw_winner);
+                    let mb = margin(&want.codes, want.raw_winner);
+                    if ma > ledger.tie_margin_lsb || mb > ledger.tie_margin_lsb {
+                        out.divergences.push(Divergence {
+                            check: format!("plan.f32.{name}.winner"),
+                            query: Some(k),
+                            detail: format!(
+                                "winners {} vs {} with margins {ma}/{mb} LSB (tie budget {})",
+                                got.raw_winner, want.raw_winner, ledger.tie_margin_lsb
+                            ),
+                        });
+                    }
+                }
+                out.checks += 1;
+                for (j, (fast_i, ref_i)) in got
+                    .column_currents
+                    .iter()
+                    .zip(&want.column_currents)
+                    .enumerate()
+                {
+                    let rel = (fast_i.0 - ref_i.0).abs() / ref_i.0.abs().max(1e-12);
+                    if rel > ledger.plan_f32_current_rel {
+                        out.divergences.push(Divergence {
+                            check: format!("plan.f32.{name}.current"),
+                            query: Some(k),
+                            detail: format!(
+                                "column {j} current drifted {rel:.2e} (budget {:.2e})",
+                                ledger.plan_f32_current_rel
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -414,6 +499,7 @@ pub fn run_case<T: Recorder>(
         &EngineConfig {
             workers: 2,
             queue_capacity: 2,
+            use_plans: false,
         },
     );
     let part_responses = part_engine.recall_many(&inputs)?;
@@ -440,6 +526,7 @@ pub fn run_case<T: Recorder>(
         &EngineConfig {
             workers: 2,
             queue_capacity: 2,
+            use_plans: false,
         },
     );
     let hier_responses = hier_engine.recall_many(&inputs)?;
@@ -705,6 +792,38 @@ mod tests {
         assert_eq!(counters.get("conformance.cases"), Some(&1));
         assert_eq!(counters.get("conformance.divergences"), Some(&0));
         assert_eq!(counters.get("conformance.checks"), Some(&out.checks));
+    }
+
+    #[test]
+    fn plan_paths_stay_within_ledger() {
+        // The compiled-plan oracle must actually run: the f64 tier bit
+        // identically (no `bit_identity.plan.*` findings on a clean case)
+        // and the f32 tier within its dedicated ledger budget, with the
+        // observed maximum reported for calibration drift-watching.
+        let out = run_case(&spec(), &ToleranceLedger::DEFAULT, &NoopRecorder).unwrap();
+        assert!(
+            !out.divergences.iter().any(|d| d.check.contains("plan")),
+            "plan checks diverged: {:?}",
+            out.divergences
+        );
+        assert!(out.observed.plan_f32_dom_lsb <= ToleranceLedger::DEFAULT.plan_f32_dom_lsb);
+    }
+
+    #[test]
+    fn f32_budget_of_zero_flags_real_drift() {
+        // Detector sensitivity: squeezing the f32 current budget to zero
+        // must surface the tier's genuine (tiny) drift, proving the check
+        // compares real numbers rather than vacuously passing.
+        let mut ledger = ToleranceLedger::DEFAULT;
+        ledger.plan_f32_current_rel = 0.0;
+        let out = run_case(&spec(), &ledger, &NoopRecorder).unwrap();
+        assert!(
+            out.divergences
+                .iter()
+                .any(|d| d.check.contains("plan.f32") && d.check.ends_with("current")),
+            "zero current budget should flag f32 drift: {:?}",
+            out.divergences
+        );
     }
 
     #[test]

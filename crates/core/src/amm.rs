@@ -113,8 +113,8 @@ type Correlation = (Vec<Amps>, Watts);
 /// [`AssociativeMemoryModule::recall`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryEvaluation {
-    currents: Vec<Amps>,
-    rcm_power: Watts,
+    pub(crate) currents: Vec<Amps>,
+    pub(crate) rcm_power: Watts,
 }
 
 impl QueryEvaluation {
@@ -146,24 +146,28 @@ pub struct RecallResult {
 }
 
 /// The full module.
+///
+/// Fields are `pub(crate)` so [`crate::plan`] can lower a snapshot of the
+/// deployment into a compiled [`crate::plan::RecallPlan`] without widening
+/// the public API.
 #[derive(Debug, Clone)]
 pub struct AssociativeMemoryModule {
-    config: AmmConfig,
-    array: CrossbarArray,
-    input_dacs: Vec<spinamm_cmos::DacInstance>,
-    wta: SpinWta,
-    parasitic: CachedParasiticCrossbar,
-    rng: ChaCha8Rng,
+    pub(crate) config: AmmConfig,
+    pub(crate) array: CrossbarArray,
+    pub(crate) input_dacs: Vec<spinamm_cmos::DacInstance>,
+    pub(crate) wta: SpinWta,
+    pub(crate) parasitic: CachedParasiticCrossbar,
+    pub(crate) rng: ChaCha8Rng,
     /// The stored template levels, kept for fault-time re-programming and
     /// remapping.
-    templates: Vec<Vec<u32>>,
+    pub(crate) templates: Vec<Vec<u32>>,
     /// Template index → physical column (identity until remapping).
-    template_column: Vec<usize>,
+    pub(crate) template_column: Vec<usize>,
     /// Physical column → owning template (`None` for spares and released
     /// faulty columns).
-    column_owner: Vec<Option<usize>>,
+    pub(crate) column_owner: Vec<Option<usize>>,
     /// Physical columns gated out of the WTA by the degradation pass.
-    masked: Vec<bool>,
+    pub(crate) masked: Vec<bool>,
 }
 
 impl AssociativeMemoryModule {
@@ -427,6 +431,53 @@ impl AssociativeMemoryModule {
         Amps(adc.nominal_full_scale().0 / f64::from(1u32 << adc.bits()))
     }
 
+    /// Compiles this deployment into a [`crate::plan::RecallPlan`]: a flat,
+    /// allocation-free execution kernel whose f64 tier is bit-identical to
+    /// [`AssociativeMemoryModule::recall`]. See [`crate::plan`] for the
+    /// snapshot semantics (recompile after faults/aging/reprogramming).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model errors raised while building the plan's
+    /// lookup tables, and rejects f32 plans for parasitic fidelity.
+    pub fn compile_plan(
+        &self,
+        options: crate::plan::PlanOptions,
+    ) -> Result<crate::plan::RecallPlan, CoreError> {
+        crate::plan::RecallPlan::compile(self, options)
+    }
+
+    /// Lowers one `(row, level)` pair into its [`RowDrive`].
+    ///
+    /// This is the single code path both interpreted recall and
+    /// [`crate::plan`] compilation go through, so a compiled drive table is
+    /// bit-identical to interpreted drive construction by construction.
+    pub(crate) fn drive_for_row(&self, i: usize, level: u32) -> Result<RowDrive, CoreError> {
+        // Row-line defects override the DAC entirely: an open bar
+        // delivers no current, a shorted bar clamps the input at
+        // the 0 V reference. Both are per-row constants, so cached
+        // parasitic sessions keep a stable drive-kind signature.
+        if let Some(map) = self.array.fault_map() {
+            match map.row_defect(i) {
+                Some(LineDefect::Open) => return Ok(RowDrive::Current(Amps(0.0))),
+                Some(LineDefect::Short) => return Ok(RowDrive::Voltage(Volts(0.0))),
+                None => {}
+            }
+        }
+        let dac = &self.input_dacs[i];
+        match self.config.fidelity {
+            Fidelity::Ideal => {
+                // Perfect current source proportional to the level.
+                let i_nominal = dac.clamped_current(level)?;
+                Ok(RowDrive::Current(i_nominal))
+            }
+            Fidelity::Driven | Fidelity::Parasitic => Ok(RowDrive::SourceConductance {
+                g: dac.conductance(level)?,
+                supply: self.config.params.delta_v,
+            }),
+        }
+    }
+
     /// Builds the row drives for an input vector.
     fn drives(&self, levels: &[u32]) -> Result<Vec<RowDrive>, CoreError> {
         if levels.len() != self.vector_len() {
@@ -441,35 +492,10 @@ impl AssociativeMemoryModule {
                 what: "input level exceeds template bit width",
             });
         }
-        let dv = self.config.params.delta_v;
         levels
             .iter()
             .enumerate()
-            .map(|(i, &level)| {
-                // Row-line defects override the DAC entirely: an open bar
-                // delivers no current, a shorted bar clamps the input at
-                // the 0 V reference. Both are per-row constants, so cached
-                // parasitic sessions keep a stable drive-kind signature.
-                if let Some(map) = self.array.fault_map() {
-                    match map.row_defect(i) {
-                        Some(LineDefect::Open) => return Ok(RowDrive::Current(Amps(0.0))),
-                        Some(LineDefect::Short) => return Ok(RowDrive::Voltage(Volts(0.0))),
-                        None => {}
-                    }
-                }
-                let dac = &self.input_dacs[i];
-                match self.config.fidelity {
-                    Fidelity::Ideal => {
-                        // Perfect current source proportional to the level.
-                        let i_nominal = dac.clamped_current(level)?;
-                        Ok(RowDrive::Current(i_nominal))
-                    }
-                    Fidelity::Driven | Fidelity::Parasitic => Ok(RowDrive::SourceConductance {
-                        g: dac.conductance(level)?,
-                        supply: dv,
-                    }),
-                }
-            })
+            .map(|(i, &level)| self.drive_for_row(i, level))
             .collect()
     }
 

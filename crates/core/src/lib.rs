@@ -64,6 +64,7 @@ pub mod hierarchy;
 pub mod margin;
 pub mod params;
 pub mod partition;
+pub mod plan;
 pub mod recall;
 pub mod request;
 pub mod sar;
@@ -76,6 +77,7 @@ pub use energy::{EnergyBreakdown, PowerReport};
 pub use hierarchy::{HierarchicalAmm, HierarchicalRecall};
 pub use params::DesignParams;
 pub use partition::{PartitionedAmm, PartitionedRecall};
+pub use plan::{PartitionedPlan, PlanOptions, PlanPrecision, RecallPlan};
 pub use request::RecallRequest;
 pub use sar::SarRegister;
 pub use wta::{SpinWta, WtaOutcome};

@@ -40,17 +40,17 @@ use std::time::Instant;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PartitionedAmm {
-    segments: Vec<Segment>,
-    pattern_count: usize,
-    vector_len: usize,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) pattern_count: usize,
+    pub(crate) vector_len: usize,
 }
 
 #[derive(Debug, Clone)]
-struct Segment {
+pub(crate) struct Segment {
     /// Row range `[start, end)` of the full vector this module stores.
-    start: usize,
-    end: usize,
-    module: AssociativeMemoryModule,
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) module: AssociativeMemoryModule,
 }
 
 /// Result of a partitioned recall.
@@ -349,23 +349,33 @@ impl PartitionedAmm {
         &self,
         segment_results: impl Iterator<Item = &'a RecallResult>,
     ) -> PartitionedRecall {
-        let mut scores = vec![0u32; self.pattern_count];
-        let mut energy = EnergyBreakdown::default();
-        for r in segment_results {
-            for (score, code) in scores.iter_mut().zip(&r.codes) {
-                *score += code;
-            }
-            energy = energy + r.energy;
+        combine_results(self.pattern_count, segment_results)
+    }
+}
+
+/// Digital adder tree shared between the interpreted partitioned recall
+/// and [`crate::plan::PartitionedPlan`]: sums per-segment DOM codes into
+/// global scores and picks the argmax (lowest index on ties).
+pub(crate) fn combine_results<'a>(
+    pattern_count: usize,
+    segment_results: impl Iterator<Item = &'a RecallResult>,
+) -> PartitionedRecall {
+    let mut scores = vec![0u32; pattern_count];
+    let mut energy = EnergyBreakdown::default();
+    for r in segment_results {
+        for (score, code) in scores.iter_mut().zip(&r.codes) {
+            *score += code;
         }
-        // The combine step re-ranks summed codes, so it must apply the same
-        // lowest-index tie-break as the scalar WTA scan.
-        let winner = crate::wta::argmax_lowest_index(&scores).expect("non-empty by construction");
-        PartitionedRecall {
-            winner,
-            dom: scores[winner],
-            scores,
-            energy,
-        }
+        energy = energy + r.energy;
+    }
+    // The combine step re-ranks summed codes, so it must apply the same
+    // lowest-index tie-break as the scalar WTA scan.
+    let winner = crate::wta::argmax_lowest_index(&scores).expect("non-empty by construction");
+    PartitionedRecall {
+        winner,
+        dom: scores[winner],
+        scores,
+        energy,
     }
 }
 

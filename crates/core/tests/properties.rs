@@ -258,3 +258,85 @@ proptest! {
         prop_assert_eq!(sequential, batched);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Compiled recall plans
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A compiled f64 plan is bit-identical to interpreted recall for any
+    /// fidelity × fault map × seed × stochastic-device configuration:
+    /// per-query results, telemetry counter totals, and the RNG stream
+    /// (pinned by running noise-consuming queries back to back — any
+    /// divergence in stream position would corrupt every later query).
+    #[test]
+    fn f64_plan_is_bit_identical_under_faults(
+        map_seed in any::<u64>(),
+        amm_seed in any::<u64>(),
+        stuck_rate in 0.0..0.2f64,
+        spread_sigma in 0.0..0.1f64,
+        fidelity_kind in 0usize..3,
+        fault in any::<bool>(),
+        noisy in any::<bool>(),
+    ) {
+        use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+        use spinamm_core::degrade::DegradationPolicy;
+        use spinamm_core::plan::{PlanOptions, RecallPlan};
+        use spinamm_core::request::RecallRequest;
+        use spinamm_faults::{FaultMap, FaultModel};
+        use spinamm_telemetry::MemoryRecorder;
+
+        let patterns = vec![
+            vec![31u32, 31, 31, 31, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 31, 31, 31, 31],
+            vec![31, 0, 31, 0, 31, 0, 31, 0],
+        ];
+        let cfg = AmmConfig {
+            seed: amm_seed,
+            spare_columns: 1,
+            thermal: noisy,
+            latch_noise: noisy,
+            fidelity: [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic][fidelity_kind],
+            ..AmmConfig::default()
+        };
+        let policy = DegradationPolicy::default();
+        let mut interp = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        let mut source = AssociativeMemoryModule::build(&patterns, &cfg).unwrap();
+        if fault {
+            let model = FaultModel {
+                spread_sigma,
+                ..FaultModel::stuck(stuck_rate).unwrap()
+            };
+            let map = FaultMap::sample(&model, 8, 4, map_seed).unwrap();
+            interp.inject_faults(map.clone(), &policy).unwrap();
+            source.inject_faults(map, &policy).unwrap();
+        }
+        let mut plan = RecallPlan::compile(&source, PlanOptions::default()).unwrap();
+
+        let interp_rec = MemoryRecorder::default();
+        let plan_rec = MemoryRecorder::default();
+        let queries: Vec<Vec<u32>> = patterns.iter().cycle().take(5).cloned().collect();
+        for q in &queries {
+            let want = interp
+                .recall_request(q, &RecallRequest::recorded(&interp_rec))
+                .unwrap();
+            let got = plan
+                .execute_request(q, &RecallRequest::recorded(&plan_rec))
+                .unwrap();
+            prop_assert_eq!(got, want);
+        }
+        let want = interp_rec.snapshot();
+        let got = plan_rec.snapshot();
+        for name in [
+            "recall.count",
+            "adc.sar_cycles",
+            "spin.dwn_switch_events",
+            "spin.latch_fires",
+            "wta.dl_transitions",
+        ] {
+            prop_assert_eq!(got.counter(name), want.counter(name), "counter {}", name);
+        }
+    }
+}

@@ -211,11 +211,16 @@ impl CachedParasiticCrossbar {
         if reusable {
             recorder.counter("crossbar.netlist_cache_hits", 1);
         } else {
+            // A session build is the crossbar-level "plan compile": the
+            // netlist topology, element ids and solver are fixed here and
+            // only values are restamped afterwards.
+            recorder.counter("crossbar.plan_compiles", 1);
             self.session = Some(self.build_session(array, drives)?);
         }
         let session = self.session.as_mut().expect("session built above");
 
         // Value-only restamp: every setter no-ops on unchanged values.
+        let restamp_span = recorder.span("crossbar.restamp_ns");
         let restamp_phase = trace.phase("restamp");
         for i in 0..session.rows {
             for j in 0..session.cols {
@@ -247,6 +252,7 @@ impl CachedParasiticCrossbar {
             }
         }
         drop(restamp_phase);
+        drop(restamp_span);
 
         let solve_phase = trace.phase("solve");
         let (sol, report) = session.prepared.solve_report()?;
@@ -511,6 +517,31 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.counter("circuit.factorization_reuses"), 1);
         assert!(cached.factorization_reuses() >= 1);
+    }
+
+    #[test]
+    fn session_builds_count_plan_compiles_and_restamps_are_spanned() {
+        let a = programmed_array(8, 5, 3);
+        let mut cached = CachedParasiticCrossbar::new(CrossbarGeometry::PAPER);
+        let rec = MemoryRecorder::default();
+        for q in 0..4 {
+            let drives = dtcs_drives(8, 1e-5 * (q + 1) as f64);
+            cached.evaluate_with(&a, &drives, &rec).unwrap();
+        }
+        // A drive-kind change invalidates the session: second build.
+        let kinds_changed: Vec<RowDrive> = (0..8).map(|_| RowDrive::Voltage(Volts(0.03))).collect();
+        cached.evaluate_with(&a, &kinds_changed, &rec).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("crossbar.plan_compiles"), 2);
+        assert_eq!(
+            snap.counter("crossbar.plan_compiles") + snap.counter("crossbar.netlist_cache_hits"),
+            5,
+            "every evaluation either builds a session or reuses one"
+        );
+        let restamps = snap
+            .span_stats("crossbar.restamp_ns")
+            .expect("restamp span recorded");
+        assert_eq!(restamps.count, 5, "every evaluation restamps");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //!
 //! let engine = RecallEngine::new(
 //!     Deployment::Flat(module),
-//!     &EngineConfig { workers: 2, queue_capacity: 8 },
+//!     &EngineConfig { workers: 2, queue_capacity: 8, use_plans: false },
 //! );
 //! let responses = engine.recall_many(&patterns)?;
 //! for (input, response) in patterns.iter().zip(&responses) {
@@ -50,6 +50,7 @@
 use spinamm_core::amm::{AssociativeMemoryModule, QueryEvaluation, RecallResult};
 use spinamm_core::hierarchy::{HierarchicalAmm, HierarchicalRecall};
 use spinamm_core::partition::{PartitionedAmm, PartitionedRecall};
+use spinamm_core::plan::{PartitionedPlan, PlanOptions, RecallPlan};
 use spinamm_core::request::RecallRequest;
 use spinamm_core::CoreError;
 use spinamm_telemetry::{NoopRecorder, Recorder};
@@ -182,6 +183,13 @@ pub struct EngineConfig {
     /// blocks and [`RecallEngine::try_submit`] rejects once this many
     /// queries are waiting.
     pub queue_capacity: usize,
+    /// Run the workers' RNG-free evaluation phase through compiled
+    /// [`RecallPlan`]s instead of interpreted module clones. f64 plan
+    /// execution is bit-identical to the interpreted path, so responses do
+    /// not depend on this flag — only throughput does. Hierarchical
+    /// deployments (and any deployment whose plan fails to compile, see
+    /// `engine.plan_fallbacks`) keep the interpreted path.
+    pub use_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +197,7 @@ impl Default for EngineConfig {
         Self {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             queue_capacity: 64,
+            use_plans: false,
         }
     }
 }
@@ -270,6 +279,38 @@ impl Shared {
             (Some(tracer), Some(h)) => TraceCtx::joined(tracer, h),
             _ => TraceCtx::NONE,
         }
+    }
+}
+
+/// A worker's compiled fast path: its deployment clone lowered into flat
+/// recall plans at startup (see [`EngineConfig::use_plans`]). Primary-stage
+/// jobs then run the allocation-free plan kernel; stage-B (hierarchical
+/// member) jobs always use the interpreted clone.
+enum WorkerPlan {
+    Flat(RecallPlan),
+    Partitioned(PartitionedPlan),
+}
+
+impl WorkerPlan {
+    /// Lowers a worker's deployment clone, falling back to the interpreted
+    /// path (`None`, counted as `engine.plan_fallbacks`) for hierarchical
+    /// deployments or compile errors. The fallback is behaviour-preserving:
+    /// f64 plans are bit-identical to interpreted evaluation.
+    fn compile(deployment: &Deployment, recorder: &SharedRecorder) -> Option<Self> {
+        let req = RecallRequest::recorded(recorder);
+        let compiled = match deployment {
+            Deployment::Flat(m) => RecallPlan::compile_request(m, PlanOptions::default(), &req)
+                .map(WorkerPlan::Flat)
+                .ok(),
+            Deployment::Partitioned(p) => PartitionedPlan::compile(p, PlanOptions::default())
+                .map(WorkerPlan::Partitioned)
+                .ok(),
+            Deployment::Hierarchical(_) => None,
+        };
+        if compiled.is_none() {
+            recorder.counter("engine.plan_fallbacks", 1);
+        }
+        compiled
     }
 }
 
@@ -363,9 +404,15 @@ impl RecallEngine {
                 let tx = tx.clone();
                 // Each worker owns a full clone of the deployment; clones
                 // share the canonically warmed solver sessions, so their
-                // evaluations are bit-identical to the master's.
+                // evaluations are bit-identical to the master's. With
+                // `use_plans` the clone is additionally lowered into a
+                // compiled plan for the primary evaluation phase.
                 let clone = deployment.clone();
-                std::thread::spawn(move || worker_loop(idx, &shared, clone, &tx))
+                let plan = config
+                    .use_plans
+                    .then(|| WorkerPlan::compile(&clone, &shared.recorder))
+                    .flatten();
+                std::thread::spawn(move || worker_loop(idx, &shared, clone, plan, &tx))
             })
             .collect();
         drop(tx);
@@ -496,9 +543,23 @@ impl Drop for RecallEngine {
 /// Phase 1 on a worker's deployment clone: RNG-free, order-independent.
 fn run_phase1(
     deployment: &mut Deployment,
+    plan: Option<&mut WorkerPlan>,
     stage: &Stage,
     req: &Req<'_>,
 ) -> Result<Phase1, CoreError> {
+    // The compiled fast path covers primary-stage jobs on flat and
+    // partitioned deployments; everything else falls through to the
+    // interpreted clone. Responses are identical either way (f64 plans are
+    // bit-identical); only the evaluation cost differs.
+    match (plan, stage) {
+        (Some(WorkerPlan::Flat(p)), Stage::Primary(input)) => {
+            return p.evaluate_query_request(input, req).map(Phase1::Flat);
+        }
+        (Some(WorkerPlan::Partitioned(p)), Stage::Primary(input)) => {
+            return p.evaluate_query_request(input, req).map(Phase1::Partitioned);
+        }
+        _ => {}
+    }
     match (deployment, stage) {
         (Deployment::Flat(m), Stage::Primary(input)) => {
             m.evaluate_query_request(input, req).map(Phase1::Flat)
@@ -525,6 +586,7 @@ fn worker_loop(
     idx: usize,
     shared: &Shared,
     mut deployment: Deployment,
+    mut plan: Option<WorkerPlan>,
     out: &mpsc::Sender<WorkerOut>,
 ) {
     let recorder = &shared.recorder;
@@ -574,7 +636,7 @@ fn worker_loop(
             if let Stage::Member { cluster, .. } = &job.stage {
                 phase.attr("cluster", *cluster as f64);
             }
-            run_phase1(&mut deployment, &job.stage, req)
+            run_phase1(&mut deployment, plan.as_mut(), &job.stage, req)
         };
         if recorder.is_enabled() {
             let dt = t0.elapsed().as_secs_f64();
@@ -839,6 +901,7 @@ mod tests {
             &EngineConfig {
                 workers: 3,
                 queue_capacity: 2,
+                use_plans: false,
             },
         );
         let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(9).collect();
@@ -858,6 +921,7 @@ mod tests {
             &EngineConfig {
                 workers: 1,
                 queue_capacity: 1,
+                use_plans: false,
             },
         );
         let input = patterns()[0].clone();
@@ -915,6 +979,7 @@ mod tests {
             &EngineConfig {
                 workers: 2,
                 queue_capacity: 4,
+                use_plans: false,
             },
             recorder.clone(),
         );

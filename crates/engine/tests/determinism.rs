@@ -70,6 +70,7 @@ fn flat_driven_engine_is_bit_identical() {
         &EngineConfig {
             workers: 4,
             queue_capacity: 3,
+            use_plans: false,
         },
         &queries(&p, 12),
     );
@@ -98,6 +99,7 @@ fn duplicated_template_ties_break_to_lowest_index_through_engine() {
             &EngineConfig {
                 workers: 3,
                 queue_capacity: 2,
+                use_plans: false,
             },
         );
         let got = engine.recall_many(&inputs).unwrap();
@@ -125,6 +127,7 @@ fn partitioned_driven_engine_is_bit_identical() {
         &EngineConfig {
             workers: 3,
             queue_capacity: 2,
+            use_plans: false,
         },
         &queries(&p, 10),
     );
@@ -139,6 +142,7 @@ fn hierarchical_driven_engine_is_bit_identical() {
         &EngineConfig {
             workers: 4,
             queue_capacity: 2,
+            use_plans: false,
         },
         &queries(&p, 12),
     );
@@ -155,6 +159,7 @@ fn partitioned_parasitic_engine_is_bit_identical() {
         &EngineConfig {
             workers: 2,
             queue_capacity: 4,
+            use_plans: false,
         },
         &queries(&p, 6),
     );
@@ -184,9 +189,41 @@ fn fault_injected_engine_is_bit_identical() {
         &EngineConfig {
             workers: 3,
             queue_capacity: 2,
+            use_plans: false,
         },
         &queries(&p, 8),
     );
+}
+
+#[test]
+fn plan_enabled_engine_is_bit_identical() {
+    // With `use_plans` the workers evaluate through compiled recall plans;
+    // f64 plans are bit-identical, so responses must not change — across
+    // flat and partitioned deployments and both analytic and parasitic
+    // fidelities (hierarchical deployments fall back to interpreted).
+    let p = patterns(4, 12);
+    for fidelity in [Fidelity::Ideal, Fidelity::Driven, Fidelity::Parasitic] {
+        let module = AssociativeMemoryModule::build(&p, &config(fidelity)).unwrap();
+        assert_engine_matches_sequential(
+            Deployment::Flat(module),
+            &EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+                use_plans: true,
+            },
+            &queries(&p, 9),
+        );
+        let part = PartitionedAmm::build(&p, 3, &config(fidelity)).unwrap();
+        assert_engine_matches_sequential(
+            Deployment::Partitioned(part),
+            &EngineConfig {
+                workers: 2,
+                queue_capacity: 3,
+                use_plans: true,
+            },
+            &queries(&p, 6),
+        );
+    }
 }
 
 #[test]
@@ -200,6 +237,7 @@ fn single_worker_engine_matches_many_workers() {
             &EngineConfig {
                 workers,
                 queue_capacity: 4,
+                use_plans: false,
             },
         );
         let out = engine.recall_many(&inputs).unwrap();
@@ -223,6 +261,7 @@ proptest! {
         amm_seed in any::<u64>(),
         fault in any::<bool>(),
         map_seed in any::<u64>(),
+        use_plans in any::<bool>(),
     ) {
         let p = patterns(4, 12);
         let cfg = AmmConfig {
@@ -251,7 +290,7 @@ proptest! {
         let mut sequential = deployment.clone();
         let engine = RecallEngine::new(
             deployment,
-            &EngineConfig { workers, queue_capacity: capacity },
+            &EngineConfig { workers, queue_capacity: capacity, use_plans },
         );
         let got = engine.recall_many(&inputs).unwrap();
         engine.shutdown();

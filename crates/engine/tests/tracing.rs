@@ -44,6 +44,7 @@ fn traced_engine(deployment: Deployment, workers: usize) -> (RecallEngine, Arc<T
         &EngineConfig {
             workers,
             queue_capacity: 4,
+            use_plans: false,
         },
         Arc::new(MemoryRecorder::default()),
         Some(Arc::clone(&tracer)),
@@ -159,6 +160,7 @@ fn queue_gauges_recover_after_drain_and_wait_histogram_fills() {
         &EngineConfig {
             workers: 2,
             queue_capacity: 3,
+            use_plans: false,
         },
         recorder.clone(),
     );
@@ -185,6 +187,7 @@ fn engine_without_tracer_records_no_traces() {
         &EngineConfig {
             workers: 2,
             queue_capacity: 2,
+            use_plans: false,
         },
     );
     let inputs = queries(&p, 4);
