@@ -28,7 +28,17 @@ Checks, per study matched by name:
   ``PLAN_MIN_SPEEDUP`` (an interleaved min-of-N ratio on the same host,
   so it is host-independent enough to gate), and reports zero f32-tier
   results outside the tolerance-ledger budgets
-  (``f32_unwaived_divergences == 0``).
+  (``f32_unwaived_divergences == 0``);
+* the capacity study (E18) keeps every (templates, k) cell's ranked
+  matches equal to the full argsort oracle, keeps the first match equal
+  to the legacy single-winner WTA rule, reports positive throughput at
+  every template count, and stays engine-bit-identical wherever the
+  engine comparison ran.
+
+The baseline-independent invariant checks (engine-scale, conformance,
+profile percentile sanity, plan, capacity) are also importable via
+``invariant_failures(fresh_doc)`` so the nightly full-scale workflow can
+gate without a full-scale baseline.
 
 Failures print as a table of study / field / baseline / fresh / delta and
 exit non-zero.
@@ -290,6 +300,80 @@ def check_plan(fresh_by_name, failures):
         )
 
 
+CAPACITY_STUDY = "capacity"
+
+
+def check_capacity(fresh_by_name, failures):
+    """The capacity study (E18) gates on ranking correctness, not speed:
+    every cell's top-k must equal the full argsort oracle, its first match
+    must reproduce the legacy single-winner WTA rule, throughput must be
+    positive at every template count, and wherever the engine comparison
+    ran it must be bit-identical to sequential recall."""
+    study = fresh_by_name.get(CAPACITY_STUDY)
+    if study is None:
+        return
+    rows = study["report"].get("rows", [])
+    if not rows:
+        failures.append((CAPACITY_STUDY, "rows", ">= 1", "0", ""))
+    template_counts = sorted({r.get("templates") for r in rows})
+    if len(template_counts) < 2:
+        failures.append(
+            (
+                CAPACITY_STUDY,
+                "template counts",
+                ">= 2 scales",
+                str(template_counts),
+                "",
+            )
+        )
+    for row in rows:
+        cell = f"{row.get('templates')}t k={row.get('k')}"
+        for verdict in ("topk_matches_oracle", "top1_matches_wta"):
+            if row.get(verdict) is not True:
+                failures.append(
+                    (CAPACITY_STUDY, f"{cell} [{verdict}]", "true", str(row.get(verdict)), "")
+                )
+        throughput = row.get("throughput_qps", 0)
+        if not throughput > 0:
+            failures.append(
+                (CAPACITY_STUDY, f"{cell} [throughput_qps]", "> 0", str(throughput), "")
+            )
+        if row.get("engine_checked") and row.get("engine_identical") is not True:
+            failures.append(
+                (
+                    CAPACITY_STUDY,
+                    f"{cell} [engine_identical]",
+                    "true",
+                    str(row.get("engine_identical")),
+                    "",
+                )
+            )
+
+
+def invariant_failures(fresh):
+    """Baseline-independent invariant checks over a fresh report: the
+    bit-identity / oracle / ledger gates that hold at any scale on any
+    host. Used by main() alongside the baseline diff, and by the nightly
+    workflow where no full-scale baseline exists."""
+    failures = []
+    fresh_by_name = {s["name"]: s for s in fresh["studies"]}
+    check_engine_scale(fresh_by_name, failures)
+    check_conformance(fresh_by_name, failures)
+    check_plan(fresh_by_name, failures)
+    check_capacity(fresh_by_name, failures)
+    return failures
+
+
+def render_table(failures):
+    """Renders failures as the aligned study/field/baseline/fresh/delta
+    table main() prints; reused by the nightly job summary."""
+    table = [HEADER] + failures
+    widths = [max(len(str(row[k])) for row in table) for k in range(5)]
+    return "\n".join(
+        "  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)) for row in table
+    )
+
+
 def main(baseline_path, fresh_path):
     baseline = json.load(open(baseline_path))
     fresh = json.load(open(fresh_path))
@@ -316,10 +400,8 @@ def main(baseline_path, fresh_path):
                 )
 
     baseline_by_name = {s["name"]: s for s in baseline["studies"]}
-    check_engine_scale(fresh_by_name, failures)
-    check_conformance(fresh_by_name, failures)
+    failures.extend(invariant_failures(fresh))
     check_profile(baseline_by_name, fresh_by_name, failures)
-    check_plan(fresh_by_name, failures)
 
     base_wall = baseline["total_wall_clock_seconds"]
     fresh_wall = fresh["total_wall_clock_seconds"]
@@ -335,11 +417,8 @@ def main(baseline_path, fresh_path):
         )
 
     if failures:
-        table = [HEADER] + failures
-        widths = [max(len(str(row[k])) for row in table) for k in range(5)]
         print("regression gate FAILED:")
-        for row in table:
-            print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        print(render_table(failures))
         return 1
 
     checked = sum(

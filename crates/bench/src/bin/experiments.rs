@@ -5,7 +5,7 @@
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|yield|engine-scale|
-//!              conformance|profile|plan|all]
+//!              conformance|profile|plan|capacity|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -130,6 +130,7 @@ fn main() -> ExitCode {
     section!("conformance", render_conformance(&scale));
     section!("profile", render_profile(&scale, trace_out.as_deref()));
     section!("plan", render_plan(&scale));
+    section!("capacity", render_capacity(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -177,7 +178,12 @@ struct TimedStudy {
 /// per-fidelity interpreted-vs-compiled-plan speedup `rows[]` (each
 /// carrying the f64 `bit_identical` verdict) plus the flat f32-tier audit
 /// fields (`f32_unwaived_divergences`, observed maxima, `f32_speedup`)
-/// that CI pins alongside the ≥5× driven-plan speedup floor.
+/// that CI pins alongside the ≥5× driven-plan speedup floor; v8 adds the
+/// `capacity` study (E18) with numeric `rows[]` over the
+/// templates × k sweep (throughput, energy per query, the
+/// `topk_matches_oracle` / `top1_matches_wta` verdicts and the
+/// engine-identity pair CI gates on) and extends the `conformance` report
+/// with `flat_tiled_agreement`.
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -187,7 +193,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(7)),
+        ("schema_version", JsonValue::Uint(8)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -765,6 +771,10 @@ fn render_conformance(scale: &Scale) -> Rendered {
         "flat<->hierarchical agreement".to_string(),
         format!("{:.3}", study.flat_hierarchical_agreement),
     ]);
+    t.row(&[
+        "flat<->tiled agreement".to_string(),
+        format!("{:.3}", study.flat_tiled_agreement),
+    ]);
     let mut section = Section::table(&t);
     // The JSON twin is a flat numeric object (no `rows`): the CI gate
     // asserts on these fields directly, and the agreement rates stay out
@@ -806,6 +816,10 @@ fn render_conformance(scale: &Scale) -> Rendered {
         (
             "flat_hierarchical_agreement",
             JsonValue::Num(study.flat_hierarchical_agreement),
+        ),
+        (
+            "flat_tiled_agreement",
+            JsonValue::Num(study.flat_tiled_agreement),
         ),
     ]);
     Ok(section)
@@ -1009,13 +1023,95 @@ fn render_plan(scale: &Scale) -> Rendered {
                         JsonValue::object([
                             ("fidelity", JsonValue::Str(r.fidelity.to_string())),
                             ("queries", JsonValue::Uint(r.queries as u64)),
-                            (
-                                "interpreted_seconds",
-                                JsonValue::Num(r.interpreted_seconds),
-                            ),
+                            ("interpreted_seconds", JsonValue::Num(r.interpreted_seconds)),
                             ("plan_seconds", JsonValue::Num(r.plan_seconds)),
                             ("speedup", JsonValue::Num(r.speedup)),
                             ("bit_identical", JsonValue::Bool(r.bit_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(section)
+}
+
+fn render_capacity(scale: &Scale) -> Rendered {
+    let study = experiments::capacity_study(scale)?;
+    let mut t = Table::new(
+        "E18: tiled capacity (templates x k, top-k ranked recall)",
+        &[
+            "templates",
+            "k",
+            "tiles",
+            "compiled",
+            "queries",
+            "throughput",
+            "energy/query",
+            "topk==oracle",
+            "top1==wta",
+            "engine",
+        ],
+    );
+    for r in &study.rows {
+        t.row(&[
+            format!("{}", r.templates),
+            format!("{}", r.k),
+            format!("{}", r.tiles),
+            format!("{}", r.compiled_tiles),
+            format!("{}", r.queries),
+            format!("{:.1} q/s", r.throughput_qps),
+            eng(r.energy_per_query_j, "J"),
+            if r.topk_matches_oracle { "yes" } else { "NO" }.to_string(),
+            if r.top1_matches_wta { "yes" } else { "NO" }.to_string(),
+            if !r.engine_checked {
+                "skipped"
+            } else if r.engine_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+        ]);
+    }
+    let mut section = Section::table(&t);
+    section.text.push_str(&format!(
+        "tile capacity: {} | host cpus: {}\n",
+        study.tile_capacity, study.host_cpus
+    ));
+    // The JSON twin keeps numbers numeric so the CI capacity gate can
+    // assert the oracle/WTA/engine verdicts and positive throughput at
+    // every template count without parsing table cells.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str("E18: tiled capacity (templates x k, top-k ranked recall)".to_string()),
+        ),
+        ("host_cpus", JsonValue::Uint(study.host_cpus as u64)),
+        ("tile_capacity", JsonValue::Uint(study.tile_capacity as u64)),
+        (
+            "rows",
+            JsonValue::Array(
+                study
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("templates", JsonValue::Uint(r.templates as u64)),
+                            ("k", JsonValue::Uint(r.k as u64)),
+                            ("tiles", JsonValue::Uint(r.tiles as u64)),
+                            ("compiled_tiles", JsonValue::Uint(r.compiled_tiles as u64)),
+                            ("queries", JsonValue::Uint(r.queries as u64)),
+                            ("wall_seconds", JsonValue::Num(r.wall_seconds)),
+                            ("throughput_qps", JsonValue::Num(r.throughput_qps)),
+                            ("energy_per_query_j", JsonValue::Num(r.energy_per_query_j)),
+                            (
+                                "topk_matches_oracle",
+                                JsonValue::Bool(r.topk_matches_oracle),
+                            ),
+                            ("top1_matches_wta", JsonValue::Bool(r.top1_matches_wta)),
+                            ("engine_checked", JsonValue::Bool(r.engine_checked)),
+                            ("engine_identical", JsonValue::Bool(r.engine_identical)),
                         ])
                     })
                     .collect(),

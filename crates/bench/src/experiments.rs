@@ -1271,6 +1271,9 @@ pub struct ConformanceStudy {
     pub flat_partitioned_agreement: f64,
     /// Flat↔hierarchical winner agreement across the unfaulted sweep.
     pub flat_hierarchical_agreement: f64,
+    /// Flat↔tiled winner agreement across the unfaulted sweep (the pool's
+    /// k=1 match mapped back to its build ordinal).
+    pub flat_tiled_agreement: f64,
     /// Shrunk JSON repros for any fresh divergence, named by originating
     /// check; the experiments binary persists these under
     /// `conformance-repros/` so CI can upload them as a failure artifact.
@@ -1395,6 +1398,7 @@ pub fn conformance_study(scale: &Scale) -> Result<ConformanceStudy, CoreError> {
         observed_permutation_dom_lsb: corpus.observed.permutation_dom_lsb,
         flat_partitioned_agreement: corpus.flat_partitioned.rate(),
         flat_hierarchical_agreement: corpus.flat_hierarchical.rate(),
+        flat_tiled_agreement: corpus.flat_tiled.rate(),
         fresh_repros,
     })
 }
@@ -1840,6 +1844,204 @@ pub fn plan_study(scale: &Scale) -> Result<PlanStudy, CoreError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// E18 — tiled capacity study (qps and energy/query vs stored templates)
+// ---------------------------------------------------------------------------
+
+/// One cell of the capacity sweep: a template count served at one ranking
+/// depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityRow {
+    /// Templates stored across the pool.
+    pub templates: usize,
+    /// Ranking depth requested from each recall.
+    pub k: usize,
+    /// Crossbar tiles the templates shard into.
+    pub tiles: usize,
+    /// Tiles whose evaluation phase runs a compiled plan.
+    pub compiled_tiles: usize,
+    /// Queries served in the timed pass.
+    pub queries: usize,
+    /// Wall time of the timed batch pass.
+    pub wall_seconds: f64,
+    /// Served queries per second.
+    pub throughput_qps: f64,
+    /// Mean recall energy across the timed queries, J (summed over every
+    /// tile the query touched).
+    pub energy_per_query_j: f64,
+    /// Whether every recall's ranked matches equalled an independent full
+    /// argsort of the concatenated per-tile codes, truncated to `k`. CI
+    /// gates on this.
+    pub topk_matches_oracle: bool,
+    /// Whether every recall's first match reproduced the legacy
+    /// single-winner rule (`argmax_lowest_index` over the concatenation,
+    /// DOM = the winner's own code). CI gates on this.
+    pub top1_matches_wta: bool,
+    /// Whether the engine comparison ran for this cell (skipped above 10⁴
+    /// templates — cloning the pool dominates the signal there).
+    pub engine_checked: bool,
+    /// Whether every engine response was bit-identical to a sequential
+    /// recall of a pool clone in submission order. Meaningful only when
+    /// `engine_checked`; CI gates on it there.
+    pub engine_identical: bool,
+}
+
+/// The E18 capacity study: the sweep plus its measurement context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityStudy {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// Template slots per tile (uniform across the sweep).
+    pub tile_capacity: usize,
+    /// One row per (templates, k) cell.
+    pub rows: Vec<CapacityRow>,
+}
+
+/// An independent ranking oracle: full argsort of the concatenated codes
+/// by `(code desc, global column asc)`, truncated to `k`. Deliberately
+/// not [`spinamm_core::capacity::top_k_merge`] — the study cross-checks
+/// the merge tree against a reimplementation.
+fn capacity_oracle(scores: &[u32], k: usize) -> Vec<(usize, u32)> {
+    let mut all: Vec<(usize, u32)> = scores.iter().copied().enumerate().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// E18: shards 10³/10⁴ (full scale adds 10⁵) random templates across a
+/// tiled capacity pool and serves a noisy query batch at ranking depths
+/// k ∈ {1, 5, 10}, measuring throughput and energy per query and checking
+/// every ranked result against a full argsort oracle and the legacy
+/// single-winner rule. At the two smaller counts each cell is also served
+/// through the recall engine and compared bit-for-bit against sequential
+/// recall of a pool clone.
+///
+/// # Errors
+///
+/// Propagates workload/pool/engine errors.
+pub fn capacity_study(scale: &Scale) -> Result<CapacityStudy, CoreError> {
+    use spinamm_core::capacity::TiledAmm;
+    use spinamm_core::wta::argmax_lowest_index;
+    use spinamm_data::workload::{PatternWorkload, WorkloadConfig};
+    use spinamm_engine::{Deployment, EngineConfig, EngineError, EngineResponse, RecallEngine};
+
+    const TILE_CAPACITY: usize = 128;
+    const ENGINE_CHECK_LIMIT: usize = 10_000;
+    let template_counts: &[usize] = if scale.queries >= 100 {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    let depths: &[usize] = &[1, 5, 10];
+
+    let engine_err = |e: EngineError| match e {
+        EngineError::Core(c) => c,
+        EngineError::QueueFull | EngineError::ShutDown => CoreError::InvalidParameter {
+            what: "engine rejected a blocking submission",
+        },
+    };
+
+    let mut rows = Vec::new();
+    for &templates in template_counts {
+        let w = PatternWorkload::generate(&WorkloadConfig {
+            pattern_count: templates,
+            vector_len: 64,
+            bits: 5,
+            query_count: if templates > ENGINE_CHECK_LIMIT {
+                4
+            } else {
+                scale.queries.clamp(4, 12)
+            },
+            query_noise: 0.3,
+            noise_magnitude: 2,
+            similarity: 0.0,
+            seed: 0x0e18 ^ templates as u64,
+        })?;
+        let inputs: Vec<Vec<u32>> = w.queries.iter().map(|(_, q)| q.clone()).collect();
+        let mut pool = TiledAmm::build(&w.patterns, TILE_CAPACITY, &AmmConfig::default())?;
+        for &k in depths {
+            pool.set_top_k(k)?;
+
+            // Engine bit-identity at the counts where a pool clone is
+            // cheap relative to the recall work.
+            let engine_checked = templates <= ENGINE_CHECK_LIMIT;
+            let mut engine_identical = false;
+            if engine_checked {
+                let mut reference = pool.clone();
+                let expected: Vec<_> = inputs
+                    .iter()
+                    .map(|q| reference.recall(q))
+                    .collect::<Result<_, _>>()?;
+                let engine = RecallEngine::new(
+                    Deployment::Tiled(pool.clone()),
+                    &EngineConfig {
+                        workers: 2,
+                        queue_capacity: 4,
+                        use_plans: false,
+                    },
+                );
+                let mut responses = Vec::with_capacity(inputs.len());
+                for window in inputs.chunks(4) {
+                    responses.extend(engine.recall_many(window).map_err(engine_err)?);
+                }
+                engine.shutdown();
+                engine_identical = responses.len() == expected.len()
+                    && responses
+                        .iter()
+                        .zip(&expected)
+                        .all(|(r, e)| matches!(r, EngineResponse::Tiled(t) if t == e));
+            }
+
+            // Timed batch pass on the pool itself, with ranking checks on
+            // every result.
+            let started = std::time::Instant::now();
+            let results =
+                pool.recall_batch_request(&inputs, &spinamm_core::RecallRequest::DEFAULT)?;
+            let wall_seconds = started.elapsed().as_secs_f64().max(f64::EPSILON);
+            let mut topk_matches_oracle = true;
+            let mut top1_matches_wta = true;
+            let mut energy = 0.0;
+            for r in &results {
+                energy += r.energy.total().0;
+                let ranked: Vec<(usize, u32)> = r
+                    .matches
+                    .iter()
+                    .map(|m| (m.global_column, m.score))
+                    .collect();
+                if ranked != capacity_oracle(&r.scores, ranked.len()) {
+                    topk_matches_oracle = false;
+                }
+                match argmax_lowest_index(&r.scores) {
+                    Some(legacy)
+                        if r.matches.first().map(|m| m.global_column) == Some(legacy)
+                            && r.dom == r.scores[legacy] => {}
+                    _ => top1_matches_wta = false,
+                }
+            }
+
+            rows.push(CapacityRow {
+                templates,
+                k,
+                tiles: pool.tile_count(),
+                compiled_tiles: pool.compiled_tiles(),
+                queries: inputs.len(),
+                wall_seconds,
+                throughput_qps: inputs.len() as f64 / wall_seconds,
+                energy_per_query_j: energy / results.len().max(1) as f64,
+                topk_matches_oracle,
+                top1_matches_wta,
+                engine_checked,
+                engine_identical,
+            });
+        }
+    }
+    Ok(CapacityStudy {
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        tile_capacity: TILE_CAPACITY,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2148,6 +2350,38 @@ mod tests {
         assert!(study.fresh_repros.is_empty());
         assert!(study.flat_partitioned_agreement >= 0.90);
         assert!(study.flat_hierarchical_agreement >= 0.85);
+        assert!(study.flat_tiled_agreement >= 0.90);
+    }
+
+    #[test]
+    fn capacity_study_quick_shape() {
+        let study = capacity_study(&quick()).unwrap();
+        // quick sweep: templates {1e3, 1e4} × k {1, 5, 10}.
+        assert_eq!(study.rows.len(), 6);
+        assert!(study.host_cpus >= 1);
+        assert_eq!(study.tile_capacity, 128);
+        for r in &study.rows {
+            assert!(
+                r.topk_matches_oracle,
+                "{} templates k={} diverged from the argsort oracle",
+                r.templates, r.k
+            );
+            assert!(
+                r.top1_matches_wta,
+                "{} templates k={} broke the legacy single-winner rule",
+                r.templates, r.k
+            );
+            assert!(r.engine_checked, "quick counts all fit the engine check");
+            assert!(
+                r.engine_identical,
+                "{} templates k={} engine diverged",
+                r.templates, r.k
+            );
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.energy_per_query_j > 0.0);
+            assert_eq!(r.tiles, r.templates.div_ceil(study.tile_capacity));
+            assert!(r.compiled_tiles <= r.tiles);
+        }
     }
 
     #[test]
@@ -2155,7 +2389,11 @@ mod tests {
         let study = plan_study(&quick()).unwrap();
         assert_eq!(study.rows.len(), 3);
         for r in &study.rows {
-            assert!(r.bit_identical, "{} plan diverged from interpreted", r.fidelity);
+            assert!(
+                r.bit_identical,
+                "{} plan diverged from interpreted",
+                r.fidelity
+            );
             assert!(r.plan_seconds > 0.0 && r.interpreted_seconds > 0.0);
         }
         assert_eq!(study.f32_unwaived_divergences, 0);

@@ -152,7 +152,10 @@ impl PreparedSystem {
     }
 }
 
-fn apply_updates(sys: &mut PreparedSystem, updates: &[(ElementId, RhsUpdate)]) -> Result<(), CircuitError> {
+fn apply_updates(
+    sys: &mut PreparedSystem,
+    updates: &[(ElementId, RhsUpdate)],
+) -> Result<(), CircuitError> {
     for &(id, u) in updates {
         match u {
             RhsUpdate::Current(a) => sys.set_current(id, a)?,
@@ -284,7 +287,10 @@ mod prepared_tests {
         let (net, _, _) = ladder();
         let mut prep = PreparedSystem::new(&net).unwrap();
         // Element 1 is a resistor: neither a current source nor a clamp.
-        let bad = vec![vec![(net.element_id(1).unwrap(), RhsUpdate::Current(Amps(1.0)))]];
+        let bad = vec![vec![(
+            net.element_id(1).unwrap(),
+            RhsUpdate::Current(Amps(1.0)),
+        )]];
         assert!(matches!(
             prep.solve_multi_rhs(&bad),
             Err(CircuitError::InvalidParameter { .. })

@@ -624,7 +624,9 @@ impl PreparedSystem {
                 *factor = None;
             }
         }
-        let Self { m, matrix, backend, .. } = self;
+        let Self {
+            m, matrix, backend, ..
+        } = self;
         let Backend::Dense { factor } = backend else {
             return Err(CircuitError::InvalidParameter {
                 what: "multi-RHS block solves require the dense Cholesky backend",

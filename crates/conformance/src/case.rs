@@ -9,6 +9,7 @@ use spinamm_circuit::units::{Amps, Seconds, Volts};
 use spinamm_cmos::Tech45;
 use spinamm_core::adc::SpinSarAdc;
 use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity, RecallResult};
+use spinamm_core::capacity::TiledAmm;
 use spinamm_core::degrade::DegradationPolicy;
 use spinamm_core::hierarchy::HierarchicalAmm;
 use spinamm_core::partition::PartitionedAmm;
@@ -183,6 +184,8 @@ pub struct CaseOutcome {
     pub flat_partitioned: Agreement,
     /// Flat↔hierarchical winner agreement (aggregated by the corpus).
     pub flat_hierarchical: Agreement,
+    /// Flat↔tiled winner agreement (aggregated by the corpus).
+    pub flat_tiled: Agreement,
 }
 
 fn fidelity_name(f: Fidelity) -> &'static str {
@@ -260,6 +263,17 @@ fn margin(codes: &[u32], winner: usize) -> u32 {
         Some(r) => codes[winner].saturating_sub(r),
         None => codes[winner],
     }
+}
+
+/// The sequential full-argsort ranking oracle: all columns ordered by
+/// `(code descending, global column ascending)`, truncated to `k` — an
+/// independent implementation of the contract
+/// [`spinamm_core::capacity::top_k_merge`] must meet.
+fn argsort_oracle(scores: &[u32], k: usize) -> Vec<(usize, u32)> {
+    let mut all: Vec<(usize, u32)> = scores.iter().copied().enumerate().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
 }
 
 fn flat_detail(a: &RecallResult, b: &RecallResult) -> String {
@@ -547,6 +561,70 @@ pub fn run_case<T: Recorder>(
         }
     }
 
+    // --- Tiled capacity pool (driven fidelity, ranked top-k recall). ------
+    // The pool splits the template set across two tiles and ranks with
+    // k = 3; every ranked result is audited against the sequential argsort
+    // oracle and the legacy single-winner (k = 1) rule, and the engine's
+    // fan-out must reproduce direct pool recall bit for bit.
+    let tile_capacity = w.patterns.len().div_ceil(2);
+    let mut tiled = TiledAmm::build(&w.patterns, tile_capacity, &cfg)?.with_top_k(3)?;
+    let tiled_engine = RecallEngine::new(
+        Deployment::Tiled(tiled.clone()),
+        &EngineConfig {
+            workers: 2,
+            queue_capacity: 2,
+            use_plans: false,
+        },
+    );
+    let tiled_responses = tiled_engine.recall_many(&inputs)?;
+    tiled_engine.shutdown();
+    let tiled_direct = inputs
+        .iter()
+        .map(|q| tiled.recall(q))
+        .collect::<Result<Vec<_>, _>>()?;
+    out.checks += inputs.len() as u64;
+    for (k, (want, got)) in tiled_direct.iter().zip(&tiled_responses).enumerate() {
+        let identical = matches!(got, EngineResponse::Tiled(r) if r == want);
+        if !identical {
+            out.divergences.push(Divergence {
+                check: "bit_identity.engine.tiled".to_string(),
+                query: Some(k),
+                detail: format!("engine response diverged: {got:?}"),
+            });
+        }
+    }
+    for (k, r) in tiled_direct.iter().enumerate() {
+        // Ranked output ≡ the first top_k entries of a full argsort of the
+        // concatenated per-tile codes (code desc, global column asc).
+        out.checks += 1;
+        let ranked: Vec<(usize, u32)> = r
+            .matches
+            .iter()
+            .map(|m| (m.global_column, m.score))
+            .collect();
+        let oracle = argsort_oracle(&r.scores, ranked.len());
+        if ranked != oracle {
+            out.divergences.push(Divergence {
+                check: "capacity.topk.oracle".to_string(),
+                query: Some(k),
+                detail: format!("ranked {ranked:?} vs argsort oracle {oracle:?}"),
+            });
+        }
+        // k = 1 ≡ the legacy WTA tie-break rule over the concatenation.
+        out.checks += 1;
+        let legacy = argmax_lowest_index(&r.scores).expect("pool has columns");
+        if r.matches[0].global_column != legacy || r.dom != r.scores[legacy] {
+            out.divergences.push(Divergence {
+                check: "capacity.topk.k1".to_string(),
+                query: Some(k),
+                detail: format!(
+                    "top match {} dom {} vs argmax_lowest_index {} code {}",
+                    r.matches[0].global_column, r.dom, legacy, r.scores[legacy]
+                ),
+            });
+        }
+    }
+
     // Cross-decomposition winner agreement, aggregated corpus-wide against
     // the ledger floors. Faulted cases are skipped: the flat reference
     // carries the fault map but the decompositions do not, so the tally
@@ -562,6 +640,13 @@ pub fn run_case<T: Recorder>(
             out.flat_hierarchical.total += 1;
             if rf.raw_winner == rh.winner {
                 out.flat_hierarchical.agree += 1;
+            }
+        }
+        for (rf, rt) in flat_driven.iter().zip(&tiled_direct) {
+            out.flat_tiled.total += 1;
+            let ordinal = rt.matches[0].handle.map(|h| tiled.build_ordinal(&h));
+            if ordinal == Some(rf.raw_winner) {
+                out.flat_tiled.agree += 1;
             }
         }
     }

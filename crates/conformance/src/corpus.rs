@@ -45,6 +45,8 @@ pub struct CorpusOutcome {
     pub flat_partitioned: Agreement,
     /// Flat↔hierarchical winner agreement across unfaulted cases.
     pub flat_hierarchical: Agreement,
+    /// Flat↔tiled winner agreement across unfaulted cases.
+    pub flat_tiled: Agreement,
     /// Corpus-level violations (agreement floors under the ledger minimum).
     pub aggregate_violations: Vec<Divergence>,
 }
@@ -102,6 +104,7 @@ pub fn run_corpus<T: Recorder>(
         out.observed.merge(&case.observed);
         out.flat_partitioned.merge(case.flat_partitioned);
         out.flat_hierarchical.merge(case.flat_hierarchical);
+        out.flat_tiled.merge(case.flat_tiled);
         if !case.divergences.is_empty() {
             out.divergent.push(DivergentCase {
                 spec,
@@ -119,6 +122,11 @@ pub fn run_corpus<T: Recorder>(
             "aggregate.flat_hierarchical_agreement",
             out.flat_hierarchical,
             ledger.min_flat_hierarchical_agreement,
+        ),
+        (
+            "aggregate.flat_tiled_agreement",
+            out.flat_tiled,
+            ledger.min_flat_tiled_agreement,
         ),
     ] {
         out.checks += 1;
@@ -427,6 +435,12 @@ mod tests {
             out.flat_hierarchical.rate(),
             out.flat_hierarchical.agree,
             out.flat_hierarchical.total
+        );
+        println!(
+            "flat_tiled: {:.3} ({}/{})",
+            out.flat_tiled.rate(),
+            out.flat_tiled.agree,
+            out.flat_tiled.total
         );
         println!("divergent cases: {}", out.divergent.len());
         for d in out.divergent.iter().take(5) {

@@ -50,6 +50,13 @@ pub struct ToleranceLedger {
     /// the 2-cluster hierarchical deployment at driven fidelity. Cluster
     /// routing loses globally-close seconds, so this floor is the loosest.
     pub min_flat_hierarchical_agreement: f64,
+    /// Minimum corpus-wide winner agreement between the flat module and
+    /// the tiled capacity pool at driven fidelity, comparing the flat
+    /// winner to the pool's k=1 match mapped back to its build ordinal.
+    /// Tiles resample programming noise and calibrate independently (only
+    /// tile 0 shares the flat module's device samples), so per-query
+    /// agreement is bounded, not exact.
+    pub min_flat_tiled_agreement: f64,
     /// Max |DOM difference| in LSB codes between an f64 compiled recall
     /// plan and its opt-in f32 fast tier for the same query (analytic
     /// fidelities only; parasitic plans refuse the f32 tier). The f32
@@ -70,7 +77,8 @@ impl ToleranceLedger {
     /// of the conformance report track the live maxima against these
     /// budgets). Measured: ideal↔driven |ΔDOM| ≤ 6 LSB, driven↔parasitic
     /// ≤ 1 LSB, permutation ≤ 1 LSB, flat↔partitioned agreement 1.000,
-    /// flat↔hierarchical agreement 0.990. The f32-plan tier measured
+    /// flat↔hierarchical agreement 0.990, flat↔tiled agreement 1.000.
+    /// The f32-plan tier measured
     /// |ΔDOM| ≤ 1 LSB and relative current error < 1e-5 across the same
     /// sweep (`spinamm_core::plan` keeps all conditioning in f64, so only
     /// the correlate accumulates in single precision).
@@ -81,6 +89,7 @@ impl ToleranceLedger {
         permutation_dom_lsb: 3,
         min_flat_partitioned_agreement: 0.90,
         min_flat_hierarchical_agreement: 0.85,
+        min_flat_tiled_agreement: 0.90,
         plan_f32_dom_lsb: 2,
         plan_f32_current_rel: 1e-4,
     };
@@ -94,6 +103,7 @@ impl ToleranceLedger {
         for rate in [
             self.min_flat_partitioned_agreement,
             self.min_flat_hierarchical_agreement,
+            self.min_flat_tiled_agreement,
         ] {
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
                 return Err(ConformanceError::InvalidParameter {

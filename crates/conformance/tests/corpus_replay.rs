@@ -47,6 +47,30 @@ fn corpus_is_present_and_parses() {
 }
 
 #[test]
+fn tiled_baseline_replays_through_the_capacity_pool() {
+    let path = corpus_dir().join("tiled-capacity-baseline.json");
+    let text = fs::read_to_string(&path).expect("tiled baseline must be committed");
+    let (spec, recorded) = repro_from_json(&text).expect("valid repro");
+    assert!(recorded.is_empty(), "tiled baseline must be clean");
+    assert!(
+        spec.pattern_count >= 3,
+        "tiled baseline must shard into at least two tiles"
+    );
+    let outcome = run_case(&spec, &ToleranceLedger::DEFAULT, &NoopRecorder).expect("replayable");
+    assert!(
+        outcome.divergences.is_empty(),
+        "tiled baseline replayed with violations: {:?}",
+        outcome.divergences
+    );
+    // The tiled section must actually have run: every unfaulted query
+    // tallies a flat↔tiled winner comparison.
+    assert_eq!(
+        outcome.flat_tiled.total, spec.query_count as u64,
+        "flat↔tiled agreement was not tallied for every query"
+    );
+}
+
+#[test]
 fn committed_repros_replay_as_recorded() {
     for path in corpus_files() {
         let text = fs::read_to_string(&path).expect("readable repro");

@@ -1206,6 +1206,182 @@ impl AssociativeMemoryModule {
     pub fn masked_columns(&self) -> Vec<usize> {
         (0..self.masked.len()).filter(|&j| self.masked[j]).collect()
     }
+
+    /// Physical columns currently available for
+    /// [`AssociativeMemoryModule::install_template`]: unowned, unmasked,
+    /// and electrically connected. Spares provisioned at build start here;
+    /// retired columns return here; fault-vacated columns never do (they
+    /// stay unowned but are excluded by their line defect or mask).
+    #[must_use]
+    pub fn free_columns(&self) -> Vec<usize> {
+        (0..self.array.cols())
+            .filter(|&j| {
+                self.column_owner[j].is_none()
+                    && !self.masked[j]
+                    && !self.array.column_disconnected(j)
+            })
+            .collect()
+    }
+
+    /// [`AssociativeMemoryModule::install_template_request`] without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::install_template_request`].
+    pub fn install_template(&mut self, pattern: &[u32]) -> Result<(usize, usize), CoreError> {
+        self.install_template_request(pattern, &RecallRequest::DEFAULT)
+    }
+
+    /// Installs a new template into the lowest-index free physical column
+    /// (a build-time spare, or a column vacated by
+    /// [`AssociativeMemoryModule::retire_template`]), growing the template
+    /// bank at runtime. The pattern is written through the same
+    /// program-and-verify retry path fault-time remapping uses, the row
+    /// dummies are re-equalized against the new loads, and the cached
+    /// parasitic session is rebuilt and canonically re-warmed — so recalls
+    /// after an install remain scheduling-order independent.
+    ///
+    /// Input-DAC gain calibration is pinned at build (hardware calibrates
+    /// once, against the initial bank); an installed template whose
+    /// self-correlation exceeds every build-time pattern's may read closer
+    /// to ADC full scale than [`Self::FULL_SCALE_HEADROOM`].
+    ///
+    /// Returns `(template_slot, physical_column)`. Template slots are
+    /// append-only: retiring never renumbers, so slot indices stay stable
+    /// for the lifetime of the module.
+    ///
+    /// Emits a `bank.installs` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when no free column remains
+    /// or the pattern levels are out of range,
+    /// [`CoreError::InputLengthMismatch`] for a wrong-length pattern, and
+    /// propagates programming and solver errors.
+    pub fn install_template_request<R: Recorder>(
+        &mut self,
+        pattern: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<(usize, usize), CoreError> {
+        let recorder = req.recorder();
+        if pattern.len() != self.vector_len() {
+            return Err(CoreError::InputLengthMismatch {
+                expected: self.vector_len(),
+                found: pattern.len(),
+            });
+        }
+        let cap = 1u32 << self.config.params.template_bits;
+        if pattern.iter().any(|&l| l >= cap) {
+            return Err(CoreError::InvalidParameter {
+                what: "template level exceeds template bit width",
+            });
+        }
+        let col = self
+            .free_columns()
+            .into_iter()
+            .next()
+            .ok_or(CoreError::InvalidParameter {
+                what: "no free column for template install (bank full)",
+            })?;
+
+        let p = &self.config.params;
+        let level_map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let write = WriteScheme::new(p.write_tolerance)?;
+        let retry = RetryPolicy::default();
+        self.array.program_pattern_retry_with(
+            col,
+            pattern,
+            &level_map,
+            &write,
+            &retry,
+            &mut self.rng,
+            recorder,
+        )?;
+
+        let slot = self.templates.len();
+        self.templates.push(pattern.to_vec());
+        self.template_column.push(col);
+        self.column_owner[col] = Some(slot);
+
+        // The programmed column changes its rows' loads; refresh the
+        // dummies so every DAC still sees G_TS, then rebuild the cached
+        // parasitic session against the new conductances.
+        if self.config.equalize_rows {
+            let target = self.array.equalization_target()?;
+            self.array.equalize_rows(Some(target))?;
+        }
+        self.parasitic.invalidate();
+        self.warm_session(recorder)?;
+        recorder.counter("bank.installs", 1);
+        Ok((slot, col))
+    }
+
+    /// [`AssociativeMemoryModule::retire_template_request`] without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::retire_template_request`].
+    pub fn retire_template(&mut self, slot: usize) -> Result<usize, CoreError> {
+        self.retire_template_request(slot, &RecallRequest::DEFAULT)
+    }
+
+    /// Retires template `slot`, releasing its physical column back to the
+    /// free pool for a later [`AssociativeMemoryModule::install_template`].
+    /// Pure ownership bookkeeping: the cells keep their conductances (they
+    /// are physically still there — row loads, parasitics and the RNG
+    /// schedule are untouched), but the column is gated out of the WTA from
+    /// the next recall on, exactly like a build-time spare. Unlike columns
+    /// vacated by fault-time remapping, a retired column is healthy and
+    /// reusable.
+    ///
+    /// Returns the freed physical column. Emits a `bank.retires` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown slot, a slot
+    /// already retired, or a module that would be left with no stored
+    /// template at all.
+    pub fn retire_template_request<R: Recorder>(
+        &mut self,
+        slot: usize,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<usize, CoreError> {
+        if slot >= self.templates.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "unknown template slot",
+            });
+        }
+        let col = self.template_column[slot];
+        if self.column_owner[col] != Some(slot) {
+            return Err(CoreError::InvalidParameter {
+                what: "template slot already retired",
+            });
+        }
+        if self
+            .column_owner
+            .iter()
+            .filter(|owner| owner.is_some())
+            .count()
+            <= 1
+        {
+            return Err(CoreError::InvalidParameter {
+                what: "cannot retire the last stored template",
+            });
+        }
+        self.column_owner[col] = None;
+        req.recorder().counter("bank.retires", 1);
+        Ok(col)
+    }
+
+    /// Live (non-retired) template slots, in slot order.
+    #[must_use]
+    pub fn live_templates(&self) -> Vec<usize> {
+        (0..self.templates.len())
+            .filter(|&t| self.column_owner[self.template_column[t]] == Some(t))
+            .collect()
+    }
 }
 
 #[cfg(test)]

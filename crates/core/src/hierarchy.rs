@@ -34,15 +34,15 @@ use spinamm_telemetry::Recorder;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HierarchicalAmm {
-    top: AssociativeMemoryModule,
-    clusters: Vec<ClusterModule>,
+    pub(crate) top: AssociativeMemoryModule,
+    pub(crate) clusters: Vec<ClusterModule>,
 }
 
 #[derive(Debug, Clone)]
-struct ClusterModule {
+pub(crate) struct ClusterModule {
     /// Global pattern indices of this cluster's members.
-    members: Vec<usize>,
-    module: AssociativeMemoryModule,
+    pub(crate) members: Vec<usize>,
+    pub(crate) module: AssociativeMemoryModule,
 }
 
 /// Result of a hierarchical recall.

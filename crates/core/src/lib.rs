@@ -31,6 +31,9 @@
 //!   matching over multiple RCM modules.
 //! * [`partition`] — the paper's §5 extension: large patterns split across
 //!   modular RCM blocks with digital score summation.
+//! * [`capacity`] — the scale-out layer: the template set sharded across a
+//!   pool of crossbar tiles with deterministic top-k ranked recall and
+//!   runtime-insertable/evictable template banks.
 //! * [`convolution`] — the paper's §5 extension: crossbar dot products as a
 //!   convolution engine for CNN-style feature maps.
 //!
@@ -57,6 +60,7 @@
 
 pub mod adc;
 pub mod amm;
+pub mod capacity;
 pub mod convolution;
 pub mod degrade;
 pub mod energy;
@@ -72,12 +76,13 @@ pub mod wta;
 
 pub use adc::{AdcConversion, SpinSarAdc};
 pub use amm::{AmmConfig, AssociativeMemoryModule, Fidelity, QueryEvaluation, RecallResult};
+pub use capacity::{top_k_merge, RankedMatch, TemplateHandle, TileId, TiledAmm, TiledRecall};
 pub use degrade::{DegradationPolicy, FaultReport};
 pub use energy::{EnergyBreakdown, PowerReport};
 pub use hierarchy::{HierarchicalAmm, HierarchicalRecall};
 pub use params::DesignParams;
 pub use partition::{PartitionedAmm, PartitionedRecall};
-pub use plan::{PartitionedPlan, PlanOptions, PlanPrecision, RecallPlan};
+pub use plan::{HierarchicalPlan, PartitionedPlan, PlanOptions, PlanPrecision, RecallPlan};
 pub use request::RecallRequest;
 pub use sar::SarRegister;
 pub use wta::{SpinWta, WtaOutcome};

@@ -10,7 +10,7 @@
 //! [`RecallPlan`] hoists all of it into one-time compilation:
 //!
 //! * **Drive LUTs** — every `(row, level)` pair is lowered through the same
-//!   [`AssociativeMemoryModule::drive_for_row`] path interpreted recall
+//!   `AssociativeMemoryModule::drive_for_row` path interpreted recall
 //!   uses, then evaluated against the row's total load once. At execute
 //!   time a drive is a table read, not a DAC model call.
 //! * **Flat conductances** — effective cell conductances with fault gains
@@ -76,6 +76,7 @@
 use crate::adc::SpinSarAdc;
 use crate::amm::{AssociativeMemoryModule, Fidelity, QueryEvaluation, RecallResult};
 use crate::energy::EnergyBreakdown;
+use crate::hierarchy::HierarchicalAmm;
 use crate::partition::{combine_results, PartitionedAmm, PartitionedRecall};
 use crate::request::RecallRequest;
 use crate::sar::SarRegister;
@@ -128,6 +129,27 @@ enum PlanOp {
     Select,
 }
 
+/// The shape a plan was compiled for. Two plans with equal geometries have
+/// identically sized scratch buffers, so a [`PlanWorkspace`] recycled from
+/// one (via [`RecallPlan::into_workspace`]) re-fits the other without any
+/// reallocation — the per-tile reuse contract the capacity layer's pools of
+/// identical tiles rely on when recompiling after a bank mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanGeometry {
+    /// Input vector length.
+    pub rows: usize,
+    /// Physical column count (templates + spares).
+    pub cols: usize,
+    /// ADC resolution.
+    pub bits: u32,
+    /// Exclusive input level cap, `1 << template_bits`.
+    pub level_cap: u32,
+    /// Whether the plan solves a parasitic netlist (stages full drives).
+    pub parasitic: bool,
+    /// Numeric tier of the correlate stage.
+    pub precision: PlanPrecision,
+}
+
 /// Pre-sized scratch buffers reused across executions. Sized once at
 /// compile; no execution path grows them.
 #[derive(Debug, Clone)]
@@ -146,6 +168,60 @@ pub struct PlanWorkspace {
     codes: Vec<u32>,
     /// Staged drives (parasitic restamp input).
     drives: Vec<RowDrive>,
+}
+
+impl PlanWorkspace {
+    /// An empty workspace, grown to shape by [`PlanWorkspace::fit`].
+    fn empty() -> Self {
+        Self {
+            currents: Vec::new(),
+            currents32: Vec::new(),
+            rcm_power: 0.0,
+            traj: Vec::new(),
+            tr: Vec::new(),
+            codes: Vec::new(),
+            drives: Vec::new(),
+        }
+    }
+
+    /// Re-shapes the buffers (recycled or fresh) for a geometry. When the
+    /// buffers already have the right capacity — recycling between plans of
+    /// equal [`PlanGeometry`] — this is a clear-and-refill with zero
+    /// reallocation.
+    fn fit(mut self, geometry: &PlanGeometry) -> Self {
+        let PlanGeometry {
+            rows,
+            cols,
+            bits,
+            parasitic,
+            precision,
+            ..
+        } = *geometry;
+        self.currents.clear();
+        self.currents.resize(cols, 0.0);
+        self.currents32.clear();
+        self.currents32.resize(
+            if precision == PlanPrecision::F32 {
+                cols
+            } else {
+                0
+            },
+            0.0,
+        );
+        self.rcm_power = 0.0;
+        self.traj.clear();
+        self.traj.resize(cols * bits as usize, 0);
+        self.tr.clear();
+        self.tr.resize(cols, false);
+        self.codes.clear();
+        self.codes.resize(cols, 0);
+        self.drives.clear();
+        self.drives.resize(
+            if parasitic { rows } else { 0 },
+            RowDrive::Current(Amps(0.0)),
+        );
+        self
+    }
 }
 
 /// A compiled recall plan. See the [module docs](crate::plan) for the
@@ -244,9 +320,54 @@ impl RecallPlan {
         options: PlanOptions,
         req: &RecallRequest<'_, R>,
     ) -> Result<Self, CoreError> {
+        Self::compile_inner(module, options, None, req)
+    }
+
+    /// [`RecallPlan::compile`] reusing the scratch buffers of a retired
+    /// plan (see [`RecallPlan::into_workspace`]). When the donor's
+    /// [`PlanGeometry`] equals the new plan's — tiles of a capacity pool,
+    /// or a recompile of the same module after a bank mutation — the
+    /// workspace re-fits without reallocating. A mismatched donor is not an
+    /// error; its buffers are simply resized.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecallPlan::compile`].
+    pub fn compile_with_workspace(
+        module: &AssociativeMemoryModule,
+        options: PlanOptions,
+        recycled: PlanWorkspace,
+    ) -> Result<Self, CoreError> {
+        Self::compile_inner(module, options, Some(recycled), &RecallRequest::DEFAULT)
+    }
+
+    /// [`RecallPlan::compile_with_workspace`] with observability (adds a
+    /// `plan.workspace_recycled` counter next to `plan.compiles`).
+    ///
+    /// # Errors
+    ///
+    /// See [`RecallPlan::compile`].
+    pub fn compile_with_workspace_request<R: Recorder>(
+        module: &AssociativeMemoryModule,
+        options: PlanOptions,
+        recycled: PlanWorkspace,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Self, CoreError> {
+        Self::compile_inner(module, options, Some(recycled), req)
+    }
+
+    fn compile_inner<R: Recorder>(
+        module: &AssociativeMemoryModule,
+        options: PlanOptions,
+        recycled: Option<PlanWorkspace>,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Self, CoreError> {
         let recorder = req.recorder();
         let _span = recorder.span("plan.compile");
         recorder.counter("plan.compiles", 1);
+        if recycled.is_some() {
+            recorder.counter("plan.workspace_recycled", 1);
+        }
 
         let fidelity = module.config.fidelity;
         let precision = options.precision;
@@ -288,7 +409,9 @@ impl RecallPlan {
                 g.push(module.array.conductance(i, j)?.0);
             }
         }
-        let disconnected: Vec<bool> = (0..cols).map(|j| module.array.column_disconnected(j)).collect();
+        let disconnected: Vec<bool> = (0..cols)
+            .map(|j| module.array.column_disconnected(j))
+            .collect();
 
         // f32 shadows only when the fast tier is compiled in.
         let (g32, v_lut32, iin_lut32) = if precision == PlanPrecision::F32 {
@@ -348,19 +471,15 @@ impl RecallPlan {
             ],
         };
 
-        let ws = PlanWorkspace {
-            currents: vec![0.0; cols],
-            currents32: vec![0.0; if precision == PlanPrecision::F32 { cols } else { 0 }],
-            rcm_power: 0.0,
-            traj: vec![0; cols * bits as usize],
-            tr: vec![false; cols],
-            codes: vec![0; cols],
-            drives: if parasitic {
-                vec![RowDrive::Current(Amps(0.0)); rows]
-            } else {
-                Vec::new()
-            },
+        let geometry = PlanGeometry {
+            rows,
+            cols,
+            bits,
+            level_cap,
+            parasitic,
+            precision,
         };
+        let ws = recycled.unwrap_or_else(PlanWorkspace::empty).fit(&geometry);
 
         Ok(Self {
             fidelity,
@@ -427,6 +546,31 @@ impl RecallPlan {
     #[must_use]
     pub fn executions(&self) -> u64 {
         self.executions
+    }
+
+    /// The shape this plan was compiled for. Plans with equal geometries
+    /// can exchange workspaces allocation-free (see
+    /// [`RecallPlan::compile_with_workspace`]).
+    #[must_use]
+    pub fn geometry(&self) -> PlanGeometry {
+        PlanGeometry {
+            rows: self.rows,
+            cols: self.cols,
+            bits: self.bits,
+            level_cap: self.level_cap,
+            parasitic: self.fidelity == Fidelity::Parasitic,
+            precision: self.precision,
+        }
+    }
+
+    /// Retires the plan, salvaging its scratch buffers for the next
+    /// compile. The intended lifecycle for a mutable tile: recall through
+    /// the plan until the module mutates (install/evict/faults), then
+    /// `RecallPlan::compile_with_workspace(&module, opts, old.into_workspace())`
+    /// — a snapshot refresh that reuses every scratch allocation.
+    #[must_use]
+    pub fn into_workspace(self) -> PlanWorkspace {
+        self.ws
     }
 
     /// Executes one query.
@@ -714,7 +858,11 @@ impl RecallPlan {
     /// Bit-identity with the module's own session rests on the crossbar
     /// crate's clone/order-independence guarantees (sessions are pure
     /// functions of `(array, drives)` once built).
-    fn op_solve<T: Recorder>(&mut self, recorder: &T, trace: TraceCtx<'_>) -> Result<(), CoreError> {
+    fn op_solve<T: Recorder>(
+        &mut self,
+        recorder: &T,
+        trace: TraceCtx<'_>,
+    ) -> Result<(), CoreError> {
         let _span = recorder.span("plan.settle");
         let phase = trace.phase("settle");
         let session = self.session.as_mut().expect("parasitic plan has a session");
@@ -879,7 +1027,8 @@ impl RecallPlan {
         }
         for cycle in 1..bits_us {
             let bit_mask = 1u32 << (bits - 1 - cycle as u32);
-            let discharge = (0..n).any(|j| ws.tr[j] && ws.traj[j * bits_us + cycle] & bit_mask != 0);
+            let discharge =
+                (0..n).any(|j| ws.tr[j] && ws.traj[j * bits_us + cycle] & bit_mask != 0);
             if discharge {
                 recorder.counter("wta.dl_transitions", 1);
                 for j in 0..n {
@@ -912,7 +1061,8 @@ impl RecallPlan {
         out.codes.clear();
         out.codes.extend_from_slice(&ws.codes);
         out.column_currents.clear();
-        out.column_currents.extend(ws.currents.iter().copied().map(Amps));
+        out.column_currents
+            .extend(ws.currents.iter().copied().map(Amps));
         out.energy = energy;
     }
 }
@@ -940,10 +1090,7 @@ impl PartitionedPlan {
     /// # Errors
     ///
     /// See [`RecallPlan::compile`].
-    pub fn compile(
-        partitioned: &PartitionedAmm,
-        options: PlanOptions,
-    ) -> Result<Self, CoreError> {
+    pub fn compile(partitioned: &PartitionedAmm, options: PlanOptions) -> Result<Self, CoreError> {
         let segments = partitioned
             .segments
             .iter()
@@ -1025,8 +1172,124 @@ impl PartitionedPlan {
         }
         self.segments
             .iter_mut()
-            .map(|seg| seg.plan.evaluate_query_request(&input[seg.start..seg.end], req))
+            .map(|seg| {
+                seg.plan
+                    .evaluate_query_request(&input[seg.start..seg.end], req)
+            })
             .collect()
+    }
+}
+
+/// A compiled hierarchical deployment: the stage-A (centroid) module and
+/// every cluster member module lowered into [`RecallPlan`]s for the
+/// engine's RNG-free evaluation phase.
+///
+/// Compilation fails only when the stage-A top module fails to compile —
+/// without a top plan nothing is gained. A member module that fails keeps
+/// an interpreted fallback slot instead ([`HierarchicalPlan::member_plan`]
+/// returns `None`, counted by [`HierarchicalPlan::member_fallbacks`]), so
+/// one awkward cluster doesn't forfeit the fast path for the rest of the
+/// deployment. f64 plan evaluation is bit-identical to the interpreted
+/// modules, so mixing compiled and fallback clusters never changes a
+/// response.
+#[derive(Debug, Clone)]
+pub struct HierarchicalPlan {
+    top: RecallPlan,
+    members: Vec<Option<RecallPlan>>,
+}
+
+impl HierarchicalPlan {
+    /// Compiles a hierarchical deployment's stage-A module and every
+    /// compilable cluster member module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stage-A top module's compile error; member failures
+    /// degrade to interpreted fallbacks instead.
+    pub fn compile(
+        hierarchical: &HierarchicalAmm,
+        options: PlanOptions,
+    ) -> Result<Self, CoreError> {
+        Self::compile_request(hierarchical, options, &RecallRequest::DEFAULT)
+    }
+
+    /// [`HierarchicalPlan::compile`] with observability.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalPlan::compile`].
+    pub fn compile_request<R: Recorder>(
+        hierarchical: &HierarchicalAmm,
+        options: PlanOptions,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<Self, CoreError> {
+        let top = RecallPlan::compile_request(&hierarchical.top, options, req)?;
+        let members = hierarchical
+            .clusters
+            .iter()
+            .map(|c| RecallPlan::compile_request(&c.module, options, req).ok())
+            .collect();
+        Ok(Self { top, members })
+    }
+
+    /// Number of cluster member slots (compiled or fallback).
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster members that failed to compile and evaluate interpreted.
+    #[must_use]
+    pub fn member_fallbacks(&self) -> u64 {
+        self.members.iter().filter(|m| m.is_none()).count() as u64
+    }
+
+    /// The compiled member plan for `cluster`, when one exists.
+    pub fn member_plan(&mut self, cluster: usize) -> Option<&mut RecallPlan> {
+        self.members.get_mut(cluster).and_then(Option::as_mut)
+    }
+
+    /// Whether `cluster` has a compiled member plan.
+    #[must_use]
+    pub fn has_member_plan(&self, cluster: usize) -> bool {
+        self.members.get(cluster).is_some_and(Option::is_some)
+    }
+
+    /// Stage-A RNG-free phase through the compiled top plan —
+    /// bit-identical (f64) to
+    /// [`HierarchicalAmm::evaluate_top_request`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RecallPlan::evaluate_query_request`].
+    pub fn evaluate_top_request<R: Recorder>(
+        &mut self,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<QueryEvaluation, CoreError> {
+        self.top.evaluate_query_request(input, req)
+    }
+
+    /// Stage-B RNG-free phase through `cluster`'s compiled plan —
+    /// bit-identical (f64) to
+    /// [`HierarchicalAmm::evaluate_member_request`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range or
+    /// fallback (uncompiled) cluster; see
+    /// [`RecallPlan::evaluate_query_request`].
+    pub fn evaluate_member_request<R: Recorder>(
+        &mut self,
+        cluster: usize,
+        input: &[u32],
+        req: &RecallRequest<'_, R>,
+    ) -> Result<QueryEvaluation, CoreError> {
+        self.member_plan(cluster)
+            .ok_or(CoreError::InvalidParameter {
+                what: "cluster has no compiled member plan",
+            })?
+            .evaluate_query_request(input, req)
     }
 }
 
@@ -1075,7 +1338,10 @@ mod tests {
         for (a, b) in got.column_currents.iter().zip(&want.column_currents) {
             assert_eq!(a.0.to_bits(), b.0.to_bits());
         }
-        assert_eq!(got.energy.total().0.to_bits(), want.energy.total().0.to_bits());
+        assert_eq!(
+            got.energy.total().0.to_bits(),
+            want.energy.total().0.to_bits()
+        );
     }
 
     #[test]
@@ -1194,7 +1460,9 @@ mod tests {
                 let want = module
                     .evaluate_query_request(&q, &RecallRequest::DEFAULT)
                     .unwrap();
-                let got = plan.evaluate_query_request(&q, &RecallRequest::DEFAULT).unwrap();
+                let got = plan
+                    .evaluate_query_request(&q, &RecallRequest::DEFAULT)
+                    .unwrap();
                 assert_eq!(got, want);
             }
         }
@@ -1278,8 +1546,50 @@ mod tests {
             assert_eq!(got.winner, want.winner);
             assert_eq!(got.dom, want.dom);
             assert_eq!(got.scores, want.scores);
-            assert_eq!(got.energy.total().0.to_bits(), want.energy.total().0.to_bits());
+            assert_eq!(
+                got.energy.total().0.to_bits(),
+                want.energy.total().0.to_bits()
+            );
         }
+    }
+
+    #[test]
+    fn hierarchical_plan_matches_interpreted_two_phase() {
+        // Engine-style split: the compiled plan (a worker's clone) runs
+        // both RNG-free phases, the interpreted master runs both selects —
+        // bit-identical to plain sequential hierarchical recall.
+        let cfg = config(Fidelity::Driven);
+        let pats: Vec<Vec<u32>> = (0..6)
+            .map(|p| {
+                (0..16)
+                    .map(|i| {
+                        if i % 3 == p % 3 {
+                            28
+                        } else {
+                            (i + p) as u32 % 6
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reference = HierarchicalAmm::build(&pats, 2, &cfg).unwrap();
+        let mut master = reference.clone();
+        let mut plan = HierarchicalPlan::compile(&reference, PlanOptions::default()).unwrap();
+        assert_eq!(plan.member_count(), master.cluster_count());
+        assert_eq!(plan.member_fallbacks(), 0);
+        let req = RecallRequest::DEFAULT;
+        for q in queries() {
+            let want = reference.recall(&q).unwrap();
+            let top_eval = plan.evaluate_top_request(&q, &req).unwrap();
+            let top = master.select_top_request(top_eval, &req).unwrap();
+            let cluster = top.raw_winner;
+            let member_eval = plan.evaluate_member_request(cluster, &q, &req).unwrap();
+            let got = master
+                .select_member_request(cluster, member_eval, &top, &req)
+                .unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(plan.member_plan(master.cluster_count()).is_none());
     }
 
     #[test]
@@ -1287,9 +1597,12 @@ mod tests {
         let reference =
             AssociativeMemoryModule::build(&patterns(), &config(Fidelity::Driven)).unwrap();
         let rec = MemoryRecorder::default();
-        let _plan =
-            RecallPlan::compile_request(&reference, PlanOptions::default(), &RecallRequest::recorded(&rec))
-                .unwrap();
+        let _plan = RecallPlan::compile_request(
+            &reference,
+            PlanOptions::default(),
+            &RecallRequest::recorded(&rec),
+        )
+        .unwrap();
         assert_eq!(rec.snapshot().counter("plan.compiles"), 1);
     }
 }

@@ -23,7 +23,11 @@
 //! thread interleaving. Hierarchical deployments pipeline in two stages:
 //! the top (centroid) selection gates which cluster evaluates, so the
 //! sequencer re-dispatches a stage-B job on an internal queue that workers
-//! drain with priority.
+//! drain with priority. Tiled capacity pools ([`Deployment::Tiled`])
+//! evaluate every tile of a query in one worker phase — through the pool's
+//! embedded per-tile plans — and the sequencer's in-order select phase
+//! digitizes tiles in fixed tile order, so ranked top-k responses carry
+//! the same bit-identity guarantee.
 //!
 //! ```
 //! use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};
@@ -48,9 +52,10 @@
 //! ```
 
 use spinamm_core::amm::{AssociativeMemoryModule, QueryEvaluation, RecallResult};
+use spinamm_core::capacity::{TiledAmm, TiledRecall};
 use spinamm_core::hierarchy::{HierarchicalAmm, HierarchicalRecall};
 use spinamm_core::partition::{PartitionedAmm, PartitionedRecall};
-use spinamm_core::plan::{PartitionedPlan, PlanOptions, RecallPlan};
+use spinamm_core::plan::{HierarchicalPlan, PartitionedPlan, PlanOptions, RecallPlan};
 use spinamm_core::request::RecallRequest;
 use spinamm_core::CoreError;
 use spinamm_telemetry::{NoopRecorder, Recorder};
@@ -76,6 +81,9 @@ pub enum Deployment {
     Partitioned(PartitionedAmm),
     /// Two-level clustered matching (paper §5 hierarchy).
     Hierarchical(HierarchicalAmm),
+    /// The template set sharded across a pool of crossbar tiles with
+    /// ranked top-k recall (the capacity layer).
+    Tiled(TiledAmm),
 }
 
 impl Deployment {
@@ -86,6 +94,7 @@ impl Deployment {
             Deployment::Flat(m) => m.vector_len(),
             Deployment::Partitioned(p) => p.vector_len(),
             Deployment::Hierarchical(h) => h.vector_len(),
+            Deployment::Tiled(t) => t.vector_len(),
         }
     }
 
@@ -100,6 +109,7 @@ impl Deployment {
             Deployment::Flat(m) => m.recall(input).map(EngineResponse::Flat),
             Deployment::Partitioned(p) => p.recall(input).map(EngineResponse::Partitioned),
             Deployment::Hierarchical(h) => h.recall(input).map(EngineResponse::Hierarchical),
+            Deployment::Tiled(t) => t.recall(input).map(EngineResponse::Tiled),
         }
     }
 }
@@ -113,6 +123,8 @@ pub enum EngineResponse {
     Partitioned(PartitionedRecall),
     /// Response from a hierarchical memory.
     Hierarchical(HierarchicalRecall),
+    /// Ranked response from a tiled capacity pool.
+    Tiled(TiledRecall),
 }
 
 impl EngineResponse {
@@ -123,6 +135,7 @@ impl EngineResponse {
             EngineResponse::Flat(r) => r.raw_winner,
             EngineResponse::Partitioned(r) => r.winner,
             EngineResponse::Hierarchical(r) => r.winner,
+            EngineResponse::Tiled(r) => r.matches.first().map_or(0, |m| m.global_column),
         }
     }
 
@@ -133,6 +146,7 @@ impl EngineResponse {
             EngineResponse::Flat(r) => r.dom,
             EngineResponse::Partitioned(r) => r.dom,
             EngineResponse::Hierarchical(r) => r.dom,
+            EngineResponse::Tiled(r) => r.dom,
         }
     }
 }
@@ -186,9 +200,11 @@ pub struct EngineConfig {
     /// Run the workers' RNG-free evaluation phase through compiled
     /// [`RecallPlan`]s instead of interpreted module clones. f64 plan
     /// execution is bit-identical to the interpreted path, so responses do
-    /// not depend on this flag — only throughput does. Hierarchical
-    /// deployments (and any deployment whose plan fails to compile, see
-    /// `engine.plan_fallbacks`) keep the interpreted path.
+    /// not depend on this flag — only throughput does. A deployment (or,
+    /// for hierarchical deployments, an individual cluster) whose plan
+    /// fails to compile keeps the interpreted path, counted as
+    /// `engine.plan_fallbacks`. Tiled pools ignore the flag: their tiles
+    /// carry their own embedded plans.
     pub use_plans: bool,
 }
 
@@ -289,13 +305,18 @@ impl Shared {
 enum WorkerPlan {
     Flat(RecallPlan),
     Partitioned(PartitionedPlan),
+    Hierarchical(HierarchicalPlan),
 }
 
 impl WorkerPlan {
     /// Lowers a worker's deployment clone, falling back to the interpreted
-    /// path (`None`, counted as `engine.plan_fallbacks`) for hierarchical
-    /// deployments or compile errors. The fallback is behaviour-preserving:
-    /// f64 plans are bit-identical to interpreted evaluation.
+    /// path (`None`, counted as `engine.plan_fallbacks`) on compile errors.
+    /// Hierarchical deployments compile their stage-A top module plus every
+    /// compilable cluster; uncompiled clusters evaluate interpreted and
+    /// count one fallback each. Tiled pools carry their own embedded
+    /// per-tile plans, so there is nothing to lower and no fallback to
+    /// count. The fallback is behaviour-preserving: f64 plans are
+    /// bit-identical to interpreted evaluation.
     fn compile(deployment: &Deployment, recorder: &SharedRecorder) -> Option<Self> {
         let req = RecallRequest::recorded(recorder);
         let compiled = match deployment {
@@ -305,7 +326,19 @@ impl WorkerPlan {
             Deployment::Partitioned(p) => PartitionedPlan::compile(p, PlanOptions::default())
                 .map(WorkerPlan::Partitioned)
                 .ok(),
-            Deployment::Hierarchical(_) => None,
+            Deployment::Hierarchical(h) => {
+                match HierarchicalPlan::compile_request(h, PlanOptions::default(), &req) {
+                    Ok(plan) => {
+                        let member_fallbacks = plan.member_fallbacks();
+                        if member_fallbacks > 0 {
+                            recorder.counter("engine.plan_fallbacks", member_fallbacks);
+                        }
+                        return Some(WorkerPlan::Hierarchical(plan));
+                    }
+                    Err(_) => None,
+                }
+            }
+            Deployment::Tiled(_) => return None,
         };
         if compiled.is_none() {
             recorder.counter("engine.plan_fallbacks", 1);
@@ -319,6 +352,7 @@ impl WorkerPlan {
 enum Phase1 {
     Flat(QueryEvaluation),
     Partitioned(Vec<QueryEvaluation>),
+    Tiled(Vec<QueryEvaluation>),
     Top {
         eval: QueryEvaluation,
         input: Arc<Vec<u32>>,
@@ -556,7 +590,24 @@ fn run_phase1(
             return p.evaluate_query_request(input, req).map(Phase1::Flat);
         }
         (Some(WorkerPlan::Partitioned(p)), Stage::Primary(input)) => {
-            return p.evaluate_query_request(input, req).map(Phase1::Partitioned);
+            return p
+                .evaluate_query_request(input, req)
+                .map(Phase1::Partitioned);
+        }
+        (Some(WorkerPlan::Hierarchical(p)), Stage::Primary(input)) => {
+            return p.evaluate_top_request(input, req).map(|eval| Phase1::Top {
+                eval,
+                input: Arc::clone(input),
+            });
+        }
+        // A cluster whose plan failed to compile falls through to the
+        // interpreted clone below.
+        (Some(WorkerPlan::Hierarchical(p)), Stage::Member { cluster, input })
+            if p.has_member_plan(*cluster) =>
+        {
+            return p
+                .evaluate_member_request(*cluster, input, req)
+                .map(|eval| Phase1::Member { eval });
         }
         _ => {}
     }
@@ -567,6 +618,9 @@ fn run_phase1(
         (Deployment::Partitioned(p), Stage::Primary(input)) => p
             .evaluate_query_request(input, req)
             .map(Phase1::Partitioned),
+        (Deployment::Tiled(t), Stage::Primary(input)) => {
+            t.evaluate_query_request(input, req).map(Phase1::Tiled)
+        }
         (Deployment::Hierarchical(h), Stage::Primary(input)) => {
             h.evaluate_top_request(input, req).map(|eval| Phase1::Top {
                 eval,
@@ -688,6 +742,11 @@ fn select_primary(master: &mut Deployment, phase1: Phase1, req: &Req<'_>) -> Sel
         (Deployment::Partitioned(p), Phase1::Partitioned(evals)) => SelectOutcome::Done(
             p.select_winner_request(evals, req)
                 .map(EngineResponse::Partitioned)
+                .map_err(EngineError::from),
+        ),
+        (Deployment::Tiled(t), Phase1::Tiled(evals)) => SelectOutcome::Done(
+            t.select_winner_request(evals, req)
+                .map(EngineResponse::Tiled)
                 .map_err(EngineError::from),
         ),
         (Deployment::Hierarchical(h), Phase1::Top { eval, input }) => {
@@ -1001,6 +1060,105 @@ mod tests {
             .map(|i| snap.counter(&format!("engine.worker.{i}.jobs")))
             .sum();
         assert_eq!(worker_jobs, 6);
+    }
+
+    #[test]
+    fn tiled_engine_answers_match_sequential_reference() {
+        let build = || {
+            Deployment::Tiled(
+                TiledAmm::build(&patterns(), 1, &AmmConfig::default())
+                    .unwrap()
+                    .with_top_k(2)
+                    .unwrap(),
+            )
+        };
+        let mut sequential = build();
+        let engine = RecallEngine::new(
+            build(),
+            &EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+                use_plans: false,
+            },
+        );
+        let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(9).collect();
+        let got = engine.recall_many(&queries).unwrap();
+        for (q, response) in queries.iter().zip(&got) {
+            let want = sequential.recall(q).unwrap();
+            assert_eq!(response, &want);
+            let EngineResponse::Tiled(r) = response else {
+                panic!("tiled deployment must answer with tiled responses");
+            };
+            assert_eq!(r.matches.len(), 2);
+            assert_eq!(response.winner(), r.matches[0].global_column);
+            assert_eq!(response.dom(), r.dom);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tiled_use_plans_counts_no_fallbacks() {
+        // The pool carries its own embedded per-tile plans; `use_plans`
+        // must neither change responses nor count a plan fallback.
+        let recorder = Arc::new(MemoryRecorder::default());
+        let pool = TiledAmm::build(&patterns(), 2, &AmmConfig::default()).unwrap();
+        let mut sequential = Deployment::Tiled(pool.clone());
+        let engine = RecallEngine::with_recorder(
+            Deployment::Tiled(pool),
+            &EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                use_plans: true,
+            },
+            recorder.clone(),
+        );
+        let queries = patterns();
+        for (q, response) in queries.iter().zip(engine.recall_many(&queries).unwrap()) {
+            assert_eq!(response, sequential.recall(q).unwrap());
+        }
+        engine.shutdown();
+        assert_eq!(recorder.snapshot().counter("engine.plan_fallbacks"), 0);
+    }
+
+    #[test]
+    fn hierarchical_use_plans_compiles_and_matches_sequential() {
+        // Satellite fix: hierarchical deployments now lower into compiled
+        // stage-A + member plans instead of always falling back.
+        let hier_patterns: Vec<Vec<u32>> = (0..6)
+            .map(|p| {
+                (0..12)
+                    .map(|i| {
+                        if i % 3 == p % 3 {
+                            28
+                        } else {
+                            (i + p) as u32 % 6
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let build = || {
+            Deployment::Hierarchical(
+                HierarchicalAmm::build(&hier_patterns, 2, &AmmConfig::default()).unwrap(),
+            )
+        };
+        let recorder = Arc::new(MemoryRecorder::default());
+        let mut sequential = build();
+        let engine = RecallEngine::with_recorder(
+            build(),
+            &EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                use_plans: true,
+            },
+            recorder.clone(),
+        );
+        let queries: Vec<Vec<u32>> = hier_patterns.iter().cloned().cycle().take(12).collect();
+        for (q, response) in queries.iter().zip(engine.recall_many(&queries).unwrap()) {
+            assert_eq!(response, sequential.recall(q).unwrap());
+        }
+        engine.shutdown();
+        assert_eq!(recorder.snapshot().counter("engine.plan_fallbacks"), 0);
     }
 
     #[test]
