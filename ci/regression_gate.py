@@ -33,10 +33,17 @@ Checks, per study matched by name:
   matches equal to the full argsort oracle, keeps the first match equal
   to the legacy single-winner WTA rule, reports positive throughput at
   every template count, and stays engine-bit-identical wherever the
-  engine comparison ran.
+  engine comparison ran;
+* the serve study (E19) keeps every served tenant bit-identical to
+  direct engine submission (``served_identical``), keeps the admission
+  accounting exact (served + 429 + 503 == offered), keeps latency
+  percentiles monotone, reports positive saturation throughput for
+  every tenant, and keeps quota enforcement live: the quota-limited
+  tenant sees over-quota rejections while unlimited tenants see none.
+  Latency magnitudes are host-dependent and never gated.
 
 The baseline-independent invariant checks (engine-scale, conformance,
-profile percentile sanity, plan, capacity) are also importable via
+profile percentile sanity, plan, capacity, serve) are also importable via
 ``invariant_failures(fresh_doc)`` so the nightly full-scale workflow can
 gate without a full-scale baseline.
 
@@ -350,6 +357,93 @@ def check_capacity(fresh_by_name, failures):
             )
 
 
+SERVE_STUDY = "serve"
+
+
+def check_serve(fresh_by_name, failures):
+    """The serve study (E19) gates on the serving contract, not speed:
+    every tenant's served responses must be bit-identical to direct
+    engine submission, admission accounting must be exact, percentiles
+    monotone, saturation positive, and the token-bucket quota must
+    actually reject (quota tenants see 429s, unlimited tenants none)."""
+    study = fresh_by_name.get(SERVE_STUDY)
+    if study is None:
+        return
+    rows = study["report"].get("rows", [])
+    if not rows:
+        failures.append((SERVE_STUDY, "rows", ">= 1", "0", ""))
+    for row in rows:
+        tenant = row.get("tenant", "?")
+        if row.get("served_identical") is not True:
+            failures.append(
+                (
+                    SERVE_STUDY,
+                    f"{tenant} [served_identical]",
+                    "true",
+                    str(row.get("served_identical")),
+                    "",
+                )
+            )
+        offered = row.get("offered", 0)
+        accounted = (
+            row.get("served", 0)
+            + row.get("rejected_over_quota", 0)
+            + row.get("rejected_saturated", 0)
+        )
+        if accounted != offered:
+            failures.append(
+                (
+                    SERVE_STUDY,
+                    f"{tenant} [admission accounting]",
+                    str(offered),
+                    str(accounted),
+                    "",
+                )
+            )
+        if not row.get("served", 0) > 0:
+            failures.append(
+                (SERVE_STUDY, f"{tenant} [served]", "> 0", str(row.get("served")), "")
+            )
+        quantiles = [row.get(f, 0.0) for f in ("p50_us", "p99_us", "p999_us")]
+        if not all(a <= b for a, b in zip(quantiles, quantiles[1:])):
+            failures.append(
+                (SERVE_STUDY, f"{tenant} [percentiles]", "monotone", str(quantiles), "")
+            )
+        saturation = row.get("saturation_qps", 0)
+        if not saturation > 0:
+            failures.append(
+                (
+                    SERVE_STUDY,
+                    f"{tenant} [saturation_qps]",
+                    "> 0",
+                    str(saturation),
+                    "",
+                )
+            )
+        over_quota = row.get("rejected_over_quota", 0)
+        if row.get("quota_qps", 0) > 0:
+            if not over_quota > 0:
+                failures.append(
+                    (
+                        SERVE_STUDY,
+                        f"{tenant} [rejected_over_quota]",
+                        "> 0 (quota tenant)",
+                        str(over_quota),
+                        "",
+                    )
+                )
+        elif over_quota != 0:
+            failures.append(
+                (
+                    SERVE_STUDY,
+                    f"{tenant} [rejected_over_quota]",
+                    "0 (unlimited tenant)",
+                    str(over_quota),
+                    "",
+                )
+            )
+
+
 def invariant_failures(fresh):
     """Baseline-independent invariant checks over a fresh report: the
     bit-identity / oracle / ledger gates that hold at any scale on any
@@ -361,6 +455,7 @@ def invariant_failures(fresh):
     check_conformance(fresh_by_name, failures)
     check_plan(fresh_by_name, failures)
     check_capacity(fresh_by_name, failures)
+    check_serve(fresh_by_name, failures)
     return failures
 
 

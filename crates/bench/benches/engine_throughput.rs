@@ -49,11 +49,11 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for workers in [1usize, 4] {
         let engine = RecallEngine::new(
             deployment(),
-            &EngineConfig {
-                workers,
-                queue_capacity: QUERIES,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(workers)
+                .queue_capacity(QUERIES)
+                .use_plans(false)
+                .build(),
         );
         group.bench_function(format!("engine_{workers}w_64x16_4shards_8q"), |b| {
             b.iter(|| black_box(engine.recall_many(&inputs).unwrap()));
@@ -67,11 +67,11 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for workers in [1usize, 4] {
         let engine = RecallEngine::new(
             deployment(),
-            &EngineConfig {
-                workers,
-                queue_capacity: QUERIES,
-                use_plans: true,
-            },
+            &EngineConfig::builder()
+                .workers(workers)
+                .queue_capacity(QUERIES)
+                .use_plans(true)
+                .build(),
         );
         group.bench_function(format!("engine_plan_{workers}w_64x16_4shards_8q"), |b| {
             b.iter(|| black_box(engine.recall_many(&inputs).unwrap()));

@@ -5,7 +5,7 @@
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|yield|engine-scale|
-//!              conformance|profile|plan|capacity|all]
+//!              conformance|profile|plan|capacity|serve|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -131,6 +131,7 @@ fn main() -> ExitCode {
     section!("profile", render_profile(&scale, trace_out.as_deref()));
     section!("plan", render_plan(&scale));
     section!("capacity", render_capacity(&scale));
+    section!("serve", render_serve(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -183,7 +184,12 @@ struct TimedStudy {
 /// templates × k sweep (throughput, energy per query, the
 /// `topk_matches_oracle` / `top1_matches_wta` verdicts and the
 /// engine-identity pair CI gates on) and extends the `conformance` report
-/// with `flat_tiled_agreement`.
+/// with `flat_tiled_agreement`; v9 adds the `serve` study (E19) with one
+/// numeric row per tenant of the serving mix (closed-loop saturation qps,
+/// open-loop p50/p99/p999/mean latency measured from scheduled arrivals,
+/// per-tenant queue-wait p99, the served/429/503 admission split and the
+/// `served_identical` bit-identity verdict CI gates on) plus run context
+/// (`host_cpus`, `loader_threads`, `total_queries`, `wall_seconds`).
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -193,7 +199,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(8)),
+        ("schema_version", JsonValue::Uint(9)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -1112,6 +1118,103 @@ fn render_capacity(scale: &Scale) -> Rendered {
                             ("top1_matches_wta", JsonValue::Bool(r.top1_matches_wta)),
                             ("engine_checked", JsonValue::Bool(r.engine_checked)),
                             ("engine_identical", JsonValue::Bool(r.engine_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(section)
+}
+
+fn render_serve(scale: &Scale) -> Rendered {
+    let study = experiments::serve_study(scale)?;
+    let mut t = Table::new(
+        "E19: multi-tenant serving (open-loop load replay)",
+        &[
+            "tenant",
+            "kind",
+            "quota",
+            "saturation",
+            "offered",
+            "served",
+            "429",
+            "503",
+            "p50",
+            "p99",
+            "p999",
+            "qwait p99",
+            "identical",
+        ],
+    );
+    for r in &study.rows {
+        t.row(&[
+            r.tenant.clone(),
+            r.kind.clone(),
+            if r.quota_qps == 0.0 {
+                "unlimited".to_string()
+            } else {
+                format!("{:.0} q/s", r.quota_qps)
+            },
+            format!("{:.0} q/s", r.saturation_qps),
+            format!("{} @ {:.0} q/s", r.offered, r.offered_qps),
+            format!("{}", r.served),
+            format!("{}", r.rejected_over_quota),
+            format!("{}", r.rejected_saturated),
+            format!("{:.1} us", r.p50_us),
+            format!("{:.1} us", r.p99_us),
+            format!("{:.1} us", r.p999_us),
+            format!("{:.1} us", r.queue_wait_p99_us),
+            if r.served_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut section = Section::table(&t);
+    section.text.push_str(&format!(
+        "loader threads: {} | total queries: {} | wall: {:.1}s | host cpus: {}\n",
+        study.loader_threads, study.total_queries, study.wall_seconds, study.host_cpus
+    ));
+    // Numeric JSON twin so check_serve can gate on the admission split,
+    // percentile ordering and the bit-identity verdicts without parsing
+    // table cells.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str("E19: multi-tenant serving (open-loop load replay)".to_string()),
+        ),
+        ("host_cpus", JsonValue::Uint(study.host_cpus as u64)),
+        (
+            "loader_threads",
+            JsonValue::Uint(study.loader_threads as u64),
+        ),
+        ("total_queries", JsonValue::Uint(study.total_queries)),
+        ("wall_seconds", JsonValue::Num(study.wall_seconds)),
+        (
+            "rows",
+            JsonValue::Array(
+                study
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("tenant", JsonValue::Str(r.tenant.clone())),
+                            ("kind", JsonValue::Str(r.kind.clone())),
+                            ("quota_qps", JsonValue::Num(r.quota_qps)),
+                            ("saturation_qps", JsonValue::Num(r.saturation_qps)),
+                            ("offered_qps", JsonValue::Num(r.offered_qps)),
+                            ("offered", JsonValue::Uint(r.offered)),
+                            ("served", JsonValue::Uint(r.served)),
+                            (
+                                "rejected_over_quota",
+                                JsonValue::Uint(r.rejected_over_quota),
+                            ),
+                            ("rejected_saturated", JsonValue::Uint(r.rejected_saturated)),
+                            ("p50_us", JsonValue::Num(r.p50_us)),
+                            ("p99_us", JsonValue::Num(r.p99_us)),
+                            ("p999_us", JsonValue::Num(r.p999_us)),
+                            ("mean_us", JsonValue::Num(r.mean_us)),
+                            ("queue_wait_p99_us", JsonValue::Num(r.queue_wait_p99_us)),
+                            ("mean_energy_j", JsonValue::Num(r.mean_energy_j)),
+                            ("served_identical", JsonValue::Bool(r.served_identical)),
                         ])
                     })
                     .collect(),

@@ -379,11 +379,11 @@ pub fn run_case<T: Recorder>(
             install_faults(&mut engine_module, spec, None)?;
             let engine = RecallEngine::new(
                 Deployment::Flat(engine_module),
-                &EngineConfig {
-                    workers,
-                    queue_capacity: 2,
-                    use_plans: false,
-                },
+                &EngineConfig::builder()
+                    .workers(workers)
+                    .queue_capacity(2)
+                    .use_plans(false)
+                    .build(),
             );
             let responses = engine.recall_many(&inputs)?;
             engine.shutdown();
@@ -510,11 +510,11 @@ pub fn run_case<T: Recorder>(
     let mut part = PartitionedAmm::build(&w.patterns, 2, &cfg)?;
     let part_engine = RecallEngine::new(
         Deployment::Partitioned(part.clone()),
-        &EngineConfig {
-            workers: 2,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(2)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
     );
     let part_responses = part_engine.recall_many(&inputs)?;
     part_engine.shutdown();
@@ -537,11 +537,11 @@ pub fn run_case<T: Recorder>(
     let mut hier = HierarchicalAmm::build(&w.patterns, 2, &cfg)?;
     let hier_engine = RecallEngine::new(
         Deployment::Hierarchical(hier.clone()),
-        &EngineConfig {
-            workers: 2,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(2)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
     );
     let hier_responses = hier_engine.recall_many(&inputs)?;
     hier_engine.shutdown();
@@ -570,11 +570,11 @@ pub fn run_case<T: Recorder>(
     let mut tiled = TiledAmm::build(&w.patterns, tile_capacity, &cfg)?.with_top_k(3)?;
     let tiled_engine = RecallEngine::new(
         Deployment::Tiled(tiled.clone()),
-        &EngineConfig {
-            workers: 2,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(2)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
     );
     let tiled_responses = tiled_engine.recall_many(&inputs)?;
     tiled_engine.shutdown();

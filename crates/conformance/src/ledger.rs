@@ -4,7 +4,7 @@
 //! Two families of promises exist (DESIGN.md §9):
 //!
 //! * **Bit-identity.** `recall_batch`, the [`spinamm_engine::RecallEngine`]
-//!   at any worker count, the deprecated `*_with` shims, and every
+//!   at any worker count, requests served over the network tier, and every
 //!   deployment driven through the engine must reproduce the sequential
 //!   reference **exactly** — same winner, same codes, same energy floats.
 //!   These paths share one RNG schedule by construction (PRs 2–4), so any

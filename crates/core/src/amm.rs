@@ -187,20 +187,6 @@ impl AssociativeMemoryModule {
         Self::build_request(patterns, config, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::build_request`] with a bare recorder.
-    ///
-    /// # Errors
-    ///
-    /// See [`AssociativeMemoryModule::build`].
-    #[deprecated(since = "0.1.0", note = "use `build_request` with a `RecallRequest`")]
-    pub fn build_with<T: Recorder>(
-        patterns: &[Vec<u32>],
-        config: &AmmConfig,
-        recorder: &T,
-    ) -> Result<Self, CoreError> {
-        Self::build_request(patterns, config, &RecallRequest::recorded(recorder))
-    }
-
     /// [`AssociativeMemoryModule::build`] with options: programming pulse
     /// and verify counts from the write scheme are reported to the
     /// request's recorder under a `"build.program"` span.
@@ -627,20 +613,6 @@ impl AssociativeMemoryModule {
         self.recall_request(levels, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::recall_request`] with a bare recorder.
-    ///
-    /// # Errors
-    ///
-    /// See [`AssociativeMemoryModule::recall`].
-    #[deprecated(since = "0.1.0", note = "use `recall_request` with a `RecallRequest`")]
-    pub fn recall_with<T: Recorder>(
-        &mut self,
-        levels: &[u32],
-        recorder: &T,
-    ) -> Result<RecallResult, CoreError> {
-        self.recall_request(levels, &RecallRequest::recorded(recorder))
-    }
-
     /// [`AssociativeMemoryModule::recall`] with options: the recognition
     /// is timed end to end (`"recall.total"`) and per stage
     /// (`"recall.drive"` for DAC drive construction, `"recall.settle"` for
@@ -848,24 +820,6 @@ impl AssociativeMemoryModule {
         self.recall_batch_request(inputs, &RecallRequest::DEFAULT)
     }
 
-    /// [`AssociativeMemoryModule::recall_batch_request`] with a bare
-    /// recorder.
-    ///
-    /// # Errors
-    ///
-    /// See [`AssociativeMemoryModule::recall_batch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recall_batch_request` with a `RecallRequest`"
-    )]
-    pub fn recall_batch_with<S: AsRef<[u32]>, T: Recorder + Sync>(
-        &mut self,
-        inputs: &[S],
-        recorder: &T,
-    ) -> Result<Vec<RecallResult>, CoreError> {
-        self.recall_batch_request(inputs, &RecallRequest::recorded(recorder))
-    }
-
     /// [`AssociativeMemoryModule::recall_batch`] with options. The batch
     /// is timed under a `"recall.batch"` span; per-query solver counters
     /// are recorded from the worker threads (counter totals match the
@@ -953,25 +907,6 @@ impl AssociativeMemoryModule {
         policy: &DegradationPolicy,
     ) -> Result<FaultReport, CoreError> {
         self.inject_faults_request(map, policy, &RecallRequest::DEFAULT)
-    }
-
-    /// [`AssociativeMemoryModule::inject_faults_request`] with a bare
-    /// recorder.
-    ///
-    /// # Errors
-    ///
-    /// See [`AssociativeMemoryModule::inject_faults_request`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `inject_faults_request` with a `RecallRequest`"
-    )]
-    pub fn inject_faults_with<T: Recorder>(
-        &mut self,
-        map: FaultMap,
-        policy: &DegradationPolicy,
-        recorder: &T,
-    ) -> Result<FaultReport, CoreError> {
-        self.inject_faults_request(map, policy, &RecallRequest::recorded(recorder))
     }
 
     /// Installs a fault map and runs the graceful-degradation pass:
@@ -1965,35 +1900,6 @@ mod tests {
         let a = master.evaluate_query_request(&patterns[2], &req).unwrap();
         let b = clone.evaluate_query_request(&patterns[2], &req).unwrap();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_request_api() {
-        use spinamm_telemetry::NoopRecorder;
-        let patterns = orthogonal_patterns();
-        let cfg = config(Fidelity::Driven);
-        let mut a = AssociativeMemoryModule::build_with(&patterns, &cfg, &NoopRecorder).unwrap();
-        let mut b =
-            AssociativeMemoryModule::build_request(&patterns, &cfg, &RecallRequest::DEFAULT)
-                .unwrap();
-        assert_eq!(
-            a.recall_with(&patterns[0], &NoopRecorder).unwrap(),
-            b.recall_request(&patterns[0], &RecallRequest::DEFAULT)
-                .unwrap()
-        );
-        assert_eq!(
-            a.recall_batch_with(&patterns, &NoopRecorder).unwrap(),
-            b.recall_batch_request(&patterns, &RecallRequest::DEFAULT)
-                .unwrap()
-        );
-        let map = FaultMap::pristine(12, 3, 0).unwrap();
-        assert_eq!(
-            a.inject_faults_with(map.clone(), &DegradationPolicy::default(), &NoopRecorder)
-                .unwrap(),
-            b.inject_faults_request(map, &DegradationPolicy::default(), &RecallRequest::DEFAULT)
-                .unwrap()
-        );
     }
 
     #[test]

@@ -741,14 +741,24 @@ impl TiledAmm {
     /// evaluate phase — stays valid without recompilation, and the column
     /// is gated out of ranking from the next recall on.
     ///
-    /// Emits `bank.retires`.
+    /// Evicting the **sole** live template of the **trailing** tile
+    /// releases the whole tile instead (undoing pool growth): the tile —
+    /// with its crossbar, converters and compiled-plan workspace — is
+    /// dropped, `total_columns` shrinks by one tile's width, and the
+    /// remaining tiles' independent RNG schedules are untouched, so every
+    /// surviving handle and recall stays bit-identical. The pool always
+    /// keeps at least one tile.
+    ///
+    /// Emits `bank.retires` (and `capacity.tiles_released` when a tile is
+    /// dropped).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for an unknown tile, a
     /// stale handle (already evicted, or remapped by a fault pass since it
-    /// was issued), or a tile that would be left empty (the underlying
-    /// module keeps at least one template).
+    /// was issued), or a non-releasable tile that would be left empty (a
+    /// non-trailing tile, or the pool's last tile, keeps at least one
+    /// template).
     pub fn evict_template_request<R: Recorder>(
         &mut self,
         handle: TemplateHandle,
@@ -765,7 +775,20 @@ impl TiledAmm {
                 what: "stale template handle (column no longer matches slot)",
             });
         }
-        tile.module.retire_template_request(handle.slot, req)?;
+        let sole_trailing = handle.tile.0 == self.tiles.len() - 1
+            && self.tiles.len() > 1
+            && self.tiles[handle.tile.0].module.live_templates().len() == 1;
+        if sole_trailing {
+            // Dropping the trailing tile frees its plan workspace and
+            // removes only that tile's independent RNG stream.
+            self.tiles.pop();
+            req.recorder().counter("bank.retires", 1);
+            req.recorder().counter("capacity.tiles_released", 1);
+            return Ok(());
+        }
+        self.tiles[handle.tile.0]
+            .module
+            .retire_template_request(handle.slot, req)?;
         Ok(())
     }
 
@@ -1017,6 +1040,50 @@ mod tests {
         let counters = recorder.snapshot().counters;
         assert_eq!(counters.get("capacity.tiles_grown"), Some(&1));
         assert!(counters.get("bank.installs").copied().unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn evicting_sole_trailing_template_releases_the_tile() {
+        let w = workload(4, 2);
+        let cfg = AmmConfig::default();
+        let recorder = MemoryRecorder::default();
+        let req = RecallRequest::recorded(&recorder);
+        let mut pool = TiledAmm::build_request(&w.patterns, 2, &cfg, &req).unwrap();
+        let tiles_before = pool.tile_count();
+        let columns_before = pool.total_columns();
+        // Control: an untouched clone sharing every RNG schedule.
+        let mut control = pool.clone();
+
+        // Grow the pool by one tile holding a single novel template...
+        let novel: Vec<u32> = (0..16).map(|i| u32::from(i % 3 == 0) * 31).collect();
+        let handle = pool.insert_template_request(&novel, &req).unwrap();
+        assert_eq!(handle.tile.0, tiles_before);
+        assert_eq!(pool.tile_count(), tiles_before + 1);
+
+        // ...then evict it: the trailing tile is released outright.
+        pool.evict_template_request(handle, &req).unwrap();
+        assert_eq!(pool.tile_count(), tiles_before);
+        assert_eq!(pool.total_columns(), columns_before);
+        assert_eq!(pool.compiled_tiles(), tiles_before);
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("capacity.tiles_released"), Some(&1));
+        // The handle is now unknown, not merely stale.
+        assert!(pool.evict_template(handle).is_err());
+
+        // Grow/release round trip leaves surviving tiles bit-identical to
+        // the untouched control: their RNG schedules never saw the
+        // transient tile.
+        for (_, q) in &w.queries {
+            assert_eq!(pool.recall(q).unwrap(), control.recall(q).unwrap());
+        }
+
+        // Releasing never empties the pool: a single-tile pool keeps its
+        // last template.
+        let mut single = TiledAmm::build(&w.patterns[..2], 4, &cfg).unwrap();
+        assert_eq!(single.tile_count(), 1);
+        let handles = single.handles();
+        single.evict_template(handles[0]).unwrap();
+        assert!(single.evict_template(handles[1]).is_err());
     }
 
     #[test]

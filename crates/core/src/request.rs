@@ -1,13 +1,11 @@
 //! The unified recall-request options struct.
 //!
-//! Every module entry point used to come in pairs — `recall`/`recall_with`,
-//! `recall_batch`/`recall_batch_with`, `build`/`build_with`,
-//! `inject_faults`/`inject_faults_with` — one silent, one recorded. The
-//! pairs collapse into single `*_request` methods taking a
+//! Every module entry point is a single `*_request` method taking a
 //! [`RecallRequest`], which bundles the telemetry sink with execution
-//! options (today: the worker-count override for batched phases). The old
-//! `*_with` names remain as thin deprecated shims; the plain names stay as
-//! conveniences forwarding [`RecallRequest::DEFAULT`].
+//! options (worker-count override for batched phases, trace binding). The
+//! plain names (`build`, `recall`, `recall_batch`, `inject_faults`) stay
+//! as conveniences forwarding [`RecallRequest::DEFAULT`]; the historical
+//! `*_with` recorder shims were removed once every caller migrated.
 //!
 //! ```
 //! use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule};

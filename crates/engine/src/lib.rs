@@ -40,7 +40,7 @@
 //!
 //! let engine = RecallEngine::new(
 //!     Deployment::Flat(module),
-//!     &EngineConfig { workers: 2, queue_capacity: 8, use_plans: false },
+//!     &EngineConfig::builder().workers(2).queue_capacity(8).use_plans(false).build(),
 //! );
 //! let responses = engine.recall_many(&patterns)?;
 //! for (input, response) in patterns.iter().zip(&responses) {
@@ -69,6 +69,37 @@ use std::time::Instant;
 
 /// The recorder type an engine shares across its threads.
 pub type SharedRecorder = Arc<dyn Recorder + Send + Sync>;
+
+/// One-stop imports for engine users: the engine types plus the core
+/// deployment/request vocabulary they are constructed from.
+///
+/// ```
+/// use spinamm_engine::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let patterns = vec![vec![31, 0, 31, 0], vec![0, 31, 0, 31]];
+/// let module = AssociativeMemoryModule::build(&patterns, &AmmConfig::default())?;
+/// let engine = RecallEngine::new(
+///     Deployment::Flat(module),
+///     &EngineConfig::builder().workers(2).build(),
+/// );
+/// assert_eq!(engine.recall_many(&patterns)?.len(), 2);
+/// engine.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::{
+        Deployment, EngineConfig, EngineConfigBuilder, EngineError, EngineResponse, RecallEngine,
+        SharedRecorder, Ticket,
+    };
+    pub use spinamm_core::amm::{AmmConfig, AssociativeMemoryModule, Fidelity};
+    pub use spinamm_core::capacity::TiledAmm;
+    pub use spinamm_core::hierarchy::HierarchicalAmm;
+    pub use spinamm_core::partition::PartitionedAmm;
+    pub use spinamm_core::request::RecallRequest;
+    pub use spinamm_telemetry::{MemoryRecorder, NoopRecorder, Recorder};
+}
 
 type Req<'r> = RecallRequest<'r, SharedRecorder>;
 
@@ -215,6 +246,66 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             use_plans: false,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder seeded with [`EngineConfig::default`] — the one
+    /// construction surface shared by the server, bench harness and
+    /// examples:
+    ///
+    /// ```
+    /// use spinamm_engine::EngineConfig;
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .workers(2)
+    ///     .queue_capacity(8)
+    ///     .use_plans(true)
+    ///     .build();
+    /// assert_eq!((config.workers, config.queue_capacity), (2, 8));
+    /// ```
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`]; every knob defaults to
+/// [`EngineConfig::default`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads for the RNG-free evaluation phase (minimum one,
+    /// clamped at engine start).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bound of the external submission queue.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Whether workers evaluate through compiled [`RecallPlan`]s.
+    #[must_use]
+    pub fn use_plans(mut self, use_plans: bool) -> Self {
+        self.config.use_plans = use_plans;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -957,11 +1048,11 @@ mod tests {
         let mut sequential = flat_deployment();
         let engine = RecallEngine::new(
             flat_deployment(),
-            &EngineConfig {
-                workers: 3,
-                queue_capacity: 2,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(3)
+                .queue_capacity(2)
+                .use_plans(false)
+                .build(),
         );
         let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(9).collect();
         let got = engine.recall_many(&queries).unwrap();
@@ -977,11 +1068,11 @@ mod tests {
         // submission pressure must eventually reject.
         let engine = RecallEngine::new(
             flat_deployment(),
-            &EngineConfig {
-                workers: 1,
-                queue_capacity: 1,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(1)
+                .queue_capacity(1)
+                .use_plans(false)
+                .build(),
         );
         let input = patterns()[0].clone();
         let mut rejected = false;
@@ -1035,11 +1126,11 @@ mod tests {
         let recorder = Arc::new(MemoryRecorder::default());
         let engine = RecallEngine::with_recorder(
             flat_deployment(),
-            &EngineConfig {
-                workers: 2,
-                queue_capacity: 4,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(2)
+                .queue_capacity(4)
+                .use_plans(false)
+                .build(),
             recorder.clone(),
         );
         let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(6).collect();
@@ -1075,11 +1166,11 @@ mod tests {
         let mut sequential = build();
         let engine = RecallEngine::new(
             build(),
-            &EngineConfig {
-                workers: 3,
-                queue_capacity: 2,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(3)
+                .queue_capacity(2)
+                .use_plans(false)
+                .build(),
         );
         let queries: Vec<Vec<u32>> = patterns().into_iter().cycle().take(9).collect();
         let got = engine.recall_many(&queries).unwrap();
@@ -1105,11 +1196,11 @@ mod tests {
         let mut sequential = Deployment::Tiled(pool.clone());
         let engine = RecallEngine::with_recorder(
             Deployment::Tiled(pool),
-            &EngineConfig {
-                workers: 2,
-                queue_capacity: 4,
-                use_plans: true,
-            },
+            &EngineConfig::builder()
+                .workers(2)
+                .queue_capacity(4)
+                .use_plans(true)
+                .build(),
             recorder.clone(),
         );
         let queries = patterns();
@@ -1146,11 +1237,11 @@ mod tests {
         let mut sequential = build();
         let engine = RecallEngine::with_recorder(
             build(),
-            &EngineConfig {
-                workers: 2,
-                queue_capacity: 4,
-                use_plans: true,
-            },
+            &EngineConfig::builder()
+                .workers(2)
+                .queue_capacity(4)
+                .use_plans(true)
+                .build(),
             recorder.clone(),
         );
         let queries: Vec<Vec<u32>> = hier_patterns.iter().cloned().cycle().take(12).collect();

@@ -67,11 +67,11 @@ fn flat_driven_engine_is_bit_identical() {
     let module = AssociativeMemoryModule::build(&p, &config(Fidelity::Driven)).unwrap();
     assert_engine_matches_sequential(
         Deployment::Flat(module),
-        &EngineConfig {
-            workers: 4,
-            queue_capacity: 3,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(4)
+            .queue_capacity(3)
+            .use_plans(false)
+            .build(),
         &queries(&p, 12),
     );
 }
@@ -96,11 +96,11 @@ fn duplicated_template_ties_break_to_lowest_index_through_engine() {
         let mut sequential = Deployment::Flat(module.clone());
         let engine = RecallEngine::new(
             Deployment::Flat(module),
-            &EngineConfig {
-                workers: 3,
-                queue_capacity: 2,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(3)
+                .queue_capacity(2)
+                .use_plans(false)
+                .build(),
         );
         let got = engine.recall_many(&inputs).unwrap();
         engine.shutdown();
@@ -124,11 +124,11 @@ fn partitioned_driven_engine_is_bit_identical() {
     let part = PartitionedAmm::build(&p, 3, &config(Fidelity::Driven)).unwrap();
     assert_engine_matches_sequential(
         Deployment::Partitioned(part),
-        &EngineConfig {
-            workers: 3,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(3)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
         &queries(&p, 10),
     );
 }
@@ -139,11 +139,11 @@ fn hierarchical_driven_engine_is_bit_identical() {
     let hier = HierarchicalAmm::build(&p, 2, &config(Fidelity::Driven)).unwrap();
     assert_engine_matches_sequential(
         Deployment::Hierarchical(hier),
-        &EngineConfig {
-            workers: 4,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(4)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
         &queries(&p, 12),
     );
 }
@@ -156,11 +156,11 @@ fn partitioned_parasitic_engine_is_bit_identical() {
     let part = PartitionedAmm::build(&p, 2, &config(Fidelity::Parasitic)).unwrap();
     assert_engine_matches_sequential(
         Deployment::Partitioned(part),
-        &EngineConfig {
-            workers: 2,
-            queue_capacity: 4,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(2)
+            .queue_capacity(4)
+            .use_plans(false)
+            .build(),
         &queries(&p, 6),
     );
 }
@@ -186,11 +186,11 @@ fn fault_injected_engine_is_bit_identical() {
         .unwrap();
     assert_engine_matches_sequential(
         Deployment::Flat(module),
-        &EngineConfig {
-            workers: 3,
-            queue_capacity: 2,
-            use_plans: false,
-        },
+        &EngineConfig::builder()
+            .workers(3)
+            .queue_capacity(2)
+            .use_plans(false)
+            .build(),
         &queries(&p, 8),
     );
 }
@@ -206,21 +206,21 @@ fn plan_enabled_engine_is_bit_identical() {
         let module = AssociativeMemoryModule::build(&p, &config(fidelity)).unwrap();
         assert_engine_matches_sequential(
             Deployment::Flat(module),
-            &EngineConfig {
-                workers: 3,
-                queue_capacity: 2,
-                use_plans: true,
-            },
+            &EngineConfig::builder()
+                .workers(3)
+                .queue_capacity(2)
+                .use_plans(true)
+                .build(),
             &queries(&p, 9),
         );
         let part = PartitionedAmm::build(&p, 3, &config(fidelity)).unwrap();
         assert_engine_matches_sequential(
             Deployment::Partitioned(part),
-            &EngineConfig {
-                workers: 2,
-                queue_capacity: 3,
-                use_plans: true,
-            },
+            &EngineConfig::builder()
+                .workers(2)
+                .queue_capacity(3)
+                .use_plans(true)
+                .build(),
             &queries(&p, 6),
         );
     }
@@ -234,11 +234,11 @@ fn single_worker_engine_matches_many_workers() {
     let run = |workers: usize| {
         let engine = RecallEngine::new(
             Deployment::Partitioned(part.clone()),
-            &EngineConfig {
-                workers,
-                queue_capacity: 4,
-                use_plans: false,
-            },
+            &EngineConfig::builder()
+                .workers(workers)
+                .queue_capacity(4)
+                .use_plans(false)
+                .build(),
         );
         let out = engine.recall_many(&inputs).unwrap();
         engine.shutdown();
@@ -290,7 +290,7 @@ proptest! {
         let mut sequential = deployment.clone();
         let engine = RecallEngine::new(
             deployment,
-            &EngineConfig { workers, queue_capacity: capacity, use_plans },
+            &EngineConfig::builder().workers(workers).queue_capacity(capacity).use_plans(use_plans).build(),
         );
         let got = engine.recall_many(&inputs).unwrap();
         engine.shutdown();

@@ -1,0 +1,528 @@
+//! The wire vocabulary of the service, re-exported in one place: request
+//! and response types plus their two framings.
+//!
+//! Every request reaches the service as an [`ApiRecallRequest`] and leaves
+//! as an [`ApiRecallResponse`], regardless of transport:
+//!
+//! * **JSON over HTTP/1.1** — `POST /v1/recall` with an
+//!   [`ApiRecallRequest::to_json`] body; responses render through
+//!   [`ApiRecallResponse::to_json`]. Floats print as shortest-round-trip
+//!   decimals, so energy values survive the text encoding bit-exactly.
+//! * **Length-prefixed binary** — the hot path. A connection whose first
+//!   byte is [`REQUEST_MAGIC`] speaks frames described in
+//!   [`ApiRecallRequest::encode_binary`] /
+//!   [`ApiRecallResponse::encode_binary`]; floats travel as raw
+//!   little-endian IEEE-754 bits.
+//!
+//! Both framings decode to identical structs — `wire_roundtrip` in the
+//! test suite pins that equivalence.
+
+use spinamm_engine::EngineResponse;
+use spinamm_telemetry::json::{self, JsonValue};
+
+/// First byte of a binary request frame (no ASCII HTTP method starts with
+/// it, which is how the listener sniffs the framing).
+pub const REQUEST_MAGIC: u8 = 0xB5;
+/// First byte of a binary response frame.
+pub const RESPONSE_MAGIC: u8 = 0xB6;
+/// Binary framing version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A recall call addressed to one tenant's deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiRecallRequest {
+    /// The registry name of the target deployment.
+    pub tenant: String,
+    /// The query vector, one DAC level per stored row.
+    pub input: Vec<u32>,
+}
+
+/// Which deployment organization served a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentKind {
+    /// Single associative memory module.
+    Flat,
+    /// Row-partitioned banks with digital score summation.
+    Partitioned,
+    /// Two-level clustered matching.
+    Hierarchical,
+    /// Tiled capacity pool with ranked top-k recall.
+    Tiled,
+}
+
+impl DeploymentKind {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeploymentKind::Flat => "flat",
+            DeploymentKind::Partitioned => "partitioned",
+            DeploymentKind::Hierarchical => "hierarchical",
+            DeploymentKind::Tiled => "tiled",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "flat" => DeploymentKind::Flat,
+            "partitioned" => DeploymentKind::Partitioned,
+            "hierarchical" => DeploymentKind::Hierarchical,
+            "tiled" => DeploymentKind::Tiled,
+            _ => return None,
+        })
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            DeploymentKind::Flat => 0,
+            DeploymentKind::Partitioned => 1,
+            DeploymentKind::Hierarchical => 2,
+            DeploymentKind::Tiled => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => DeploymentKind::Flat,
+            1 => DeploymentKind::Partitioned,
+            2 => DeploymentKind::Hierarchical,
+            3 => DeploymentKind::Tiled,
+            _ => return None,
+        })
+    }
+}
+
+/// One ranked match of a tiled response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApiMatch {
+    /// Global column index across the pool.
+    pub global_column: u64,
+    /// The column's DOM code.
+    pub score: u32,
+}
+
+/// A served recognition. Built from an [`EngineResponse`] by
+/// [`ApiRecallResponse::from_engine`]; the conformance suite pins that a
+/// response served over either framing equals the one built directly from
+/// a sequential engine submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiRecallResponse {
+    /// The tenant that served the call.
+    pub tenant: String,
+    /// The deployment organization that answered.
+    pub kind: DeploymentKind,
+    /// Winning column / pattern index (raw winner for flat modules, best
+    /// global column for tiled pools).
+    pub winner: u64,
+    /// Whether the winner cleared the deployment's DOM acceptance
+    /// threshold (always `true` for organizations without rejection).
+    pub accepted: bool,
+    /// Degree of match of the winner.
+    pub dom: u32,
+    /// Ranked top-k matches (tiled pools only; empty otherwise).
+    pub matches: Vec<ApiMatch>,
+    /// Total recognition energy in joules.
+    pub energy_j: f64,
+}
+
+/// Errors decoding either framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+impl ApiRecallRequest {
+    /// Renders the JSON body: `{"tenant":"…","input":[…]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonValue::object([
+            ("tenant", JsonValue::Str(self.tenant.clone())),
+            (
+                "input",
+                JsonValue::Array(
+                    self.input
+                        .iter()
+                        .map(|&v| JsonValue::Uint(u64::from(v)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for malformed JSON or missing/ill-typed
+    /// fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let doc = json::parse(body).map_err(err)?;
+        let tenant = doc
+            .get("tenant")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err("missing string field `tenant`"))?
+            .to_owned();
+        let input = doc
+            .get("input")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err("missing array field `input`"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| err("`input` elements must be u32 levels"))
+            })
+            .collect::<Result<Vec<u32>, WireError>>()?;
+        Ok(Self { tenant, input })
+    }
+
+    /// Encodes the length-prefixed binary request frame:
+    ///
+    /// ```text
+    /// 0xB5 0x01 | u32 body_len | u16 tenant_len | tenant utf-8
+    ///           | u32 n | n × u32 level
+    /// ```
+    ///
+    /// All integers little-endian; `body_len` counts everything after the
+    /// length field.
+    #[must_use]
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let tenant = self.tenant.as_bytes();
+        let body_len = 2 + tenant.len() + 4 + 4 * self.input.len();
+        let mut out = Vec::with_capacity(6 + body_len);
+        out.push(REQUEST_MAGIC);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.extend_from_slice(
+            &u16::try_from(tenant.len())
+                .unwrap_or(u16::MAX)
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(tenant);
+        out.extend_from_slice(&(self.input.len() as u32).to_le_bytes());
+        for &level in &self.input {
+            out.extend_from_slice(&level.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a binary request frame produced by
+    /// [`ApiRecallRequest::encode_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for a bad magic/version, a length prefix not
+    /// matching the frame, truncation, or an invalid UTF-8 tenant.
+    pub fn decode_binary(frame: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(frame);
+        if r.u8()? != REQUEST_MAGIC {
+            return Err(err("bad request magic"));
+        }
+        if r.u8()? != WIRE_VERSION {
+            return Err(err("unsupported wire version"));
+        }
+        let body_len = r.u32()? as usize;
+        if frame.len() - r.pos != body_len {
+            return Err(err("length prefix does not match frame"));
+        }
+        let tenant_len = usize::from(r.u16()?);
+        let tenant = std::str::from_utf8(r.bytes(tenant_len)?)
+            .map_err(|_| err("tenant is not UTF-8"))?
+            .to_owned();
+        let n = r.u32()? as usize;
+        if frame.len().saturating_sub(r.pos) < 4 * n {
+            return Err(err("truncated input levels"));
+        }
+        let mut input = Vec::with_capacity(n);
+        for _ in 0..n {
+            input.push(r.u32()?);
+        }
+        r.finish()?;
+        Ok(Self { tenant, input })
+    }
+}
+
+impl ApiRecallResponse {
+    /// Projects an engine response into the wire shape. This is the single
+    /// conversion both the network handlers and the conformance oracle
+    /// use, so "served == direct submission" is checked against the same
+    /// mapping.
+    #[must_use]
+    pub fn from_engine(tenant: &str, response: &EngineResponse) -> Self {
+        let (kind, winner, accepted, matches) = match response {
+            EngineResponse::Flat(r) => (
+                DeploymentKind::Flat,
+                r.raw_winner as u64,
+                r.winner.is_some(),
+                Vec::new(),
+            ),
+            EngineResponse::Partitioned(r) => (
+                DeploymentKind::Partitioned,
+                r.winner as u64,
+                true,
+                Vec::new(),
+            ),
+            EngineResponse::Hierarchical(r) => (
+                DeploymentKind::Hierarchical,
+                r.winner as u64,
+                true,
+                Vec::new(),
+            ),
+            EngineResponse::Tiled(r) => (
+                DeploymentKind::Tiled,
+                r.matches.first().map_or(0, |m| m.global_column as u64),
+                true,
+                r.matches
+                    .iter()
+                    .map(|m| ApiMatch {
+                        global_column: m.global_column as u64,
+                        score: m.score,
+                    })
+                    .collect(),
+            ),
+        };
+        let energy = match response {
+            EngineResponse::Flat(r) => r.energy,
+            EngineResponse::Partitioned(r) => r.energy,
+            EngineResponse::Hierarchical(r) => r.energy,
+            EngineResponse::Tiled(r) => r.energy,
+        };
+        Self {
+            tenant: tenant.to_owned(),
+            kind,
+            winner,
+            accepted,
+            dom: response.dom(),
+            matches,
+            energy_j: energy.total().0,
+        }
+    }
+
+    /// Renders the JSON body.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonValue::object([
+            ("tenant", JsonValue::Str(self.tenant.clone())),
+            ("kind", JsonValue::Str(self.kind.as_str().to_owned())),
+            ("winner", JsonValue::Uint(self.winner)),
+            ("accepted", JsonValue::Bool(self.accepted)),
+            ("dom", JsonValue::Uint(u64::from(self.dom))),
+            (
+                "matches",
+                JsonValue::Array(
+                    self.matches
+                        .iter()
+                        .map(|m| {
+                            JsonValue::object([
+                                ("global_column", JsonValue::Uint(m.global_column)),
+                                ("score", JsonValue::Uint(u64::from(m.score))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("energy_j", JsonValue::Num(self.energy_j)),
+        ])
+        .render()
+    }
+
+    /// Parses a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for malformed JSON or missing/ill-typed
+    /// fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let doc = json::parse(body).map_err(err)?;
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| err(format!("missing `{name}`")))
+        };
+        let tenant = field("tenant")?
+            .as_str()
+            .ok_or_else(|| err("`tenant` must be a string"))?
+            .to_owned();
+        let kind = field("kind")?
+            .as_str()
+            .and_then(DeploymentKind::parse)
+            .ok_or_else(|| err("unknown `kind`"))?;
+        let winner = field("winner")?
+            .as_u64()
+            .ok_or_else(|| err("`winner` must be u64"))?;
+        let accepted = match field("accepted")? {
+            JsonValue::Bool(b) => *b,
+            _ => return Err(err("`accepted` must be a bool")),
+        };
+        let dom = field("dom")?
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| err("`dom` must be u32"))?;
+        let matches = field("matches")?
+            .as_array()
+            .ok_or_else(|| err("`matches` must be an array"))?
+            .iter()
+            .map(|m| {
+                let global_column = m
+                    .get("global_column")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err("match missing `global_column`"))?;
+                let score = m
+                    .get("score")
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| err("match missing `score`"))?;
+                Ok(ApiMatch {
+                    global_column,
+                    score,
+                })
+            })
+            .collect::<Result<Vec<ApiMatch>, WireError>>()?;
+        let energy_j = field("energy_j")?
+            .as_f64()
+            .ok_or_else(|| err("`energy_j` must be a number"))?;
+        Ok(Self {
+            tenant,
+            kind,
+            winner,
+            accepted,
+            dom,
+            matches,
+            energy_j,
+        })
+    }
+
+    /// Encodes the binary response body (the payload of a binary response
+    /// frame with status 200; the frame header carries magic, version,
+    /// status and length):
+    ///
+    /// ```text
+    /// u16 tenant_len | tenant utf-8 | u8 kind | u8 accepted | u64 winner
+    /// | u32 dom | f64 energy (raw LE bits) | u32 k | k × (u64 col, u32 score)
+    /// ```
+    #[must_use]
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.tenant.len() + 12 * self.matches.len());
+        let tenant = self.tenant.as_bytes();
+        out.extend_from_slice(
+            &u16::try_from(tenant.len())
+                .unwrap_or(u16::MAX)
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(tenant);
+        out.push(self.kind.code());
+        out.push(u8::from(self.accepted));
+        out.extend_from_slice(&self.winner.to_le_bytes());
+        out.extend_from_slice(&self.dom.to_le_bytes());
+        out.extend_from_slice(&self.energy_j.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.matches.len() as u32).to_le_bytes());
+        for m in &self.matches {
+            out.extend_from_slice(&m.global_column.to_le_bytes());
+            out.extend_from_slice(&m.score.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes the binary response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for truncation or invalid fields.
+    pub fn decode_binary(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let tenant_len = usize::from(r.u16()?);
+        let tenant = std::str::from_utf8(r.bytes(tenant_len)?)
+            .map_err(|_| err("tenant is not UTF-8"))?
+            .to_owned();
+        let kind = DeploymentKind::from_code(r.u8()?).ok_or_else(|| err("unknown kind code"))?;
+        let accepted = r.u8()? != 0;
+        let winner = r.u64()?;
+        let dom = r.u32()?;
+        let energy_j = f64::from_bits(r.u64()?);
+        let k = r.u32()? as usize;
+        if body.len().saturating_sub(r.pos) < 12 * k {
+            return Err(err("truncated matches"));
+        }
+        let mut matches = Vec::with_capacity(k);
+        for _ in 0..k {
+            matches.push(ApiMatch {
+                global_column: r.u64()?,
+                score: r.u32()?,
+            });
+        }
+        r.finish()?;
+        Ok(Self {
+            tenant,
+            kind,
+            winner,
+            accepted,
+            dom,
+            matches,
+            energy_j,
+        })
+    }
+}
+
+/// Little-endian cursor over a frame.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| err("truncated frame"))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("len")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("len")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("len")))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes after frame"))
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # spinamm-server
+//!
+//! A zero-heavy-dependency network tier over [`spinamm_engine`]: multiple
+//! tenants, each serving their own spin-neuron/crossbar deployment behind
+//! a dedicated [`RecallEngine`](spinamm_engine::RecallEngine), fronted by
+//! admission control and a `std::net` thread-per-connection listener.
+//!
+//! The crate splits into transport-independent and transport layers:
+//!
+//! - [`api`] — the wire request/response types with both JSON and
+//!   length-prefixed binary codecs. Responses carry energies as exact
+//!   bit-patterns in both framings, so "served == direct submission" is a
+//!   bit-identity claim, not an approximation.
+//! - [`registry`] — tenant name → [`Deployment`](spinamm_engine::Deployment)
+//!   behind its own engine, telemetry recorder and quota bucket, with
+//!   runtime register/evict.
+//! - [`admission`] — per-tenant token buckets plus a global concurrency
+//!   gate, layered over the engine's bounded-queue backpressure.
+//! - [`service`] — [`RecallService::handle`], the single request path all
+//!   transports and the load-replay harness share.
+//! - [`http`] — the TCP front-end: HTTP/1.1 + JSON, with binary framing
+//!   sniffed on the same port.
+//!
+//! ## Serving in-process
+//!
+//! ```
+//! use spinamm_core::amm::AmmConfig;
+//! use spinamm_server::api::ApiRecallRequest;
+//! use spinamm_server::registry::{DeploymentSpec, ModuleRegistry, TenantOptions};
+//! use spinamm_server::service::{RecallService, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModuleRegistry::new());
+//! let spec = DeploymentSpec::Flat {
+//!     patterns: vec![vec![0, 31, 0, 31], vec![31, 0, 31, 0]],
+//!     config: AmmConfig::default(),
+//! };
+//! registry
+//!     .register("alpha", &spec, &TenantOptions::default())
+//!     .expect("register");
+//! let service = RecallService::new(registry, &ServerConfig::default());
+//! let response = service
+//!     .handle(&ApiRecallRequest {
+//!         tenant: "alpha".to_owned(),
+//!         input: vec![0, 31, 0, 31],
+//!     })
+//!     .expect("served");
+//! assert_eq!(response.winner, 0);
+//! ```
+//!
+//! To serve the same thing over TCP, wrap the service in
+//! [`http::SpinServer::start`].
+
+pub mod admission;
+pub mod api;
+pub mod http;
+pub mod registry;
+pub mod service;
+
+pub use admission::{ConcurrencyGate, InflightGuard, TokenBucket};
+pub use api::{ApiMatch, ApiRecallRequest, ApiRecallResponse, DeploymentKind, WireError};
+pub use http::SpinServer;
+pub use registry::{DeploymentSpec, ModuleRegistry, RegistryError, Tenant, TenantOptions};
+pub use service::{RecallService, ServeError, ServerConfig};

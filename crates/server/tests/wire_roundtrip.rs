@@ -1,0 +1,154 @@
+//! The two framings are interchangeable: a request encoded as JSON and as
+//! a binary frame decode to identical structs, and a served response
+//! survives both encodings bit-identically — including the f64 energy.
+
+use proptest::prelude::*;
+use spinamm_core::amm::AmmConfig;
+use spinamm_server::api::{ApiMatch, ApiRecallRequest, ApiRecallResponse, DeploymentKind};
+use spinamm_server::registry::{DeploymentSpec, ModuleRegistry, TenantOptions};
+use spinamm_server::service::{RecallService, ServerConfig};
+use std::sync::Arc;
+
+fn patterns() -> Vec<Vec<u32>> {
+    vec![
+        vec![0, 31, 0, 31, 7, 24],
+        vec![31, 0, 31, 0, 24, 7],
+        vec![15, 15, 15, 15, 15, 15],
+    ]
+}
+
+#[test]
+fn request_framings_decode_identically() {
+    let request = ApiRecallRequest {
+        tenant: "alpha".to_owned(),
+        input: vec![0, 31, 7, 24, u32::from(u16::MAX), 15],
+    };
+    let from_json = ApiRecallRequest::from_json(&request.to_json()).expect("json");
+    let from_binary = ApiRecallRequest::decode_binary(&request.encode_binary()).expect("binary");
+    assert_eq!(from_json, request);
+    assert_eq!(from_binary, request);
+    assert_eq!(from_json, from_binary);
+}
+
+#[test]
+fn served_response_survives_both_framings_bit_identically() {
+    let registry = Arc::new(ModuleRegistry::new());
+    registry
+        .register(
+            "alpha",
+            &DeploymentSpec::Tiled {
+                patterns: patterns(),
+                tile_capacity: 2,
+                top_k: 3,
+                config: AmmConfig::default(),
+            },
+            &TenantOptions::default(),
+        )
+        .expect("register");
+    let service = RecallService::new(registry, &ServerConfig::default());
+    let served = service
+        .handle(&ApiRecallRequest {
+            tenant: "alpha".to_owned(),
+            input: vec![0, 31, 0, 31, 7, 24],
+        })
+        .expect("served");
+    assert_eq!(served.kind, DeploymentKind::Tiled);
+    assert!(!served.matches.is_empty(), "tiled responses rank matches");
+    assert!(served.energy_j > 0.0);
+
+    let via_json = ApiRecallResponse::from_json(&served.to_json()).expect("json");
+    let via_binary = ApiRecallResponse::decode_binary(&served.encode_binary()).expect("binary");
+    assert_eq!(via_json, served);
+    assert_eq!(via_binary, served);
+    // Bit-identity of the energy across the text framing, not mere
+    // approximate equality.
+    assert_eq!(via_json.energy_j.to_bits(), served.energy_j.to_bits());
+    assert_eq!(via_binary.energy_j.to_bits(), served.energy_j.to_bits());
+}
+
+#[test]
+fn truncated_and_corrupt_frames_are_rejected() {
+    let request = ApiRecallRequest {
+        tenant: "alpha".to_owned(),
+        input: vec![1, 2, 3],
+    };
+    let frame = request.encode_binary();
+    for cut in 0..frame.len() {
+        assert!(
+            ApiRecallRequest::decode_binary(&frame[..cut]).is_err(),
+            "a frame cut at byte {cut} must not decode"
+        );
+    }
+    let mut bad_magic = frame.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(ApiRecallRequest::decode_binary(&bad_magic).is_err());
+    let mut bad_version = frame.clone();
+    bad_version[1] = 99;
+    assert!(ApiRecallRequest::decode_binary(&bad_version).is_err());
+    let mut trailing = frame;
+    trailing.push(0);
+    assert!(ApiRecallRequest::decode_binary(&trailing).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_request_round_trips_both_framings(
+        tenant_seed in any::<u64>(),
+        input in proptest::collection::vec(0u32..=1_000_000, 0..64),
+    ) {
+        let request = ApiRecallRequest {
+            tenant: format!("tenant-{tenant_seed:x}"),
+            input,
+        };
+        prop_assert_eq!(
+            ApiRecallRequest::from_json(&request.to_json()).unwrap(),
+            request.clone()
+        );
+        prop_assert_eq!(
+            ApiRecallRequest::decode_binary(&request.encode_binary()).unwrap(),
+            request
+        );
+    }
+
+    #[test]
+    fn any_response_round_trips_both_framings(
+        tenant_seed in any::<u64>(),
+        kind_code in 0usize..4,
+        winner in any::<u64>(),
+        accepted in any::<bool>(),
+        dom in any::<u32>(),
+        energy_bits in any::<u64>(),
+        matches in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..8),
+    ) {
+        let energy_j = f64::from_bits(energy_bits);
+        if energy_j.is_nan() {
+            // NaN != NaN under PartialEq; skip those bit patterns.
+            return Ok(());
+        }
+        let response = ApiRecallResponse {
+            tenant: format!("tenant-{tenant_seed:x}"),
+            kind: [
+                DeploymentKind::Flat,
+                DeploymentKind::Partitioned,
+                DeploymentKind::Hierarchical,
+                DeploymentKind::Tiled,
+            ][kind_code],
+            winner,
+            accepted,
+            dom,
+            matches: matches
+                .into_iter()
+                .map(|(global_column, score)| ApiMatch { global_column, score })
+                .collect(),
+            energy_j,
+        };
+        let via_json = ApiRecallResponse::from_json(&response.to_json()).unwrap();
+        let via_binary = ApiRecallResponse::decode_binary(&response.encode_binary()).unwrap();
+        prop_assert_eq!(via_json.energy_j.to_bits(), response.energy_j.to_bits());
+        prop_assert_eq!(via_binary.energy_j.to_bits(), response.energy_j.to_bits());
+        prop_assert_eq!(via_json, response.clone());
+        prop_assert_eq!(via_binary, response);
+    }
+}
