@@ -40,7 +40,15 @@ Checks, per study matched by name:
   percentiles monotone, reports positive saturation throughput for
   every tenant, and keeps quota enforcement live: the quota-limited
   tenant sees over-quota rejections while unlimited tenants see none.
-  Latency magnitudes are host-dependent and never gated.
+  Latency magnitudes are host-dependent and never gated;
+* the lifetime study (E20) keeps maintenance worth running: every
+  maintained arm ends within ``LIFETIME_ACCURACY_DROP`` of its fresh
+  accuracy at the full traffic horizon, the unmaintained aggressive
+  control visibly degrades below that band (otherwise the study proves
+  nothing), the aggressive maintained arm actually refreshed, and the
+  total refresh write energy stays at or under
+  ``LIFETIME_OVERHEAD_LIMIT`` of the recall energy spent over the same
+  horizon.
 
 The baseline-independent invariant checks (engine-scale, conformance,
 profile percentile sanity, plan, capacity, serve) are also importable via
@@ -77,6 +85,14 @@ P99_FLOOR_US = 1000.0
 # kernel is the entire query. The parasitic row is informational -- both
 # sides share the cached nodal solve, which dominates that fidelity.
 PLAN_MIN_SPEEDUP = 5.0
+
+# E20 lifetime gates. Maintained arms must hold accuracy to within two
+# points of fresh at the end of the traffic horizon while spending at most
+# 10 % of the horizon's recall energy on refresh writes; the unmaintained
+# aggressive control must degrade past the band or the study has lost its
+# contrast and the drift corners need retuning.
+LIFETIME_ACCURACY_DROP = 0.02
+LIFETIME_OVERHEAD_LIMIT = 0.10
 
 
 def accuracy_cells(report):
@@ -444,6 +460,74 @@ def check_serve(fresh_by_name, failures):
             )
 
 
+LIFETIME_STUDY = "lifetime"
+
+
+def check_lifetime(fresh_by_name, failures):
+    """The lifetime study (E20) gates on the maintenance contract: drift-
+    aware refresh holds every maintained arm within LIFETIME_ACCURACY_DROP
+    of fresh accuracy over the full traffic horizon, at a refresh-energy
+    overhead of at most LIFETIME_OVERHEAD_LIMIT of the recall energy spent
+    over that horizon, while the unmaintained aggressive control visibly
+    degrades — losing the contrast means the corners no longer stress
+    retention and the study is vacuous."""
+    study = fresh_by_name.get(LIFETIME_STUDY)
+    if study is None:
+        return
+    arms = study["report"].get("arms", [])
+    if len(arms) < 4:
+        failures.append((LIFETIME_STUDY, "arms", ">= 4", str(len(arms)), ""))
+    for arm in arms:
+        corner = arm.get("corner", "?")
+        maintained = arm.get("maintained")
+        label = f"{corner} {'maintained' if maintained else 'unmaintained'}"
+        fresh_acc = arm.get("fresh_accuracy", 0.0)
+        final_acc = arm.get("final_accuracy", 0.0)
+        floor = fresh_acc - LIFETIME_ACCURACY_DROP
+        if maintained:
+            if final_acc < floor:
+                failures.append(
+                    (
+                        LIFETIME_STUDY,
+                        f"{label} [final_accuracy]",
+                        f">= {floor:.3f}",
+                        f"{final_acc:.3f}",
+                        f"{final_acc - fresh_acc:+.3f}",
+                    )
+                )
+            overhead = arm.get("refresh_overhead", 0.0)
+            if overhead > LIFETIME_OVERHEAD_LIMIT:
+                failures.append(
+                    (
+                        LIFETIME_STUDY,
+                        f"{label} [refresh_overhead]",
+                        f"<= {LIFETIME_OVERHEAD_LIMIT:.2f}",
+                        f"{overhead:.3f}",
+                        "",
+                    )
+                )
+            if corner == "aggressive" and not arm.get("refreshes", 0) > 0:
+                failures.append(
+                    (
+                        LIFETIME_STUDY,
+                        f"{label} [refreshes]",
+                        "> 0",
+                        str(arm.get("refreshes")),
+                        "",
+                    )
+                )
+        elif corner == "aggressive" and final_acc >= floor:
+            failures.append(
+                (
+                    LIFETIME_STUDY,
+                    f"{label} [final_accuracy]",
+                    f"< {floor:.3f} (control must degrade)",
+                    f"{final_acc:.3f}",
+                    f"{final_acc - fresh_acc:+.3f}",
+                )
+            )
+
+
 def invariant_failures(fresh):
     """Baseline-independent invariant checks over a fresh report: the
     bit-identity / oracle / ledger gates that hold at any scale on any
@@ -456,6 +540,7 @@ def invariant_failures(fresh):
     check_plan(fresh_by_name, failures)
     check_capacity(fresh_by_name, failures)
     check_serve(fresh_by_name, failures)
+    check_lifetime(fresh_by_name, failures)
     return failures
 
 

@@ -5,7 +5,7 @@
 //!             [fig3a|fig3b|fig5b|fig5c|fig7a|fig8b|fig9a|fig9b|
 //!              fig13a|fig13b|table1|table2|hierarchy|ablations|settling|
 //!              drift|write-precision|disturb|noise|yield|engine-scale|
-//!              conformance|profile|plan|capacity|serve|all]
+//!              conformance|profile|plan|capacity|serve|lifetime|all]
 //! ```
 //!
 //! Without arguments, runs `all` at full (paper) scale. `--quick` runs the
@@ -132,6 +132,7 @@ fn main() -> ExitCode {
     section!("plan", render_plan(&scale));
     section!("capacity", render_capacity(&scale));
     section!("serve", render_serve(&scale));
+    section!("lifetime", render_lifetime(&scale));
 
     if let Some(path) = json_path {
         match write_json_report(&path, &scale, quick, studies) {
@@ -189,7 +190,13 @@ struct TimedStudy {
 /// open-loop p50/p99/p999/mean latency measured from scheduled arrivals,
 /// per-tenant queue-wait p99, the served/429/503 admission split and the
 /// `served_identical` bit-identity verdict CI gates on) plus run context
-/// (`host_cpus`, `loader_threads`, `total_queries`, `wall_seconds`).
+/// (`host_cpus`, `loader_threads`, `total_queries`, `wall_seconds`); v10
+/// adds the `lifetime` study (E20) with one object per
+/// drift-corner × maintenance arm (fresh/final threshold-respecting
+/// accuracy, refresh counts split by trigger, wear-leveled migrations,
+/// refresh-energy overhead relative to recall energy — the quantities
+/// `check_lifetime` gates on) and log-spaced `points[]` over the virtual
+/// traffic horizon (10⁶ queries quick, 10⁹-equivalent full).
 fn write_json_report(
     path: &str,
     scale: &Scale,
@@ -199,7 +206,7 @@ fn write_json_report(
     let snapshot = experiments::telemetry_capture(scale)?;
     let total_wall: f64 = studies.iter().map(|s| s.wall_clock_seconds).sum();
     let document = JsonValue::object([
-        ("schema_version", JsonValue::Uint(9)),
+        ("schema_version", JsonValue::Uint(10)),
         (
             "scale",
             JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
@@ -1215,6 +1222,124 @@ fn render_serve(scale: &Scale) -> Rendered {
                             ("queue_wait_p99_us", JsonValue::Num(r.queue_wait_p99_us)),
                             ("mean_energy_j", JsonValue::Num(r.mean_energy_j)),
                             ("served_identical", JsonValue::Bool(r.served_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok(section)
+}
+
+fn render_lifetime(scale: &Scale) -> Rendered {
+    let study = experiments::lifetime_study(scale)?;
+    let mut t = Table::new(
+        "E20: lifetime maintenance (virtual-time traffic horizon)",
+        &[
+            "corner",
+            "maintained",
+            "fresh",
+            "final",
+            "refreshes",
+            "margin",
+            "scheduled",
+            "migrations",
+            "pulses",
+            "refresh energy",
+            "overhead",
+        ],
+    );
+    for a in &study.arms {
+        let last = a.points.last().expect("non-empty");
+        t.row(&[
+            a.corner.clone(),
+            if a.maintained { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", a.fresh_accuracy),
+            format!("{:.3}", a.final_accuracy),
+            format!("{}", a.refreshes),
+            format!("{}", a.margin_refreshes),
+            format!("{}", a.scheduled_refreshes),
+            format!("{}", a.migrations),
+            format!("{}", last.refresh_pulses),
+            eng(last.refresh_energy_j, "J"),
+            format!("{:.1} %", a.refresh_overhead * 100.0),
+        ]);
+    }
+    let mut section = Section::table(&t);
+    section.text.push_str(&format!(
+        "horizon: {} queries at {} per query | dom threshold: {} | stuck rate: {:.0} %\n",
+        eng(study.horizon_queries, "").trim(),
+        eng(study.query_period_s, "s"),
+        study.dom_threshold,
+        study.fault_rate * 100.0
+    ));
+    // Numeric JSON twin so check_lifetime can gate on the accuracy-hold /
+    // degradation / overhead invariants without parsing table cells.
+    section.json = JsonValue::object([
+        (
+            "title",
+            JsonValue::Str("E20: lifetime maintenance (virtual-time traffic horizon)".to_string()),
+        ),
+        ("query_period_s", JsonValue::Num(study.query_period_s)),
+        ("horizon_queries", JsonValue::Num(study.horizon_queries)),
+        (
+            "dom_threshold",
+            JsonValue::Uint(u64::from(study.dom_threshold)),
+        ),
+        ("fault_rate", JsonValue::Num(study.fault_rate)),
+        (
+            "arms",
+            JsonValue::Array(
+                study
+                    .arms
+                    .iter()
+                    .map(|a| {
+                        JsonValue::object([
+                            ("corner", JsonValue::Str(a.corner.clone())),
+                            ("maintained", JsonValue::Bool(a.maintained)),
+                            ("fresh_accuracy", JsonValue::Num(a.fresh_accuracy)),
+                            ("final_accuracy", JsonValue::Num(a.final_accuracy)),
+                            (
+                                "recall_energy_per_query_j",
+                                JsonValue::Num(a.recall_energy_per_query_j),
+                            ),
+                            ("refresh_overhead", JsonValue::Num(a.refresh_overhead)),
+                            ("checks", JsonValue::Uint(a.checks)),
+                            ("refreshes", JsonValue::Uint(a.refreshes)),
+                            ("margin_refreshes", JsonValue::Uint(a.margin_refreshes)),
+                            (
+                                "scheduled_refreshes",
+                                JsonValue::Uint(a.scheduled_refreshes),
+                            ),
+                            ("migrations", JsonValue::Uint(a.migrations)),
+                            (
+                                "points",
+                                JsonValue::Array(
+                                    a.points
+                                        .iter()
+                                        .map(|p| {
+                                            JsonValue::object([
+                                                ("queries", JsonValue::Num(p.queries)),
+                                                (
+                                                    "virtual_seconds",
+                                                    JsonValue::Num(p.virtual_seconds),
+                                                ),
+                                                ("accuracy", JsonValue::Num(p.accuracy)),
+                                                ("refreshes", JsonValue::Uint(p.refreshes)),
+                                                (
+                                                    "refresh_pulses",
+                                                    JsonValue::Uint(p.refresh_pulses),
+                                                ),
+                                                (
+                                                    "refresh_energy_j",
+                                                    JsonValue::Num(p.refresh_energy_j),
+                                                ),
+                                                ("worn_cells", JsonValue::Uint(p.worn_cells)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
                         ])
                     })
                     .collect(),

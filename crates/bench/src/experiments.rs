@@ -2388,6 +2388,238 @@ pub fn serve_study(scale: &Scale) -> Result<ServeStudy, CoreError> {
     })
 }
 
+/// One checkpoint of one lifetime arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimePoint {
+    /// Virtual queries served so far.
+    pub queries: f64,
+    /// Virtual seconds elapsed.
+    pub virtual_seconds: f64,
+    /// Threshold-respecting recognition accuracy (accepted winners only;
+    /// the paper's §4B DOM discard rule is the quantity drift erodes).
+    pub accuracy: f64,
+    /// Cumulative template refreshes.
+    pub refreshes: u64,
+    /// Cumulative refresh write pulses.
+    pub refresh_pulses: u64,
+    /// Cumulative refresh write energy, joules.
+    pub refresh_energy_j: f64,
+    /// Cumulative endurance conversions.
+    pub worn_cells: u64,
+}
+
+/// One arm (drift corner × maintenance policy) of the lifetime study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeArm {
+    /// Drift corner label (`typical` / `aggressive`).
+    pub corner: String,
+    /// Whether the maintenance scheduler intervenes.
+    pub maintained: bool,
+    /// Accuracy at virtual time zero (faults injected, no drift).
+    pub fresh_accuracy: f64,
+    /// Accuracy at the final checkpoint.
+    pub final_accuracy: f64,
+    /// Mean recall energy per query, joules (fresh-state probes).
+    pub recall_energy_per_query_j: f64,
+    /// Refresh write energy over the horizon ÷ recall energy over the
+    /// horizon — the maintenance tax CI bounds at 10 %.
+    pub refresh_overhead: f64,
+    /// Maintenance checks run.
+    pub checks: u64,
+    /// Total template refreshes (margin- plus schedule-triggered).
+    pub refreshes: u64,
+    /// Margin-triggered refreshes.
+    pub margin_refreshes: u64,
+    /// Wall-clock-scheduled refreshes.
+    pub scheduled_refreshes: u64,
+    /// Wear-leveled migrations.
+    pub migrations: u64,
+    /// Log-spaced checkpoints.
+    pub points: Vec<LifetimePoint>,
+}
+
+/// The lifetime study (E20).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeStudy {
+    /// Virtual seconds one query represents.
+    pub query_period_s: f64,
+    /// Queries in the simulated horizon.
+    pub horizon_queries: f64,
+    /// DOM acceptance threshold the probes recall under.
+    pub dom_threshold: u32,
+    /// Stuck-cell rate of the manufacturing fault map (E13 distribution).
+    pub fault_rate: f64,
+    /// The four arms: {typical, aggressive} × {maintained, unmaintained}.
+    pub arms: Vec<LifetimeArm>,
+}
+
+/// Lifetime study (E20): recognition accuracy, energy and refresh
+/// overhead over a long virtual-time traffic horizon (10⁶ queries quick,
+/// 10⁹-equivalent full), with and without the `spinamm-lifetime`
+/// maintenance scheduler, under the E13 manufacturing-fault distribution
+/// at the TYPICAL and AGGRESSIVE drift corners.
+///
+/// Uniform median drift rescales every column together, so *ranking*
+/// survives long after absolute DOM margins collapse — the probes
+/// therefore recall under the paper's DOM acceptance threshold, where
+/// unmaintained drift turns stored patterns into rejections.
+///
+/// # Errors
+///
+/// Propagates dataset/AMM/scheduler errors.
+pub fn lifetime_study(scale: &Scale) -> Result<LifetimeStudy, CoreError> {
+    use spinamm_core::degrade::DegradationPolicy;
+    use spinamm_faults::{FaultMap, FaultModel};
+    use spinamm_lifetime::{LifetimeError, MaintenanceConfig, MaintenanceScheduler};
+    use spinamm_memristor::DriftModel;
+
+    /// Virtual seconds of wall time one query represents (200 q/s per
+    /// module — a conservative duty cycle for an always-on recognizer).
+    const QUERY_PERIOD: f64 = 0.005;
+    /// E13 stuck-cell rate.
+    const FAULT_RATE: f64 = 0.01;
+    /// DOM acceptance threshold: two LSBs of headroom under the fresh
+    /// worst-case matching DOM at template resolution.
+    const DOM_THRESHOLD: u32 = 24;
+    /// Endurance budget for the maintained arms: refreshes spend ~1.5e5
+    /// pulses per cell over the full horizon, well inside a 10⁶-cycle
+    /// RRAM part — the counter stays live without manufacturing wear-out.
+    const MAX_CYCLES: u64 = 1_000_000;
+
+    let full = scale.queries >= 100;
+    let checkpoints: &[f64] = if full {
+        &[1e6, 1e7, 1e8, 1e9]
+    } else {
+        &[1e4, 1e5, 1e6]
+    };
+    let horizon_queries = *checkpoints.last().expect("non-empty");
+
+    let lifetime_err = |e: LifetimeError| match e {
+        LifetimeError::Core(c) => c,
+        _ => CoreError::InvalidParameter {
+            what: "lifetime scheduler failure",
+        },
+    };
+
+    let data = face_dataset(scale)?;
+    let target = Resolution::template();
+    let templates = data.templates(target, 5)?;
+    let tests = data.test_vectors(target, 5)?;
+    // Accuracy probes: enough that a single near-tie recall flipping on
+    // ±1 ADC code (the 5-bit DOM quantization makes argmax ties common)
+    // moves the estimate by well under the 2-point acceptance band.
+    let probes: Vec<&(usize, Vec<u32>)> = tests.iter().take(scale.queries.min(200)).collect();
+    let rows = templates[0].len();
+    let config = AmmConfig {
+        dom_threshold: DOM_THRESHOLD,
+        spare_columns: 2,
+        ..AmmConfig::default()
+    };
+
+    let accuracy_of = |amm: &mut AssociativeMemoryModule| -> Result<f64, CoreError> {
+        let mut correct = 0usize;
+        for (label, input) in &probes {
+            if amm.recall(input)?.winner == Some(*label) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / probes.len() as f64)
+    };
+
+    let mut arms = Vec::new();
+    for (corner, model) in [
+        ("typical", DriftModel::TYPICAL),
+        ("aggressive", DriftModel::AGGRESSIVE),
+    ] {
+        for maintained in [true, false] {
+            let mut amm = AssociativeMemoryModule::build(&templates, &config)?;
+            let map = FaultMap::sample(
+                &FaultModel::stuck(FAULT_RATE).map_err(CoreError::Faults)?,
+                rows,
+                amm.array().cols(),
+                0xfa11,
+            )
+            .map_err(CoreError::Faults)?;
+            amm.inject_faults(map, &DegradationPolicy::default())?;
+            let fresh_accuracy = accuracy_of(&mut amm)?;
+            let energy_probes = probes.len().min(8);
+            let mut recall_energy = 0.0;
+            for (_, input) in probes.iter().take(energy_probes) {
+                recall_energy += amm.power_report(input)?.energy.total().0;
+            }
+            let recall_energy = recall_energy / energy_probes as f64;
+
+            let base = if maintained {
+                MaintenanceConfig {
+                    max_cycles: Some(MAX_CYCLES),
+                    ..MaintenanceConfig::new(model)
+                }
+            } else {
+                MaintenanceConfig::monitor(model)
+            };
+            // The margin predictor assumes a fully-driven column, which
+            // overestimates the DOM a real query loses by roughly the
+            // full-scale-current / LSB ratio (~17-25× here). Checks run
+            // every 200 virtual seconds; at the aggressive corner the
+            // front-loaded log drift erodes ~7 % of conductance per
+            // inter-check interval, a predicted ~30-40 LSB against the
+            // 25-LSB budget — so every live column refreshes each check
+            // while the *actual* matching-DOM loss stays under ~2 LSB of
+            // the acceptance headroom. At the typical corner the
+            // predicted erosion never reaches the budget and the arms
+            // coast on retention alone.
+            let mconfig = MaintenanceConfig {
+                query_period: Seconds(QUERY_PERIOD),
+                check_period: Seconds(200.0),
+                margin_budget_lsb: 25.0,
+                ..base
+            };
+            let mut sched = MaintenanceScheduler::new(amm, mconfig).map_err(lifetime_err)?;
+
+            let mut points = Vec::new();
+            for &q in checkpoints {
+                sched
+                    .advance_to(Seconds(q * QUERY_PERIOD))
+                    .map_err(lifetime_err)?;
+                let accuracy = accuracy_of(sched.module_mut().map_err(lifetime_err)?)?;
+                let s = sched.stats();
+                points.push(LifetimePoint {
+                    queries: q,
+                    virtual_seconds: q * QUERY_PERIOD,
+                    accuracy,
+                    refreshes: s.refreshes,
+                    refresh_pulses: s.refresh_pulses,
+                    refresh_energy_j: s.refresh_energy.0,
+                    worn_cells: s.worn_cells,
+                });
+            }
+            let s = sched.stats();
+            arms.push(LifetimeArm {
+                corner: corner.to_string(),
+                maintained,
+                fresh_accuracy,
+                final_accuracy: points.last().expect("non-empty").accuracy,
+                recall_energy_per_query_j: recall_energy,
+                refresh_overhead: s.refresh_energy.0 / (recall_energy * horizon_queries),
+                checks: s.checks,
+                refreshes: s.refreshes,
+                margin_refreshes: s.margin_refreshes,
+                scheduled_refreshes: s.scheduled_refreshes,
+                migrations: s.migrations,
+                points,
+            });
+        }
+    }
+
+    Ok(LifetimeStudy {
+        query_period_s: QUERY_PERIOD,
+        horizon_queries,
+        dom_threshold: DOM_THRESHOLD,
+        fault_rate: FAULT_RATE,
+        arms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

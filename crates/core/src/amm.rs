@@ -12,7 +12,7 @@
 //! 3. Column currents are digitized by per-column spin SAR ADCs while the
 //!    digital tracker follows the conversion (see [`crate::wta`]).
 
-use crate::degrade::{DegradationPolicy, FaultReport};
+use crate::degrade::{DegradationPolicy, FaultReport, PlacementForecast};
 use crate::energy::{EnergyBreakdown, PowerReport};
 use crate::params::DesignParams;
 use crate::request::RecallRequest;
@@ -22,7 +22,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spinamm_circuit::units::{Amps, Joules, Seconds, Volts, Watts};
 use spinamm_cmos::{DtcsDac, Tech45};
-use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, RowDrive};
+use spinamm_crossbar::{CachedParasiticCrossbar, CrossbarArray, PatternRetryReport, RowDrive};
 use spinamm_faults::{FaultMap, LineDefect, StuckKind};
 use spinamm_memristor::{LevelMap, RetryPolicy, WriteScheme};
 use spinamm_telemetry::Recorder;
@@ -1129,6 +1129,73 @@ impl AssociativeMemoryModule {
         Ok(abs / total)
     }
 
+    /// Predicts the placement error and positive conductance excess of
+    /// programming template `slot` into column `col`, *without* writing
+    /// anything: stuck cells read their pinned extreme, healthy cells
+    /// their target level, both through the column's gain spread. With no
+    /// fault map installed the forecast is a perfect write. This is the
+    /// wear-leveler's pre-flight check before
+    /// [`AssociativeMemoryModule::migrate_template`] — the same criteria
+    /// the build-time degradation pass enforces, so maintenance never
+    /// rotates a template onto a column that
+    /// [`AssociativeMemoryModule::inject_faults`] would have masked or
+    /// remapped away from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown slot or an
+    /// out-of-range column.
+    pub fn placement_forecast(
+        &self,
+        slot: usize,
+        col: usize,
+    ) -> Result<PlacementForecast, CoreError> {
+        if slot >= self.templates.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "placement forecast slot out of range",
+            });
+        }
+        if col >= self.array.cols() {
+            return Err(CoreError::InvalidParameter {
+                what: "placement forecast column out of range",
+            });
+        }
+        if self.array.column_disconnected(col) {
+            return Ok(PlacementForecast {
+                error: f64::INFINITY,
+                excess: 0.0,
+            });
+        }
+        let Some(map) = self.array.fault_map() else {
+            return Ok(PlacementForecast {
+                error: 0.0,
+                excess: 0.0,
+            });
+        };
+        let p = &self.config.params;
+        let level_map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let limits = self.array.limits();
+        let mut abs = 0.0;
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for (row, &level) in self.templates[slot].iter().enumerate() {
+            let target = level_map.conductance(level)?.0;
+            let device = match map.stuck_at(row, col) {
+                Some(StuckKind::Lrs) => limits.g_max().0,
+                Some(StuckKind::Hrs) => limits.g_min().0,
+                None => target,
+            };
+            let eff = device * map.cell_gain(row, col);
+            abs += (eff - target).abs();
+            pos += (eff - target).max(0.0);
+            total += target;
+        }
+        Ok(PlacementForecast {
+            error: abs / total,
+            excess: pos / total,
+        })
+    }
+
     /// Template → physical-column placement (identity until a fault-time
     /// remap moves a template to a spare).
     #[must_use]
@@ -1316,6 +1383,199 @@ impl AssociativeMemoryModule {
         (0..self.templates.len())
             .filter(|&t| self.column_owner[self.template_column[t]] == Some(t))
             .collect()
+    }
+
+    // --- Lifetime-maintenance hooks (see the `spinamm-lifetime` crate) ---
+
+    /// Maintenance-only mutable access to the crossbar array, for a
+    /// background controller that stamps per-cell retention
+    /// ([`CrossbarArray::apply_retention`]) on its own virtual clock.
+    ///
+    /// Mutating cells behind the module's back leaves the row dummies and
+    /// the cached parasitic session describing the *previous* conductances
+    /// — batch the mutations, then call
+    /// [`AssociativeMemoryModule::commit_maintenance`] once before the next
+    /// recall.
+    pub fn array_maintenance(&mut self) -> &mut CrossbarArray {
+        &mut self.array
+    }
+
+    /// Predicted DOM-margin erosion of template `slot`, in ADC LSBs: the
+    /// first-order column-current loss a fully-matching query would see
+    /// from the drift its cells have accumulated since their last write
+    /// (`ΔV · Σ max(g₀ − g_programmed, 0)` over the column, divided by
+    /// [`AssociativeMemoryModule::lsb_current`]). The refresh trigger
+    /// compares this against its margin budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown or retired
+    /// slot.
+    pub fn template_margin_erosion(&self, slot: usize) -> Result<f64, CoreError> {
+        let col = self.live_column(slot)?;
+        let mut lost = 0.0;
+        for row in 0..self.vector_len() {
+            let cell = self.array.cell(row, col)?;
+            lost += (cell.programmed_reference().0 - cell.programmed().0).max(0.0);
+        }
+        Ok(self.config.params.delta_v.0 * lost / self.lsb_current().0)
+    }
+
+    /// [`AssociativeMemoryModule::refresh_template_request`] without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::refresh_template_request`].
+    pub fn refresh_template(
+        &mut self,
+        slot: usize,
+        retry: &RetryPolicy,
+    ) -> Result<PatternRetryReport, CoreError> {
+        self.refresh_template_request(slot, retry, &RecallRequest::DEFAULT)
+    }
+
+    /// Re-programs template `slot` in place through the program-and-verify
+    /// retry path, restoring every drifted cell to its target level and
+    /// re-anchoring the drift clock at zero. Cells still inside the write
+    /// band verify without pulses, so a refresh of a barely-drifted column
+    /// is nearly free. Does NOT re-equalize or rebuild the cached parasitic
+    /// session — batch refreshes, then
+    /// [`AssociativeMemoryModule::commit_maintenance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown or retired
+    /// slot and propagates programming errors.
+    pub fn refresh_template_request<R: Recorder>(
+        &mut self,
+        slot: usize,
+        retry: &RetryPolicy,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<PatternRetryReport, CoreError> {
+        let col = self.live_column(slot)?;
+        let p = &self.config.params;
+        let level_map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let write = WriteScheme::new(p.write_tolerance)?;
+        let report = self.array.program_pattern_retry_with(
+            col,
+            &self.templates[slot],
+            &level_map,
+            &write,
+            retry,
+            &mut self.rng,
+            req.recorder(),
+        )?;
+        Ok(report)
+    }
+
+    /// [`AssociativeMemoryModule::migrate_template_request`] without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::migrate_template_request`].
+    pub fn migrate_template(
+        &mut self,
+        slot: usize,
+        col: usize,
+        retry: &RetryPolicy,
+    ) -> Result<PatternRetryReport, CoreError> {
+        self.migrate_template_request(slot, col, retry, &RecallRequest::DEFAULT)
+    }
+
+    /// Re-programs template `slot` into free column `col` (chosen by a
+    /// wear-leveler) and transfers ownership there. The vacated column is
+    /// healthy, so — unlike fault-time remapping — it returns to the free
+    /// pool for a later migration; its stale conductances stay physically
+    /// present (gated out of the WTA like any unowned column) until the
+    /// next program claims them. Does NOT re-equalize or rebuild the
+    /// cached session — batch migrations, then
+    /// [`AssociativeMemoryModule::commit_maintenance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown/retired slot
+    /// or a column that is not free, and propagates programming errors.
+    pub fn migrate_template_request<R: Recorder>(
+        &mut self,
+        slot: usize,
+        col: usize,
+        retry: &RetryPolicy,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<PatternRetryReport, CoreError> {
+        let old = self.live_column(slot)?;
+        if !self.free_columns().contains(&col) {
+            return Err(CoreError::InvalidParameter {
+                what: "migration target column is not free",
+            });
+        }
+        let p = &self.config.params;
+        let level_map = LevelMap::new(p.memristor_limits, p.template_bits)?;
+        let write = WriteScheme::new(p.write_tolerance)?;
+        let report = self.array.program_pattern_retry_with(
+            col,
+            &self.templates[slot],
+            &level_map,
+            &write,
+            retry,
+            &mut self.rng,
+            req.recorder(),
+        )?;
+        self.column_owner[old] = None;
+        self.column_owner[col] = Some(slot);
+        self.template_column[slot] = col;
+        Ok(report)
+    }
+
+    /// [`AssociativeMemoryModule::commit_maintenance_request`] without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssociativeMemoryModule::commit_maintenance_request`].
+    pub fn commit_maintenance(&mut self) -> Result<(), CoreError> {
+        self.commit_maintenance_request(&RecallRequest::DEFAULT)
+    }
+
+    /// Reconciles the module with out-of-band array mutations (aging
+    /// stamps, refreshes, migrations): re-equalizes the row dummies
+    /// against the current loads (when the module equalizes at all) and
+    /// rebuilds + canonically re-warms the cached parasitic session, so
+    /// recalls stay scheduling-order independent — the same tail every
+    /// built-in mutation pass (faults, installs) runs inline. Call once
+    /// per maintenance batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates equalization and solver errors.
+    pub fn commit_maintenance_request<R: Recorder>(
+        &mut self,
+        req: &RecallRequest<'_, R>,
+    ) -> Result<(), CoreError> {
+        if self.config.equalize_rows {
+            let target = self.array.equalization_target()?;
+            self.array.equalize_rows(Some(target))?;
+        }
+        self.parasitic.invalidate();
+        self.warm_session(req.recorder())?;
+        Ok(())
+    }
+
+    /// The physical column a live template slot currently occupies.
+    fn live_column(&self, slot: usize) -> Result<usize, CoreError> {
+        if slot >= self.templates.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "unknown template slot",
+            });
+        }
+        let col = self.template_column[slot];
+        if self.column_owner[col] != Some(slot) {
+            return Err(CoreError::InvalidParameter {
+                what: "template slot is retired",
+            });
+        }
+        Ok(col)
     }
 }
 

@@ -67,6 +67,33 @@ impl Default for DegradationPolicy {
     }
 }
 
+/// Predicted placement quality of a template on a candidate column,
+/// before committing any write pulses to it. Produced by
+/// [`crate::AssociativeMemoryModule::placement_forecast`]; judged against
+/// the same [`DegradationPolicy`] thresholds the build-time fault pass
+/// applies, so a wear-leveler never lands a template on a column the
+/// degradation pass would have masked or remapped away from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementForecast {
+    /// Predicted relative placement error
+    /// (`Σ|g_eff − g_target| / Σ g_target`); `INFINITY` for a column with
+    /// a line defect.
+    pub error: f64,
+    /// Predicted relative *positive* conductance excess
+    /// (`Σ max(g_eff − g_target, 0) / Σ g_target`) — the component that
+    /// inflates the column's correlation current on every query.
+    pub excess: f64,
+}
+
+impl PlacementForecast {
+    /// Whether this placement clears both policy thresholds: error within
+    /// the remap budget and excess within the mask threshold.
+    #[must_use]
+    pub fn acceptable(&self, policy: &DegradationPolicy) -> bool {
+        self.error <= policy.error_budget && self.excess <= policy.mask_excess
+    }
+}
+
 /// Outcome of one fault-injection + degradation pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultReport {

@@ -77,7 +77,7 @@ pub mod wta;
 pub use adc::{AdcConversion, SpinSarAdc};
 pub use amm::{AmmConfig, AssociativeMemoryModule, Fidelity, QueryEvaluation, RecallResult};
 pub use capacity::{top_k_merge, RankedMatch, TemplateHandle, TileId, TiledAmm, TiledRecall};
-pub use degrade::{DegradationPolicy, FaultReport};
+pub use degrade::{DegradationPolicy, FaultReport, PlacementForecast};
 pub use energy::{EnergyBreakdown, PowerReport};
 pub use hierarchy::{HierarchicalAmm, HierarchicalRecall};
 pub use params::DesignParams;

@@ -455,7 +455,55 @@ impl CrossbarArray {
         for cell in &mut self.cells {
             cell.age(elapsed, model, rng)?;
         }
-        // Preserve the previous equalization target if any dummy was set.
+        self.reequalize_after_aging()
+    }
+
+    /// Sets every cell's absolute age since its last write to `elapsed`
+    /// ([`spinamm_memristor::Memristor::age_to`]) — the composable form
+    /// `age` is built on, for callers that track a virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossbarArray::age`].
+    pub fn age_to<R: Rng + ?Sized>(
+        &mut self,
+        elapsed: spinamm_circuit::units::Seconds,
+        model: &spinamm_memristor::DriftModel,
+        rng: &mut R,
+    ) -> Result<(), CrossbarError> {
+        for cell in &mut self.cells {
+            cell.age_to(elapsed, model, rng)?;
+        }
+        self.reequalize_after_aging()
+    }
+
+    /// Stamps one cell's retention: conductance moves to
+    /// `g₀ · fraction` at absolute age `elapsed`
+    /// ([`spinamm_memristor::Memristor::apply_retention`]). The lifetime
+    /// scheduler uses this with per-device ν values drawn once at program
+    /// time, so trajectories are deterministic without consuming RNG during
+    /// clock ticks. Dummies are NOT re-trimmed here — batch the stamps,
+    /// then call [`CrossbarArray::equalize_rows`] (or let the module-level
+    /// maintenance commit do it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad index and
+    /// propagates device-parameter errors.
+    pub fn apply_retention(
+        &mut self,
+        row: usize,
+        col: usize,
+        elapsed: spinamm_circuit::units::Seconds,
+        fraction: f64,
+    ) -> Result<(), CrossbarError> {
+        let idx = self.check(row, col)?;
+        self.cells[idx].apply_retention(elapsed, fraction)?;
+        Ok(())
+    }
+
+    /// Preserve the previous equalization target if any dummy was set.
+    fn reequalize_after_aging(&mut self) -> Result<(), CrossbarError> {
         let had_dummies = self.dummy.iter().any(|d| d.0 > 0.0);
         if had_dummies {
             self.equalize_rows(Some(self.equalization_target()?))?;

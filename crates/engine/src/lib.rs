@@ -465,7 +465,7 @@ struct WorkerOut {
 pub struct RecallEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    sequencer: Option<JoinHandle<()>>,
+    sequencer: Option<JoinHandle<Deployment>>,
 }
 
 impl RecallEngine {
@@ -638,6 +638,37 @@ impl RecallEngine {
     /// [`EngineError::ShutDown`]. Dropping the engine does the same.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
+    }
+
+    /// Stops the engine like [`RecallEngine::shutdown`] and hands back the
+    /// deployment the sequencer was serving — with all RNG and solver
+    /// state exactly where the served traffic left it. This is how a
+    /// lifetime maintenance window works: drain the engine, run background
+    /// refresh on the recovered module, then start a new engine over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequencer thread itself panicked (its deployment is
+    /// unrecoverable in that case).
+    #[must_use]
+    pub fn into_deployment(mut self) -> Deployment {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.closed = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let deployment = self
+            .sequencer
+            .take()
+            .expect("sequencer runs until shutdown")
+            .join()
+            .expect("sequencer thread panicked");
+        self.shared.tickets.lock().expect("ticket lock").clear();
+        deployment
     }
 
     fn shutdown_inner(&mut self) {
@@ -892,7 +923,11 @@ fn respond(
     }
 }
 
-fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<WorkerOut>) {
+fn sequencer_loop(
+    shared: &Shared,
+    mut master: Deployment,
+    rx: &mpsc::Receiver<WorkerOut>,
+) -> Deployment {
     let recorder = &shared.recorder;
     let req = RecallRequest::recorded(recorder);
     let cluster_count = match &master {
@@ -1021,6 +1056,7 @@ fn sequencer_loop(shared: &Shared, mut master: Deployment, rx: &mpsc::Receiver<W
             }
         }
     }
+    master
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::MemristorError;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
-use spinamm_circuit::units::{Ohms, Siemens};
+use spinamm_circuit::units::{Ohms, Seconds, Siemens};
 
 /// The programmable conductance window of a memristor device family.
 ///
@@ -169,10 +169,20 @@ impl ReadNoise {
 /// additionally be *pinned* — a hard stuck-at defect: writes keep updating
 /// the programmed state (the tuner cannot tell a stuck cell apart except by
 /// its verify reads), but every read observes the pinned value.
+///
+/// Every write pulse re-forms the filament, so the cell also tracks its
+/// *programmed reference*: the conductance the last write left behind and
+/// the age (seconds since that write). Retention decays from the reference,
+/// never from an already-drifted observation — that is what makes aging
+/// time-composable (`age(t₁); age(t₂) ≡ age(t₁+t₂)`). A lifetime wear
+/// counter accumulates every pulse for endurance accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Memristor {
     limits: DeviceLimits,
     conductance: Siemens,
+    reference: Siemens,
+    age: Seconds,
+    writes: u64,
     pinned: Option<Siemens>,
 }
 
@@ -183,6 +193,9 @@ impl Memristor {
         Self {
             limits,
             conductance: limits.g_min(),
+            reference: limits.g_min(),
+            age: Seconds(0.0),
+            writes: 0,
             pinned: None,
         }
     }
@@ -198,6 +211,9 @@ impl Memristor {
         Ok(Self {
             limits,
             conductance: g,
+            reference: g,
+            age: Seconds(0.0),
+            writes: 0,
             pinned: None,
         })
     }
@@ -251,7 +267,9 @@ impl Memristor {
     }
 
     /// Overwrites the state exactly (an idealized write, used by tests and
-    /// by callers that model write error themselves).
+    /// by callers that model write error themselves). Like any write it
+    /// re-forms the filament: the programmed reference moves to `g`, the
+    /// age since programming resets, and the wear counter ticks once.
     ///
     /// # Errors
     ///
@@ -260,11 +278,73 @@ impl Memristor {
     pub fn set_conductance(&mut self, g: Siemens) -> Result<(), MemristorError> {
         self.limits.check(g)?;
         self.conductance = g;
+        self.reference = g;
+        self.age = Seconds(0.0);
+        self.writes = self.writes.saturating_add(1);
         Ok(())
     }
 
+    /// One physical write pulse: moves the state (clamped into the window),
+    /// re-anchors the programmed reference there, and counts the pulse
+    /// toward the endurance budget.
     pub(crate) fn force_conductance(&mut self, g: Siemens) {
         self.conductance = self.limits.clamp(g);
+        self.reference = self.conductance;
+        self.age = Seconds(0.0);
+        self.writes = self.writes.saturating_add(1);
+    }
+
+    /// The programmed reference `g₀`: the conductance the last write pulse
+    /// left behind, from which retention decays.
+    #[must_use]
+    pub fn programmed_reference(&self) -> Siemens {
+        self.reference
+    }
+
+    /// Seconds of drift applied since the last write pulse.
+    #[must_use]
+    pub fn aged(&self) -> Seconds {
+        self.age
+    }
+
+    /// Lifetime write-pulse count (wear) for endurance accounting.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Moves the programmed state to `reference · fraction` (floored at the
+    /// off state) and records `elapsed` as the cell's age since its last
+    /// write. This is the primitive every aging path lands on: the decay is
+    /// always applied to the programmed reference, never to an
+    /// already-drifted observation, so repeated calls with increasing
+    /// `elapsed` compose exactly. Not a write — the reference and wear
+    /// counter are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] when `elapsed` is not
+    /// finite and non-negative or `fraction` lies outside `[0, 1]`; the
+    /// cell is untouched in that case.
+    pub fn apply_retention(
+        &mut self,
+        elapsed: Seconds,
+        fraction: f64,
+    ) -> Result<(), MemristorError> {
+        if !(elapsed.0.is_finite() && elapsed.0 >= 0.0) {
+            return Err(MemristorError::InvalidParameter {
+                what: "cell age must be finite and non-negative",
+            });
+        }
+        if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+            return Err(MemristorError::InvalidParameter {
+                what: "retention fraction must lie in [0, 1]",
+            });
+        }
+        let g = self.reference.0 * fraction;
+        self.conductance = Siemens(g.max(self.limits.g_min().0));
+        self.age = elapsed;
+        Ok(())
     }
 }
 
@@ -395,6 +475,44 @@ mod tests {
         assert!(ReadNoise::new(-0.1).is_err());
         assert!(ReadNoise::new(f64::NAN).is_err());
         assert!(ReadNoise::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn writes_anchor_reference_and_count_wear() {
+        let mut cell = Memristor::new(DeviceLimits::PAPER);
+        assert_eq!(cell.writes(), 0);
+        assert_eq!(cell.programmed_reference(), DeviceLimits::PAPER.g_min());
+        cell.set_conductance(Siemens(5e-4)).unwrap();
+        assert_eq!(cell.writes(), 1);
+        assert_eq!(cell.programmed_reference(), Siemens(5e-4));
+        assert_eq!(cell.aged(), Seconds(0.0));
+        cell.force_conductance(Siemens(6e-4));
+        assert_eq!(cell.writes(), 2);
+        assert_eq!(cell.programmed_reference(), Siemens(6e-4));
+        // Rejected writes leave the reference and wear untouched.
+        assert!(cell.set_conductance(Siemens(1.0)).is_err());
+        assert_eq!(cell.writes(), 2);
+        assert_eq!(cell.programmed_reference(), Siemens(6e-4));
+    }
+
+    #[test]
+    fn apply_retention_decays_from_reference_not_state() {
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        cell.apply_retention(Seconds(10.0), 0.9).unwrap();
+        assert!((cell.conductance().0 - 7.2e-4).abs() < 1e-12);
+        assert_eq!(cell.aged(), Seconds(10.0));
+        // A later, shallower fraction is still taken from g₀ — retention
+        // stamps are absolute, not cumulative.
+        cell.apply_retention(Seconds(20.0), 0.95).unwrap();
+        assert!((cell.conductance().0 - 7.6e-4).abs() < 1e-12);
+        assert_eq!(cell.writes(), 0, "retention is not a write");
+        // Floors at the off state and validates its inputs.
+        cell.apply_retention(Seconds(30.0), 0.0).unwrap();
+        assert_eq!(cell.conductance(), DeviceLimits::PAPER.g_min());
+        assert!(cell.apply_retention(Seconds(-1.0), 0.5).is_err());
+        assert!(cell.apply_retention(Seconds(1.0), 1.5).is_err());
+        assert!(cell.apply_retention(Seconds(1.0), f64::NAN).is_err());
+        assert!(cell.apply_retention(Seconds(f64::NAN), 0.5).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::device::Memristor;
 use crate::MemristorError;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
-use spinamm_circuit::units::{Seconds, Siemens};
+use spinamm_circuit::units::Seconds;
 
 /// Logarithmic drift model.
 ///
@@ -90,21 +90,62 @@ impl DriftModel {
     }
 
     /// The elapsed time at which the median drift reaches a relative loss
-    /// of `tolerance` (e.g. the 3 % write band), or `None` if it never does
-    /// (`nu == 0`).
+    /// of `tolerance` (e.g. the 3 % write band), or `None` if it never does:
+    /// either `nu == 0`, or `tolerance / nu` is so large that
+    /// `10^(tol/ν)` overflows — the crossing time is beyond any
+    /// representable horizon.
     #[must_use]
     pub fn time_to_loss(&self, tolerance: f64) -> Option<Seconds> {
         if self.nu <= 0.0 {
             return None;
         }
         // 1 − ν·log10(1 + t/t0) = 1 − tolerance → t = t0·(10^(tol/ν) − 1).
-        Some(Seconds(
-            self.t0.0 * (10.0_f64.powf(tolerance / self.nu) - 1.0),
-        ))
+        let t = self.t0.0 * (10.0_f64.powf(tolerance / self.nu) - 1.0);
+        t.is_finite().then_some(Seconds(t))
+    }
+
+    /// Draws one device's drift coefficient ν with the configured spread,
+    /// clamped to the model's validated `[0, 1)` contract — the sampled
+    /// tail must not exceed the decay a valid model could be built with,
+    /// or a single aging step could erase a cell outright.
+    pub fn sample_nu<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.nu == 0.0 || self.nu_sigma == 0.0 {
+            return self.nu;
+        }
+        let normal = Normal::new(0.0, self.nu_sigma).expect("sigma validated");
+        (self.nu * (1.0 + normal.sample(rng))).clamp(0.0, NU_CEIL)
+    }
+
+    /// Retention fraction after `elapsed` for a specific device's drift
+    /// coefficient `nu` (e.g. one drawn once at program time with
+    /// [`DriftModel::sample_nu`] and held fixed for the filament's life —
+    /// how the lifetime scheduler gets deterministic per-cell
+    /// trajectories).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] when `elapsed` is not
+    /// finite or `nu` lies outside `[0, 1)`.
+    pub fn retention_with(&self, nu: f64, elapsed: Seconds) -> Result<f64, MemristorError> {
+        if !elapsed.0.is_finite() {
+            return Err(MemristorError::InvalidParameter {
+                what: "elapsed time must be finite",
+            });
+        }
+        if !(nu.is_finite() && (0.0..1.0).contains(&nu)) {
+            return Err(MemristorError::InvalidParameter {
+                what: "drift coefficient must lie in [0, 1)",
+            });
+        }
+        if elapsed.0 <= 0.0 || nu == 0.0 {
+            return Ok(1.0);
+        }
+        Ok((1.0 - nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0))
     }
 
     /// Samples one device's retention fraction after `elapsed` (its ν drawn
-    /// with the configured spread, truncated at zero).
+    /// with the configured spread, clamped into the model's `[0, 1)`
+    /// contract).
     ///
     /// # Errors
     ///
@@ -125,15 +166,14 @@ impl DriftModel {
         if elapsed.0 <= 0.0 || self.nu == 0.0 {
             return Ok(1.0);
         }
-        let nu = if self.nu_sigma > 0.0 {
-            let normal = Normal::new(0.0, self.nu_sigma).expect("sigma validated");
-            (self.nu * (1.0 + normal.sample(rng))).max(0.0)
-        } else {
-            self.nu
-        };
+        let nu = self.sample_nu(rng);
         Ok((1.0 - nu * (1.0 + elapsed.0 / self.t0.0).log10()).max(0.0))
     }
 }
+
+/// Upper clamp for sampled drift coefficients: the largest value still
+/// inside the `nu < 1` construction contract.
+const NU_CEIL: f64 = 1.0 - 1e-9;
 
 impl Default for DriftModel {
     fn default() -> Self {
@@ -142,8 +182,39 @@ impl Default for DriftModel {
 }
 
 impl Memristor {
-    /// Ages the cell by `elapsed` under a drift model (conductance decays
-    /// toward — and is floored at — the device's off state).
+    /// Sets the cell's absolute age since its last write to `elapsed`:
+    /// conductance becomes `g₀ · retention(elapsed)` where `g₀` is the
+    /// programmed reference (floored at the device's off state). Because
+    /// the decay is computed from the reference rather than the current
+    /// state, calls compose: `age_to(t)` gives the same state no matter
+    /// how many intermediate ages were visited (exactly so for the median
+    /// model; up to ν re-sampling under device spread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemristorError::InvalidParameter`] when `elapsed` is not
+    /// finite and non-negative; the cell state is left untouched.
+    pub fn age_to<R: Rng + ?Sized>(
+        &mut self,
+        elapsed: Seconds,
+        model: &DriftModel,
+        rng: &mut R,
+    ) -> Result<(), MemristorError> {
+        if elapsed.0 < 0.0 {
+            return Err(MemristorError::InvalidParameter {
+                what: "cell age must be finite and non-negative",
+            });
+        }
+        let fraction = model.sample_retention(elapsed, rng)?;
+        self.apply_retention(elapsed, fraction)
+    }
+
+    /// Ages the cell by a *further* `elapsed` under a drift model
+    /// (conductance decays toward — and is floored at — the device's off
+    /// state). Rebased shim over [`Memristor::age_to`]: the increment is
+    /// added to the age accumulated since the last write, so
+    /// `age(t₁); age(t₂)` lands on the same state as `age(t₁+t₂)` instead
+    /// of compounding the decay — the historical bug this replaces.
     ///
     /// # Errors
     ///
@@ -155,11 +226,13 @@ impl Memristor {
         model: &DriftModel,
         rng: &mut R,
     ) -> Result<(), MemristorError> {
-        let fraction = model.sample_retention(elapsed, rng)?;
-        let g = self.conductance().0 * fraction;
-        let floored = g.max(self.limits().g_min().0);
-        self.force_conductance(Siemens(floored));
-        Ok(())
+        if !elapsed.0.is_finite() {
+            return Err(MemristorError::InvalidParameter {
+                what: "elapsed time must be finite",
+            });
+        }
+        // Negative increments were always no-ops (retention 1); keep that.
+        self.age_to(Seconds(self.aged().0 + elapsed.0.max(0.0)), model, rng)
     }
 }
 
@@ -169,6 +242,7 @@ mod tests {
     use crate::device::DeviceLimits;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use spinamm_circuit::units::Siemens;
 
     #[test]
     fn median_retention_shape() {
@@ -270,5 +344,137 @@ mod tests {
         assert!(DriftModel::new(0.01, Seconds(0.0), 0.1).is_err());
         assert!(DriftModel::new(0.01, Seconds(1.0), -1.0).is_err());
         assert_eq!(DriftModel::default(), DriftModel::TYPICAL);
+    }
+
+    #[test]
+    fn time_to_loss_overflow_returns_none() {
+        // Regression: tolerance/ν in the thousands used to overflow
+        // 10^(tol/ν) to ∞ and hand back Seconds(inf).
+        let slow = DriftModel::new(1e-6, Seconds(1.0), 0.0).unwrap();
+        assert!(slow.time_to_loss(0.03).is_none());
+        assert!(DriftModel::TYPICAL.time_to_loss(1e4).is_none());
+        // Finite crossings still report.
+        let t = DriftModel::TYPICAL.time_to_loss(0.03).unwrap();
+        assert!(t.0.is_finite() && t.0 > 0.0);
+    }
+
+    #[test]
+    fn sampled_nu_tail_is_clamped_below_one() {
+        // Regression: a huge device spread could push a sampled ν past 1,
+        // erasing a cell in a single short aging step. The tail must obey
+        // the model's nu < 1 contract.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let wild = DriftModel::new(0.03, Seconds(1.0), 1e4).unwrap();
+        for _ in 0..500 {
+            let nu = wild.sample_nu(&mut rng);
+            assert!((0.0..1.0).contains(&nu), "sampled nu {nu} escaped [0,1)");
+            // One onset-time step can no longer hit zero retention:
+            // 1 − ν·log10(2) > 0 for every ν < 1.
+            let r = wild.sample_retention(Seconds(1.0), &mut rng).unwrap();
+            assert!(r > 0.69, "single-step retention collapsed to {r}");
+        }
+    }
+
+    #[test]
+    fn retention_with_matches_median_and_validates() {
+        let m = DriftModel::TYPICAL;
+        let r = m.retention_with(m.nu, Seconds(1e6)).unwrap();
+        assert!((r - m.median_retention(Seconds(1e6))).abs() < 1e-15);
+        assert_eq!(m.retention_with(0.0, Seconds(1e9)).unwrap(), 1.0);
+        assert!(m.retention_with(1.0, Seconds(1.0)).is_err());
+        assert!(m.retention_with(-0.1, Seconds(1.0)).is_err());
+        assert!(m.retention_with(0.01, Seconds(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn repeated_aging_no_longer_compounds() {
+        // Regression for the composability bug: age(t1); age(t2) used to
+        // re-apply the decay to the already-drifted conductance.
+        let median = DriftModel::new(0.03, Seconds(1.0), 0.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut split = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        split.age(Seconds(1e3), &median, &mut rng).unwrap();
+        split.age(Seconds(9e3), &median, &mut rng).unwrap();
+        let mut whole = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        whole.age(Seconds(1e4), &median, &mut rng).unwrap();
+        assert_eq!(split.conductance(), whole.conductance());
+        assert_eq!(split.aged(), Seconds(1e4));
+    }
+
+    #[test]
+    fn age_to_is_absolute_and_rewrites_rebase() {
+        let median = DriftModel::new(0.03, Seconds(1.0), 0.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut cell = Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+        cell.age_to(Seconds(1e6), &median, &mut rng).unwrap();
+        let aged_g = cell.conductance();
+        assert!(aged_g.0 < 8e-4);
+        assert_eq!(cell.programmed_reference(), Siemens(8e-4));
+        // A re-program re-anchors the reference and zeroes the age.
+        cell.set_conductance(Siemens(8e-4)).unwrap();
+        assert_eq!(cell.aged(), Seconds(0.0));
+        cell.age_to(Seconds(1e6), &median, &mut rng).unwrap();
+        assert_eq!(
+            cell.conductance(),
+            aged_g,
+            "refresh restarts the decay clock"
+        );
+        assert!(cell.age_to(Seconds(-1.0), &median, &mut rng).is_err());
+    }
+}
+
+#[cfg(test)]
+mod drift_props {
+    use super::*;
+    use crate::device::DeviceLimits;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spinamm_circuit::units::Siemens;
+
+    proptest! {
+        // The bugfix contract: for the median model (no device spread),
+        // incremental aging composes bit-exactly — age(t1); age(t2) lands
+        // on the identical state as age(t1 + t2).
+        #[test]
+        fn age_composes_for_the_median_model(
+            t1 in 0.0..1e9f64,
+            t2 in 0.0..1e9f64,
+            nu in 0.0..0.5f64,
+            g0 in 3.2e-5..1e-3f64,
+        ) {
+            let model = DriftModel::new(nu, Seconds(1.0), 0.0).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let mut split =
+                Memristor::with_conductance(DeviceLimits::PAPER, Siemens(g0)).unwrap();
+            split.age(Seconds(t1), &model, &mut rng).unwrap();
+            split.age(Seconds(t2), &model, &mut rng).unwrap();
+            let mut whole =
+                Memristor::with_conductance(DeviceLimits::PAPER, Siemens(g0)).unwrap();
+            whole.age(Seconds(t1 + t2), &model, &mut rng).unwrap();
+            prop_assert_eq!(split.conductance(), whole.conductance());
+            prop_assert_eq!(split.aged(), whole.aged());
+        }
+
+        // age_to is idempotent at a fixed horizon and equals the shim path.
+        #[test]
+        fn age_to_matches_incremental_shim(
+            steps in proptest::collection::vec(0.0..1e7f64, 1..6),
+            nu in 0.0..0.5f64,
+        ) {
+            let model = DriftModel::new(nu, Seconds(1.0), 0.0).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let mut inc =
+                Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+            let mut total = 0.0;
+            for &s in &steps {
+                inc.age(Seconds(s), &model, &mut rng).unwrap();
+                total += s;
+            }
+            let mut abs =
+                Memristor::with_conductance(DeviceLimits::PAPER, Siemens(8e-4)).unwrap();
+            abs.age_to(Seconds(total), &model, &mut rng).unwrap();
+            prop_assert_eq!(inc.conductance(), abs.conductance());
+        }
     }
 }

@@ -216,6 +216,58 @@ fn e14_engine_scale_is_bit_identical() {
 }
 
 #[test]
+fn e20_lifetime_maintenance_holds_accuracy() {
+    let study = experiments::lifetime_study(&quick()).unwrap();
+    assert_eq!(study.arms.len(), 4, "2 corners x maintained/unmaintained");
+    for arm in &study.arms {
+        assert!(!arm.points.is_empty());
+        let qs: Vec<f64> = arm.points.iter().map(|p| p.queries).collect();
+        assert!(qs.windows(2).all(|w| w[0] < w[1]), "checkpoints ascend");
+        assert_eq!(*qs.last().unwrap(), study.horizon_queries);
+        if arm.maintained {
+            // The maintenance contract: hold accuracy within two points
+            // of fresh over the whole horizon at no more than 10 % of
+            // the horizon's recall energy in refresh writes.
+            assert!(
+                arm.final_accuracy >= arm.fresh_accuracy - 0.02,
+                "{} maintained fell to {} from fresh {}",
+                arm.corner,
+                arm.final_accuracy,
+                arm.fresh_accuracy
+            );
+            assert!(
+                arm.refresh_overhead <= 0.10,
+                "{} refresh overhead {}",
+                arm.corner,
+                arm.refresh_overhead
+            );
+        } else {
+            assert_eq!(arm.refreshes, 0, "the control arm never intervenes");
+        }
+    }
+    let maintained = study
+        .arms
+        .iter()
+        .find(|a| a.corner == "aggressive" && a.maintained)
+        .unwrap();
+    let control = study
+        .arms
+        .iter()
+        .find(|a| a.corner == "aggressive" && !a.maintained)
+        .unwrap();
+    assert!(
+        maintained.refreshes > 0,
+        "aggressive drift must trigger refreshes"
+    );
+    assert!(
+        control.final_accuracy < control.fresh_accuracy - 0.02,
+        "unmaintained aggressive must visibly degrade: {} vs fresh {}",
+        control.final_accuracy,
+        control.fresh_accuracy
+    );
+}
+
+#[test]
 fn extension_hierarchy_study() {
     let rows = experiments::hierarchy_study(&quick(), &[1, 2]).unwrap();
     assert_eq!(rows.len(), 2);
